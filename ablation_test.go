@@ -1,0 +1,135 @@
+// Ablation benchmarks for this implementation's own design choices (beyond
+// the paper's tables and figures): the correlated-subquery result cache in
+// the SQL engine, the cost of sealing the persisted log, and the ROTE
+// group's fault-tolerance parameter.
+package libseal
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"libseal/internal/asyncall"
+	"libseal/internal/audit"
+	"libseal/internal/bench"
+	"libseal/internal/rote"
+	"libseal/internal/sqldb"
+	"libseal/internal/ssm/gitssm"
+	"libseal/internal/testutil"
+)
+
+// BenchmarkAblation_SubqueryCache measures the Git soundness+completeness
+// checks with and without the engine's correlated-subquery result cache
+// (the substitute for SQLite's automatic indexes; see
+// internal/sqldb/subqcache.go). The cache collapses the O(rows^3) blow-up
+// of the paper's nested-MAX queries.
+func BenchmarkAblation_SubqueryCache(b *testing.B) {
+	build := func() *sqldb.DB {
+		filler, err := bench.NewGitFiller(gitssm.New())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := filler.Fill(150); err != nil {
+			b.Fatal(err)
+		}
+		return filler.DB
+	}
+	for _, cached := range []bool{true, false} {
+		cached := cached
+		name := "cached"
+		if !cached {
+			name = "uncached"
+		}
+		b.Run(name, func(b *testing.B) {
+			db := build()
+			var elapsed time.Duration
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				for _, q := range []string{gitssm.SoundnessSQL, gitssm.CompletenessSQL} {
+					if _, err := sqldb.QueryWithCache(db, q, cached); err != nil {
+						b.Fatal(err)
+					}
+				}
+				elapsed = time.Since(start)
+			}
+			b.ReportMetric(float64(elapsed.Milliseconds()), "ms/check")
+		})
+	}
+}
+
+// BenchmarkAblation_SealedLog measures audit append throughput with and
+// without entry sealing (log privacy, §6.3).
+func BenchmarkAblation_SealedLog(b *testing.B) {
+	for _, sealed := range []bool{false, true} {
+		sealed := sealed
+		name := "plain"
+		if sealed {
+			name = "sealed"
+		}
+		b.Run(name, func(b *testing.B) {
+			_, bridge, err := testutil.NewBridge(testutil.BridgeOptions{Cost: benchCost()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer bridge.Close()
+			dir := b.TempDir()
+			var log *audit.Log
+			if err := bridge.Call(func(env *asyncall.Env) error {
+				var err error
+				log, err = audit.New(env, audit.Config{
+					Name: "abl", Schema: gitssm.New().Schema(),
+					Mode: audit.ModeDisk, Dir: dir, Seal: sealed,
+				})
+				return err
+			}); err != nil {
+				b.Fatal(err)
+			}
+			defer log.Close()
+			const appends = 100
+			var elapsed time.Duration
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				err := bridge.Call(func(env *asyncall.Env) error {
+					for j := 0; j < appends; j++ {
+						if err := log.Append(env, "updates", j, "r", "main", "c", "update"); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				elapsed = time.Since(start)
+			}
+			b.ReportMetric(float64(elapsed.Microseconds())/appends, "µs/append")
+		})
+	}
+}
+
+// BenchmarkAblation_ROTEFaultTolerance sweeps the counter group's f: higher
+// fault tolerance means more nodes (3f+1) and a larger quorum (2f+1) per
+// increment.
+func BenchmarkAblation_ROTEFaultTolerance(b *testing.B) {
+	for _, f := range []int{0, 1, 2, 3} {
+		f := f
+		b.Run(fmt.Sprintf("f=%d", f), func(b *testing.B) {
+			group, err := rote.NewGroup(f, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			const increments = 200
+			var elapsed time.Duration
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				for j := 0; j < increments; j++ {
+					if _, err := group.Increment("bench"); err != nil {
+						b.Fatal(err)
+					}
+				}
+				elapsed = time.Since(start)
+			}
+			b.ReportMetric(float64(elapsed.Microseconds())/increments, "µs/increment")
+		})
+	}
+}

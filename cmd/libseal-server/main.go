@@ -1,0 +1,183 @@
+// Command libseal-server runs one of the simulated services behind LibSEAL
+// on a real TCP port. It launches a simulated SGX enclave, provisions a TLS
+// certificate (written to disk for clients, along with the CA and the
+// enclave's audit-signing public key), and serves the chosen service through
+// the enclave TLS library with full auditing.
+//
+// Usage:
+//
+//	libseal-server -listen :8443 -service git -mode disk -dir ./audit
+//
+// Then interact with cmd/libseal-client, and validate the audit log with
+// cmd/libseal-verify against the written enclave.pub.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"libseal"
+	"libseal/internal/audit"
+	"libseal/internal/pki"
+	"libseal/internal/services/apache"
+	"libseal/internal/services/dropbox"
+	"libseal/internal/services/gitserver"
+	"libseal/internal/services/messaging"
+	"libseal/internal/services/owncloud"
+	"libseal/internal/sqldb"
+	"libseal/internal/tlsterm"
+)
+
+func main() {
+	listen := flag.String("listen", ":8443", "TCP listen address")
+	service := flag.String("service", "git", "service to run: git, owncloud, dropbox or messaging")
+	mode := flag.String("mode", "mem", "audit mode: mem or disk")
+	dir := flag.String("dir", ".", "directory for the audit log and key material")
+	checkEvery := flag.Int("check-every", 25, "run checks and trimming every N logged pairs (0 = off)")
+	rateLimit := flag.Duration("check-rate-limit", time.Second, "minimum interval between client-triggered checks")
+	recover := flag.Bool("recover", false, "resume from an existing audit log (requires the platform state from the previous run)")
+	flag.Parse()
+
+	var module libseal.Module
+	var handler apache.Handler
+	switch *service {
+	case "git":
+		module = libseal.GitModule()
+		handler = gitserver.NewServer().Handler()
+	case "owncloud":
+		module = libseal.OwnCloudModule()
+		handler = owncloud.NewServer().Handler()
+	case "dropbox":
+		module = libseal.DropboxModule()
+		handler = dropbox.NewServer().Handler()
+	case "messaging":
+		module = libseal.MessagingModule()
+		handler = messaging.NewServer().Handler()
+	default:
+		log.Fatalf("unknown service %q", *service)
+	}
+
+	// Launch the enclave and the call bridge. The platform state persists
+	// across restarts (the simulation analogue of one physical machine), so
+	// sealing keys, counters and the audit signing key survive.
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	platform, err := libseal.LoadOrCreatePlatform(filepath.Join(*dir, "platform.state"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	encl, err := platform.Launch(libseal.EnclaveConfig{
+		Code:       []byte("libseal-server/" + *service),
+		MaxThreads: 32,
+		Cost:       libseal.DefaultCostModel(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bridge, err := libseal.NewBridge(encl, libseal.BridgeConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer bridge.Close()
+
+	// Generate the TLS identity inside the enclave and certify it,
+	// embedding an attestation quote so clients can check they really talk
+	// to LibSEAL (§6.3).
+	ca, err := pki.NewCA("libseal-server-ca")
+	if err != nil {
+		log.Fatal(err)
+	}
+	pub, quote, key, err := tlsterm.GenerateEnclaveIdentity(bridge)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cert, err := ca.Issue("libseal-server", pub, &quote)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Persist the client-side trust material.
+	caCert := pki.EncodeCertPEM(&pki.Certificate{Subject: ca.Name, Issuer: ca.Name, PubKey: ca.PublicKey()})
+	mustWrite(filepath.Join(*dir, "ca.pem"), caCert)
+	mustWrite(filepath.Join(*dir, "server-cert.pem"), pki.EncodeCertPEM(cert))
+	enclPub, err := pki.EncodePublicKeyPEM(encl.PublicKey())
+	if err != nil {
+		log.Fatal(err)
+	}
+	mustWrite(filepath.Join(*dir, "enclave.pub"), enclPub)
+
+	cfg := libseal.Config{
+		TLS:              libseal.TLSConfig{Cert: cert, Key: key, Opts: libseal.AllOptimizations()},
+		Module:           module,
+		CheckEvery:       *checkEvery,
+		CheckMinInterval: *rateLimit,
+		RecoverExisting:  *recover,
+		OnViolation: func(name string, rows *sqldb.Result) {
+			log.Printf("INTEGRITY VIOLATION %s: %d offending log entries", name, len(rows.Rows))
+		},
+	}
+	switch *mode {
+	case "mem":
+		cfg.AuditMode = audit.ModeMemory
+	case "disk":
+		cfg.AuditMode = audit.ModeDisk
+		cfg.AuditDir = *dir
+		group, err := libseal.NewCounterGroup(1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Protector = group
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+	seal, err := libseal.New(bridge, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer seal.Close()
+
+	server, err := apache.New(apache.Config{
+		Terminator: seal.TLS().Terminator(),
+		Handler:    handler,
+		KeepAlive:  true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("libseal-server: %s service on %s (audit: %s)", *service, l.Addr(), *mode)
+	log.Printf("trust material in %s: ca.pem, server-cert.pem, enclave.pub", *dir)
+
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		st := seal.StatsSnapshot()
+		log.Printf("shutting down: %d pairs, %d tuples, %d checks, %d violations",
+			st.Pairs, st.Tuples, st.Checks, st.Violations)
+		server.Close()
+		l.Close()
+	}()
+	if err := server.Serve(l); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func mustWrite(path string, data []byte) {
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}

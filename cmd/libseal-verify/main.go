@@ -1,0 +1,78 @@
+// Command libseal-verify validates a persisted LibSEAL audit log out of
+// band, the way a client would during dispute resolution: it recomputes the
+// hash chain, verifies the enclave's ECDSA signature over the chain head and
+// counter, and prints the verified entries. A failure means the provider
+// tampered with, truncated or rolled back the log — or that the log was not
+// produced by the expected enclave.
+//
+// Usage:
+//
+//	libseal-verify -log audit/git.lseal -pubkey enclave.pub [-dump]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"libseal"
+	"libseal/internal/pki"
+)
+
+func main() {
+	logPath := flag.String("log", "", "path to the .lseal audit log file")
+	pubPath := flag.String("pubkey", "", "path to the enclave's PEM public key (optional: skips signature check)")
+	dump := flag.Bool("dump", false, "print every verified entry")
+	flag.Parse()
+	if *logPath == "" {
+		fmt.Fprintln(os.Stderr, "libseal-verify: -log is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := libseal.VerifyOptions{}
+	if *pubPath != "" {
+		pemData, err := os.ReadFile(*pubPath)
+		if err != nil {
+			fatal("read public key: %v", err)
+		}
+		pub, err := pki.DecodePublicKeyPEM(pemData)
+		if err != nil {
+			fatal("parse public key: %v", err)
+		}
+		opts.Pub = pub
+	}
+
+	entries, err := libseal.VerifyLogFile(*logPath, opts)
+	if err != nil {
+		fatal("VERIFICATION FAILED: %v", err)
+	}
+	fmt.Printf("OK: %d entries, hash chain intact", len(entries))
+	if opts.Pub != nil {
+		fmt.Printf(", enclave signature valid")
+	}
+	fmt.Println()
+
+	if *dump {
+		for _, e := range entries {
+			fmt.Printf("#%-6d %-16s", e.Seq, e.Table)
+			for _, v := range e.Values {
+				fmt.Printf(" %s", v.String())
+			}
+			fmt.Println()
+		}
+	} else {
+		byTable := map[string]int{}
+		for _, e := range entries {
+			byTable[e.Table]++
+		}
+		for table, n := range byTable {
+			fmt.Printf("  %-20s %d tuples\n", table, n)
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "libseal-verify: "+format+"\n", args...)
+	os.Exit(1)
+}

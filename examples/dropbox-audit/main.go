@@ -1,0 +1,97 @@
+// Command dropbox-audit reproduces the paper's Dropbox case study: clients
+// reach the remote file-storage service through a local Squid proxy linked
+// against LibSEAL, over a simulated 76 ms WAN. Files are split into 4 MB
+// blocks whose hashes form the blocklist — metadata Dropbox itself does not
+// integrity-protect. LibSEAL records commit_batch and list messages and
+// detects corrupted blocklists, stale metadata and silently lost files.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"time"
+
+	"libseal/internal/bench"
+	"libseal/internal/httpparse"
+	"libseal/internal/services/dropbox"
+	"libseal/internal/ssm/dropboxssm"
+)
+
+func main() {
+	stack, err := bench.NewDropboxStack(bench.StackOptions{Mode: bench.ModeMem},
+		bench.DropboxWANLatency)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stack.Close()
+
+	// Dropbox traffic is routed through the proxy; certificate
+	// verification is disabled on this leg, as in the paper (§6.4).
+	client := stack.NewDropboxClient(true)
+	defer client.Close()
+
+	commit := func(commits ...dropboxssm.FileCommit) time.Duration {
+		body, _ := json.Marshal(dropboxssm.CommitBatchMsg{Account: "user", Host: "laptop", Commits: commits})
+		start := time.Now()
+		rsp, err := client.Do(httpparse.NewRequest("POST", "/dropbox/commit_batch", body))
+		if err != nil || rsp.Status != 200 {
+			log.Fatalf("commit_batch: %v %v", rsp, err)
+		}
+		return time.Since(start)
+	}
+	list := func() ([]dropboxssm.FileCommit, time.Duration) {
+		start := time.Now()
+		rsp, err := client.Do(httpparse.NewRequest("GET", "/dropbox/list?account=user&host=laptop", nil))
+		if err != nil || rsp.Status != 200 {
+			log.Fatalf("list: %v %v", rsp, err)
+		}
+		var out dropboxssm.ListRsp
+		json.Unmarshal(rsp.Body, &out)
+		return out.Files, time.Since(start)
+	}
+
+	// Upload three files; blocklists are computed from real content.
+	report := make([]byte, 6<<20) // spans two 4 MB blocks
+	for i := range report {
+		report[i] = byte(i)
+	}
+	d := commit(
+		dropboxssm.FileCommit{File: "report.pdf", Blocklist: dropbox.Blocklist(report), Size: int64(len(report))},
+		dropboxssm.FileCommit{File: "notes.txt", Blocklist: dropbox.Blocklist([]byte("meeting notes")), Size: 13},
+		dropboxssm.FileCommit{File: "old.bak", Blocklist: dropbox.Blocklist([]byte("backup")), Size: 6},
+	)
+	fmt.Printf("commit_batch over the WAN took %v (76 ms RTT + handshake)\n", d.Round(time.Millisecond))
+
+	commit(dropboxssm.FileCommit{File: "old.bak", Size: -1}) // delete one
+	files, d := list()
+	fmt.Printf("list returned %d files in %v\n", len(files), d.Round(time.Millisecond))
+	if result, _ := stack.Seal.CheckNow(); result != "ok" {
+		log.Fatalf("honest service flagged: %s", result)
+	}
+	fmt.Println("honest service: all invariants hold")
+
+	// Violation 1: metadata corruption — the returned blocklist differs
+	// from what the client uploaded.
+	stack.Service.InjectBlocklistCorruption("report.pdf")
+	list()
+	result, _ := stack.Seal.CheckNow()
+	fmt.Printf("corrupted blocklist -> %s\n", result)
+	stack.Service.ClearFaults()
+	stack.Seal.TrimNow()
+
+	// Violation 2: a file silently vanishes from listings.
+	stack.Service.InjectFileLoss("notes.txt")
+	list()
+	result, _ = stack.Seal.CheckNow()
+	fmt.Printf("lost file           -> %s\n", result)
+
+	// The violations are non-repudiable: the log rows name the evidence.
+	for _, v := range stack.Seal.Violations() {
+		for _, row := range v.Rows.Rows {
+			fmt.Printf("  evidence [%s]: time=%s file=%s\n", v.Invariant, row[0], row[1])
+		}
+	}
+	st := stack.Seal.StatsSnapshot()
+	fmt.Printf("\naudit stats: %d pairs, %d tuples\n", st.Pairs, st.Tuples)
+}

@@ -1,0 +1,89 @@
+// Command messaging-audit demonstrates extending LibSEAL to a service the
+// paper only motivates (§2.2): an XMPP-style instant messaging service whose
+// provider may drop, modify or misdeliver messages. The messaging
+// service-specific module — schema, parser and three SQL invariants — is all
+// it takes to audit the new service; everything else (enclave TLS, audit
+// log, checking) is unchanged.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+
+	"libseal"
+	"libseal/internal/bench"
+	"libseal/internal/httpparse"
+	"libseal/internal/services/messaging"
+	"libseal/internal/ssm/messagingssm"
+)
+
+func main() {
+	svc := messaging.NewServer()
+	stack, err := bench.NewCustomStack(bench.StackOptions{Mode: bench.ModeMem},
+		libseal.MessagingModule(), svc.Handler())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stack.Close()
+	client := stack.NewClient(true)
+	defer client.Close()
+
+	send := func(from, to, body string) {
+		b, _ := json.Marshal(messagingssm.SendMsg{From: from, To: to, Body: body})
+		rsp, err := client.Do(httpparse.NewRequest("POST", "/messaging/send", b))
+		if err != nil || rsp.Status != 200 {
+			log.Fatalf("send: %v %v", rsp, err)
+		}
+	}
+	fetch := func(user string) []messagingssm.Delivered {
+		b, _ := json.Marshal(messagingssm.InboxMsg{User: user, Since: 0})
+		rsp, err := client.Do(httpparse.NewRequest("POST", "/messaging/inbox", b))
+		if err != nil || rsp.Status != 200 {
+			log.Fatalf("inbox: %v %v", rsp, err)
+		}
+		var out messagingssm.InboxRsp
+		json.Unmarshal(rsp.Body, &out)
+		return out.Messages
+	}
+
+	// An honest conversation.
+	send("alice", "bob", "lunch at noon?")
+	send("bob", "alice", "sure — usual place")
+	fmt.Printf("bob's inbox: %d message(s)\n", len(fetch("bob")))
+	if result, _ := stack.Seal.CheckNow(); result != "ok" {
+		log.Fatalf("honest conversation flagged: %s", result)
+	}
+	fmt.Println("honest conversation: all invariants hold")
+
+	// Violation 1: the provider silently drops a message.
+	svc.SetFaults(messaging.Faults{DropEveryNth: 1})
+	send("alice", "bob", "actually, make it 1pm")
+	fetch("bob")
+	result, _ := stack.Seal.CheckNow()
+	fmt.Printf("dropped message     -> %s\n", result)
+	svc.SetFaults(messaging.Faults{})
+	stack.Seal.TrimNow()
+
+	// Violation 2: a message is modified in transit.
+	svc.SetFaults(messaging.Faults{CorruptBodies: true})
+	send("alice", "bob", "transfer 100 to carol")
+	fetch("bob")
+	result, _ = stack.Seal.CheckNow()
+	fmt.Printf("modified message    -> %s\n", result)
+	svc.SetFaults(messaging.Faults{})
+	stack.Seal.TrimNow()
+
+	// Violation 3: a private message leaks into eve's inbox.
+	send("alice", "bob", "my password is hunter2")
+	svc.SetFaults(messaging.Faults{MisdeliverTo: "eve"})
+	for _, m := range fetch("eve") {
+		fmt.Printf("eve received a message addressed to %q!\n", m.To)
+	}
+	result, _ = stack.Seal.CheckNow()
+	fmt.Printf("misdelivery         -> %s\n", result)
+
+	st := stack.Seal.StatsSnapshot()
+	fmt.Printf("\naudit stats: %d pairs, %d tuples, %d violations recorded\n",
+		st.Pairs, st.Tuples, st.Violations)
+}

@@ -1,0 +1,3 @@
+module libseal
+
+go 1.22

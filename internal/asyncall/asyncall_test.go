@@ -1,0 +1,229 @@
+package asyncall
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"libseal/internal/enclave"
+)
+
+func newBridge(t *testing.T, cfg Config) *Bridge {
+	t.Helper()
+	p := enclave.NewPlatform()
+	e, err := p.Launch(enclave.Config{
+		Code:       []byte("asyncall-test"),
+		MaxThreads: cfg.Schedulers + 4,
+		Cost:       enclave.ZeroCostModel(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(b.Close)
+	return b
+}
+
+func TestSyncCall(t *testing.T) {
+	b := newBridge(t, Config{Mode: ModeSync})
+	ran := false
+	if err := b.Call(func(env *Env) error {
+		ran = true
+		env.Ctx.ChargeData(1)
+		return nil
+	}); err != nil || !ran {
+		t.Fatalf("err=%v ran=%v", err, ran)
+	}
+	if got := b.Enclave().Stats().Ecalls; got != 1 {
+		t.Fatalf("Ecalls = %d, want 1", got)
+	}
+}
+
+func TestSyncOcall(t *testing.T) {
+	b := newBridge(t, Config{Mode: ModeSync})
+	outside := false
+	if err := b.Call(func(env *Env) error {
+		return env.Ocall(func() error {
+			outside = true
+			return nil
+		})
+	}); err != nil || !outside {
+		t.Fatalf("err=%v outside=%v", err, outside)
+	}
+	if got := b.Enclave().Stats().Ocalls; got != 1 {
+		t.Fatalf("Ocalls = %d, want 1", got)
+	}
+}
+
+func TestAsyncCall(t *testing.T) {
+	b := newBridge(t, Config{Mode: ModeAsync, AppSlots: 4, Schedulers: 2, TasksPerScheduler: 2})
+	ran := false
+	if err := b.Call(func(env *Env) error {
+		ran = true
+		return nil
+	}); err != nil || !ran {
+		t.Fatalf("err=%v ran=%v", err, ran)
+	}
+	st := b.Enclave().Stats()
+	if st.AsyncEcalls != 1 {
+		t.Fatalf("AsyncEcalls = %d, want 1", st.AsyncEcalls)
+	}
+	// Only the resident scheduler entries should appear as hardware ecalls.
+	if st.Ecalls != 2 {
+		t.Fatalf("hardware Ecalls = %d, want 2 (resident schedulers)", st.Ecalls)
+	}
+}
+
+func TestAsyncOcallRunsOnCallingThread(t *testing.T) {
+	b := newBridge(t, Config{Mode: ModeAsync, AppSlots: 2, Schedulers: 1, TasksPerScheduler: 2})
+	var ocallRan atomic.Bool
+	if err := b.Call(func(env *Env) error {
+		return env.Ocall(func() error {
+			ocallRan.Store(true)
+			return nil
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !ocallRan.Load() {
+		t.Fatal("async ocall never executed")
+	}
+	st := b.Enclave().Stats()
+	if st.AsyncOcalls != 1 {
+		t.Fatalf("AsyncOcalls = %d, want 1", st.AsyncOcalls)
+	}
+	if st.Ocalls != 0 {
+		t.Fatalf("hardware Ocalls = %d, want 0 in async mode", st.Ocalls)
+	}
+}
+
+func TestAsyncErrorsPropagate(t *testing.T) {
+	b := newBridge(t, Config{Mode: ModeAsync, AppSlots: 2, Schedulers: 1, TasksPerScheduler: 2})
+	wantEcall := errors.New("ecall failed")
+	if err := b.Call(func(*Env) error { return wantEcall }); !errors.Is(err, wantEcall) {
+		t.Fatalf("ecall err = %v, want %v", err, wantEcall)
+	}
+	wantOcall := errors.New("ocall failed")
+	err := b.Call(func(env *Env) error {
+		return env.Ocall(func() error { return wantOcall })
+	})
+	if !errors.Is(err, wantOcall) {
+		t.Fatalf("ocall err = %v, want %v", err, wantOcall)
+	}
+}
+
+func TestAsyncMultipleOcallsSameCall(t *testing.T) {
+	b := newBridge(t, Config{Mode: ModeAsync, AppSlots: 2, Schedulers: 1, TasksPerScheduler: 2})
+	var order []int
+	if err := b.Call(func(env *Env) error {
+		for i := 0; i < 5; i++ {
+			i := i
+			if err := env.Ocall(func() error {
+				order = append(order, i)
+				return nil
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 5 {
+		t.Fatalf("ran %d ocalls, want 5", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("ocall order %v, want sequential", order)
+		}
+	}
+}
+
+func TestAsyncConcurrentCallers(t *testing.T) {
+	for _, cfg := range []Config{
+		{Mode: ModeAsync, AppSlots: 8, Schedulers: 1, TasksPerScheduler: 8},
+		{Mode: ModeAsync, AppSlots: 8, Schedulers: 3, TasksPerScheduler: 3},
+		{Mode: ModeAsync, AppSlots: 4, Schedulers: 2, TasksPerScheduler: 1},
+	} {
+		cfg := cfg
+		t.Run(fmt.Sprintf("S%dT%dA%d", cfg.Schedulers, cfg.TasksPerScheduler, cfg.AppSlots), func(t *testing.T) {
+			b := newBridge(t, cfg)
+			const callers = 16
+			const perCaller = 20
+			var total atomic.Int64
+			var wg sync.WaitGroup
+			for i := 0; i < callers; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for j := 0; j < perCaller; j++ {
+						err := b.Call(func(env *Env) error {
+							return env.Ocall(func() error {
+								total.Add(1)
+								return nil
+							})
+						})
+						if err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if got := total.Load(); got != callers*perCaller {
+				t.Fatalf("total = %d, want %d", got, callers*perCaller)
+			}
+		})
+	}
+}
+
+func TestCallAfterClose(t *testing.T) {
+	p := enclave.NewPlatform()
+	e, _ := p.Launch(enclave.Config{Code: []byte("x"), MaxThreads: 4, Cost: enclave.ZeroCostModel()})
+	b, err := New(e, Config{Mode: ModeAsync, AppSlots: 2, Schedulers: 1, TasksPerScheduler: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	if err := b.Call(func(*Env) error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Call after Close = %v, want ErrClosed", err)
+	}
+	b.Close() // idempotent
+}
+
+func TestAsyncRequiresTCSForSchedulersOnly(t *testing.T) {
+	// An enclave with exactly S TCS slots can still serve async calls: app
+	// threads never enter.
+	p := enclave.NewPlatform()
+	e, _ := p.Launch(enclave.Config{Code: []byte("x"), MaxThreads: 2, Cost: enclave.ZeroCostModel()})
+	b, err := New(e, Config{Mode: ModeAsync, AppSlots: 8, Schedulers: 2, TasksPerScheduler: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := b.Call(func(env *Env) error {
+				return env.Ocall(func() error { return nil })
+			}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestModeString(t *testing.T) {
+	if ModeSync.String() != "sync" || ModeAsync.String() != "async" {
+		t.Fatal("Mode.String mismatch")
+	}
+}

@@ -1,0 +1,613 @@
+// Package audit implements LibSEAL's tamper-evident relational audit log
+// (§5.1). Tuples extracted by service-specific modules are inserted into an
+// embedded in-enclave database and, in disk mode, serialised to untrusted
+// persistent storage protected by a hash chain, per-append ECDSA signatures
+// produced inside the enclave, and a distributed monotonic counter that
+// defeats rollback attacks. Trimming queries prune entries no longer needed
+// by the invariants; the chain is recomputed over the surviving tuples.
+package audit
+
+import (
+	"bytes"
+	"crypto/ecdsa"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"libseal/internal/asyncall"
+	"libseal/internal/enclave"
+	"libseal/internal/sqldb"
+)
+
+// Errors reported by the audit log.
+var (
+	ErrTampered   = errors.New("audit: log integrity violation")
+	ErrBadCounter = errors.New("audit: rollback detected (stale counter)")
+)
+
+// Mode selects where the log lives.
+type Mode int
+
+// Log persistence modes, matching the paper's LibSEAL-mem / LibSEAL-disk
+// configurations.
+const (
+	ModeMemory Mode = iota
+	ModeDisk
+)
+
+// RollbackProtector is the monotonic counter service used for freshness.
+// rote.Group implements it; a nil protector disables rollback protection.
+type RollbackProtector interface {
+	Increment(name string) (uint64, error)
+	Read(name string) (uint64, error)
+}
+
+// Config describes one audit log.
+type Config struct {
+	// Name identifies the log (counter name, file name).
+	Name string
+	// Schema is the DDL creating the service-specific relations and views.
+	Schema string
+	// Mode selects memory-only or persistent operation.
+	Mode Mode
+	// Dir is the persistence directory (ModeDisk).
+	Dir string
+	// Protector provides rollback protection for ModeDisk.
+	Protector RollbackProtector
+	// Seal encrypts entries on disk using the enclave sealing key, for
+	// log privacy (§6.3).
+	Seal bool
+}
+
+// Log is the enclave-resident audit log. All mutating methods must be called
+// from inside an enclave call (they take the asyncall environment) because
+// persistence crosses the boundary via ocalls and signatures use the enclave
+// key.
+type Log struct {
+	cfg Config
+	mu  sync.Mutex
+	db  *sqldb.DB
+
+	seq     uint64
+	chain   [32]byte
+	counter uint64
+	heap    int64 // enclave heap charged for retained tuples
+
+	file  *os.File // outside resource, accessed via ocalls
+	stmts map[string]*sqldb.Stmt
+}
+
+// file record types.
+const (
+	recEntry byte = 'E'
+	recSig   byte = 'S'
+)
+
+var fileMagic = []byte("LIBSEALLOG1\n")
+
+// New creates (or truncates) an audit log. Must run inside an enclave call.
+func New(env *asyncall.Env, cfg Config) (*Log, error) {
+	l := &Log{cfg: cfg, db: sqldb.New(), stmts: make(map[string]*sqldb.Stmt)}
+	if cfg.Schema != "" {
+		if _, err := l.db.Exec(cfg.Schema); err != nil {
+			return nil, fmt.Errorf("audit: schema: %w", err)
+		}
+	}
+	if cfg.Mode == ModeDisk {
+		if err := env.Ocall(func() error {
+			f, err := os.Create(l.path())
+			if err != nil {
+				return err
+			}
+			if _, err := f.Write(fileMagic); err != nil {
+				f.Close()
+				return err
+			}
+			l.file = f
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+func (l *Log) path() string {
+	return filepath.Join(l.cfg.Dir, l.cfg.Name+".lseal")
+}
+
+// DB exposes the underlying relational database for invariant queries.
+func (l *Log) DB() *sqldb.DB { return l.db }
+
+// Seq returns the number of entries appended since creation or recovery.
+func (l *Log) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// ChainHash returns the current head of the hash chain.
+func (l *Log) ChainHash() [32]byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.chain
+}
+
+// insertStmt returns a cached prepared INSERT for the table.
+func (l *Log) insertStmt(table string, arity int) (*sqldb.Stmt, error) {
+	key := fmt.Sprintf("%s/%d", table, arity)
+	if st, ok := l.stmts[key]; ok {
+		return st, nil
+	}
+	placeholders := strings.TrimSuffix(strings.Repeat("?,", arity), ",")
+	st, err := l.db.Prepare(fmt.Sprintf("INSERT INTO %s VALUES (%s)", table, placeholders))
+	if err != nil {
+		return nil, err
+	}
+	l.stmts[key] = st
+	return st, nil
+}
+
+// Append adds one tuple to the named relation: it is inserted into the
+// database, chained into the running hash, and (in disk mode) synchronously
+// persisted under a fresh monotonic counter value and enclave signature.
+func (l *Log) Append(env *asyncall.Env, table string, vals ...any) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	svals := make([]sqldb.Value, len(vals))
+	for i, v := range vals {
+		sv, err := sqldb.FromGo(v)
+		if err != nil {
+			return err
+		}
+		svals[i] = sv
+	}
+	st, err := l.insertStmt(table, len(svals))
+	if err != nil {
+		return err
+	}
+	args := make([]any, len(svals))
+	for i, sv := range svals {
+		args[i] = sv
+	}
+	if _, err := st.Exec(args...); err != nil {
+		return err
+	}
+
+	entry := &Entry{Seq: l.seq, Table: table, Values: svals}
+	enc := entry.Marshal()
+	l.chain = chainNext(l.chain, enc)
+	l.seq++
+	// Account the tuple against the enclave heap: the in-enclave database
+	// pays EPC paging costs once the log outgrows the enclave page cache
+	// (§2.5), which is why trimming matters beyond log-size hygiene.
+	if err := env.Ctx.Alloc(int64(len(enc))); err != nil {
+		return err
+	}
+	l.heap += int64(len(enc))
+
+	if l.cfg.Mode != ModeDisk {
+		return nil
+	}
+	return l.persistAppend(env, enc)
+}
+
+// chainNext extends the hash chain by one entry.
+func chainNext(prev [32]byte, entry []byte) [32]byte {
+	h := sha256.New()
+	h.Write(prev[:])
+	h.Write(entry)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// persistAppend writes one entry plus a fresh signature record, called with
+// l.mu held from inside the enclave.
+func (l *Log) persistAppend(env *asyncall.Env, enc []byte) error {
+	if l.cfg.Protector != nil {
+		c, err := l.cfg.Protector.Increment(l.cfg.Name)
+		if err != nil {
+			return err
+		}
+		l.counter = c
+	}
+	payload := enc
+	if l.cfg.Seal {
+		sealed, err := env.Ctx.Seal(enclave.PolicySigner, enc, []byte(l.cfg.Name))
+		if err != nil {
+			return err
+		}
+		payload = sealed
+	}
+	sig, err := l.signState(env)
+	if err != nil {
+		return err
+	}
+	return env.Ocall(func() error {
+		if err := writeRecord(l.file, recEntry, payload); err != nil {
+			return err
+		}
+		if err := writeRecord(l.file, recSig, sig); err != nil {
+			return err
+		}
+		return l.file.Sync() // synchronous flush after each pair (§5.1)
+	})
+}
+
+// signState signs (chain hash || counter) with the enclave report key.
+func (l *Log) signState(env *asyncall.Env) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(l.chain[:])
+	var c [8]byte
+	binary.BigEndian.PutUint64(c[:], l.counter)
+	buf.Write(c[:])
+	digest := sha256.Sum256(buf.Bytes())
+	sig, err := env.Ctx.Sign(digest[:])
+	if err != nil {
+		return nil, err
+	}
+	var out bytes.Buffer
+	out.Write(l.chain[:])
+	out.Write(c[:])
+	writeString(&out, string(sig.R))
+	writeString(&out, string(sig.S))
+	return out.Bytes(), nil
+}
+
+// Query runs an invariant query against the log.
+func (l *Log) Query(sql string, args ...any) (*sqldb.Result, error) {
+	return l.db.Query(sql, args...)
+}
+
+// Exec runs arbitrary SQL against the log database (used for state tables
+// maintained by stateful SSMs).
+func (l *Log) Exec(sql string, args ...any) (int, error) {
+	return l.db.Exec(sql, args...)
+}
+
+// Trim applies the service's trimming queries and rewrites the persisted
+// log: the hash chain is recomputed over the surviving tuples, re-anchored
+// at a fresh counter value and re-signed (§5.1, "Log trimming").
+func (l *Log) Trim(env *asyncall.Env, queries []string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, q := range queries {
+		if _, err := l.db.Exec(q); err != nil {
+			return fmt.Errorf("audit: trimming query %q: %w", q, err)
+		}
+	}
+	// Rebuild the chain over the surviving rows in deterministic order.
+	l.chain = [32]byte{}
+	l.seq = 0
+	tables := l.db.Tables()
+	sort.Strings(tables)
+	var encs [][]byte
+	retained := int64(0)
+	for _, t := range tables {
+		rows, err := l.db.TableRows(t)
+		if err != nil {
+			return err
+		}
+		for _, row := range rows {
+			e := &Entry{Seq: l.seq, Table: t, Values: row}
+			enc := e.Marshal()
+			l.chain = chainNext(l.chain, enc)
+			l.seq++
+			encs = append(encs, enc)
+			retained += int64(len(enc))
+		}
+	}
+	// Release the enclave heap freed by trimming.
+	if l.heap > retained {
+		env.Ctx.Free(l.heap - retained)
+	}
+	l.heap = retained
+	if l.cfg.Mode != ModeDisk {
+		return nil
+	}
+	if l.cfg.Protector != nil {
+		c, err := l.cfg.Protector.Increment(l.cfg.Name)
+		if err != nil {
+			return err
+		}
+		l.counter = c
+	}
+	payloads := make([][]byte, len(encs))
+	for i, enc := range encs {
+		payload := enc
+		if l.cfg.Seal {
+			sealed, err := env.Ctx.Seal(enclave.PolicySigner, enc, []byte(l.cfg.Name))
+			if err != nil {
+				return err
+			}
+			payload = sealed
+		}
+		payloads[i] = payload
+	}
+	sig, err := l.signState(env)
+	if err != nil {
+		return err
+	}
+	return env.Ocall(func() error {
+		f, err := os.Create(l.path())
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(fileMagic); err != nil {
+			f.Close()
+			return err
+		}
+		for _, p := range payloads {
+			if err := writeRecord(f, recEntry, p); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := writeRecord(f, recSig, sig); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		old := l.file
+		l.file = f
+		if old != nil {
+			old.Close()
+		}
+		return nil
+	})
+}
+
+// Close releases the log's outside resources.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.file != nil {
+		err := l.file.Close()
+		l.file = nil
+		return err
+	}
+	return nil
+}
+
+func writeRecord(w io.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// fileRecord is one parsed record of a persisted log file.
+type fileRecord struct {
+	typ     byte
+	payload []byte
+}
+
+func readRecords(r io.Reader) ([]fileRecord, error) {
+	magic := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || !bytes.Equal(magic, fileMagic) {
+		return nil, fmt.Errorf("%w: bad magic", ErrTampered)
+	}
+	var recs []fileRecord
+	var hdr [5]byte
+	for {
+		_, err := io.ReadFull(r, hdr[:])
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated record header", ErrTampered)
+		}
+		n := binary.BigEndian.Uint32(hdr[1:])
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, fmt.Errorf("%w: truncated record", ErrTampered)
+		}
+		recs = append(recs, fileRecord{typ: hdr[0], payload: payload})
+	}
+}
+
+// parseSig decodes a signature record.
+func parseSig(payload []byte) (chain [32]byte, counter uint64, sig enclave.Signature, err error) {
+	r := bytes.NewReader(payload)
+	if _, err = io.ReadFull(r, chain[:]); err != nil {
+		err = ErrTampered
+		return
+	}
+	var c [8]byte
+	if _, err = io.ReadFull(r, c[:]); err != nil {
+		err = ErrTampered
+		return
+	}
+	counter = binary.BigEndian.Uint64(c[:])
+	rb, err := readString(r)
+	if err != nil {
+		return
+	}
+	sb, err := readString(r)
+	if err != nil {
+		return
+	}
+	sig = enclave.Signature{R: []byte(rb), S: []byte(sb)}
+	return
+}
+
+// VerifyOptions controls persisted-log verification.
+type VerifyOptions struct {
+	// Pub is the enclave's signing public key (bound to the enclave by an
+	// attestation quote).
+	Pub *ecdsa.PublicKey
+	// Protector, when set, checks counter freshness against the group.
+	Protector RollbackProtector
+	// Name is the counter name (Config.Name).
+	Name string
+	// Unseal decrypts sealed entries; required when the log was written
+	// with Config.Seal. It runs inside an enclave in production.
+	Unseal func(blob []byte) ([]byte, error)
+}
+
+// VerifyFile checks a persisted log's integrity: hash chain, enclave
+// signature, and counter freshness. It returns the verified entries. It
+// runs outside the enclave — verification requires no secrets, which is what
+// lets clients audit the provider.
+func VerifyFile(path string, opts VerifyOptions) ([]*Entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return VerifyReader(f, opts)
+}
+
+// VerifyReader verifies a persisted log from an in-memory reader.
+func VerifyReader(r io.Reader, opts VerifyOptions) ([]*Entry, error) {
+	recs, err := readRecords(r)
+	if err != nil {
+		return nil, err
+	}
+	var entries []*Entry
+	var chain [32]byte
+	var lastSig *fileRecord
+	seq := uint64(0)
+	for i := range recs {
+		rec := recs[i]
+		switch rec.typ {
+		case recEntry:
+			raw := rec.payload
+			if opts.Unseal != nil {
+				if raw, err = opts.Unseal(raw); err != nil {
+					return nil, fmt.Errorf("%w: unseal: %v", ErrTampered, err)
+				}
+			}
+			e, err := UnmarshalEntry(raw)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrTampered, err)
+			}
+			if e.Seq != seq {
+				return nil, fmt.Errorf("%w: sequence gap at %d", ErrTampered, seq)
+			}
+			seq++
+			chain = chainNext(chain, raw)
+			entries = append(entries, e)
+		case recSig:
+			lastSig = &recs[i]
+		default:
+			return nil, fmt.Errorf("%w: unknown record type %q", ErrTampered, rec.typ)
+		}
+	}
+	if lastSig == nil {
+		if len(entries) == 0 {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("%w: missing signature record", ErrTampered)
+	}
+	sigChain, counter, sig, err := parseSig(lastSig.payload)
+	if err != nil {
+		return nil, err
+	}
+	if sigChain != chain {
+		return nil, fmt.Errorf("%w: chain hash mismatch", ErrTampered)
+	}
+	var buf bytes.Buffer
+	buf.Write(chain[:])
+	var c [8]byte
+	binary.BigEndian.PutUint64(c[:], counter)
+	buf.Write(c[:])
+	digest := sha256.Sum256(buf.Bytes())
+	if opts.Pub != nil && !enclave.VerifySignature(opts.Pub, digest[:], sig) {
+		return nil, fmt.Errorf("%w: signature invalid", ErrTampered)
+	}
+	if opts.Protector != nil {
+		stable, err := opts.Protector.Read(opts.Name)
+		if err != nil {
+			return nil, err
+		}
+		if counter < stable {
+			return nil, fmt.Errorf("%w: log counter %d < group counter %d", ErrBadCounter, counter, stable)
+		}
+	}
+	return entries, nil
+}
+
+// Recover rebuilds an audit log from its persisted file after a restart: the
+// file is verified (chain, signature, counter freshness) and the entries are
+// replayed into a fresh database. Must run inside an enclave call.
+func Recover(env *asyncall.Env, cfg Config, pub *ecdsa.PublicKey) (*Log, error) {
+	if cfg.Mode != ModeDisk {
+		return nil, errors.New("audit: recovery requires disk mode")
+	}
+	l := &Log{cfg: cfg, db: sqldb.New(), stmts: make(map[string]*sqldb.Stmt)}
+	if cfg.Schema != "" {
+		if _, err := l.db.Exec(cfg.Schema); err != nil {
+			return nil, fmt.Errorf("audit: schema: %w", err)
+		}
+	}
+	opts := VerifyOptions{Pub: pub, Protector: cfg.Protector, Name: cfg.Name}
+	if cfg.Seal {
+		opts.Unseal = func(blob []byte) ([]byte, error) {
+			return env.Ctx.Unseal(blob, []byte(cfg.Name))
+		}
+	}
+	// The file is read outside (ocall); verification — which may need the
+	// enclave's unsealing key — runs inside on the in-memory copy.
+	var raw []byte
+	if err := env.Ocall(func() error {
+		var err error
+		raw, err = os.ReadFile(l.path())
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	entries, err := VerifyReader(bytes.NewReader(raw), opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		st, err := l.insertStmt(e.Table, len(e.Values))
+		if err != nil {
+			return nil, err
+		}
+		args := make([]any, len(e.Values))
+		for i, sv := range e.Values {
+			args[i] = sv
+		}
+		if _, err := st.Exec(args...); err != nil {
+			return nil, err
+		}
+		enc := e.Marshal()
+		l.chain = chainNext(l.chain, enc)
+		l.seq++
+	}
+	if cfg.Protector != nil {
+		c, err := cfg.Protector.Read(cfg.Name)
+		if err != nil {
+			return nil, err
+		}
+		l.counter = c
+	}
+	if err := env.Ocall(func() error {
+		f, err := os.OpenFile(l.path(), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		l.file = f
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return l, nil
+}

@@ -1,0 +1,148 @@
+package audit
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"libseal/internal/sqldb"
+)
+
+// ErrCodec indicates a malformed serialised log entry.
+var ErrCodec = errors.New("audit: malformed log entry")
+
+// Entry is one audit-log tuple: a row appended to one relation of the
+// service's log schema.
+type Entry struct {
+	Seq    uint64
+	Table  string
+	Values []sqldb.Value
+}
+
+// value kind tags in the serialised form.
+const (
+	tagNull  byte = 0
+	tagInt   byte = 1
+	tagFloat byte = 2
+	tagText  byte = 3
+	tagBlob  byte = 4
+)
+
+// Marshal encodes the entry deterministically; the hash chain runs over
+// this encoding.
+func (e *Entry) Marshal() []byte {
+	var buf bytes.Buffer
+	var u64 [8]byte
+	binary.BigEndian.PutUint64(u64[:], e.Seq)
+	buf.Write(u64[:])
+	writeString(&buf, e.Table)
+	var u16 [2]byte
+	binary.BigEndian.PutUint16(u16[:], uint16(len(e.Values)))
+	buf.Write(u16[:])
+	for _, v := range e.Values {
+		switch v.Kind() {
+		case sqldb.KindNull:
+			buf.WriteByte(tagNull)
+		case sqldb.KindInt:
+			buf.WriteByte(tagInt)
+			binary.BigEndian.PutUint64(u64[:], uint64(v.Int64()))
+			buf.Write(u64[:])
+		case sqldb.KindFloat:
+			buf.WriteByte(tagFloat)
+			binary.BigEndian.PutUint64(u64[:], math.Float64bits(v.Float64()))
+			buf.Write(u64[:])
+		case sqldb.KindText:
+			buf.WriteByte(tagText)
+			writeString(&buf, v.TextVal())
+		case sqldb.KindBlob:
+			buf.WriteByte(tagBlob)
+			writeString(&buf, string(v.BlobVal()))
+		}
+	}
+	return buf.Bytes()
+}
+
+// UnmarshalEntry decodes an entry produced by Marshal.
+func UnmarshalEntry(data []byte) (*Entry, error) {
+	r := bytes.NewReader(data)
+	var u64 [8]byte
+	if _, err := r.Read(u64[:]); err != nil {
+		return nil, ErrCodec
+	}
+	e := &Entry{Seq: binary.BigEndian.Uint64(u64[:])}
+	table, err := readString(r)
+	if err != nil {
+		return nil, err
+	}
+	e.Table = table
+	var u16 [2]byte
+	if _, err := r.Read(u16[:]); err != nil {
+		return nil, ErrCodec
+	}
+	n := int(binary.BigEndian.Uint16(u16[:]))
+	for i := 0; i < n; i++ {
+		tag, err := r.ReadByte()
+		if err != nil {
+			return nil, ErrCodec
+		}
+		switch tag {
+		case tagNull:
+			e.Values = append(e.Values, sqldb.Null())
+		case tagInt:
+			if _, err := r.Read(u64[:]); err != nil {
+				return nil, ErrCodec
+			}
+			e.Values = append(e.Values, sqldb.Int(int64(binary.BigEndian.Uint64(u64[:]))))
+		case tagFloat:
+			if _, err := r.Read(u64[:]); err != nil {
+				return nil, ErrCodec
+			}
+			e.Values = append(e.Values, sqldb.Float(math.Float64frombits(binary.BigEndian.Uint64(u64[:]))))
+		case tagText:
+			s, err := readString(r)
+			if err != nil {
+				return nil, err
+			}
+			e.Values = append(e.Values, sqldb.Text(s))
+		case tagBlob:
+			s, err := readString(r)
+			if err != nil {
+				return nil, err
+			}
+			e.Values = append(e.Values, sqldb.Blob([]byte(s)))
+		default:
+			return nil, fmt.Errorf("%w: unknown value tag %d", ErrCodec, tag)
+		}
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrCodec)
+	}
+	return e, nil
+}
+
+func writeString(buf *bytes.Buffer, s string) {
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(s)))
+	buf.Write(l[:])
+	buf.WriteString(s)
+}
+
+func readString(r *bytes.Reader) (string, error) {
+	var l [4]byte
+	if _, err := r.Read(l[:]); err != nil {
+		return "", ErrCodec
+	}
+	n := binary.BigEndian.Uint32(l[:])
+	if int(n) > r.Len() {
+		return "", ErrCodec
+	}
+	b := make([]byte, n)
+	if n > 0 {
+		if _, err := r.Read(b); err != nil {
+			return "", ErrCodec
+		}
+	}
+	return string(b), nil
+}

@@ -1,0 +1,108 @@
+package audit
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"libseal/internal/sqldb"
+)
+
+type randomEntry Entry
+
+// Generate implements quick.Generator for Entry round-trip tests.
+func (randomEntry) Generate(r *rand.Rand, _ int) reflect.Value {
+	e := randomEntry{
+		Seq:   r.Uint64(),
+		Table: randString(r, 1+r.Intn(20)),
+	}
+	n := r.Intn(8)
+	for i := 0; i < n; i++ {
+		switch r.Intn(5) {
+		case 0:
+			e.Values = append(e.Values, sqldb.Null())
+		case 1:
+			e.Values = append(e.Values, sqldb.Int(r.Int63()-r.Int63()))
+		case 2:
+			e.Values = append(e.Values, sqldb.Float(r.NormFloat64()))
+		case 3:
+			e.Values = append(e.Values, sqldb.Text(randString(r, r.Intn(40))))
+		default:
+			b := make([]byte, r.Intn(40))
+			r.Read(b)
+			e.Values = append(e.Values, sqldb.Blob(b))
+		}
+	}
+	return reflect.ValueOf(e)
+}
+
+func randString(r *rand.Rand, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(32 + r.Intn(95))
+	}
+	return string(b)
+}
+
+func TestEntryRoundTripProperty(t *testing.T) {
+	f := func(re randomEntry) bool {
+		e := Entry(re)
+		decoded, err := UnmarshalEntry(e.Marshal())
+		if err != nil {
+			return false
+		}
+		if decoded.Seq != e.Seq || decoded.Table != e.Table || len(decoded.Values) != len(e.Values) {
+			return false
+		}
+		for i := range e.Values {
+			if sqldb.Compare(decoded.Values[i], e.Values[i]) != 0 {
+				return false
+			}
+			if decoded.Values[i].Kind() != e.Values[i].Kind() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntryEncodingDeterministic(t *testing.T) {
+	e := &Entry{Seq: 7, Table: "updates", Values: []sqldb.Value{sqldb.Int(1), sqldb.Text("x")}}
+	a := e.Marshal()
+	b := e.Marshal()
+	if string(a) != string(b) {
+		t.Fatal("encoding not deterministic")
+	}
+}
+
+func TestUnmarshalGarbageEntry(t *testing.T) {
+	for _, b := range [][]byte{nil, {1, 2, 3}, make([]byte, 11)} {
+		if _, err := UnmarshalEntry(b); err == nil {
+			t.Errorf("UnmarshalEntry(%v) succeeded", b)
+		}
+	}
+	// Trailing bytes are rejected (they would escape the hash chain).
+	e := &Entry{Seq: 1, Table: "t"}
+	enc := append(e.Marshal(), 0xAA)
+	if _, err := UnmarshalEntry(enc); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestChainNextDiffers(t *testing.T) {
+	var zero [32]byte
+	a := chainNext(zero, []byte("entry1"))
+	b := chainNext(zero, []byte("entry2"))
+	if a == b {
+		t.Fatal("different entries produced equal chain hashes")
+	}
+	c := chainNext(a, []byte("entry2"))
+	d := chainNext(b, []byte("entry1"))
+	if c == d {
+		t.Fatal("chain is order-insensitive")
+	}
+}

@@ -1,0 +1,461 @@
+package bench
+
+import (
+	"net"
+	"os"
+	"time"
+
+	"libseal/internal/asyncall"
+	"libseal/internal/audit"
+	"libseal/internal/core"
+	"libseal/internal/enclave"
+	"libseal/internal/netsim"
+	"libseal/internal/rote"
+	"libseal/internal/services/apache"
+	"libseal/internal/services/dropbox"
+	"libseal/internal/services/gitserver"
+	"libseal/internal/services/owncloud"
+	"libseal/internal/services/squid"
+	"libseal/internal/ssm"
+	"libseal/internal/ssm/dropboxssm"
+	"libseal/internal/ssm/gitssm"
+	"libseal/internal/ssm/owncloudssm"
+	"libseal/internal/testutil"
+	"libseal/internal/tlsterm"
+)
+
+// SealMode selects the evaluation configuration of a deployment, matching
+// the paper's native / LibSEAL-process / LibSEAL-mem / LibSEAL-disk curves.
+type SealMode int
+
+// Evaluation configurations.
+const (
+	// ModeNative terminates TLS in-process without an enclave (the
+	// LibreSSL baseline).
+	ModeNative SealMode = iota
+	// ModeProcess terminates TLS inside the enclave but does not log
+	// (isolates the SGX overhead).
+	ModeProcess
+	// ModeMem adds audit logging to an in-memory database.
+	ModeMem
+	// ModeDisk adds synchronous persistent logging with ROTE rollback
+	// protection.
+	ModeDisk
+)
+
+func (m SealMode) String() string {
+	switch m {
+	case ModeNative:
+		return "native"
+	case ModeProcess:
+		return "LibSEAL-process"
+	case ModeMem:
+		return "LibSEAL-mem"
+	case ModeDisk:
+		return "LibSEAL-disk"
+	}
+	return "?"
+}
+
+// StackOptions tunes a deployment.
+type StackOptions struct {
+	Mode SealMode
+	// Cost is the enclave cost model; zero-value charges nothing.
+	Cost enclave.CostModel
+	// CallMode selects sync or async enclave transitions (Table 2).
+	CallMode asyncall.Mode
+	// Schedulers and TasksPerScheduler size the async machinery
+	// (Tables 3-4).
+	Schedulers        int
+	TasksPerScheduler int
+	// AppSlots sizes the async request array (defaults to 48).
+	AppSlots int
+	// MaxThreads is the enclave TCS count.
+	MaxThreads int
+	// Opts are the §4.2 transition-reduction optimisations.
+	Opts *tlsterm.Optimizations
+	// CheckEvery enables periodic checking/trimming.
+	CheckEvery int
+	// AuditDir overrides the disk-mode log directory.
+	AuditDir string
+	// ROTELatency is the one-way latency to counter nodes (same cluster).
+	ROTELatency time.Duration
+	// KeepAlive enables persistent connections on the front server.
+	KeepAlive bool
+	// UseExData makes the front server store request data in TLS ex_data.
+	UseExData bool
+}
+
+func (o StackOptions) withDefaults() StackOptions {
+	if o.MaxThreads == 0 {
+		o.MaxThreads = 24
+	}
+	if o.Opts == nil {
+		all := tlsterm.AllOptimizations()
+		o.Opts = &all
+	}
+	return o
+}
+
+// Stack is a deployed service behind (optionally) LibSEAL.
+type Stack struct {
+	Net     *netsim.Network
+	Env     *testutil.CertEnv
+	Enclave *enclave.Enclave
+	Bridge  *asyncall.Bridge
+	Seal    *core.LibSEAL
+	Group   *rote.Group
+
+	// Addr is the front-end address clients dial.
+	Addr string
+
+	closers []func()
+}
+
+// Dial opens a raw transport connection to the stack's front end.
+func (s *Stack) Dial() (net.Conn, error) { return s.Net.Dial(s.Addr) }
+
+// ClientConfig returns the TLS client configuration for the front end.
+func (s *Stack) ClientConfig() *tlsterm.ClientConfig {
+	return s.Env.ClientConfig("libseal.test")
+}
+
+// NewClient builds a workload client against the stack.
+func (s *Stack) NewClient(persistent bool) *Client {
+	return NewClient(s.Dial, s.ClientConfig(), persistent)
+}
+
+// Close tears the deployment down in reverse construction order.
+func (s *Stack) Close() {
+	for i := len(s.closers) - 1; i >= 0; i-- {
+		s.closers[i]()
+	}
+}
+
+// terminator builds the TLS termination layer for the configured mode and
+// returns it together with the LibSEAL instance (nil in native mode).
+func buildStack(opts StackOptions, module ssm.Module) (*Stack, tlsterm.Terminator, error) {
+	opts = opts.withDefaults()
+	st := &Stack{Net: netsim.NewNetwork(), Addr: "front:443"}
+	env, err := testutil.NewCertEnv("libseal.test")
+	if err != nil {
+		return nil, nil, err
+	}
+	st.Env = env
+
+	if opts.Mode == ModeNative {
+		return st, tlsterm.NewNativeTerminator(env.ServerConfig()), nil
+	}
+
+	encl, bridge, err := testutil.NewBridge(testutil.BridgeOptions{
+		Mode:              opts.CallMode,
+		MaxThreads:        opts.MaxThreads,
+		AppSlots:          opts.AppSlots,
+		Schedulers:        opts.Schedulers,
+		TasksPerScheduler: opts.TasksPerScheduler,
+		Cost:              opts.Cost,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	st.Enclave = encl
+	st.Bridge = bridge
+	st.closers = append(st.closers, bridge.Close)
+
+	cfg := core.Config{
+		TLS: tlsterm.LibraryConfig{
+			Cert: env.Cert, Key: env.Key, Opts: *opts.Opts,
+		},
+		CheckEvery: opts.CheckEvery,
+	}
+	switch opts.Mode {
+	case ModeProcess:
+		// TLS in the enclave, no logging.
+	case ModeMem:
+		cfg.Module = module
+		cfg.AuditMode = audit.ModeMemory
+	case ModeDisk:
+		cfg.Module = module
+		cfg.AuditMode = audit.ModeDisk
+		dir := opts.AuditDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "libseal-audit-*")
+			if err != nil {
+				return nil, nil, err
+			}
+			st.closers = append(st.closers, func() { os.RemoveAll(tmp) })
+			dir = tmp
+		}
+		cfg.AuditDir = dir
+		group, err := rote.NewGroup(1, opts.ROTELatency)
+		if err != nil {
+			return nil, nil, err
+		}
+		st.Group = group
+		cfg.Protector = group
+	}
+	seal, err := core.New(bridge, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	st.Seal = seal
+	st.closers = append(st.closers, func() { seal.Close() })
+	return st, seal.TLS().Terminator(), nil
+}
+
+// GitStack deploys the paper's Git experiment (§6.4): Apache in reverse
+// proxy mode linked against LibSEAL, forwarding to a Git backend over plain
+// HTTP, with the Git SSM auditing all traffic.
+type GitStack struct {
+	*Stack
+	Backend *gitserver.Server
+}
+
+// NewGitStack builds the Git deployment. processingCost models the backend's
+// per-request work.
+func NewGitStack(opts StackOptions, processingCost time.Duration) (*GitStack, error) {
+	st, term, err := buildStack(opts, gitssm.New())
+	if err != nil {
+		return nil, err
+	}
+	backend := gitserver.NewServer()
+	backend.ProcessingCost = processingCost
+
+	// Plain-HTTP Git backend.
+	backendListener, err := st.Net.Listen("git-backend:80")
+	if err != nil {
+		return nil, err
+	}
+	backendSrv, err := apache.New(apache.Config{
+		Terminator: tlsterm.PlainTerminator{},
+		Handler:    backend.Handler(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	go backendSrv.Serve(backendListener)
+
+	// Apache front end in reverse proxy mode.
+	frontListener, err := st.Net.Listen(st.Addr)
+	if err != nil {
+		return nil, err
+	}
+	front, err := apache.New(apache.Config{
+		Terminator: term,
+		Handler:    &apache.ReverseProxy{Dial: func() (net.Conn, error) { return st.Net.Dial("git-backend:80") }},
+		KeepAlive:  true,
+		UseExData:  opts.UseExData,
+	})
+	if err != nil {
+		return nil, err
+	}
+	go front.Serve(frontListener)
+	st.closers = append([]func(){front.Close, backendSrv.Close}, st.closers...)
+	return &GitStack{Stack: st, Backend: backend}, nil
+}
+
+// OwnCloudStack deploys the collaborative editing experiment: Apache hosting
+// the ownCloud handler directly, LibSEAL terminating TLS.
+type OwnCloudStack struct {
+	*Stack
+	Service *owncloud.Server
+}
+
+// NewOwnCloudStack builds the ownCloud deployment. processingCost models the
+// PHP engine, the bottleneck of the paper's deployment.
+func NewOwnCloudStack(opts StackOptions, processingCost time.Duration) (*OwnCloudStack, error) {
+	st, term, err := buildStack(opts, owncloudssm.New())
+	if err != nil {
+		return nil, err
+	}
+	svc := owncloud.NewServer()
+	svc.ProcessingCost = processingCost
+	frontListener, err := st.Net.Listen(st.Addr)
+	if err != nil {
+		return nil, err
+	}
+	front, err := apache.New(apache.Config{
+		Terminator: term,
+		Handler:    svc.Handler(),
+		KeepAlive:  true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	go front.Serve(frontListener)
+	st.closers = append([]func(){front.Close}, st.closers...)
+	return &OwnCloudStack{Stack: st, Service: svc}, nil
+}
+
+// DropboxStack deploys the Dropbox experiment (§6.4): clients reach the
+// remote service through a local Squid proxy linked against LibSEAL; the
+// proxy-to-Dropbox leg crosses a simulated 76 ms WAN and is itself TLS.
+type DropboxStack struct {
+	*Stack
+	Service *dropbox.Server
+}
+
+// DropboxWANLatency is the paper's measured proxy-to-Dropbox latency.
+const DropboxWANLatency = 38 * time.Millisecond // one-way; 76 ms RTT
+
+// NewDropboxStack builds the Dropbox deployment.
+func NewDropboxStack(opts StackOptions, wanOneWay time.Duration) (*DropboxStack, error) {
+	st, term, err := buildStack(opts, dropboxssm.New())
+	if err != nil {
+		return nil, err
+	}
+	svc := dropbox.NewServer()
+
+	// The remote Dropbox service, across the WAN.
+	st.Net.SetLink("dropbox:443", netsim.LinkConfig{Latency: wanOneWay})
+	dbListener, err := st.Net.Listen("dropbox:443")
+	if err != nil {
+		return nil, err
+	}
+	dbEnv, err := testutil.NewCertEnv("dropbox.test")
+	if err != nil {
+		return nil, err
+	}
+	dbSrv, err := apache.New(apache.Config{
+		Terminator: tlsterm.NewNativeTerminator(dbEnv.ServerConfig()),
+		Handler:    svc.Handler(),
+		KeepAlive:  true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	go dbSrv.Serve(dbListener)
+
+	// The local Squid proxy terminating client TLS with LibSEAL.
+	proxyListener, err := st.Net.Listen(st.Addr)
+	if err != nil {
+		return nil, err
+	}
+	proxy, err := squid.New(squid.Config{
+		Terminator:  term,
+		Dial:        func() (net.Conn, error) { return st.Net.Dial("dropbox:443") },
+		UpstreamTLS: &tlsterm.ClientConfig{Roots: dbEnv.Pool, ServerName: "dropbox.test"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	go proxy.Serve(proxyListener)
+	st.closers = append([]func(){proxy.Close, dbSrv.Close}, st.closers...)
+	return &DropboxStack{Stack: st, Service: svc}, nil
+}
+
+// NewDropboxClientConfig returns the client configuration of the Dropbox
+// experiment: certificate verification disabled for the proxy-terminated
+// leg, as in the paper (§6.4).
+func (s *DropboxStack) NewDropboxClient(persistent bool) *Client {
+	return NewClient(s.Dial, &tlsterm.ClientConfig{InsecureSkipVerify: true}, persistent)
+}
+
+// CustomStack deploys any handler behind an Apache front end with the given
+// module — the generic path for auditing new services.
+func NewCustomStack(opts StackOptions, module ssm.Module, handler apache.Handler) (*Stack, error) {
+	st, term, err := buildStack(opts, module)
+	if err != nil {
+		return nil, err
+	}
+	frontListener, err := st.Net.Listen(st.Addr)
+	if err != nil {
+		return nil, err
+	}
+	front, err := apache.New(apache.Config{
+		Terminator: term,
+		Handler:    handler,
+		KeepAlive:  true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	go front.Serve(frontListener)
+	st.closers = append([]func(){front.Close}, st.closers...)
+	return st, nil
+}
+
+// StaticStack deploys a plain Apache serving fixed-size content, used by the
+// enclave-TLS overhead and async-call experiments (§6.6, §6.8).
+type StaticStack struct {
+	*Stack
+	Server *apache.Server
+}
+
+// NewStaticStack builds the static-content deployment.
+func NewStaticStack(opts StackOptions, contentSize int, keepAlive bool) (*StaticStack, error) {
+	st, term, err := buildStack(opts, nil)
+	if err != nil {
+		return nil, err
+	}
+	content := make([]byte, contentSize)
+	for i := range content {
+		content[i] = byte('a' + i%26)
+	}
+	frontListener, err := st.Net.Listen(st.Addr)
+	if err != nil {
+		return nil, err
+	}
+	front, err := apache.New(apache.Config{
+		Terminator: term,
+		Handler:    &apache.StaticHandler{Content: content},
+		KeepAlive:  keepAlive,
+		UseExData:  opts.UseExData,
+	})
+	if err != nil {
+		return nil, err
+	}
+	go front.Serve(frontListener)
+	st.closers = append([]func(){front.Close}, st.closers...)
+	return &StaticStack{Stack: st, Server: front}, nil
+}
+
+// SquidStack deploys the Squid overhead experiment of §6.6: client -> Squid
+// (TLS, optionally LibSEAL) -> origin Apache (TLS), content served by the
+// origin.
+type SquidStack struct {
+	*Stack
+	Proxy *squid.Proxy
+}
+
+// NewSquidStack builds the proxy deployment.
+func NewSquidStack(opts StackOptions, contentSize int) (*SquidStack, error) {
+	st, term, err := buildStack(opts, nil)
+	if err != nil {
+		return nil, err
+	}
+	originEnv, err := testutil.NewCertEnv("origin.test")
+	if err != nil {
+		return nil, err
+	}
+	content := make([]byte, contentSize)
+	originListener, err := st.Net.Listen("origin:443")
+	if err != nil {
+		return nil, err
+	}
+	origin, err := apache.New(apache.Config{
+		Terminator: tlsterm.NewNativeTerminator(originEnv.ServerConfig()),
+		Handler:    &apache.StaticHandler{Content: content},
+		KeepAlive:  true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	go origin.Serve(originListener)
+
+	proxyListener, err := st.Net.Listen(st.Addr)
+	if err != nil {
+		return nil, err
+	}
+	proxy, err := squid.New(squid.Config{
+		Terminator:  term,
+		Dial:        func() (net.Conn, error) { return st.Net.Dial("origin:443") },
+		UpstreamTLS: &tlsterm.ClientConfig{Roots: originEnv.Pool, ServerName: "origin.test"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	go proxy.Serve(proxyListener)
+	st.closers = append([]func(){proxy.Close, origin.Close}, st.closers...)
+	return &SquidStack{Stack: st, Proxy: proxy}, nil
+}

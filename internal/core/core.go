@@ -1,0 +1,472 @@
+// Package core implements LibSEAL itself: the secure audit library that
+// terminates TLS connections inside a trusted execution environment, logs
+// service-relevant request/response data into a tamper-evident relational
+// audit log, and checks service integrity invariants expressed as SQL
+// queries (paper §3, Fig. 1).
+//
+// A LibSEAL instance owns an enclave bridge, the enclave-resident TLS
+// library, the audit log and one service-specific module. Services obtain
+// TLS connections via TLS().NewSSL and otherwise remain unmodified — the
+// interception, pairing, logging, checking and trimming all happen inside
+// the SSL_read/SSL_write path.
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"libseal/internal/asyncall"
+	"libseal/internal/audit"
+	"libseal/internal/httpparse"
+	"libseal/internal/sqldb"
+	"libseal/internal/ssm"
+	"libseal/internal/tlsterm"
+)
+
+// Check header names (§5.2, "Result notification").
+const (
+	// CheckHeader on a request triggers an invariant check.
+	CheckHeader = "Libseal-Check"
+	// CheckResultHeader carries the most recent check result in-band.
+	CheckResultHeader = "Libseal-Check-Result"
+)
+
+// ErrLoggingDisabled is returned by check operations when the instance runs
+// without a service-specific module (TLS termination only).
+var ErrLoggingDisabled = errors.New("core: logging disabled (no service module)")
+
+// Config assembles a LibSEAL instance.
+type Config struct {
+	// TLS configures the enclave TLS library (certificate, key, client
+	// authentication, §4.2 optimisations).
+	TLS tlsterm.LibraryConfig
+	// Module is the service-specific module. Nil disables auditing: the
+	// instance only terminates TLS (the paper's "LibSEAL-process" mode).
+	Module ssm.Module
+	// AuditMode selects in-memory or persistent logging.
+	AuditMode audit.Mode
+	// AuditDir is the persistence directory for disk mode.
+	AuditDir string
+	// Protector provides rollback protection for the persisted log.
+	Protector audit.RollbackProtector
+	// SealLog encrypts persisted entries for log privacy.
+	SealLog bool
+	// RecoverExisting resumes from a persisted log (verifying its chain,
+	// signature and counter freshness) instead of truncating it. The
+	// enclave must be launched from the same platform and code so its keys
+	// match.
+	RecoverExisting bool
+	// CheckEvery runs invariant checks and trimming after this many logged
+	// request/response pairs. Zero disables pair-count checks.
+	CheckEvery int
+	// CheckInterval runs invariant checks and trimming on a wall-clock
+	// period — the paper's default checking mode (§5.2). Zero disables
+	// time-based checks.
+	CheckInterval time.Duration
+	// CheckMinInterval rate-limits client-triggered checks to defeat
+	// denial-of-service via the check header (§6.3). Zero means no limit.
+	CheckMinInterval time.Duration
+	// OnViolation, when set, is called for each invariant with a non-empty
+	// violation set after any check.
+	OnViolation func(invariant string, violations *sqldb.Result)
+}
+
+// Violation records one detected integrity violation.
+type Violation struct {
+	Invariant string
+	Detected  time.Time
+	Rows      *sqldb.Result
+}
+
+// LibSEAL is one audit-library instance.
+type LibSEAL struct {
+	cfg    Config
+	bridge *asyncall.Bridge
+	tls    *tlsterm.Library
+	log    *audit.Log
+
+	mu         sync.Mutex
+	conns      map[uint64]*connTracker
+	pairTime   int64
+	sinceCheck int
+	lastCheck  time.Time
+	lastResult string
+	violations []Violation
+
+	stats Stats
+
+	stopPeriodic chan struct{}
+	periodicDone chan struct{}
+}
+
+// Stats counts audit activity.
+type Stats struct {
+	Pairs      int64
+	Tuples     int64
+	Checks     int64
+	Trims      int64
+	Violations int64
+}
+
+// connTracker pairs the request and response streams of one connection.
+type connTracker struct {
+	reqBuf  []byte
+	rspBuf  []byte
+	pending [][]byte // complete, unpaired request bytes (pipelining)
+	// checkASAP is set when the current request carried the check header.
+	checkRequested bool
+	// injectResult is set when the next response head should carry the
+	// check-result header.
+	injectResult string
+}
+
+// New builds a LibSEAL instance on the given enclave bridge. The audit log
+// and TLS state are initialised inside the enclave.
+func New(bridge *asyncall.Bridge, cfg Config) (*LibSEAL, error) {
+	ls := &LibSEAL{
+		cfg:        cfg,
+		bridge:     bridge,
+		conns:      make(map[uint64]*connTracker),
+		lastResult: "none",
+	}
+	if cfg.Module != nil {
+		auditCfg := audit.Config{
+			Name:      cfg.Module.Name(),
+			Schema:    cfg.Module.Schema(),
+			Mode:      cfg.AuditMode,
+			Dir:       cfg.AuditDir,
+			Protector: cfg.Protector,
+			Seal:      cfg.SealLog,
+		}
+		err := bridge.Call(func(env *asyncall.Env) error {
+			var err error
+			if cfg.RecoverExisting && cfg.AuditMode == audit.ModeDisk {
+				ls.log, err = audit.Recover(env, auditCfg, bridge.Enclave().PublicKey())
+				return err
+			}
+			ls.log, err = audit.New(env, auditCfg)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Resume the logical clock past the recovered entries so new
+		// tuples sort after them.
+		if ls.log != nil {
+			ls.pairTime = int64(ls.log.Seq())
+		}
+		cfg.TLS.Tap = (*sealTap)(ls)
+	}
+	tlsLib, err := tlsterm.NewLibrary(bridge, cfg.TLS)
+	if err != nil {
+		return nil, err
+	}
+	ls.tls = tlsLib
+	if cfg.CheckInterval > 0 && ls.log != nil {
+		ls.stopPeriodic = make(chan struct{})
+		ls.periodicDone = make(chan struct{})
+		go ls.periodicChecks(cfg.CheckInterval)
+	}
+	return ls, nil
+}
+
+// periodicChecks runs the §5.2 default checking mode: invariants and
+// trimming on a fixed wall-clock period.
+func (ls *LibSEAL) periodicChecks(interval time.Duration) {
+	defer close(ls.periodicDone)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ls.stopPeriodic:
+			return
+		case <-ticker.C:
+			_ = ls.bridge.Call(func(env *asyncall.Env) error {
+				ls.mu.Lock()
+				defer ls.mu.Unlock()
+				ls.runCheckLocked(env, false)
+				if err := ls.log.Trim(env, ls.cfg.Module.TrimQueries()); err == nil {
+					ls.stats.Trims++
+				}
+				return nil
+			})
+		}
+	}
+}
+
+// TLS returns the drop-in TLS library services link against.
+func (ls *LibSEAL) TLS() *tlsterm.Library { return ls.tls }
+
+// Log returns the audit log (nil when auditing is disabled).
+func (ls *LibSEAL) Log() *audit.Log { return ls.log }
+
+// Bridge returns the underlying enclave bridge.
+func (ls *LibSEAL) Bridge() *asyncall.Bridge { return ls.bridge }
+
+// StatsSnapshot returns a copy of the audit counters.
+func (ls *LibSEAL) StatsSnapshot() Stats {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return ls.stats
+}
+
+// Violations returns all violations detected so far.
+func (ls *LibSEAL) Violations() []Violation {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return append([]Violation(nil), ls.violations...)
+}
+
+// LastCheckResult returns the in-band result string of the most recent
+// invariant check ("ok", "violation:<names>", "rate-limited" or "none").
+func (ls *LibSEAL) LastCheckResult() string {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return ls.lastResult
+}
+
+// sealTap adapts LibSEAL to the tlsterm.Tap interface. Methods run inside
+// the enclave within SSL_read/SSL_write ecalls.
+type sealTap LibSEAL
+
+// OnData implements tlsterm.Tap.
+func (t *sealTap) OnData(env *asyncall.Env, connID uint64, dir tlsterm.Direction, data []byte) ([]byte, error) {
+	ls := (*LibSEAL)(t)
+	if dir == tlsterm.DirRead {
+		return nil, ls.onRead(env, connID, data)
+	}
+	return ls.onWrite(env, connID, data)
+}
+
+// OnClose implements tlsterm.Tap.
+func (t *sealTap) OnClose(env *asyncall.Env, connID uint64) {
+	ls := (*LibSEAL)(t)
+	ls.mu.Lock()
+	delete(ls.conns, connID)
+	ls.mu.Unlock()
+}
+
+func (ls *LibSEAL) tracker(connID uint64) *connTracker {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	tr, ok := ls.conns[connID]
+	if !ok {
+		tr = &connTracker{}
+		ls.conns[connID] = tr
+	}
+	return tr
+}
+
+// onRead accumulates request plaintext and extracts complete requests.
+func (ls *LibSEAL) onRead(env *asyncall.Env, connID uint64, data []byte) error {
+	tr := ls.tracker(connID)
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	tr.reqBuf = append(tr.reqBuf, data...)
+	for {
+		req, n, err := httpparse.ConsumeRequest(tr.reqBuf)
+		if errors.Is(err, httpparse.ErrIncomplete) {
+			return nil
+		}
+		if err != nil {
+			// Not HTTP (or corrupted): keep the raw buffer as one pending
+			// "request" so non-HTTP SSMs could still see it; reset.
+			tr.pending = append(tr.pending, tr.reqBuf)
+			tr.reqBuf = nil
+			return nil
+		}
+		raw := append([]byte(nil), tr.reqBuf[:n]...)
+		tr.reqBuf = tr.reqBuf[n:]
+		tr.pending = append(tr.pending, raw)
+		if req.Header.Has(CheckHeader) {
+			tr.checkRequested = true
+			// Run the check now so this response can carry the result.
+			result := ls.runCheckLocked(env, true)
+			tr.injectResult = result
+		}
+	}
+}
+
+// onWrite accumulates response plaintext, pairs completed responses with
+// their requests, logs the pair, and injects the check-result header.
+func (ls *LibSEAL) onWrite(env *asyncall.Env, connID uint64, data []byte) ([]byte, error) {
+	tr := ls.tracker(connID)
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+
+	out := data
+	if tr.injectResult != "" {
+		if rewritten, ok := injectHeader(data, CheckResultHeader, tr.injectResult); ok {
+			out = rewritten
+			tr.injectResult = ""
+		}
+	}
+
+	// Pair using the (unmodified) response bytes: the audit log records
+	// what the service produced.
+	tr.rspBuf = append(tr.rspBuf, data...)
+	for {
+		_, n, err := httpparse.ConsumeResponse(tr.rspBuf)
+		if errors.Is(err, httpparse.ErrIncomplete) {
+			break
+		}
+		if err != nil {
+			// Not HTTP: flush as an opaque response.
+			n = len(tr.rspBuf)
+		}
+		if len(tr.pending) == 0 {
+			// Response without a recorded request (e.g. server push);
+			// drop it — nothing to pair.
+			tr.rspBuf = tr.rspBuf[n:]
+			break
+		}
+		rawRsp := append([]byte(nil), tr.rspBuf[:n]...)
+		tr.rspBuf = tr.rspBuf[n:]
+		rawReq := tr.pending[0]
+		tr.pending = tr.pending[1:]
+		if err := ls.logPairLocked(env, rawReq, rawRsp); err != nil {
+			return nil, err
+		}
+		if len(tr.rspBuf) == 0 {
+			break
+		}
+	}
+	if bytes.Equal(out, data) {
+		return nil, nil
+	}
+	return out, nil
+}
+
+// logPairLocked hands one pair to the SSM and appends its tuples to the
+// audit log; ls.mu is held.
+func (ls *LibSEAL) logPairLocked(env *asyncall.Env, rawReq, rawRsp []byte) error {
+	ls.pairTime++
+	st := &ssm.State{Time: ls.pairTime, DB: ls.log.DB()}
+	tuples, err := ls.cfg.Module.HandlePair(st, rawReq, rawRsp)
+	if err != nil {
+		// Unparseable traffic is not a service integrity violation; it is
+		// recorded as a statistic but does not fail the connection.
+		return nil
+	}
+	for _, tu := range tuples {
+		if err := ls.log.Append(env, tu.Table, tu.Values...); err != nil {
+			return fmt.Errorf("core: audit append: %w", err)
+		}
+		ls.stats.Tuples++
+	}
+	ls.stats.Pairs++
+	if len(tuples) > 0 && ls.cfg.CheckEvery > 0 {
+		ls.sinceCheck++
+		if ls.sinceCheck >= ls.cfg.CheckEvery {
+			ls.sinceCheck = 0
+			ls.runCheckLocked(env, false)
+			if err := ls.log.Trim(env, ls.cfg.Module.TrimQueries()); err != nil {
+				return fmt.Errorf("core: trim: %w", err)
+			}
+			ls.stats.Trims++
+		}
+	}
+	return nil
+}
+
+// runCheckLocked executes all invariants; ls.mu is held. Client-triggered
+// checks are rate-limited.
+func (ls *LibSEAL) runCheckLocked(env *asyncall.Env, clientTriggered bool) string {
+	if ls.log == nil {
+		return "disabled"
+	}
+	now := time.Now()
+	if clientTriggered && ls.cfg.CheckMinInterval > 0 && now.Sub(ls.lastCheck) < ls.cfg.CheckMinInterval {
+		ls.lastResult = "rate-limited"
+		return ls.lastResult
+	}
+	ls.lastCheck = now
+	ls.stats.Checks++
+	var violated []string
+	for _, inv := range ls.cfg.Module.Invariants() {
+		res, err := ls.log.Query(inv.SQL)
+		if err != nil {
+			ls.lastResult = "error:" + inv.Name
+			return ls.lastResult
+		}
+		if !res.Empty() {
+			violated = append(violated, inv.Name)
+			ls.violations = append(ls.violations, Violation{Invariant: inv.Name, Detected: now, Rows: res})
+			ls.stats.Violations += int64(len(res.Rows))
+			if ls.cfg.OnViolation != nil {
+				ls.cfg.OnViolation(inv.Name, res)
+			}
+		}
+	}
+	if len(violated) == 0 {
+		ls.lastResult = "ok"
+	} else {
+		ls.lastResult = "violation:" + strings.Join(violated, ",")
+	}
+	return ls.lastResult
+}
+
+// CheckNow runs the invariants immediately (Fig. 1, step 6) and returns the
+// result string.
+func (ls *LibSEAL) CheckNow() (string, error) {
+	if ls.log == nil {
+		return "", ErrLoggingDisabled
+	}
+	var result string
+	err := ls.bridge.Call(func(env *asyncall.Env) error {
+		ls.mu.Lock()
+		defer ls.mu.Unlock()
+		result = ls.runCheckLocked(env, false)
+		return nil
+	})
+	return result, err
+}
+
+// TrimNow applies the module's trimming queries immediately.
+func (ls *LibSEAL) TrimNow() error {
+	if ls.log == nil {
+		return ErrLoggingDisabled
+	}
+	return ls.bridge.Call(func(env *asyncall.Env) error {
+		ls.mu.Lock()
+		defer ls.mu.Unlock()
+		ls.stats.Trims++
+		return ls.log.Trim(env, ls.cfg.Module.TrimQueries())
+	})
+}
+
+// Close stops periodic checking and releases the audit log's resources.
+func (ls *LibSEAL) Close() error {
+	if ls.stopPeriodic != nil {
+		close(ls.stopPeriodic)
+		<-ls.periodicDone
+		ls.stopPeriodic = nil
+	}
+	if ls.log != nil {
+		return ls.log.Close()
+	}
+	return nil
+}
+
+// injectHeader inserts a header line after the status line of a serialised
+// HTTP response head. It reports false if data does not start with a parse-
+// able status line (the header is then carried on a later response instead).
+func injectHeader(data []byte, key, value string) ([]byte, bool) {
+	idx := bytes.Index(data, []byte("\r\n"))
+	if idx < 0 || !bytes.HasPrefix(data, []byte("HTTP/")) {
+		return nil, false
+	}
+	var out bytes.Buffer
+	out.Grow(len(data) + len(key) + len(value) + 4)
+	out.Write(data[:idx+2])
+	out.WriteString(key)
+	out.WriteString(": ")
+	out.WriteString(value)
+	out.WriteString("\r\n")
+	out.Write(data[idx+2:])
+	return out.Bytes(), true
+}

@@ -1,0 +1,580 @@
+package core
+
+import (
+	"bufio"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"libseal/internal/asyncall"
+	"libseal/internal/audit"
+	"libseal/internal/enclave"
+	"libseal/internal/httpparse"
+	"libseal/internal/netsim"
+	"libseal/internal/pki"
+	"libseal/internal/sqldb"
+	"libseal/internal/ssm/gitssm"
+	"libseal/internal/tlsterm"
+)
+
+type coreEnv struct {
+	ca     *pki.CA
+	pool   *pki.Pool
+	cert   *pki.Certificate
+	key    *ecdsa.PrivateKey
+	encl   *enclave.Enclave
+	bridge *asyncall.Bridge
+}
+
+func newCoreEnv(t *testing.T) *coreEnv {
+	t.Helper()
+	ca, _ := pki.NewCA("ca")
+	key, _ := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	cert, _ := ca.Issue("svc", &key.PublicKey, nil)
+	p := enclave.NewPlatform()
+	encl, err := p.Launch(enclave.Config{Code: []byte("libseal-core"), MaxThreads: 8, Cost: enclave.ZeroCostModel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bridge, err := asyncall.New(encl, asyncall.Config{Mode: asyncall.ModeSync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(bridge.Close)
+	return &coreEnv{ca: ca, pool: pki.NewPool(ca), cert: cert, key: key, encl: encl, bridge: bridge}
+}
+
+// gitBackend is a trivial in-test Git service: branches per repo, with
+// switchable misbehaviour.
+type gitBackend struct {
+	refs       map[string]map[string]string // repo -> branch -> cid
+	rollback   map[string]string            // branch -> stale cid to advertise
+	hideRef    map[string]bool              // branch -> omit from advertisements
+	teleportTo map[string]string            // branch -> foreign cid
+}
+
+func newGitBackend() *gitBackend {
+	return &gitBackend{
+		refs:       map[string]map[string]string{},
+		rollback:   map[string]string{},
+		hideRef:    map[string]bool{},
+		teleportTo: map[string]string{},
+	}
+}
+
+func (g *gitBackend) handle(req *httpparse.Request) *httpparse.Response {
+	parts := strings.Split(strings.TrimPrefix(req.PathOnly(), "/"), "/")
+	if len(parts) < 3 || parts[0] != "git" {
+		return httpparse.NewResponse(404, nil)
+	}
+	repo := parts[1]
+	switch {
+	case req.Method == "POST" && parts[2] == "git-receive-pack":
+		if g.refs[repo] == nil {
+			g.refs[repo] = map[string]string{}
+		}
+		for _, line := range strings.Split(string(req.Body), "\n") {
+			f := strings.Fields(line)
+			if len(f) != 3 {
+				continue
+			}
+			switch f[0] {
+			case "create", "update":
+				g.refs[repo][f[1]] = f[2]
+			case "delete":
+				delete(g.refs[repo], f[1])
+			}
+		}
+		return httpparse.NewResponse(200, []byte("ok"))
+	case req.Method == "GET" && parts[2] == "info":
+		var body strings.Builder
+		for branch, cid := range g.refs[repo] {
+			if g.hideRef[branch] {
+				continue
+			}
+			if stale, ok := g.rollback[branch]; ok {
+				cid = stale
+			}
+			if foreign, ok := g.teleportTo[branch]; ok {
+				cid = foreign
+			}
+			fmt.Fprintf(&body, "ref %s %s\n", branch, cid)
+		}
+		return httpparse.NewResponse(200, []byte(body.String()))
+	}
+	return httpparse.NewResponse(404, nil)
+}
+
+// serveConn runs an HTTP-over-LibSEAL loop for one connection.
+func serveConn(t *testing.T, ls *LibSEAL, conn net.Conn, backend *gitBackend) {
+	t.Helper()
+	go func() {
+		ssl := ls.TLS().NewSSL(conn)
+		if err := ssl.Accept(); err != nil {
+			return
+		}
+		defer ssl.Close()
+		br := bufio.NewReader(ssl)
+		for {
+			req, err := httpparse.ReadRequest(br)
+			if err != nil {
+				return
+			}
+			rsp := backend.handle(req)
+			if _, err := ssl.Write(rsp.Bytes()); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+// gitClient issues requests over one secured connection.
+type gitClient struct {
+	conn *tlsterm.Conn
+	br   *bufio.Reader
+}
+
+func dialGit(t *testing.T, env *coreEnv, ls *LibSEAL, backend *gitBackend) *gitClient {
+	t.Helper()
+	cConn, sConn := netsim.Pipe(netsim.LinkConfig{})
+	serveConn(t, ls, sConn, backend)
+	conn, err := tlsterm.Connect(cConn, &tlsterm.ClientConfig{Roots: env.pool, ServerName: "svc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &gitClient{conn: conn, br: bufio.NewReader(conn)}
+}
+
+func (c *gitClient) do(t *testing.T, req *httpparse.Request) *httpparse.Response {
+	t.Helper()
+	if _, err := c.conn.Write(req.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	rsp, err := httpparse.ReadResponse(c.br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rsp
+}
+
+func (c *gitClient) push(t *testing.T, repo string, lines ...string) {
+	rsp := c.do(t, httpparse.NewRequest("POST", "/git/"+repo+"/git-receive-pack", []byte(strings.Join(lines, "\n"))))
+	if rsp.Status != 200 {
+		t.Fatalf("push status %d", rsp.Status)
+	}
+}
+
+func (c *gitClient) fetch(t *testing.T, repo string, check bool) *httpparse.Response {
+	req := httpparse.NewRequest("GET", "/git/"+repo+"/info/refs?service=git-upload-pack", nil)
+	if check {
+		req.Header.Set(CheckHeader, "1")
+	}
+	return c.do(t, req)
+}
+
+func newGitLibSEAL(t *testing.T, env *coreEnv, cfg Config) *LibSEAL {
+	t.Helper()
+	cfg.TLS.Cert = env.cert
+	cfg.TLS.Key = env.key
+	cfg.TLS.Opts = tlsterm.AllOptimizations()
+	ls, err := New(env.bridge, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ls.Close() })
+	return ls
+}
+
+func TestEndToEndCleanWorkload(t *testing.T) {
+	env := newCoreEnv(t)
+	ls := newGitLibSEAL(t, env, Config{Module: gitssm.New(), AuditMode: audit.ModeMemory})
+	backend := newGitBackend()
+	c := dialGit(t, env, ls, backend)
+
+	c.push(t, "repo", "create main c1")
+	c.push(t, "repo", "update main c2")
+	rsp := c.fetch(t, "repo", false)
+	if !strings.Contains(string(rsp.Body), "main c2") {
+		t.Fatalf("fetch body = %q", rsp.Body)
+	}
+
+	if result, err := ls.CheckNow(); err != nil || result != "ok" {
+		t.Fatalf("CheckNow = %q, %v", result, err)
+	}
+	st := ls.StatsSnapshot()
+	if st.Pairs != 3 || st.Tuples != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The audit log contains what flowed over the wire.
+	res, err := ls.Log().Query("SELECT COUNT(*) FROM updates")
+	if err != nil || res.Rows[0][0].Int64() != 2 {
+		t.Fatalf("updates count: %v %v", res, err)
+	}
+}
+
+func TestEndToEndDetectsRollback(t *testing.T) {
+	env := newCoreEnv(t)
+	ls := newGitLibSEAL(t, env, Config{Module: gitssm.New(), AuditMode: audit.ModeMemory})
+	backend := newGitBackend()
+	c := dialGit(t, env, ls, backend)
+
+	c.push(t, "repo", "create main c1")
+	c.push(t, "repo", "update main c2")
+	backend.rollback["main"] = "c1" // service misbehaves
+	c.fetch(t, "repo", false)
+
+	result, err := ls.CheckNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(result, "git-soundness") {
+		t.Fatalf("result = %q, want soundness violation", result)
+	}
+	v := ls.Violations()
+	if len(v) == 0 || v[0].Invariant != "git-soundness" {
+		t.Fatalf("violations = %+v", v)
+	}
+}
+
+func TestEndToEndDetectsReferenceDeletion(t *testing.T) {
+	env := newCoreEnv(t)
+	ls := newGitLibSEAL(t, env, Config{Module: gitssm.New(), AuditMode: audit.ModeMemory})
+	backend := newGitBackend()
+	c := dialGit(t, env, ls, backend)
+
+	c.push(t, "repo", "create main c1")
+	c.push(t, "repo", "create dev d1")
+	backend.hideRef["dev"] = true
+	c.fetch(t, "repo", false)
+
+	result, _ := ls.CheckNow()
+	if !strings.Contains(result, "git-completeness") {
+		t.Fatalf("result = %q, want completeness violation", result)
+	}
+}
+
+func TestCheckHeaderInBandResult(t *testing.T) {
+	env := newCoreEnv(t)
+	ls := newGitLibSEAL(t, env, Config{Module: gitssm.New(), AuditMode: audit.ModeMemory})
+	backend := newGitBackend()
+	c := dialGit(t, env, ls, backend)
+
+	c.push(t, "repo", "create main c1")
+	rsp := c.fetch(t, "repo", true)
+	if got := rsp.Header.Get(CheckResultHeader); got != "ok" {
+		t.Fatalf("%s = %q, want ok", CheckResultHeader, got)
+	}
+
+	// After an attack, the header reports the violation in-band.
+	c.push(t, "repo", "update main c2")
+	backend.rollback["main"] = "c1"
+	c.fetch(t, "repo", false) // poisoned advertisement gets logged
+	rsp = c.fetch(t, "repo", true)
+	if got := rsp.Header.Get(CheckResultHeader); !strings.Contains(got, "git-soundness") {
+		t.Fatalf("%s = %q, want violation", CheckResultHeader, got)
+	}
+}
+
+func TestCheckRateLimiting(t *testing.T) {
+	env := newCoreEnv(t)
+	ls := newGitLibSEAL(t, env, Config{
+		Module:           gitssm.New(),
+		AuditMode:        audit.ModeMemory,
+		CheckMinInterval: time.Hour,
+	})
+	backend := newGitBackend()
+	c := dialGit(t, env, ls, backend)
+	c.push(t, "repo", "create main c1")
+	rsp := c.fetch(t, "repo", true)
+	if got := rsp.Header.Get(CheckResultHeader); got != "ok" {
+		t.Fatalf("first check = %q", got)
+	}
+	rsp = c.fetch(t, "repo", true)
+	if got := rsp.Header.Get(CheckResultHeader); got != "rate-limited" {
+		t.Fatalf("second check = %q, want rate-limited", got)
+	}
+}
+
+func TestPeriodicCheckAndTrim(t *testing.T) {
+	env := newCoreEnv(t)
+	ls := newGitLibSEAL(t, env, Config{
+		Module:     gitssm.New(),
+		AuditMode:  audit.ModeMemory,
+		CheckEvery: 5,
+	})
+	backend := newGitBackend()
+	c := dialGit(t, env, ls, backend)
+	for i := 0; i < 12; i++ {
+		c.push(t, "repo", fmt.Sprintf("update main c%d", i))
+	}
+	st := ls.StatsSnapshot()
+	if st.Trims < 2 {
+		t.Fatalf("trims = %d, want >= 2", st.Trims)
+	}
+	// Trimming kept only the latest update.
+	n, _ := ls.Log().DB().TableRowCount("updates")
+	if n > 3 {
+		t.Fatalf("updates after periodic trim = %d", n)
+	}
+	if result, _ := ls.CheckNow(); result != "ok" {
+		t.Fatalf("result = %q", result)
+	}
+}
+
+func TestPersistentModeSurvivesRestart(t *testing.T) {
+	env := newCoreEnv(t)
+	dir := t.TempDir()
+	ls := newGitLibSEAL(t, env, Config{
+		Module:    gitssm.New(),
+		AuditMode: audit.ModeDisk,
+		AuditDir:  dir,
+	})
+	backend := newGitBackend()
+	c := dialGit(t, env, ls, backend)
+	c.push(t, "repo", "create main c1")
+	ls.Close()
+
+	// Verify the persisted log out-of-band with the enclave's public key.
+	entries, err := audit.VerifyFile(dir+"/git.lseal", audit.VerifyOptions{Pub: env.encl.PublicKey()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Table != "updates" {
+		t.Fatalf("entries = %+v", entries)
+	}
+}
+
+func TestLoggingDisabledMode(t *testing.T) {
+	env := newCoreEnv(t)
+	ls := newGitLibSEAL(t, env, Config{}) // no module: LibSEAL-process mode
+	backend := newGitBackend()
+	c := dialGit(t, env, ls, backend)
+	c.push(t, "repo", "create main c1")
+	if _, err := ls.CheckNow(); !errors.Is(err, ErrLoggingDisabled) {
+		t.Fatalf("CheckNow = %v, want ErrLoggingDisabled", err)
+	}
+	if ls.Log() != nil {
+		t.Fatal("log created despite nil module")
+	}
+}
+
+func TestPipelinedRequestsPairedInOrder(t *testing.T) {
+	env := newCoreEnv(t)
+	ls := newGitLibSEAL(t, env, Config{Module: gitssm.New(), AuditMode: audit.ModeMemory})
+	backend := newGitBackend()
+	c := dialGit(t, env, ls, backend)
+
+	// Send two requests back-to-back before reading any response.
+	req1 := httpparse.NewRequest("POST", "/git/r/git-receive-pack", []byte("create main c1"))
+	req2 := httpparse.NewRequest("POST", "/git/r/git-receive-pack", []byte("update main c2"))
+	buf := append(req1.Bytes(), req2.Bytes()...)
+	if _, err := c.conn.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := httpparse.ReadResponse(c.br); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := ls.Log().Query("SELECT cid FROM updates ORDER BY time")
+	if err != nil || len(res.Rows) != 2 {
+		t.Fatalf("rows = %v, %v", res, err)
+	}
+	if res.Rows[0][0].TextVal() != "c1" || res.Rows[1][0].TextVal() != "c2" {
+		t.Fatalf("pairing out of order: %v", res.Rows)
+	}
+}
+
+func TestOnViolationCallback(t *testing.T) {
+	env := newCoreEnv(t)
+	var fired []string
+	ls := newGitLibSEAL(t, env, Config{
+		Module:    gitssm.New(),
+		AuditMode: audit.ModeMemory,
+		OnViolation: func(name string, _ *sqldb.Result) {
+			fired = append(fired, name)
+		},
+	})
+	backend := newGitBackend()
+	c := dialGit(t, env, ls, backend)
+	c.push(t, "repo", "create main c1")
+	c.push(t, "repo", "update main c2")
+	backend.rollback["main"] = "c1"
+	c.fetch(t, "repo", false)
+	ls.CheckNow()
+	if len(fired) != 1 || fired[0] != "git-soundness" {
+		t.Fatalf("callback fired = %v", fired)
+	}
+}
+
+func TestMultipleConnectionsShareLog(t *testing.T) {
+	env := newCoreEnv(t)
+	ls := newGitLibSEAL(t, env, Config{Module: gitssm.New(), AuditMode: audit.ModeMemory})
+	backend := newGitBackend()
+	c1 := dialGit(t, env, ls, backend)
+	c2 := dialGit(t, env, ls, backend)
+	c1.push(t, "repo", "create main c1")
+	c2.push(t, "repo", "create dev d1")
+	res, err := ls.Log().Query("SELECT COUNT(*) FROM updates")
+	if err != nil || res.Rows[0][0].Int64() != 2 {
+		t.Fatalf("shared log count: %v %v", res, err)
+	}
+}
+
+func TestNonHTTPTrafficDoesNotBreakConnection(t *testing.T) {
+	env := newCoreEnv(t)
+	ls := newGitLibSEAL(t, env, Config{Module: gitssm.New(), AuditMode: audit.ModeMemory})
+	cConn, sConn := netsim.Pipe(netsim.LinkConfig{})
+	// Raw echo service speaking a non-HTTP protocol through LibSEAL.
+	go func() {
+		ssl := ls.TLS().NewSSL(sConn)
+		if err := ssl.Accept(); err != nil {
+			return
+		}
+		defer ssl.Close()
+		buf := make([]byte, 1024)
+		for {
+			n, err := ssl.Read(buf)
+			if err != nil {
+				return
+			}
+			if _, err := ssl.Write(buf[:n]); err != nil {
+				return
+			}
+		}
+	}()
+	conn, err := tlsterm.Connect(cConn, &tlsterm.ClientConfig{Roots: env.pool, ServerName: "svc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("BINARY\x00PROTOCOL")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	if _, err := io.ReadFull(conn, buf[:15]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoverExistingAcrossRestart(t *testing.T) {
+	env := newCoreEnv(t)
+	dir := t.TempDir()
+	backend := newGitBackend()
+
+	// First life: log a push, then "crash" (close everything).
+	ls1 := newGitLibSEAL(t, env, Config{
+		Module: gitssm.New(), AuditMode: audit.ModeDisk, AuditDir: dir,
+	})
+	c1 := dialGit(t, env, ls1, backend)
+	c1.push(t, "repo", "create main c1")
+	c1.push(t, "repo", "update main c2")
+	ls1.Close()
+
+	// Second life: same enclave (same platform + keys) recovers the log.
+	ls2 := newGitLibSEAL(t, env, Config{
+		Module: gitssm.New(), AuditMode: audit.ModeDisk, AuditDir: dir,
+		RecoverExisting: true,
+	})
+	res, err := ls2.Log().Query("SELECT COUNT(*) FROM updates")
+	if err != nil || res.Rows[0][0].Int64() != 2 {
+		t.Fatalf("recovered updates = %v, %v", res, err)
+	}
+	// The recovered instance keeps detecting violations with history that
+	// predates the restart.
+	backend.rollback["main"] = "c1"
+	c2 := dialGit(t, env, ls2, backend)
+	c2.fetch(t, "repo", false)
+	result, err := ls2.CheckNow()
+	if err != nil || !strings.Contains(result, "git-soundness") {
+		t.Fatalf("post-recovery detection: %q %v", result, err)
+	}
+}
+
+func TestLastCheckResultLifecycle(t *testing.T) {
+	env := newCoreEnv(t)
+	ls := newGitLibSEAL(t, env, Config{Module: gitssm.New(), AuditMode: audit.ModeMemory})
+	if got := ls.LastCheckResult(); got != "none" {
+		t.Fatalf("initial = %q", got)
+	}
+	if _, err := ls.CheckNow(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ls.LastCheckResult(); got != "ok" {
+		t.Fatalf("after check = %q", got)
+	}
+	if err := ls.TrimNow(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ls.StatsSnapshot().Trims; got != 1 {
+		t.Fatalf("trims = %d", got)
+	}
+}
+
+func TestTrimNowWithoutModule(t *testing.T) {
+	env := newCoreEnv(t)
+	ls := newGitLibSEAL(t, env, Config{})
+	if err := ls.TrimNow(); !errors.Is(err, ErrLoggingDisabled) {
+		t.Fatalf("err = %v, want ErrLoggingDisabled", err)
+	}
+}
+
+func TestInjectHeader(t *testing.T) {
+	rsp := []byte("HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok")
+	out, ok := injectHeader(rsp, "Libseal-Check-Result", "ok")
+	if !ok {
+		t.Fatal("injection failed")
+	}
+	parsed, err := httpparse.ParseResponseBytes(out)
+	if err != nil || parsed.Header.Get("Libseal-Check-Result") != "ok" || string(parsed.Body) != "ok" {
+		t.Fatalf("parsed = %+v, %v", parsed, err)
+	}
+	// Non-HTTP data is left alone.
+	if _, ok := injectHeader([]byte("BINARY\x00DATA"), "X", "y"); ok {
+		t.Fatal("injected into non-HTTP data")
+	}
+	if _, ok := injectHeader([]byte("HTTP/1.1 200 OK no-crlf"), "X", "y"); ok {
+		t.Fatal("injected without CRLF")
+	}
+}
+
+func TestTimeBasedPeriodicChecks(t *testing.T) {
+	env := newCoreEnv(t)
+	ls := newGitLibSEAL(t, env, Config{
+		Module:        gitssm.New(),
+		AuditMode:     audit.ModeMemory,
+		CheckInterval: 10 * time.Millisecond,
+	})
+	backend := newGitBackend()
+	c := dialGit(t, env, ls, backend)
+	c.push(t, "repo", "create main c1")
+	c.push(t, "repo", "update main c2")
+	backend.rollback["main"] = "c1"
+	c.fetch(t, "repo", false)
+	// Without any client-triggered check, the periodic checker must find
+	// the violation on its own.
+	deadline := time.Now().Add(3 * time.Second)
+	for len(ls.Violations()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("periodic checker never detected the violation")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if v := ls.Violations(); v[0].Invariant != "git-soundness" {
+		t.Fatalf("violations = %+v", v)
+	}
+	// Trimming ran too.
+	if ls.StatsSnapshot().Trims == 0 {
+		t.Fatal("periodic trimming never ran")
+	}
+	// Close must stop the background checker cleanly.
+	ls.Close()
+}

@@ -1,0 +1,90 @@
+package enclave
+
+import (
+	"crypto/ecdsa"
+	"crypto/rand"
+	"crypto/sha256"
+	"math/big"
+)
+
+// Quote is a remotely verifiable statement that an enclave with the embedded
+// measurement, signed by the embedded authority, is running on a genuine
+// platform and produced ReportData. It mirrors the SGX quoting-enclave flow:
+// the platform's provisioned attestation key signs the report.
+type Quote struct {
+	Measurement Measurement
+	Signer      SignerID
+	ReportData  [64]byte
+	SigR, SigS  []byte
+}
+
+// Quote asks the platform's quoting enclave to sign a report for this
+// enclave over the given user data (at most 64 bytes, as in SGX).
+func (c *Ctx) Quote(userData []byte) (Quote, error) {
+	c.check()
+	e := c.e
+	var q Quote
+	q.Measurement = e.meas
+	q.Signer = e.signer
+	copy(q.ReportData[:], userData)
+	digest := q.digest()
+	r, s, err := ecdsa.Sign(rand.Reader, e.platform.quotingKey, digest[:])
+	if err != nil {
+		return Quote{}, err
+	}
+	q.SigR, q.SigS = r.Bytes(), s.Bytes()
+	return q, nil
+}
+
+func (q *Quote) digest() [32]byte {
+	h := sha256.New()
+	h.Write([]byte("libseal/quote/v1"))
+	h.Write(q.Measurement[:])
+	h.Write(q.Signer[:])
+	h.Write(q.ReportData[:])
+	var d [32]byte
+	copy(d[:], h.Sum(nil))
+	return d
+}
+
+// AttestationService verifies quotes against a set of trusted platforms. It
+// plays the role of the Intel attestation service: clients hand it a quote
+// and learn whether it came from a genuine enclave.
+type AttestationService struct {
+	trusted []*ecdsa.PublicKey
+}
+
+// NewAttestationService builds a verifier trusting the given platforms.
+func NewAttestationService(platforms ...*Platform) *AttestationService {
+	s := &AttestationService{}
+	for _, p := range platforms {
+		s.trusted = append(s.trusted, &p.quotingKey.PublicKey)
+	}
+	return s
+}
+
+// Verify checks the quote signature against all trusted platforms and
+// returns nil if any matches.
+func (s *AttestationService) Verify(q Quote) error {
+	digest := q.digest()
+	r := new(big.Int).SetBytes(q.SigR)
+	sc := new(big.Int).SetBytes(q.SigS)
+	for _, pub := range s.trusted {
+		if ecdsa.Verify(pub, digest[:], r, sc) {
+			return nil
+		}
+	}
+	return ErrQuoteInvalid
+}
+
+// VerifyIdentity additionally pins the expected measurement, defeating
+// attempts to present a quote from a different (e.g. non-LibSEAL) enclave.
+func (s *AttestationService) VerifyIdentity(q Quote, want Measurement) error {
+	if err := s.Verify(q); err != nil {
+		return err
+	}
+	if q.Measurement != want {
+		return ErrQuoteInvalid
+	}
+	return nil
+}

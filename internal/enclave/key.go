@@ -1,0 +1,39 @@
+package enclave
+
+import (
+	"crypto/ecdsa"
+	"crypto/rand"
+	"math/big"
+)
+
+// Signature is an ECDSA signature produced inside an enclave.
+type Signature struct {
+	R, S []byte
+}
+
+// Sign signs digest with the enclave's report key. The private key is
+// generated at launch inside the enclave and never leaves it; LibSEAL uses
+// it to sign audit-log batches (§5.1).
+func (c *Ctx) Sign(digest []byte) (Signature, error) {
+	c.check()
+	r, s, err := ecdsa.Sign(rand.Reader, c.e.reportKey, digest)
+	if err != nil {
+		return Signature{}, err
+	}
+	return Signature{R: r.Bytes(), S: s.Bytes()}, nil
+}
+
+// PublicKey returns the enclave's signing public key. It is safe to export:
+// verifiers use it (together with an attestation quote binding it to the
+// enclave measurement) to check audit-log signatures.
+func (e *Enclave) PublicKey() *ecdsa.PublicKey {
+	return &e.reportKey.PublicKey
+}
+
+// VerifySignature checks an enclave signature against a public key. It runs
+// outside the enclave: verification needs no secrets.
+func VerifySignature(pub *ecdsa.PublicKey, digest []byte, sig Signature) bool {
+	r := new(big.Int).SetBytes(sig.R)
+	s := new(big.Int).SetBytes(sig.S)
+	return ecdsa.Verify(pub, digest, r, s)
+}

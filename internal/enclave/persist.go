@@ -1,0 +1,131 @@
+package enclave
+
+import (
+	"bytes"
+	"crypto/x509"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// Platform persistence. A real SGX machine's fuse key and provisioned
+// attestation key live in hardware and survive reboots; the simulation
+// equivalent is serialising the platform's secrets to a state file. Loading
+// the file is the analogue of launching enclaves on the same physical
+// machine, which is what makes sealed data and monotonic counters
+// recoverable across process restarts. The state file is as sensitive as
+// the hardware it stands in for; it exists so that the CLI tools can
+// demonstrate restart recovery.
+
+// ErrBadPlatformState reports a malformed platform state blob.
+var ErrBadPlatformState = errors.New("enclave: malformed platform state")
+
+var platformStateMagic = []byte("LSEALPLATFORM1\n")
+
+// Marshal serialises the platform's secrets and counter state.
+func (p *Platform) Marshal() ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var buf bytes.Buffer
+	buf.Write(platformStateMagic)
+	buf.Write(p.fuseKey[:])
+	keyDER, err := x509.MarshalECPrivateKey(p.quotingKey)
+	if err != nil {
+		return nil, fmt.Errorf("enclave: marshal quoting key: %w", err)
+	}
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(keyDER)))
+	buf.Write(l[:])
+	buf.Write(keyDER)
+	binary.BigEndian.PutUint32(l[:], uint32(len(p.counters)))
+	buf.Write(l[:])
+	var u64 [8]byte
+	for id, ctr := range p.counters {
+		binary.BigEndian.PutUint64(u64[:], id)
+		buf.Write(u64[:])
+		buf.Write(ctr.owner[:])
+		binary.BigEndian.PutUint64(u64[:], ctr.value)
+		buf.Write(u64[:])
+	}
+	binary.BigEndian.PutUint64(u64[:], p.nextCounter)
+	buf.Write(u64[:])
+	return buf.Bytes(), nil
+}
+
+// UnmarshalPlatform restores a platform from Marshal output.
+func UnmarshalPlatform(data []byte) (*Platform, error) {
+	r := bytes.NewReader(data)
+	magic := make([]byte, len(platformStateMagic))
+	if _, err := r.Read(magic); err != nil || !bytes.Equal(magic, platformStateMagic) {
+		return nil, ErrBadPlatformState
+	}
+	p := &Platform{counters: make(map[uint64]*hardwareCounter)}
+	if _, err := r.Read(p.fuseKey[:]); err != nil {
+		return nil, ErrBadPlatformState
+	}
+	var l [4]byte
+	if _, err := r.Read(l[:]); err != nil {
+		return nil, ErrBadPlatformState
+	}
+	keyDER := make([]byte, binary.BigEndian.Uint32(l[:]))
+	if _, err := r.Read(keyDER); err != nil {
+		return nil, ErrBadPlatformState
+	}
+	key, err := x509.ParseECPrivateKey(keyDER)
+	if err != nil {
+		return nil, fmt.Errorf("%w: quoting key: %v", ErrBadPlatformState, err)
+	}
+	p.quotingKey = key
+	if _, err := r.Read(l[:]); err != nil {
+		return nil, ErrBadPlatformState
+	}
+	n := binary.BigEndian.Uint32(l[:])
+	var u64 [8]byte
+	for i := uint32(0); i < n; i++ {
+		if _, err := r.Read(u64[:]); err != nil {
+			return nil, ErrBadPlatformState
+		}
+		id := binary.BigEndian.Uint64(u64[:])
+		ctr := &hardwareCounter{}
+		if _, err := r.Read(ctr.owner[:]); err != nil {
+			return nil, ErrBadPlatformState
+		}
+		if _, err := r.Read(u64[:]); err != nil {
+			return nil, ErrBadPlatformState
+		}
+		ctr.value = binary.BigEndian.Uint64(u64[:])
+		p.counters[id] = ctr
+	}
+	if _, err := r.Read(u64[:]); err != nil {
+		return nil, ErrBadPlatformState
+	}
+	p.nextCounter = binary.BigEndian.Uint64(u64[:])
+	return p, nil
+}
+
+// LoadOrCreatePlatform restores the platform from path, or creates a fresh
+// one and persists it there.
+func LoadOrCreatePlatform(path string) (*Platform, error) {
+	if data, err := os.ReadFile(path); err == nil {
+		return UnmarshalPlatform(data)
+	}
+	p := NewPlatform()
+	data, err := p.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// SaveState re-persists the platform (e.g. after counter increments).
+func (p *Platform) SaveState(path string) error {
+	data, err := p.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o600)
+}

@@ -1,0 +1,481 @@
+// Package httpparse implements a small HTTP/1.1 message parser and writer.
+// LibSEAL's service-specific modules use it to parse the plaintext request
+// and response streams observed at the TLS termination point (§5.1), and the
+// simulated Apache/Squid services use it to speak the protocol.
+package httpparse
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Errors returned by the parser.
+var (
+	ErrMalformed = errors.New("httpparse: malformed message")
+	ErrTooLarge  = errors.New("httpparse: message exceeds size limit")
+)
+
+// MaxHeaderBytes caps the header section size.
+const MaxHeaderBytes = 1 << 20
+
+// MaxBodyBytes caps body sizes accepted by the parser (128 MiB, enough for
+// the paper's 100 MB content-size sweep).
+const MaxBodyBytes = 130 << 20
+
+// Header is an ordered multimap of header fields with case-insensitive keys.
+type Header struct {
+	keys []string
+	vals map[string][]string
+}
+
+// NewHeader returns an empty header collection.
+func NewHeader() *Header {
+	return &Header{vals: make(map[string][]string)}
+}
+
+// CanonicalKey normalises a header field name (Foo-Bar style).
+func CanonicalKey(k string) string {
+	parts := strings.Split(strings.ToLower(k), "-")
+	for i, p := range parts {
+		if p != "" {
+			parts[i] = strings.ToUpper(p[:1]) + p[1:]
+		}
+	}
+	return strings.Join(parts, "-")
+}
+
+// Set replaces all values of a field.
+func (h *Header) Set(k, v string) {
+	ck := CanonicalKey(k)
+	if _, ok := h.vals[ck]; !ok {
+		h.keys = append(h.keys, ck)
+	}
+	h.vals[ck] = []string{v}
+}
+
+// Add appends a value to a field.
+func (h *Header) Add(k, v string) {
+	ck := CanonicalKey(k)
+	if _, ok := h.vals[ck]; !ok {
+		h.keys = append(h.keys, ck)
+	}
+	h.vals[ck] = append(h.vals[ck], v)
+}
+
+// Get returns the first value of a field, or "".
+func (h *Header) Get(k string) string {
+	vs := h.vals[CanonicalKey(k)]
+	if len(vs) == 0 {
+		return ""
+	}
+	return vs[0]
+}
+
+// Has reports whether the field is present.
+func (h *Header) Has(k string) bool {
+	_, ok := h.vals[CanonicalKey(k)]
+	return ok
+}
+
+// Del removes a field.
+func (h *Header) Del(k string) {
+	ck := CanonicalKey(k)
+	if _, ok := h.vals[ck]; !ok {
+		return
+	}
+	delete(h.vals, ck)
+	for i, key := range h.keys {
+		if key == ck {
+			h.keys = append(h.keys[:i], h.keys[i+1:]...)
+			break
+		}
+	}
+}
+
+// Keys returns the field names in first-seen order.
+func (h *Header) Keys() []string { return append([]string(nil), h.keys...) }
+
+// writeTo serialises the header section (without the terminating CRLF).
+func (h *Header) writeTo(w io.Writer) error {
+	for _, k := range h.keys {
+		for _, v := range h.vals[k] {
+			if _, err := fmt.Fprintf(w, "%s: %s\r\n", k, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Request is a parsed HTTP request.
+type Request struct {
+	Method string
+	Path   string
+	Proto  string
+	Header *Header
+	Body   []byte
+}
+
+// Response is a parsed HTTP response.
+type Response struct {
+	Proto  string
+	Status int
+	Reason string
+	Header *Header
+	Body   []byte
+}
+
+// NewRequest builds a request with sensible defaults.
+func NewRequest(method, path string, body []byte) *Request {
+	r := &Request{Method: method, Path: path, Proto: "HTTP/1.1", Header: NewHeader(), Body: body}
+	if len(body) > 0 {
+		r.Header.Set("Content-Length", strconv.Itoa(len(body)))
+	}
+	return r
+}
+
+// NewResponse builds a response with sensible defaults.
+func NewResponse(status int, body []byte) *Response {
+	r := &Response{Proto: "HTTP/1.1", Status: status, Reason: StatusText(status), Header: NewHeader(), Body: body}
+	r.Header.Set("Content-Length", strconv.Itoa(len(body)))
+	return r
+}
+
+// StatusText returns the reason phrase for common status codes.
+func StatusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 201:
+		return "Created"
+	case 204:
+		return "No Content"
+	case 301:
+		return "Moved Permanently"
+	case 302:
+		return "Found"
+	case 304:
+		return "Not Modified"
+	case 400:
+		return "Bad Request"
+	case 401:
+		return "Unauthorized"
+	case 403:
+		return "Forbidden"
+	case 404:
+		return "Not Found"
+	case 409:
+		return "Conflict"
+	case 429:
+		return "Too Many Requests"
+	case 500:
+		return "Internal Server Error"
+	case 502:
+		return "Bad Gateway"
+	case 503:
+		return "Service Unavailable"
+	}
+	return "Unknown"
+}
+
+func readLine(br *bufio.Reader, limit int) (string, error) {
+	var sb strings.Builder
+	for {
+		frag, err := br.ReadString('\n')
+		sb.WriteString(frag)
+		if err != nil {
+			if err == io.EOF && sb.Len() > 0 {
+				return "", io.ErrUnexpectedEOF
+			}
+			return "", err
+		}
+		if strings.HasSuffix(sb.String(), "\n") {
+			break
+		}
+		if sb.Len() > limit {
+			return "", ErrTooLarge
+		}
+	}
+	line := sb.String()
+	line = strings.TrimSuffix(line, "\n")
+	line = strings.TrimSuffix(line, "\r")
+	return line, nil
+}
+
+func readHeader(br *bufio.Reader) (*Header, error) {
+	h := NewHeader()
+	total := 0
+	for {
+		line, err := readLine(br, MaxHeaderBytes)
+		if err != nil {
+			return nil, err
+		}
+		if line == "" {
+			return h, nil
+		}
+		total += len(line)
+		if total > MaxHeaderBytes {
+			return nil, ErrTooLarge
+		}
+		colon := strings.IndexByte(line, ':')
+		if colon <= 0 {
+			return nil, fmt.Errorf("%w: header line %q", ErrMalformed, line)
+		}
+		h.Add(strings.TrimSpace(line[:colon]), strings.TrimSpace(line[colon+1:]))
+	}
+}
+
+func readBody(br *bufio.Reader, h *Header) ([]byte, error) {
+	if strings.EqualFold(h.Get("Transfer-Encoding"), "chunked") {
+		var body bytes.Buffer
+		for {
+			sizeLine, err := readLine(br, 4096)
+			if err != nil {
+				return nil, err
+			}
+			if semi := strings.IndexByte(sizeLine, ';'); semi >= 0 {
+				sizeLine = sizeLine[:semi]
+			}
+			size, err := strconv.ParseInt(strings.TrimSpace(sizeLine), 16, 64)
+			if err != nil || size < 0 {
+				return nil, fmt.Errorf("%w: chunk size %q", ErrMalformed, sizeLine)
+			}
+			if int64(body.Len())+size > MaxBodyBytes {
+				return nil, ErrTooLarge
+			}
+			if size > 0 {
+				if _, err := io.CopyN(&body, br, size); err != nil {
+					return nil, err
+				}
+			}
+			// Chunk data is followed by CRLF.
+			if _, err := readLine(br, 16); err != nil {
+				return nil, err
+			}
+			if size == 0 {
+				return body.Bytes(), nil
+			}
+		}
+	}
+	cl := h.Get("Content-Length")
+	if cl == "" {
+		return nil, nil
+	}
+	n, err := strconv.ParseInt(cl, 10, 64)
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("%w: content-length %q", ErrMalformed, cl)
+	}
+	if n > MaxBodyBytes {
+		return nil, ErrTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// ReadRequest parses one request from the reader.
+func ReadRequest(br *bufio.Reader) (*Request, error) {
+	line, err := readLine(br, MaxHeaderBytes)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/") {
+		return nil, fmt.Errorf("%w: request line %q", ErrMalformed, line)
+	}
+	h, err := readHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	body, err := readBody(br, h)
+	if err != nil {
+		return nil, err
+	}
+	return &Request{Method: parts[0], Path: parts[1], Proto: parts[2], Header: h, Body: body}, nil
+}
+
+// ReadResponse parses one response from the reader.
+func ReadResponse(br *bufio.Reader) (*Response, error) {
+	line, err := readLine(br, MaxHeaderBytes)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
+		return nil, fmt.Errorf("%w: status line %q", ErrMalformed, line)
+	}
+	status, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("%w: status code %q", ErrMalformed, parts[1])
+	}
+	reason := ""
+	if len(parts) == 3 {
+		reason = parts[2]
+	}
+	h, err := readHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	body, err := readBody(br, h)
+	if err != nil {
+		return nil, err
+	}
+	return &Response{Proto: parts[0], Status: status, Reason: reason, Header: h, Body: body}, nil
+}
+
+// Encode serialises the request.
+func (r *Request) Encode(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s %s %s\r\n", r.Method, r.Path, r.Proto); err != nil {
+		return err
+	}
+	if len(r.Body) > 0 && !r.Header.Has("Content-Length") && !r.Header.Has("Transfer-Encoding") {
+		r.Header.Set("Content-Length", strconv.Itoa(len(r.Body)))
+	}
+	if err := r.Header.writeTo(w); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, "\r\n"); err != nil {
+		return err
+	}
+	_, err := w.Write(r.Body)
+	return err
+}
+
+// Encode serialises the response.
+func (r *Response) Encode(w io.Writer) error {
+	reason := r.Reason
+	if reason == "" {
+		reason = StatusText(r.Status)
+	}
+	if _, err := fmt.Fprintf(w, "%s %d %s\r\n", r.Proto, r.Status, reason); err != nil {
+		return err
+	}
+	if !r.Header.Has("Content-Length") && !r.Header.Has("Transfer-Encoding") {
+		r.Header.Set("Content-Length", strconv.Itoa(len(r.Body)))
+	}
+	if err := r.Header.writeTo(w); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, "\r\n"); err != nil {
+		return err
+	}
+	_, err := w.Write(r.Body)
+	return err
+}
+
+// Bytes serialises the request into a byte slice.
+func (r *Request) Bytes() []byte {
+	var buf bytes.Buffer
+	_ = r.Encode(&buf)
+	return buf.Bytes()
+}
+
+// Bytes serialises the response into a byte slice.
+func (r *Response) Bytes() []byte {
+	var buf bytes.Buffer
+	_ = r.Encode(&buf)
+	return buf.Bytes()
+}
+
+// ParseRequestBytes parses a request held fully in memory.
+func ParseRequestBytes(b []byte) (*Request, error) {
+	return ReadRequest(bufio.NewReader(bytes.NewReader(b)))
+}
+
+// ParseResponseBytes parses a response held fully in memory.
+func ParseResponseBytes(b []byte) (*Response, error) {
+	return ReadResponse(bufio.NewReader(bytes.NewReader(b)))
+}
+
+// Query extracts a query parameter from a request path, without decoding
+// (the simulated services use simple token values).
+func (r *Request) Query(key string) string {
+	q := r.Path
+	idx := strings.IndexByte(q, '?')
+	if idx < 0 {
+		return ""
+	}
+	for _, kv := range strings.Split(q[idx+1:], "&") {
+		if eq := strings.IndexByte(kv, '='); eq >= 0 {
+			if kv[:eq] == key {
+				return kv[eq+1:]
+			}
+		} else if kv == key {
+			return ""
+		}
+	}
+	return ""
+}
+
+// PathOnly returns the request path without the query string.
+func (r *Request) PathOnly() string {
+	if idx := strings.IndexByte(r.Path, '?'); idx >= 0 {
+		return r.Path[:idx]
+	}
+	return r.Path
+}
+
+// ErrIncomplete reports that a buffer does not yet hold a complete message;
+// the caller should retry with more data. LibSEAL's pairing logic uses it to
+// find message boundaries in the intercepted plaintext stream.
+var ErrIncomplete = errors.New("httpparse: incomplete message")
+
+func mapIncomplete(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return ErrIncomplete
+	}
+	return err
+}
+
+// ConsumeRequest parses one complete request from the front of b, returning
+// the number of bytes it occupied. It returns ErrIncomplete when b holds
+// only a prefix of a request.
+func ConsumeRequest(b []byte) (*Request, int, error) {
+	r := bytes.NewReader(b)
+	br := bufio.NewReaderSize(r, len(b)+16)
+	req, err := ReadRequest(br)
+	if err != nil {
+		return nil, 0, mapIncomplete(err)
+	}
+	consumed := len(b) - r.Len() - br.Buffered()
+	return req, consumed, nil
+}
+
+// ConsumeResponse parses one complete response from the front of b,
+// returning the number of bytes it occupied. It returns ErrIncomplete when b
+// holds only a prefix of a response.
+func ConsumeResponse(b []byte) (*Response, int, error) {
+	r := bytes.NewReader(b)
+	br := bufio.NewReaderSize(r, len(b)+16)
+	rsp, err := ReadResponse(br)
+	if err != nil {
+		return nil, 0, mapIncomplete(err)
+	}
+	consumed := len(b) - r.Len() - br.Buffered()
+	return rsp, consumed, nil
+}
+
+// Clone returns a deep copy of the header collection.
+func (h *Header) Clone() *Header {
+	out := NewHeader()
+	for _, k := range h.keys {
+		for _, v := range h.vals[k] {
+			out.Add(k, v)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the request (the body slice is shared).
+func (r *Request) Clone() *Request {
+	out := *r
+	out.Header = r.Header.Clone()
+	return &out
+}

@@ -1,0 +1,248 @@
+package httpparse
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseSimpleRequest(t *testing.T) {
+	raw := "GET /repo/info/refs?service=git-upload-pack HTTP/1.1\r\n" +
+		"Host: git.example.com\r\n" +
+		"Libseal-Check: git\r\n" +
+		"\r\n"
+	req, err := ParseRequestBytes([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Method != "GET" || req.Proto != "HTTP/1.1" {
+		t.Fatalf("method/proto = %s %s", req.Method, req.Proto)
+	}
+	if req.PathOnly() != "/repo/info/refs" {
+		t.Fatalf("path = %q", req.PathOnly())
+	}
+	if req.Query("service") != "git-upload-pack" {
+		t.Fatalf("query = %q", req.Query("service"))
+	}
+	if req.Header.Get("libseal-check") != "git" {
+		t.Fatal("case-insensitive header lookup failed")
+	}
+	if len(req.Body) != 0 {
+		t.Fatalf("body = %q", req.Body)
+	}
+}
+
+func TestParseRequestWithBody(t *testing.T) {
+	raw := "POST /upload HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello"
+	req, err := ParseRequestBytes([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(req.Body) != "hello" {
+		t.Fatalf("body = %q", req.Body)
+	}
+}
+
+func TestParseChunkedBody(t *testing.T) {
+	raw := "POST /u HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n" +
+		"5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n"
+	req, err := ParseRequestBytes([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(req.Body) != "hello world" {
+		t.Fatalf("body = %q", req.Body)
+	}
+}
+
+func TestParseResponse(t *testing.T) {
+	raw := "HTTP/1.1 200 OK\r\nContent-Length: 2\r\nLibseal-Check-Result: ok\r\n\r\nhi"
+	rsp, err := ParseResponseBytes([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rsp.Status != 200 || rsp.Reason != "OK" || string(rsp.Body) != "hi" {
+		t.Fatalf("rsp = %+v", rsp)
+	}
+	if rsp.Header.Get("Libseal-Check-Result") != "ok" {
+		t.Fatal("header missing")
+	}
+}
+
+func TestRoundTripRequest(t *testing.T) {
+	req := NewRequest("PUT", "/x/y", []byte("payload"))
+	req.Header.Set("X-Custom", "v1")
+	req.Header.Add("X-Multi", "a")
+	req.Header.Add("X-Multi", "b")
+	parsed, err := ParseRequestBytes(req.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Method != "PUT" || parsed.Path != "/x/y" || string(parsed.Body) != "payload" {
+		t.Fatalf("parsed = %+v", parsed)
+	}
+	if parsed.Header.Get("X-Custom") != "v1" {
+		t.Fatal("custom header lost")
+	}
+}
+
+func TestRoundTripResponse(t *testing.T) {
+	rsp := NewResponse(404, []byte("nope"))
+	parsed, err := ParseResponseBytes(rsp.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Status != 404 || parsed.Reason != "Not Found" || string(parsed.Body) != "nope" {
+		t.Fatalf("parsed = %+v", parsed)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(body []byte, hval string) bool {
+		if strings.ContainsAny(hval, "\r\n") {
+			return true // header injection is the caller's responsibility
+		}
+		req := NewRequest("POST", "/p", body)
+		req.Header.Set("X-Val", hval)
+		parsed, err := ParseRequestBytes(req.Bytes())
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(parsed.Body, body) &&
+			parsed.Header.Get("X-Val") == strings.TrimSpace(hval)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMalformedMessages(t *testing.T) {
+	cases := []string{
+		"NOT A REQUEST\r\n\r\n",
+		"GET /\r\n\r\n",                                // missing proto
+		"GET / HTTP/1.1\r\nBadHeader\r\n\r\n",          // no colon
+		"GET / HTTP/1.1\r\nContent-Length: -5\r\n\r\n", // bad length
+		"GET / HTTP/1.1\r\nContent-Length: abc\r\n\r\n",
+		"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n",
+	}
+	for _, raw := range cases {
+		if _, err := ParseRequestBytes([]byte(raw)); err == nil {
+			t.Errorf("ParseRequestBytes(%q) succeeded", raw)
+		}
+	}
+	if _, err := ParseResponseBytes([]byte("HTTP/1.1 abc OK\r\n\r\n")); !errors.Is(err, ErrMalformed) {
+		t.Errorf("bad status err = %v", err)
+	}
+}
+
+func TestTruncatedBody(t *testing.T) {
+	raw := "POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"
+	if _, err := ParseRequestBytes([]byte(raw)); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+}
+
+func TestBodyTooLarge(t *testing.T) {
+	raw := "POST / HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n"
+	if _, err := ParseRequestBytes([]byte(raw)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestMultipleRequestsOnStream(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 3; i++ {
+		NewRequest("GET", "/a", nil).Encode(&buf)
+	}
+	br := bufio.NewReader(&buf)
+	for i := 0; i < 3; i++ {
+		if _, err := ReadRequest(br); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+}
+
+func TestHeaderOps(t *testing.T) {
+	h := NewHeader()
+	h.Set("content-type", "text/plain")
+	h.Add("Content-Type", "text/html")
+	if got := h.Get("CONTENT-TYPE"); got != "text/plain" {
+		t.Fatalf("Get = %q", got)
+	}
+	if !h.Has("Content-Type") {
+		t.Fatal("Has = false")
+	}
+	h.Del("Content-Type")
+	if h.Has("Content-Type") || len(h.Keys()) != 0 {
+		t.Fatal("Del left residue")
+	}
+}
+
+func TestCanonicalKey(t *testing.T) {
+	cases := map[string]string{
+		"content-length":       "Content-Length",
+		"LIBSEAL-CHECK":        "Libseal-Check",
+		"libseal-check-result": "Libseal-Check-Result",
+		"x":                    "X",
+	}
+	for in, want := range cases {
+		if got := CanonicalKey(in); got != want {
+			t.Errorf("CanonicalKey(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStatusText(t *testing.T) {
+	if StatusText(200) != "OK" || StatusText(404) != "Not Found" || StatusText(999) != "Unknown" {
+		t.Fatal("StatusText mismatch")
+	}
+}
+
+func TestConsumeRequestIncremental(t *testing.T) {
+	full := NewRequest("POST", "/x", []byte("hello world")).Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := ConsumeRequest(full[:cut]); !errors.Is(err, ErrIncomplete) {
+			t.Fatalf("prefix of %d bytes: err = %v, want ErrIncomplete", cut, err)
+		}
+	}
+	req, n, err := ConsumeRequest(full)
+	if err != nil || n != len(full) || string(req.Body) != "hello world" {
+		t.Fatalf("full parse: %v, n=%d", err, n)
+	}
+}
+
+func TestConsumeRequestPipelined(t *testing.T) {
+	a := NewRequest("GET", "/first", nil).Bytes()
+	b := NewRequest("GET", "/second", nil).Bytes()
+	buf := append(append([]byte{}, a...), b...)
+	req1, n1, err := ConsumeRequest(buf)
+	if err != nil || req1.Path != "/first" || n1 != len(a) {
+		t.Fatalf("first: %v n=%d", err, n1)
+	}
+	req2, n2, err := ConsumeRequest(buf[n1:])
+	if err != nil || req2.Path != "/second" || n2 != len(b) {
+		t.Fatalf("second: %v n=%d", err, n2)
+	}
+}
+
+func TestConsumeResponseIncremental(t *testing.T) {
+	full := NewResponse(200, []byte("body")).Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := ConsumeResponse(full[:cut]); !errors.Is(err, ErrIncomplete) {
+			t.Fatalf("prefix %d: err = %v, want ErrIncomplete", cut, err)
+		}
+	}
+	rsp, n, err := ConsumeResponse(full)
+	if err != nil || n != len(full) || rsp.Status != 200 {
+		t.Fatalf("full parse: %v n=%d", err, n)
+	}
+}
+
+func TestConsumeMalformedNotIncomplete(t *testing.T) {
+	if _, _, err := ConsumeRequest([]byte("TOTAL GARBAGE\r\n\r\n")); errors.Is(err, ErrIncomplete) || err == nil {
+		t.Fatalf("malformed reported as incomplete: %v", err)
+	}
+}

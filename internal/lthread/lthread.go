@@ -1,0 +1,176 @@
+// Package lthread implements cooperative user-level threading in the style
+// of the lthread library used by LibSEAL (§4.3). A Scheduler models one
+// enclave (SGX) thread multiplexing T lthread tasks: at any instant at most
+// one task per scheduler executes, tasks explicitly Yield or Park to hand
+// the thread over, and a parked task releases the thread so its siblings can
+// run — which is exactly what lets LibSEAL overlap an async-ocall's outside
+// execution with other in-enclave work.
+package lthread
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrShutdown is returned by Submit after the scheduler has been shut down.
+var ErrShutdown = errors.New("lthread: scheduler shut down")
+
+// Work is a unit of execution assigned to a task. It receives the Task so it
+// can Yield and Park.
+type Work func(*Task)
+
+// Scheduler multiplexes a fixed set of tasks onto one logical thread.
+type Scheduler struct {
+	token    chan struct{} // the logical CPU: held by whichever task runs
+	free     chan *Task
+	tasks    []*Task
+	wg       sync.WaitGroup
+	shutdown atomic.Bool
+	running  atomic.Int32 // tasks currently holding the token (0 or 1)
+}
+
+// Task is one cooperative thread of execution.
+type Task struct {
+	sched *Scheduler
+	id    int
+	work  chan Work
+	wake  chan struct{}
+}
+
+// NewScheduler creates a scheduler with numTasks tasks, all idle.
+func NewScheduler(numTasks int) *Scheduler {
+	if numTasks < 1 {
+		numTasks = 1
+	}
+	s := &Scheduler{
+		token: make(chan struct{}, 1),
+		free:  make(chan *Task, numTasks),
+	}
+	s.token <- struct{}{}
+	for i := 0; i < numTasks; i++ {
+		t := &Task{
+			sched: s,
+			id:    i,
+			work:  make(chan Work),
+			wake:  make(chan struct{}, 1),
+		}
+		s.tasks = append(s.tasks, t)
+		s.free <- t
+		s.wg.Add(1)
+		go t.loop()
+	}
+	return s
+}
+
+func (t *Task) loop() {
+	defer t.sched.wg.Done()
+	for w := range t.work {
+		t.sched.acquire()
+		w(t)
+		t.sched.release()
+		t.sched.free <- t
+	}
+}
+
+func (s *Scheduler) acquire() {
+	<-s.token
+	s.running.Add(1)
+}
+
+func (s *Scheduler) release() {
+	s.running.Add(-1)
+	s.token <- struct{}{}
+}
+
+// NumTasks returns the total number of tasks.
+func (s *Scheduler) NumTasks() int { return len(s.tasks) }
+
+// FreeTasks returns how many tasks are currently idle.
+func (s *Scheduler) FreeTasks() int { return len(s.free) }
+
+// Running reports whether a task currently holds the scheduler's thread.
+func (s *Scheduler) Running() bool { return s.running.Load() > 0 }
+
+// TrySubmit hands work to a free task without blocking. It reports whether a
+// task was available.
+func (s *Scheduler) TrySubmit(w Work) bool {
+	if s.shutdown.Load() {
+		return false
+	}
+	select {
+	case t := <-s.free:
+		t.work <- w
+		return true
+	default:
+		return false
+	}
+}
+
+// Submit hands work to a task, blocking until one is free.
+func (s *Scheduler) Submit(w Work) error {
+	if s.shutdown.Load() {
+		return ErrShutdown
+	}
+	t := <-s.free
+	if s.shutdown.Load() {
+		s.free <- t
+		return ErrShutdown
+	}
+	t.work <- w
+	return nil
+}
+
+// Shutdown stops accepting work and waits for in-flight tasks to finish.
+func (s *Scheduler) Shutdown() {
+	if s.shutdown.Swap(true) {
+		return
+	}
+	// Drain every task back to the free list, then close its work channel.
+	for range s.tasks {
+		t := <-s.free
+		close(t.work)
+	}
+	s.wg.Wait()
+}
+
+// RunLocked executes fn while holding the scheduler's logical thread,
+// excluding task execution for its duration. The async-call dispatcher uses
+// it so that slot scanning and task execution share one enclave thread, as
+// on real hardware.
+func (s *Scheduler) RunLocked(fn func()) {
+	s.acquire()
+	fn()
+	s.release()
+}
+
+// ID returns the task's index within its scheduler.
+func (t *Task) ID() int { return t.id }
+
+// Yield releases the logical thread so sibling tasks can run, then resumes.
+func (t *Task) Yield() {
+	t.sched.release()
+	runtime.Gosched()
+	t.sched.acquire()
+}
+
+// Park releases the logical thread and blocks until Unpark is called. A
+// wakeup posted before Park is not lost. This is how a task waits for the
+// result of an asynchronous ocall while siblings keep the enclave thread
+// busy.
+func (t *Task) Park() {
+	t.sched.release()
+	<-t.wake
+	t.sched.acquire()
+}
+
+// Unpark wakes a parked task. At most one wakeup is buffered; Unpark never
+// blocks. Calling Unpark on a task that is not parked makes its next Park
+// return immediately.
+func (t *Task) Unpark() {
+	select {
+	case t.wake <- struct{}{}:
+	default:
+	}
+}

@@ -1,0 +1,277 @@
+package lthread
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSubmitRunsWork(t *testing.T) {
+	s := NewScheduler(2)
+	defer s.Shutdown()
+	done := make(chan int, 1)
+	if err := s.Submit(func(task *Task) { done <- task.ID() }); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("work never ran")
+	}
+}
+
+func TestMutualExclusionWithinScheduler(t *testing.T) {
+	s := NewScheduler(8)
+	defer s.Shutdown()
+	var running atomic.Int32
+	var maxSeen atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		if err := s.Submit(func(task *Task) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				n := running.Add(1)
+				for {
+					m := maxSeen.Load()
+					if n <= m || maxSeen.CompareAndSwap(m, n) {
+						break
+					}
+				}
+				running.Add(-1)
+				task.Yield()
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if got := maxSeen.Load(); got != 1 {
+		t.Fatalf("max concurrent tasks on one scheduler = %d, want 1", got)
+	}
+}
+
+func TestParkReleasesThread(t *testing.T) {
+	s := NewScheduler(2)
+	defer s.Shutdown()
+	var parked *Task
+	parkedCh := make(chan struct{})
+	siblingRan := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	_ = s.Submit(func(task *Task) {
+		defer wg.Done()
+		parked = task
+		close(parkedCh)
+		task.Park() // must release the thread so the sibling can run
+	})
+	<-parkedCh
+	_ = s.Submit(func(task *Task) {
+		defer wg.Done()
+		close(siblingRan)
+	})
+	select {
+	case <-siblingRan:
+	case <-time.After(time.Second):
+		t.Fatal("sibling task starved while another task was parked")
+	}
+	parked.Unpark()
+	wg.Wait()
+}
+
+func TestUnparkBeforeParkNotLost(t *testing.T) {
+	s := NewScheduler(1)
+	defer s.Shutdown()
+	done := make(chan struct{})
+	_ = s.Submit(func(task *Task) {
+		task.Unpark() // wakeup arrives first
+		task.Park()   // must not block
+		close(done)
+	})
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Park lost a prior Unpark")
+	}
+}
+
+func TestTrySubmitExhaustion(t *testing.T) {
+	s := NewScheduler(2)
+	defer s.Shutdown()
+	block := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		if !s.TrySubmit(func(task *Task) {
+			defer wg.Done()
+			task.sched.release() // let the other occupy its task slot too
+			<-block
+			task.sched.acquire()
+		}) {
+			t.Fatal("TrySubmit failed with free tasks")
+		}
+	}
+	// Give both tasks time to start and block.
+	deadline := time.After(time.Second)
+	for s.FreeTasks() != 0 {
+		select {
+		case <-deadline:
+			t.Fatal("tasks never claimed")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if s.TrySubmit(func(*Task) {}) {
+		t.Fatal("TrySubmit succeeded with all tasks busy")
+	}
+	close(block)
+	wg.Wait()
+}
+
+func TestSubmitAfterShutdown(t *testing.T) {
+	s := NewScheduler(1)
+	s.Shutdown()
+	if err := s.Submit(func(*Task) {}); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("Submit after shutdown = %v, want ErrShutdown", err)
+	}
+	if s.TrySubmit(func(*Task) {}) {
+		t.Fatal("TrySubmit accepted work after shutdown")
+	}
+}
+
+func TestShutdownWaitsForWork(t *testing.T) {
+	s := NewScheduler(4)
+	var completed atomic.Int32
+	for i := 0; i < 4; i++ {
+		_ = s.Submit(func(task *Task) {
+			task.Yield()
+			completed.Add(1)
+		})
+	}
+	s.Shutdown()
+	if got := completed.Load(); got != 4 {
+		t.Fatalf("completed = %d, want 4 after Shutdown", got)
+	}
+}
+
+func TestShutdownIdempotent(t *testing.T) {
+	s := NewScheduler(2)
+	s.Shutdown()
+	s.Shutdown() // must not panic or deadlock
+}
+
+func TestFreeTasksAccounting(t *testing.T) {
+	s := NewScheduler(3)
+	defer s.Shutdown()
+	if got := s.FreeTasks(); got != 3 {
+		t.Fatalf("FreeTasks = %d, want 3", got)
+	}
+	if got := s.NumTasks(); got != 3 {
+		t.Fatalf("NumTasks = %d, want 3", got)
+	}
+	block := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	_ = s.Submit(func(task *Task) {
+		defer wg.Done()
+		task.sched.release()
+		<-block
+		task.sched.acquire()
+	})
+	deadline := time.After(time.Second)
+	for s.FreeTasks() != 2 {
+		select {
+		case <-deadline:
+			t.Fatalf("FreeTasks = %d, want 2", s.FreeTasks())
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(block)
+	wg.Wait()
+}
+
+func TestManyTasksAllComplete(t *testing.T) {
+	const n = 500
+	s := NewScheduler(16)
+	defer s.Shutdown()
+	var completed atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		if err := s.Submit(func(task *Task) {
+			defer wg.Done()
+			task.Yield()
+			completed.Add(1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if got := completed.Load(); got != n {
+		t.Fatalf("completed = %d, want %d", got, n)
+	}
+}
+
+func TestSchedulerCountProperty(t *testing.T) {
+	// Property: for any (tasks, jobs) the scheduler completes exactly jobs
+	// units of work and ends with all tasks free.
+	f := func(tasks uint8, jobs uint8) bool {
+		nt := int(tasks%8) + 1
+		nj := int(jobs % 64)
+		s := NewScheduler(nt)
+		var completed atomic.Int32
+		var wg sync.WaitGroup
+		for i := 0; i < nj; i++ {
+			wg.Add(1)
+			if err := s.Submit(func(task *Task) {
+				defer wg.Done()
+				completed.Add(1)
+			}); err != nil {
+				return false
+			}
+		}
+		wg.Wait()
+		s.Shutdown()
+		return completed.Load() == int32(nj)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLockedExcludesTasks(t *testing.T) {
+	s := NewScheduler(2)
+	defer s.Shutdown()
+	var inCritical atomic.Bool
+	var overlap atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		_ = s.Submit(func(task *Task) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if inCritical.Load() {
+					overlap.Store(true)
+				}
+				task.Yield()
+			}
+		})
+	}
+	for j := 0; j < 50; j++ {
+		s.RunLocked(func() {
+			inCritical.Store(true)
+			if !s.Running() {
+				t.Error("Running() false while RunLocked holds the thread")
+			}
+			inCritical.Store(false)
+		})
+	}
+	wg.Wait()
+	if overlap.Load() {
+		t.Fatal("task ran concurrently with RunLocked")
+	}
+}

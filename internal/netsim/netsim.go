@@ -1,0 +1,282 @@
+// Package netsim provides an in-memory network with configurable per-link
+// latency and bandwidth. LibSEAL's evaluation needs it to reproduce the
+// Dropbox topology: clients talk to a local Squid/LibSEAL proxy which
+// forwards traffic to a remote service over a ~76 ms WAN link (§6.4).
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// LinkConfig describes one direction of a duplex link.
+type LinkConfig struct {
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// Bandwidth is the serialisation rate in bytes per second; zero means
+	// unlimited.
+	Bandwidth int64
+}
+
+// rtt helpers for tests and benchmarks.
+func (c LinkConfig) String() string {
+	return fmt.Sprintf("latency=%v bandwidth=%dB/s", c.Latency, c.Bandwidth)
+}
+
+type item struct {
+	data []byte
+	at   time.Time // earliest delivery time
+}
+
+// Conn is one endpoint of a simulated duplex link.
+type Conn struct {
+	cfg      LinkConfig
+	peer     *Conn
+	recv     chan item
+	closed   chan struct{}
+	closeOne sync.Once
+	leftover item
+	local    addr
+	remote   addr
+
+	mu           sync.Mutex
+	readDeadline time.Time
+}
+
+type addr string
+
+func (a addr) Network() string { return "sim" }
+func (a addr) String() string  { return string(a) }
+
+// Pipe creates a connected pair of simulated connections; cfg applies to
+// both directions.
+func Pipe(cfg LinkConfig) (*Conn, *Conn) {
+	return NamedPipe(cfg, "client", "server")
+}
+
+// NamedPipe is Pipe with explicit endpoint addresses.
+func NamedPipe(cfg LinkConfig, a, b string) (*Conn, *Conn) {
+	c1 := &Conn{cfg: cfg, recv: make(chan item, 1024), closed: make(chan struct{}), local: addr(a), remote: addr(b)}
+	c2 := &Conn{cfg: cfg, recv: make(chan item, 1024), closed: make(chan struct{}), local: addr(b), remote: addr(a)}
+	c1.peer, c2.peer = c2, c1
+	return c1, c2
+}
+
+// Write sends data to the peer, paying serialisation delay proportional to
+// the configured bandwidth. Propagation latency is charged on the receive
+// side so that concurrent transfers overlap as they would on a real link.
+func (c *Conn) Write(p []byte) (int, error) {
+	select {
+	case <-c.closed:
+		return 0, net.ErrClosed
+	default:
+	}
+	select {
+	case <-c.peer.closed:
+		return 0, io.ErrClosedPipe
+	default:
+	}
+	if c.cfg.Bandwidth > 0 && len(p) > 0 {
+		d := time.Duration(float64(len(p)) / float64(c.cfg.Bandwidth) * float64(time.Second))
+		time.Sleep(d)
+	}
+	buf := append([]byte(nil), p...)
+	it := item{data: buf, at: time.Now().Add(c.cfg.Latency)}
+	select {
+	case c.peer.recv <- it:
+		return len(p), nil
+	case <-c.peer.closed:
+		return 0, io.ErrClosedPipe
+	case <-c.closed:
+		return 0, net.ErrClosed
+	}
+}
+
+// Read receives data, honouring the link latency and any read deadline.
+func (c *Conn) Read(p []byte) (int, error) {
+	it := c.leftover
+	if it.data == nil {
+		c.mu.Lock()
+		deadline := c.readDeadline
+		c.mu.Unlock()
+		var timeout <-chan time.Time
+		if !deadline.IsZero() {
+			d := time.Until(deadline)
+			if d <= 0 {
+				return 0, timeoutError{}
+			}
+			t := time.NewTimer(d)
+			defer t.Stop()
+			timeout = t.C
+		}
+		// Prefer queued data over close so buffered bytes drain after the
+		// peer closes, matching TCP semantics.
+		select {
+		case it = <-c.recv:
+		default:
+			select {
+			case it = <-c.recv:
+			case <-c.closed:
+				return 0, io.EOF
+			case <-c.peer.closed:
+				// The peer closed, but data may still be queued.
+				select {
+				case it = <-c.recv:
+				default:
+					return 0, io.EOF
+				}
+			case <-timeout:
+				return 0, timeoutError{}
+			}
+		}
+	}
+	if wait := time.Until(it.at); wait > 0 {
+		time.Sleep(wait)
+	}
+	n := copy(p, it.data)
+	if n < len(it.data) {
+		c.leftover = item{data: it.data[n:], at: it.at}
+	} else {
+		c.leftover = item{}
+	}
+	return n, nil
+}
+
+// Close closes this endpoint; the peer's reads return EOF once drained.
+func (c *Conn) Close() error {
+	c.closeOne.Do(func() { close(c.closed) })
+	return nil
+}
+
+// LocalAddr returns the endpoint's simulated address.
+func (c *Conn) LocalAddr() net.Addr { return c.local }
+
+// RemoteAddr returns the peer's simulated address.
+func (c *Conn) RemoteAddr() net.Addr { return c.remote }
+
+// SetDeadline sets both read and write deadlines (write deadline is not
+// enforced; writes only block when the queue is full).
+func (c *Conn) SetDeadline(t time.Time) error { return c.SetReadDeadline(t) }
+
+// SetReadDeadline sets the read deadline.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.mu.Unlock()
+	return nil
+}
+
+// SetWriteDeadline is accepted but not enforced.
+func (c *Conn) SetWriteDeadline(time.Time) error { return nil }
+
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "netsim: i/o timeout" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+var _ net.Conn = (*Conn)(nil)
+
+// Network is a collection of named listeners reachable by Dial, each with a
+// per-address link configuration.
+type Network struct {
+	mu        sync.Mutex
+	listeners map[string]*Listener
+	links     map[string]LinkConfig
+}
+
+// NewNetwork creates an empty network.
+func NewNetwork() *Network {
+	return &Network{
+		listeners: make(map[string]*Listener),
+		links:     make(map[string]LinkConfig),
+	}
+}
+
+// SetLink configures the link used for future connections to addr.
+func (n *Network) SetLink(address string, cfg LinkConfig) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[address] = cfg
+}
+
+// Listener accepts simulated connections for one address.
+type Listener struct {
+	network *Network
+	address string
+	backlog chan *Conn
+	closed  chan struct{}
+	once    sync.Once
+}
+
+// ErrAddressInUse is returned by Listen for a duplicate address.
+var ErrAddressInUse = errors.New("netsim: address already in use")
+
+// ErrConnectionRefused is returned by Dial when nothing listens on the
+// address.
+var ErrConnectionRefused = errors.New("netsim: connection refused")
+
+// Listen registers a listener on the address.
+func (n *Network) Listen(address string) (*Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.listeners[address]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrAddressInUse, address)
+	}
+	l := &Listener{
+		network: n,
+		address: address,
+		backlog: make(chan *Conn, 128),
+		closed:  make(chan struct{}),
+	}
+	n.listeners[address] = l
+	return l, nil
+}
+
+// Dial connects to a listening address over that address's configured link.
+func (n *Network) Dial(address string) (net.Conn, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[address]
+	cfg := n.links[address]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrConnectionRefused, address)
+	}
+	clientEnd, serverEnd := NamedPipe(cfg, "dialer", address)
+	select {
+	case l.backlog <- serverEnd:
+		return clientEnd, nil
+	case <-l.closed:
+		return nil, fmt.Errorf("%w: %s", ErrConnectionRefused, address)
+	}
+}
+
+// Accept waits for the next inbound connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.closed:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close stops the listener and deregisters its address.
+func (l *Listener) Close() error {
+	l.once.Do(func() {
+		close(l.closed)
+		l.network.mu.Lock()
+		delete(l.network.listeners, l.address)
+		l.network.mu.Unlock()
+	})
+	return nil
+}
+
+// Addr returns the listener's simulated address.
+func (l *Listener) Addr() net.Addr { return addr(l.address) }
+
+var _ net.Listener = (*Listener)(nil)

@@ -1,0 +1,321 @@
+// Package pki implements the minimal certificate infrastructure the TLS
+// termination layer needs: a certificate authority issuing ECDSA
+// certificates, and verification against a root pool. Certificates can embed
+// an SGX attestation quote so that clients can verify that the presented TLS
+// identity belongs to a genuine LibSEAL enclave (§6.3, "Bypassing logging").
+package pki
+
+import (
+	"bytes"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/x509"
+	"encoding/binary"
+	"encoding/pem"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"libseal/internal/enclave"
+)
+
+// Errors returned during verification and decoding.
+var (
+	ErrBadSignature = errors.New("pki: certificate signature invalid")
+	ErrUnknownCA    = errors.New("pki: issuer not in root pool")
+	ErrDecode       = errors.New("pki: malformed certificate encoding")
+)
+
+// Certificate binds a subject name to an ECDSA public key, optionally with
+// an embedded enclave quote over the key's hash.
+type Certificate struct {
+	Subject string
+	Issuer  string
+	PubKey  *ecdsa.PublicKey
+	// Quote, when present, is an attestation that the subject key was
+	// generated inside an enclave; its ReportData holds KeyHash.
+	HasQuote bool
+	Quote    enclave.Quote
+	SigR     []byte
+	SigS     []byte
+}
+
+// KeyHash returns the SHA-256 of the certificate's public key point.
+func (c *Certificate) KeyHash() [32]byte {
+	return hashPub(c.PubKey)
+}
+
+func hashPub(pub *ecdsa.PublicKey) [32]byte {
+	h := sha256.New()
+	h.Write(pub.X.Bytes())
+	h.Write(pub.Y.Bytes())
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+func (c *Certificate) tbs() []byte {
+	var buf bytes.Buffer
+	writeBytes(&buf, []byte(c.Subject))
+	writeBytes(&buf, []byte(c.Issuer))
+	writeBytes(&buf, c.PubKey.X.Bytes())
+	writeBytes(&buf, c.PubKey.Y.Bytes())
+	if c.HasQuote {
+		buf.WriteByte(1)
+		writeBytes(&buf, c.Quote.Measurement[:])
+		writeBytes(&buf, c.Quote.Signer[:])
+		writeBytes(&buf, c.Quote.ReportData[:])
+		writeBytes(&buf, c.Quote.SigR)
+		writeBytes(&buf, c.Quote.SigS)
+	} else {
+		buf.WriteByte(0)
+	}
+	d := sha256.Sum256(buf.Bytes())
+	return d[:]
+}
+
+// CA is a certificate authority.
+type CA struct {
+	Name string
+	key  *ecdsa.PrivateKey
+}
+
+// NewCA creates a CA with a fresh P-256 key.
+func NewCA(name string) (*CA, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("pki: CA key generation: %w", err)
+	}
+	return &CA{Name: name, key: key}, nil
+}
+
+// PublicKey returns the CA's verification key.
+func (ca *CA) PublicKey() *ecdsa.PublicKey { return &ca.key.PublicKey }
+
+// Issue signs a certificate for the subject's public key.
+func (ca *CA) Issue(subject string, pub *ecdsa.PublicKey, quote *enclave.Quote) (*Certificate, error) {
+	cert := &Certificate{Subject: subject, Issuer: ca.Name, PubKey: pub}
+	if quote != nil {
+		cert.HasQuote = true
+		cert.Quote = *quote
+	}
+	r, s, err := ecdsa.Sign(rand.Reader, ca.key, cert.tbs())
+	if err != nil {
+		return nil, fmt.Errorf("pki: issue %s: %w", subject, err)
+	}
+	cert.SigR, cert.SigS = r.Bytes(), s.Bytes()
+	return cert, nil
+}
+
+// Pool is a set of trusted roots.
+type Pool struct {
+	roots map[string]*ecdsa.PublicKey
+}
+
+// NewPool builds a root pool from CAs.
+func NewPool(cas ...*CA) *Pool {
+	p := &Pool{roots: make(map[string]*ecdsa.PublicKey)}
+	for _, ca := range cas {
+		p.roots[ca.Name] = ca.PublicKey()
+	}
+	return p
+}
+
+// AddRoot trusts an additional root key.
+func (p *Pool) AddRoot(name string, pub *ecdsa.PublicKey) {
+	p.roots[name] = pub
+}
+
+// Verify checks the certificate chain against the pool.
+func (p *Pool) Verify(cert *Certificate) error {
+	root, ok := p.roots[cert.Issuer]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownCA, cert.Issuer)
+	}
+	r := new(big.Int).SetBytes(cert.SigR)
+	s := new(big.Int).SetBytes(cert.SigS)
+	if !ecdsa.Verify(root, cert.tbs(), r, s) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// VerifyEnclaveBinding additionally checks that the certificate embeds a
+// valid quote from a trusted platform whose report data commits to the
+// certificate key, and that the measurement matches the expected LibSEAL
+// enclave. This is how clients detect a provider that deactivated logging by
+// linking a traditional TLS library.
+func (p *Pool) VerifyEnclaveBinding(cert *Certificate, svc *enclave.AttestationService, want enclave.Measurement) error {
+	if err := p.Verify(cert); err != nil {
+		return err
+	}
+	if !cert.HasQuote {
+		return errors.New("pki: certificate carries no enclave quote")
+	}
+	if err := svc.VerifyIdentity(cert.Quote, want); err != nil {
+		return err
+	}
+	keyHash := cert.KeyHash()
+	if !bytes.Equal(cert.Quote.ReportData[:32], keyHash[:]) {
+		return errors.New("pki: quote does not commit to the certificate key")
+	}
+	return nil
+}
+
+// Marshal encodes the certificate for transmission.
+func (c *Certificate) Marshal() []byte {
+	var buf bytes.Buffer
+	writeBytes(&buf, []byte(c.Subject))
+	writeBytes(&buf, []byte(c.Issuer))
+	writeBytes(&buf, c.PubKey.X.Bytes())
+	writeBytes(&buf, c.PubKey.Y.Bytes())
+	if c.HasQuote {
+		buf.WriteByte(1)
+		writeBytes(&buf, c.Quote.Measurement[:])
+		writeBytes(&buf, c.Quote.Signer[:])
+		writeBytes(&buf, c.Quote.ReportData[:])
+		writeBytes(&buf, c.Quote.SigR)
+		writeBytes(&buf, c.Quote.SigS)
+	} else {
+		buf.WriteByte(0)
+	}
+	writeBytes(&buf, c.SigR)
+	writeBytes(&buf, c.SigS)
+	return buf.Bytes()
+}
+
+// Unmarshal decodes a certificate produced by Marshal.
+func Unmarshal(data []byte) (*Certificate, error) {
+	r := bytes.NewReader(data)
+	subject, err := readBytes(r)
+	if err != nil {
+		return nil, err
+	}
+	issuer, err := readBytes(r)
+	if err != nil {
+		return nil, err
+	}
+	xb, err := readBytes(r)
+	if err != nil {
+		return nil, err
+	}
+	yb, err := readBytes(r)
+	if err != nil {
+		return nil, err
+	}
+	pub := &ecdsa.PublicKey{
+		Curve: elliptic.P256(),
+		X:     new(big.Int).SetBytes(xb),
+		Y:     new(big.Int).SetBytes(yb),
+	}
+	cert := &Certificate{Subject: string(subject), Issuer: string(issuer), PubKey: pub}
+	flag, err := r.ReadByte()
+	if err != nil {
+		return nil, ErrDecode
+	}
+	if flag == 1 {
+		cert.HasQuote = true
+		meas, err := readBytes(r)
+		if err != nil || len(meas) != 32 {
+			return nil, ErrDecode
+		}
+		copy(cert.Quote.Measurement[:], meas)
+		signer, err := readBytes(r)
+		if err != nil || len(signer) != 32 {
+			return nil, ErrDecode
+		}
+		copy(cert.Quote.Signer[:], signer)
+		rd, err := readBytes(r)
+		if err != nil || len(rd) != 64 {
+			return nil, ErrDecode
+		}
+		copy(cert.Quote.ReportData[:], rd)
+		if cert.Quote.SigR, err = readBytes(r); err != nil {
+			return nil, err
+		}
+		if cert.Quote.SigS, err = readBytes(r); err != nil {
+			return nil, err
+		}
+	}
+	if cert.SigR, err = readBytes(r); err != nil {
+		return nil, err
+	}
+	if cert.SigS, err = readBytes(r); err != nil {
+		return nil, err
+	}
+	return cert, nil
+}
+
+func writeBytes(buf *bytes.Buffer, b []byte) {
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(b)))
+	buf.Write(lenBuf[:])
+	buf.Write(b)
+}
+
+func readBytes(r *bytes.Reader) ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := r.Read(lenBuf[:]); err != nil {
+		return nil, ErrDecode
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if int(n) > r.Len() {
+		return nil, ErrDecode
+	}
+	out := make([]byte, n)
+	if n > 0 {
+		if _, err := r.Read(out); err != nil {
+			return nil, ErrDecode
+		}
+	}
+	return out, nil
+}
+
+// PEM block types for on-disk artefacts.
+const (
+	pemCertType = "LIBSEAL CERTIFICATE"
+	pemKeyType  = "LIBSEAL PUBLIC KEY"
+)
+
+// EncodeCertPEM renders a certificate as PEM for distribution to clients.
+func EncodeCertPEM(c *Certificate) []byte {
+	return pem.EncodeToMemory(&pem.Block{Type: pemCertType, Bytes: c.Marshal()})
+}
+
+// DecodeCertPEM parses a PEM-encoded certificate.
+func DecodeCertPEM(data []byte) (*Certificate, error) {
+	block, _ := pem.Decode(data)
+	if block == nil || block.Type != pemCertType {
+		return nil, fmt.Errorf("%w: expected %s PEM block", ErrDecode, pemCertType)
+	}
+	return Unmarshal(block.Bytes)
+}
+
+// EncodePublicKeyPEM renders an ECDSA public key (e.g. the enclave's audit
+// signing key) as PEM.
+func EncodePublicKeyPEM(pub *ecdsa.PublicKey) ([]byte, error) {
+	der, err := x509.MarshalPKIXPublicKey(pub)
+	if err != nil {
+		return nil, err
+	}
+	return pem.EncodeToMemory(&pem.Block{Type: pemKeyType, Bytes: der}), nil
+}
+
+// DecodePublicKeyPEM parses a PEM-encoded ECDSA public key.
+func DecodePublicKeyPEM(data []byte) (*ecdsa.PublicKey, error) {
+	block, _ := pem.Decode(data)
+	if block == nil || block.Type != pemKeyType {
+		return nil, fmt.Errorf("%w: expected %s PEM block", ErrDecode, pemKeyType)
+	}
+	pub, err := x509.ParsePKIXPublicKey(block.Bytes)
+	if err != nil {
+		return nil, err
+	}
+	ec, ok := pub.(*ecdsa.PublicKey)
+	if !ok {
+		return nil, fmt.Errorf("%w: not an ECDSA key", ErrDecode)
+	}
+	return ec, nil
+}

@@ -1,0 +1,181 @@
+package pki
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"errors"
+	"testing"
+
+	"libseal/internal/enclave"
+)
+
+func genKey(t *testing.T) *ecdsa.PrivateKey {
+	t.Helper()
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+func TestIssueAndVerify(t *testing.T) {
+	ca, err := NewCA("test-ca")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := genKey(t)
+	cert, err := ca.Issue("service.example", &key.PublicKey, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(ca)
+	if err := pool.Verify(cert); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestVerifyUnknownCA(t *testing.T) {
+	ca, _ := NewCA("ca1")
+	other, _ := NewCA("ca2")
+	key := genKey(t)
+	cert, _ := ca.Issue("svc", &key.PublicKey, nil)
+	pool := NewPool(other)
+	if err := pool.Verify(cert); !errors.Is(err, ErrUnknownCA) {
+		t.Fatalf("err = %v, want ErrUnknownCA", err)
+	}
+}
+
+func TestVerifyForgedIssuerName(t *testing.T) {
+	// A cert claiming to be from a trusted CA but signed by another key.
+	evil, _ := NewCA("trusted") // same name, different key
+	good, _ := NewCA("trusted")
+	key := genKey(t)
+	cert, _ := evil.Issue("svc", &key.PublicKey, nil)
+	pool := NewPool(good)
+	if err := pool.Verify(cert); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestVerifyTamperedSubject(t *testing.T) {
+	ca, _ := NewCA("ca")
+	key := genKey(t)
+	cert, _ := ca.Issue("svc", &key.PublicKey, nil)
+	cert.Subject = "evil"
+	pool := NewPool(ca)
+	if err := pool.Verify(cert); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	ca, _ := NewCA("ca")
+	key := genKey(t)
+	cert, _ := ca.Issue("svc.example", &key.PublicKey, nil)
+	decoded, err := Unmarshal(cert.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Subject != "svc.example" || decoded.Issuer != "ca" {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+	pool := NewPool(ca)
+	if err := pool.Verify(decoded); err != nil {
+		t.Fatalf("Verify decoded: %v", err)
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	for _, b := range [][]byte{nil, {1}, make([]byte, 10), []byte("garbage data here")} {
+		if _, err := Unmarshal(b); err == nil {
+			t.Errorf("Unmarshal(%v) succeeded", b)
+		}
+	}
+}
+
+func TestEnclaveBoundCertificate(t *testing.T) {
+	platform := enclave.NewPlatform()
+	encl, err := platform.Launch(enclave.Config{Code: []byte("libseal"), Cost: enclave.ZeroCostModel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := enclave.NewAttestationService(platform)
+
+	// Generate the key "inside" and quote its hash.
+	key := genKey(t)
+	tmp := &Certificate{PubKey: &key.PublicKey}
+	keyHash := tmp.KeyHash()
+	var quote enclave.Quote
+	if err := encl.Ecall(func(c *enclave.Ctx) error {
+		var err error
+		quote, err = c.Quote(keyHash[:])
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	ca, _ := NewCA("provider-ca")
+	cert, err := ca.Issue("libseal.example", &key.PublicKey, &quote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(ca)
+	if err := pool.VerifyEnclaveBinding(cert, svc, encl.Measurement()); err != nil {
+		t.Fatalf("VerifyEnclaveBinding: %v", err)
+	}
+
+	// Wrong measurement (a non-LibSEAL enclave) is rejected.
+	var wrong enclave.Measurement
+	wrong[0] = 0xFF
+	if err := pool.VerifyEnclaveBinding(cert, svc, wrong); err == nil {
+		t.Fatal("binding verified against wrong measurement")
+	}
+
+	// A cert without a quote is rejected: the provider linked a
+	// traditional TLS library instead of LibSEAL.
+	plain, _ := ca.Issue("libseal.example", &key.PublicKey, nil)
+	if err := pool.VerifyEnclaveBinding(plain, svc, encl.Measurement()); err == nil {
+		t.Fatal("binding verified without quote")
+	}
+
+	// A quote over a different key is rejected.
+	otherKey := genKey(t)
+	swapped, _ := ca.Issue("libseal.example", &otherKey.PublicKey, &quote)
+	if err := pool.VerifyEnclaveBinding(swapped, svc, encl.Measurement()); err == nil {
+		t.Fatal("binding verified for mismatched key")
+	}
+}
+
+func TestPEMRoundTrips(t *testing.T) {
+	ca, _ := NewCA("pem-ca")
+	key := genKey(t)
+	cert, _ := ca.Issue("svc", &key.PublicKey, nil)
+
+	decodedCert, err := DecodeCertPEM(EncodeCertPEM(cert))
+	if err != nil || decodedCert.Subject != "svc" {
+		t.Fatalf("cert PEM round trip: %+v, %v", decodedCert, err)
+	}
+	if err := NewPool(ca).Verify(decodedCert); err != nil {
+		t.Fatal(err)
+	}
+
+	pemKey, err := EncodePublicKeyPEM(&key.PublicKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodedKey, err := DecodePublicKeyPEM(pemKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decodedKey.X.Cmp(key.PublicKey.X) != 0 || decodedKey.Y.Cmp(key.PublicKey.Y) != 0 {
+		t.Fatal("key PEM round trip mismatch")
+	}
+
+	if _, err := DecodeCertPEM([]byte("junk")); err == nil {
+		t.Fatal("junk cert PEM accepted")
+	}
+	if _, err := DecodePublicKeyPEM([]byte("junk")); err == nil {
+		t.Fatal("junk key PEM accepted")
+	}
+}

@@ -1,0 +1,241 @@
+// Package rote implements the distributed monotonic counter protocol that
+// LibSEAL uses for rollback protection of its persisted audit log (§5.1).
+// SGX hardware counters are too slow and wear out, so LibSEAL follows ROTE
+// (Matetic et al., 2017): a group of n = 3f+1 counter nodes — other LibSEAL
+// instances under the provider's control — stores counter state; an
+// increment is durable once a quorum of 2f+1 nodes acknowledges it, and the
+// counter survives as long as at most f nodes misbehave.
+package rote
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Errors returned by the group client.
+var (
+	ErrNoQuorum = errors.New("rote: quorum not reached")
+	ErrRollback = errors.New("rote: counter regressed (rollback attempt)")
+)
+
+// Message is a signed counter-protocol message.
+type message struct {
+	Counter string
+	Value   uint64
+	MAC     [32]byte
+}
+
+func mac(key []byte, counter string, value uint64) [32]byte {
+	m := hmac.New(sha256.New, key)
+	m.Write([]byte(counter))
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], value)
+	m.Write(b[:])
+	var out [32]byte
+	copy(out[:], m.Sum(nil))
+	return out
+}
+
+// Node is one counter-service node. In production each node is itself a
+// LibSEAL enclave; here it is an in-process actor with the same interface.
+type Node struct {
+	id  int
+	key []byte
+
+	mu        sync.Mutex
+	counters  map[string]uint64
+	failed    bool
+	byzantine bool
+}
+
+// Fail makes the node stop responding (crash fault).
+func (n *Node) Fail() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.failed = true
+}
+
+// Recover brings a failed node back (its state persisted).
+func (n *Node) Recover() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.failed = false
+}
+
+// SetByzantine makes the node return stale values with forged-looking MACs.
+func (n *Node) SetByzantine(b bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.byzantine = b
+}
+
+// store handles an increment request. It returns an acknowledgement message
+// or false if the node is down.
+func (n *Node) store(req message) (message, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.failed {
+		return message{}, false
+	}
+	if n.byzantine {
+		// Respond with a stale value and an invalid MAC.
+		return message{Counter: req.Counter, Value: 0}, true
+	}
+	if !hmac.Equal(req.MAC[:], func() []byte { m := mac(n.key, req.Counter, req.Value); return m[:] }()) {
+		return message{}, false
+	}
+	// Monotonicity: never regress.
+	if req.Value > n.counters[req.Counter] {
+		n.counters[req.Counter] = req.Value
+	}
+	v := n.counters[req.Counter]
+	return message{Counter: req.Counter, Value: v, MAC: mac(n.key, req.Counter, v)}, true
+}
+
+// fetch handles a read request.
+func (n *Node) fetch(counter string) (message, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.failed {
+		return message{}, false
+	}
+	if n.byzantine {
+		return message{Counter: counter, Value: 0}, true
+	}
+	v := n.counters[counter]
+	return message{Counter: counter, Value: v, MAC: mac(n.key, counter, v)}, true
+}
+
+// Group is the client view of a counter group: the local LibSEAL instance
+// plus 3f other nodes.
+type Group struct {
+	f       int
+	nodes   []*Node
+	key     []byte
+	latency time.Duration
+
+	mu    sync.Mutex
+	cache map[string]uint64
+}
+
+// NewGroup creates an in-process group tolerating f malicious/failed nodes
+// (n = 3f+1 nodes total). latency models the one-way network delay to the
+// other nodes; the paper deploys them in the same cluster.
+func NewGroup(f int, latency time.Duration) (*Group, error) {
+	if f < 0 {
+		return nil, fmt.Errorf("rote: negative f")
+	}
+	key := make([]byte, 32)
+	if _, err := rand.Read(key); err != nil {
+		return nil, err
+	}
+	g := &Group{f: f, key: key, latency: latency, cache: make(map[string]uint64)}
+	for i := 0; i < 3*f+1; i++ {
+		g.nodes = append(g.nodes, &Node{id: i, key: key, counters: make(map[string]uint64)})
+	}
+	return g, nil
+}
+
+// Nodes exposes the group members for fault injection in tests.
+func (g *Group) Nodes() []*Node { return g.nodes }
+
+// F returns the fault tolerance parameter.
+func (g *Group) F() int { return g.f }
+
+// quorum returns the required acknowledgement count, 2f+1.
+func (g *Group) quorum() int { return 2*g.f + 1 }
+
+// broadcast sends a request to every node in parallel and collects valid,
+// MAC-authenticated responses.
+func (g *Group) broadcast(send func(*Node) (message, bool)) []message {
+	type result struct {
+		msg message
+		ok  bool
+	}
+	ch := make(chan result, len(g.nodes))
+	for _, n := range g.nodes {
+		n := n
+		go func() {
+			if g.latency > 0 {
+				time.Sleep(2 * g.latency) // round trip
+			}
+			m, ok := send(n)
+			ch <- result{m, ok}
+		}()
+	}
+	var valid []message
+	for range g.nodes {
+		r := <-ch
+		if !r.ok {
+			continue
+		}
+		want := mac(g.key, r.msg.Counter, r.msg.Value)
+		if !hmac.Equal(want[:], r.msg.MAC[:]) {
+			continue // forged or byzantine response
+		}
+		valid = append(valid, r.msg)
+	}
+	return valid
+}
+
+// Increment advances the named counter and returns its new value. The
+// increment is durable once 2f+1 nodes acknowledged a value >= the new one.
+func (g *Group) Increment(counter string) (uint64, error) {
+	g.mu.Lock()
+	next := g.cache[counter] + 1
+	g.cache[counter] = next
+	g.mu.Unlock()
+
+	req := message{Counter: counter, Value: next, MAC: mac(g.key, counter, next)}
+	acks := 0
+	for _, m := range g.broadcast(func(n *Node) (message, bool) { return n.store(req) }) {
+		if m.Value >= next {
+			acks++
+		}
+	}
+	if acks < g.quorum() {
+		return 0, fmt.Errorf("%w: %d/%d acks for %s=%d", ErrNoQuorum, acks, g.quorum(), counter, next)
+	}
+	return next, nil
+}
+
+// Read returns the counter's current stable value: the maximum value
+// confirmed by the quorum view. Used after restart to detect log rollback.
+func (g *Group) Read(counter string) (uint64, error) {
+	msgs := g.broadcast(func(n *Node) (message, bool) { return n.fetch(counter) })
+	if len(msgs) < g.quorum() {
+		return 0, fmt.Errorf("%w: %d/%d responses", ErrNoQuorum, len(msgs), g.quorum())
+	}
+	var maxVal uint64
+	for _, m := range msgs {
+		if m.Value > maxVal {
+			maxVal = m.Value
+		}
+	}
+	g.mu.Lock()
+	if maxVal > g.cache[counter] {
+		g.cache[counter] = maxVal
+	}
+	g.mu.Unlock()
+	return maxVal, nil
+}
+
+// VerifyFresh checks a claimed counter value (e.g. the one recorded in a
+// persisted audit log) against the group: a claimed value below the stable
+// value means an old log version is being presented.
+func (g *Group) VerifyFresh(counter string, claimed uint64) error {
+	stable, err := g.Read(counter)
+	if err != nil {
+		return err
+	}
+	if claimed < stable {
+		return fmt.Errorf("%w: log claims %d, group has %d", ErrRollback, claimed, stable)
+	}
+	return nil
+}

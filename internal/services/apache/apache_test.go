@@ -1,0 +1,195 @@
+package apache
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"libseal/internal/asyncall"
+	"libseal/internal/httpparse"
+	"libseal/internal/netsim"
+	"libseal/internal/testutil"
+	"libseal/internal/tlsterm"
+)
+
+func startServer(t *testing.T, cfg Config) (*netsim.Network, *Server) {
+	t.Helper()
+	nw := netsim.NewNetwork()
+	l, err := nw.Listen("apache:443")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(srv.Close)
+	return nw, srv
+}
+
+func TestServeStaticNative(t *testing.T) {
+	env, err := testutil.NewCertEnv("apache.test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := bytes.Repeat([]byte("x"), 1024)
+	nw, srv := startServer(t, Config{
+		Terminator: tlsterm.NewNativeTerminator(env.ServerConfig()),
+		Handler:    &StaticHandler{Content: content},
+		KeepAlive:  true,
+	})
+	client := testutil.NewHTTPClient(func() (net.Conn, error) { return nw.Dial("apache:443") },
+		env.ClientConfig("apache.test"), true)
+	defer client.Close()
+	for i := 0; i < 5; i++ {
+		rsp, err := client.Do(httpparse.NewRequest("GET", fmt.Sprintf("/file%d", i), nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rsp.Status != 200 || !bytes.Equal(rsp.Body, content) {
+			t.Fatalf("rsp %d: status=%d len=%d", i, rsp.Status, len(rsp.Body))
+		}
+	}
+	if srv.Served() != 5 {
+		t.Fatalf("served = %d", srv.Served())
+	}
+}
+
+func TestServeViaLibSEALTerminator(t *testing.T) {
+	env, err := testutil.NewCertEnv("apache.test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bridge, err := testutil.NewBridge(testutil.BridgeOptions{Mode: asyncall.ModeAsync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bridge.Close()
+	lib, err := tlsterm.NewLibrary(bridge, tlsterm.LibraryConfig{
+		Cert: env.Cert, Key: env.Key, Opts: tlsterm.AllOptimizations(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, _ := startServer(t, Config{
+		Terminator: lib.Terminator(),
+		Handler:    &StaticHandler{Content: []byte("enclave content")},
+		KeepAlive:  true,
+		UseExData:  true,
+	})
+	client := testutil.NewHTTPClient(func() (net.Conn, error) { return nw.Dial("apache:443") },
+		env.ClientConfig("apache.test"), true)
+	defer client.Close()
+	rsp, err := client.Do(httpparse.NewRequest("GET", "/x", nil))
+	if err != nil || string(rsp.Body) != "enclave content" {
+		t.Fatalf("rsp = %v, %v", rsp, err)
+	}
+}
+
+func TestNonPersistentConnections(t *testing.T) {
+	env, _ := testutil.NewCertEnv("apache.test")
+	nw, srv := startServer(t, Config{
+		Terminator: tlsterm.NewNativeTerminator(env.ServerConfig()),
+		Handler:    &StaticHandler{Content: []byte("one-shot")},
+		KeepAlive:  false,
+	})
+	client := testutil.NewHTTPClient(func() (net.Conn, error) { return nw.Dial("apache:443") },
+		env.ClientConfig("apache.test"), false)
+	for i := 0; i < 3; i++ {
+		rsp, err := client.Do(httpparse.NewRequest("GET", "/", nil))
+		if err != nil || rsp.Status != 200 {
+			t.Fatalf("request %d: %v %v", i, rsp, err)
+		}
+		if rsp.Header.Get("Connection") != "close" {
+			t.Fatal("missing Connection: close")
+		}
+	}
+	if srv.Served() != 3 {
+		t.Fatalf("served = %d", srv.Served())
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	env, _ := testutil.NewCertEnv("apache.test")
+	nw, _ := startServer(t, Config{
+		Terminator: tlsterm.NewNativeTerminator(env.ServerConfig()),
+		Handler:    &StaticHandler{Content: []byte("c")},
+		KeepAlive:  true,
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := testutil.NewHTTPClient(func() (net.Conn, error) { return nw.Dial("apache:443") },
+				env.ClientConfig("apache.test"), true)
+			defer client.Close()
+			for j := 0; j < 10; j++ {
+				if _, err := client.Do(httpparse.NewRequest("GET", "/", nil)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestReverseProxy(t *testing.T) {
+	env, _ := testutil.NewCertEnv("apache.test")
+	nw := netsim.NewNetwork()
+
+	// Plain-HTTP backend.
+	backendListener, _ := nw.Listen("backend:80")
+	backend, _ := New(Config{
+		Terminator: tlsterm.PlainTerminator{},
+		Handler: HandlerFunc(func(req *httpparse.Request) *httpparse.Response {
+			return httpparse.NewResponse(200, []byte("from backend "+req.Path))
+		}),
+	})
+	go backend.Serve(backendListener)
+	defer backend.Close()
+
+	// TLS front-end proxying to it.
+	frontListener, _ := nw.Listen("front:443")
+	front, _ := New(Config{
+		Terminator: tlsterm.NewNativeTerminator(env.ServerConfig()),
+		Handler:    &ReverseProxy{Dial: func() (net.Conn, error) { return nw.Dial("backend:80") }},
+		KeepAlive:  true,
+	})
+	go front.Serve(frontListener)
+	defer front.Close()
+
+	client := testutil.NewHTTPClient(func() (net.Conn, error) { return nw.Dial("front:443") },
+		env.ClientConfig("apache.test"), true)
+	defer client.Close()
+	rsp, err := client.Do(httpparse.NewRequest("GET", "/repo", nil))
+	if err != nil || string(rsp.Body) != "from backend /repo" {
+		t.Fatalf("rsp = %v, %v", rsp, err)
+	}
+}
+
+func TestReverseProxyBackendDown(t *testing.T) {
+	env, _ := testutil.NewCertEnv("apache.test")
+	nw, _ := startServer(t, Config{
+		Terminator: tlsterm.NewNativeTerminator(env.ServerConfig()),
+		Handler:    &ReverseProxy{Dial: func() (net.Conn, error) { return nil, fmt.Errorf("down") }},
+		KeepAlive:  true,
+	})
+	client := testutil.NewHTTPClient(func() (net.Conn, error) { return nw.Dial("apache:443") },
+		env.ClientConfig("apache.test"), true)
+	defer client.Close()
+	rsp, err := client.Do(httpparse.NewRequest("GET", "/", nil))
+	if err != nil || rsp.Status != 502 {
+		t.Fatalf("rsp = %v, %v", rsp, err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}

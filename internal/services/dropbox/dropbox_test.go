@@ -1,0 +1,144 @@
+package dropbox
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"libseal/internal/httpparse"
+	"libseal/internal/ssm/dropboxssm"
+)
+
+func commit(t *testing.T, s *Server, account string, commits ...dropboxssm.FileCommit) {
+	t.Helper()
+	body, _ := json.Marshal(dropboxssm.CommitBatchMsg{Account: account, Host: "h", Commits: commits})
+	rsp := s.Handler().Handle(httpparse.NewRequest("POST", "/dropbox/commit_batch", body))
+	if rsp.Status != 200 {
+		t.Fatalf("commit status %d", rsp.Status)
+	}
+}
+
+func list(t *testing.T, s *Server, account string) map[string]dropboxssm.FileCommit {
+	t.Helper()
+	rsp := s.Handler().Handle(httpparse.NewRequest("GET", "/dropbox/list?account="+account+"&host=h", nil))
+	if rsp.Status != 200 {
+		t.Fatalf("list status %d", rsp.Status)
+	}
+	var out dropboxssm.ListRsp
+	if err := json.Unmarshal(rsp.Body, &out); err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]dropboxssm.FileCommit{}
+	for _, f := range out.Files {
+		files[f.File] = f
+	}
+	return files
+}
+
+func TestCommitAndList(t *testing.T) {
+	s := NewServer()
+	content := bytes.Repeat([]byte("data"), 1000)
+	bl := Blocklist(content)
+	commit(t, s, "acct", dropboxssm.FileCommit{File: "a.txt", Blocklist: bl, Size: int64(len(content))})
+	files := list(t, s, "acct")
+	if f, ok := files["a.txt"]; !ok || f.Blocklist != bl || f.Size != int64(len(content)) {
+		t.Fatalf("files = %v", files)
+	}
+}
+
+func TestDeletion(t *testing.T) {
+	s := NewServer()
+	commit(t, s, "acct", dropboxssm.FileCommit{File: "a", Blocklist: "h", Size: 10})
+	commit(t, s, "acct", dropboxssm.FileCommit{File: "a", Size: -1})
+	if files := list(t, s, "acct"); len(files) != 0 {
+		t.Fatalf("deleted file listed: %v", files)
+	}
+	if s.FileCount("acct") != 0 {
+		t.Fatal("file count nonzero after delete")
+	}
+}
+
+func TestUpdateReplacesBlocklist(t *testing.T) {
+	s := NewServer()
+	commit(t, s, "acct", dropboxssm.FileCommit{File: "a", Blocklist: "v1", Size: 10})
+	commit(t, s, "acct", dropboxssm.FileCommit{File: "a", Blocklist: "v2", Size: 12})
+	files := list(t, s, "acct")
+	if files["a"].Blocklist != "v2" {
+		t.Fatalf("blocklist = %q", files["a"].Blocklist)
+	}
+}
+
+func TestAccountsIsolated(t *testing.T) {
+	s := NewServer()
+	commit(t, s, "alice", dropboxssm.FileCommit{File: "a", Blocklist: "x", Size: 1})
+	if files := list(t, s, "bob"); len(files) != 0 {
+		t.Fatalf("cross-account leak: %v", files)
+	}
+}
+
+func TestCorruptBlocklistFault(t *testing.T) {
+	s := NewServer()
+	commit(t, s, "acct", dropboxssm.FileCommit{File: "a", Blocklist: "good", Size: 1})
+	s.InjectBlocklistCorruption("a")
+	files := list(t, s, "acct")
+	if files["a"].Blocklist == "good" {
+		t.Fatal("corruption not injected")
+	}
+}
+
+func TestStaleMetadataFault(t *testing.T) {
+	s := NewServer()
+	commit(t, s, "acct", dropboxssm.FileCommit{File: "a", Blocklist: "v1", Size: 1})
+	commit(t, s, "acct", dropboxssm.FileCommit{File: "a", Blocklist: "v2", Size: 1})
+	s.InjectStaleMetadata("a")
+	files := list(t, s, "acct")
+	if files["a"].Blocklist != "v1" {
+		t.Fatalf("stale fault: %q", files["a"].Blocklist)
+	}
+}
+
+func TestFileLossFault(t *testing.T) {
+	s := NewServer()
+	commit(t, s, "acct", dropboxssm.FileCommit{File: "a", Blocklist: "x", Size: 1})
+	commit(t, s, "acct", dropboxssm.FileCommit{File: "b", Blocklist: "y", Size: 1})
+	s.InjectFileLoss("b")
+	files := list(t, s, "acct")
+	if _, ok := files["b"]; ok {
+		t.Fatal("hidden file listed")
+	}
+	if _, ok := files["a"]; !ok {
+		t.Fatal("unrelated file affected")
+	}
+}
+
+func TestBlocklist(t *testing.T) {
+	if Blocklist(nil) != "" {
+		t.Fatal("empty content blocklist")
+	}
+	small := Blocklist([]byte("small"))
+	if strings.Contains(small, ",") {
+		t.Fatal("single block has separator")
+	}
+	big := make([]byte, BlockSize+1)
+	if got := Blocklist(big); strings.Count(got, ",") != 1 {
+		t.Fatalf("two-block file blocklist = %q", got)
+	}
+	// Deterministic and content-sensitive.
+	if Blocklist([]byte("a")) == Blocklist([]byte("b")) {
+		t.Fatal("blocklists collide")
+	}
+	if Blocklist([]byte("a")) != Blocklist([]byte("a")) {
+		t.Fatal("blocklist not deterministic")
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	s := NewServer()
+	if rsp := s.Handler().Handle(httpparse.NewRequest("POST", "/dropbox/commit_batch", []byte("junk"))); rsp.Status != 400 {
+		t.Fatalf("bad json -> %d", rsp.Status)
+	}
+	if rsp := s.Handler().Handle(httpparse.NewRequest("GET", "/elsewhere", nil)); rsp.Status != 404 {
+		t.Fatalf("wrong path -> %d", rsp.Status)
+	}
+}

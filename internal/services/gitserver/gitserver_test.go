@@ -1,0 +1,159 @@
+package gitserver
+
+import (
+	"strings"
+	"testing"
+
+	"libseal/internal/httpparse"
+)
+
+func push(t *testing.T, s *Server, repo string, lines ...string) {
+	t.Helper()
+	rsp := s.Handler().Handle(httpparse.NewRequest("POST", "/git/"+repo+"/git-receive-pack",
+		[]byte(strings.Join(lines, "\n"))))
+	if rsp.Status != 200 {
+		t.Fatalf("push status %d", rsp.Status)
+	}
+}
+
+func advertise(t *testing.T, s *Server, repo string) map[string]string {
+	t.Helper()
+	rsp := s.Handler().Handle(httpparse.NewRequest("GET", "/git/"+repo+"/info/refs", nil))
+	if rsp.Status != 200 {
+		t.Fatalf("advertise status %d", rsp.Status)
+	}
+	refs := map[string]string{}
+	for _, line := range strings.Split(string(rsp.Body), "\n") {
+		f := strings.Fields(line)
+		if len(f) == 3 && f[0] == "ref" {
+			refs[f[1]] = f[2]
+		}
+	}
+	return refs
+}
+
+func TestPushAndAdvertise(t *testing.T) {
+	s := NewServer()
+	push(t, s, "r", "create main c1")
+	push(t, s, "r", "update main c2", "create dev d1")
+	refs := advertise(t, s, "r")
+	if refs["main"] != "c2" || refs["dev"] != "d1" {
+		t.Fatalf("refs = %v", refs)
+	}
+	if id, ok := s.Head("r", "main"); !ok || id != "c2" {
+		t.Fatalf("Head = %q %v", id, ok)
+	}
+}
+
+func TestDeleteBranch(t *testing.T) {
+	s := NewServer()
+	push(t, s, "r", "create main c1", "create dev d1")
+	push(t, s, "r", "delete dev d1")
+	refs := advertise(t, s, "r")
+	if _, ok := refs["dev"]; ok {
+		t.Fatal("deleted branch still advertised")
+	}
+}
+
+func TestRollbackFault(t *testing.T) {
+	s := NewServer()
+	push(t, s, "r", "create main c1")
+	push(t, s, "r", "update main c2")
+	s.InjectRollback("r", "main", "c1")
+	if refs := advertise(t, s, "r"); refs["main"] != "c1" {
+		t.Fatalf("rollback not injected: %v", refs)
+	}
+	// The stored repository is untouched: the attack is advertisement-only.
+	if id, _ := s.Head("r", "main"); id != "c2" {
+		t.Fatalf("repository state corrupted: %s", id)
+	}
+	s.ClearFaults()
+	if refs := advertise(t, s, "r"); refs["main"] != "c2" {
+		t.Fatal("faults not cleared")
+	}
+}
+
+func TestTeleportFault(t *testing.T) {
+	s := NewServer()
+	push(t, s, "r", "create main c1", "create dev d9")
+	s.InjectTeleport("r", "main", "d9")
+	if refs := advertise(t, s, "r"); refs["main"] != "d9" {
+		t.Fatalf("teleport not injected: %v", refs)
+	}
+}
+
+func TestRefDeletionFault(t *testing.T) {
+	s := NewServer()
+	push(t, s, "r", "create main c1", "create dev d1")
+	s.InjectRefDeletion("r", "dev")
+	refs := advertise(t, s, "r")
+	if _, ok := refs["dev"]; ok {
+		t.Fatal("hidden ref still advertised")
+	}
+	if refs["main"] != "c1" {
+		t.Fatal("unrelated ref affected")
+	}
+}
+
+func TestUnknownEndpoints(t *testing.T) {
+	s := NewServer()
+	for _, req := range []*httpparse.Request{
+		httpparse.NewRequest("GET", "/not-git/x/info/refs", nil),
+		httpparse.NewRequest("PUT", "/git/r/git-receive-pack", nil),
+		httpparse.NewRequest("GET", "/git/r", nil),
+	} {
+		if rsp := s.Handler().Handle(req); rsp.Status != 404 {
+			t.Errorf("%s %s -> %d, want 404", req.Method, req.Path, rsp.Status)
+		}
+	}
+}
+
+func TestAdvertiseEmptyRepo(t *testing.T) {
+	s := NewServer()
+	if refs := advertise(t, s, "void"); len(refs) != 0 {
+		t.Fatalf("empty repo advertised refs: %v", refs)
+	}
+}
+
+func TestCommitIDChains(t *testing.T) {
+	a := commitID("", "m1", "t1")
+	b := commitID(a, "m2", "t2")
+	b2 := commitID(a, "m2", "t2")
+	if b != b2 {
+		t.Fatal("commit ID not deterministic")
+	}
+	if a == b {
+		t.Fatal("chained commits collide")
+	}
+	if len(a) != 40 {
+		t.Fatalf("ID length %d, want 40", len(a))
+	}
+}
+
+func TestHistoryGeneratorReplay(t *testing.T) {
+	s := NewServer()
+	g := NewHistoryGenerator("repo", 42)
+	for i := 0; i < 300; i++ {
+		push(t, s, "repo", g.PushLines())
+	}
+	refs := advertise(t, s, "repo")
+	heads := g.Heads()
+	if len(refs) != len(heads) {
+		t.Fatalf("server has %d refs, generator %d", len(refs), len(heads))
+	}
+	for branch, id := range heads {
+		if refs[branch] != id {
+			t.Fatalf("branch %s: server %s, generator %s", branch, refs[branch], id)
+		}
+	}
+}
+
+func TestHistoryGeneratorDeterministic(t *testing.T) {
+	g1 := NewHistoryGenerator("r", 7)
+	g2 := NewHistoryGenerator("r", 7)
+	for i := 0; i < 100; i++ {
+		if g1.PushLines() != g2.PushLines() {
+			t.Fatalf("generators diverged at step %d", i)
+		}
+	}
+}

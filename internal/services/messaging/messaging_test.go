@@ -1,0 +1,185 @@
+package messaging
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"libseal/internal/httpparse"
+	"libseal/internal/sqldb"
+	"libseal/internal/ssm"
+	"libseal/internal/ssm/messagingssm"
+)
+
+func do(t *testing.T, s *Server, path string, body any, out any) {
+	t.Helper()
+	b, _ := json.Marshal(body)
+	rsp := s.Handler().Handle(httpparse.NewRequest("POST", path, b))
+	if rsp.Status != 200 {
+		t.Fatalf("%s -> %d", path, rsp.Status)
+	}
+	if out != nil {
+		if err := json.Unmarshal(rsp.Body, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSendAndInbox(t *testing.T) {
+	s := NewServer()
+	var ack messagingssm.SendAck
+	do(t, s, "/messaging/send", messagingssm.SendMsg{From: "alice", To: "bob", Body: "hi"}, &ack)
+	if ack.ID == "" || ack.Seq != 1 {
+		t.Fatalf("ack = %+v", ack)
+	}
+	do(t, s, "/messaging/send", messagingssm.SendMsg{From: "carol", To: "bob", Body: "yo"}, nil)
+	var inbox messagingssm.InboxRsp
+	do(t, s, "/messaging/inbox", messagingssm.InboxMsg{User: "bob", Since: 0}, &inbox)
+	if inbox.Seq != 2 || len(inbox.Messages) != 2 || inbox.Messages[0].Body != "hi" {
+		t.Fatalf("inbox = %+v", inbox)
+	}
+	// Incremental fetch.
+	do(t, s, "/messaging/inbox", messagingssm.InboxMsg{User: "bob", Since: 1}, &inbox)
+	if len(inbox.Messages) != 1 || inbox.Messages[0].Body != "yo" {
+		t.Fatalf("incremental inbox = %+v", inbox)
+	}
+	if s.MailboxSize("bob") != 2 {
+		t.Fatal("mailbox size")
+	}
+}
+
+func TestMailboxesIsolated(t *testing.T) {
+	s := NewServer()
+	do(t, s, "/messaging/send", messagingssm.SendMsg{From: "a", To: "bob", Body: "x"}, nil)
+	var inbox messagingssm.InboxRsp
+	do(t, s, "/messaging/inbox", messagingssm.InboxMsg{User: "carol", Since: 0}, &inbox)
+	if len(inbox.Messages) != 0 || inbox.Seq != 0 {
+		t.Fatalf("leak: %+v", inbox)
+	}
+}
+
+func TestDropFault(t *testing.T) {
+	s := NewServer()
+	s.SetFaults(Faults{DropEveryNth: 2})
+	do(t, s, "/messaging/send", messagingssm.SendMsg{From: "a", To: "b", Body: "1"}, nil)
+	do(t, s, "/messaging/send", messagingssm.SendMsg{From: "a", To: "b", Body: "2"}, nil)
+	var inbox messagingssm.InboxRsp
+	do(t, s, "/messaging/inbox", messagingssm.InboxMsg{User: "b", Since: 0}, &inbox)
+	if inbox.Seq != 2 || len(inbox.Messages) != 1 {
+		t.Fatalf("drop fault: %+v", inbox)
+	}
+}
+
+func TestCorruptFault(t *testing.T) {
+	s := NewServer()
+	s.SetFaults(Faults{CorruptBodies: true})
+	do(t, s, "/messaging/send", messagingssm.SendMsg{From: "a", To: "b", Body: "x"}, nil)
+	var inbox messagingssm.InboxRsp
+	do(t, s, "/messaging/inbox", messagingssm.InboxMsg{User: "b", Since: 0}, &inbox)
+	if inbox.Messages[0].Body != "corrupted:x" {
+		t.Fatalf("corrupt fault: %+v", inbox)
+	}
+}
+
+func TestMisdeliverFault(t *testing.T) {
+	s := NewServer()
+	do(t, s, "/messaging/send", messagingssm.SendMsg{From: "a", To: "bob", Body: "private"}, nil)
+	s.SetFaults(Faults{MisdeliverTo: "eve"})
+	var inbox messagingssm.InboxRsp
+	do(t, s, "/messaging/inbox", messagingssm.InboxMsg{User: "eve", Since: 0}, &inbox)
+	if len(inbox.Messages) != 1 || inbox.Messages[0].To != "bob" {
+		t.Fatalf("misdeliver fault: %+v", inbox)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	s := NewServer()
+	if rsp := s.Handler().Handle(httpparse.NewRequest("POST", "/messaging/send", []byte("junk"))); rsp.Status != 400 {
+		t.Fatalf("bad json -> %d", rsp.Status)
+	}
+	if rsp := s.Handler().Handle(httpparse.NewRequest("GET", "/messaging/send", nil)); rsp.Status != 404 {
+		t.Fatalf("GET -> %d", rsp.Status)
+	}
+}
+
+// TestEndToEndDetection drives the messaging service through the module the
+// way LibSEAL would and checks all three violation classes.
+func TestEndToEndDetection(t *testing.T) {
+	mod := messagingssm.New()
+	type scenario struct {
+		name      string
+		faults    Faults
+		invariant string
+	}
+	for _, sc := range []scenario{
+		{"drop", Faults{DropEveryNth: 1}, "messaging-delivery-completeness"},
+		{"corrupt", Faults{CorruptBodies: true}, "messaging-delivery-soundness"},
+		{"misdeliver", Faults{MisdeliverTo: "eve"}, "messaging-recipient"},
+	} {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			s := NewServer()
+			db, logPair := newAuditPipe(t, mod)
+			send := func(from, to, body string) {
+				b, _ := json.Marshal(messagingssm.SendMsg{From: from, To: to, Body: body})
+				req := httpparse.NewRequest("POST", "/messaging/send", b)
+				logPair(req, s.Handler().Handle(req))
+			}
+			fetch := func(user string) {
+				b, _ := json.Marshal(messagingssm.InboxMsg{User: user, Since: 0})
+				req := httpparse.NewRequest("POST", "/messaging/inbox", b)
+				logPair(req, s.Handler().Handle(req))
+			}
+			send("alice", "bob", "hello bob")
+			s.SetFaults(sc.faults)
+			fetch("bob")
+			fetch("eve")
+			violations, err := checkInvariants(db, mod)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !violations[sc.invariant] {
+				t.Fatalf("%s not detected: %v", sc.invariant, violations)
+			}
+		})
+	}
+}
+
+// newAuditPipe builds a module-backed database and a pair logger.
+func newAuditPipe(t *testing.T, mod *messagingssm.Module) (*sqldb.DB, func(*httpparse.Request, *httpparse.Response)) {
+	t.Helper()
+	db := sqldb.New()
+	if _, err := db.Exec(mod.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	var logical int64
+	logPair := func(req *httpparse.Request, rsp *httpparse.Response) {
+		t.Helper()
+		logical++
+		tuples, err := mod.HandlePair(&ssm.State{Time: logical, DB: db}, req.Bytes(), rsp.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tu := range tuples {
+			ph := strings.TrimSuffix(strings.Repeat("?,", len(tu.Values)), ",")
+			if _, err := db.Exec(fmt.Sprintf("INSERT INTO %s VALUES (%s)", tu.Table, ph), tu.Values...); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return db, logPair
+}
+
+// checkInvariants reports which invariants are violated.
+func checkInvariants(db *sqldb.DB, mod *messagingssm.Module) (map[string]bool, error) {
+	res, err := ssm.CheckInvariants(db, mod)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]bool{}
+	for name := range res {
+		out[name] = true
+	}
+	return out, nil
+}

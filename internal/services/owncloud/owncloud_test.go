@@ -1,0 +1,118 @@
+package owncloud
+
+import (
+	"encoding/json"
+	"testing"
+
+	"libseal/internal/httpparse"
+	"libseal/internal/ssm/owncloudssm"
+)
+
+func do(t *testing.T, s *Server, path string, body any, out any) {
+	t.Helper()
+	b, _ := json.Marshal(body)
+	rsp := s.Handler().Handle(httpparse.NewRequest("POST", path, b))
+	if rsp.Status != 200 {
+		t.Fatalf("%s -> %d", path, rsp.Status)
+	}
+	if out != nil {
+		if err := json.Unmarshal(rsp.Body, out); err != nil {
+			t.Fatalf("%s response: %v", path, err)
+		}
+	}
+}
+
+func TestEditSessionLifecycle(t *testing.T) {
+	s := NewServer()
+	var join owncloudssm.JoinRsp
+	do(t, s, "/owncloud/join", owncloudssm.JoinMsg{Doc: "d", Client: "alice"}, &join)
+	if join.Snapshot != "" || join.Seq != 0 {
+		t.Fatalf("fresh doc join = %+v", join)
+	}
+	var push owncloudssm.PushRsp
+	do(t, s, "/owncloud/push", owncloudssm.PushMsg{Doc: "d", Client: "alice", Ops: []string{"a", "b"}}, &push)
+	if push.Seq != 2 {
+		t.Fatalf("push seq = %d", push.Seq)
+	}
+	var sync owncloudssm.SyncRsp
+	do(t, s, "/owncloud/sync", owncloudssm.SyncMsg{Doc: "d", Client: "bob", Since: 0}, &sync)
+	if sync.Seq != 2 || len(sync.Ops) != 2 || sync.Ops[0] != "a" {
+		t.Fatalf("sync = %+v", sync)
+	}
+	do(t, s, "/owncloud/leave", owncloudssm.LeaveMsg{Doc: "d", Client: "alice", Snapshot: "ab", Seq: 2}, nil)
+	var join2 owncloudssm.JoinRsp
+	do(t, s, "/owncloud/join", owncloudssm.JoinMsg{Doc: "d", Client: "carol"}, &join2)
+	if join2.Snapshot != "ab" || join2.Seq != 2 {
+		t.Fatalf("join after leave = %+v", join2)
+	}
+}
+
+func TestPartialSync(t *testing.T) {
+	s := NewServer()
+	do(t, s, "/owncloud/push", owncloudssm.PushMsg{Doc: "d", Client: "a", Ops: []string{"1", "2", "3"}}, nil)
+	var sync owncloudssm.SyncRsp
+	do(t, s, "/owncloud/sync", owncloudssm.SyncMsg{Doc: "d", Client: "b", Since: 2}, &sync)
+	if len(sync.Ops) != 1 || sync.Ops[0] != "3" {
+		t.Fatalf("partial sync = %+v", sync)
+	}
+}
+
+func TestDropFault(t *testing.T) {
+	s := NewServer()
+	s.SetFaults(Faults{DropEveryNthOp: 2})
+	do(t, s, "/owncloud/push", owncloudssm.PushMsg{Doc: "d", Client: "a", Ops: []string{"1", "2", "3", "4"}}, nil)
+	var sync owncloudssm.SyncRsp
+	do(t, s, "/owncloud/sync", owncloudssm.SyncMsg{Doc: "d", Client: "b", Since: 0}, &sync)
+	if sync.Seq != 4 || len(sync.Ops) != 2 {
+		t.Fatalf("drop fault: seq=%d ops=%v", sync.Seq, sync.Ops)
+	}
+}
+
+func TestCorruptFault(t *testing.T) {
+	s := NewServer()
+	s.SetFaults(Faults{CorruptOps: true})
+	do(t, s, "/owncloud/push", owncloudssm.PushMsg{Doc: "d", Client: "a", Ops: []string{"x"}}, nil)
+	var sync owncloudssm.SyncRsp
+	do(t, s, "/owncloud/sync", owncloudssm.SyncMsg{Doc: "d", Client: "b", Since: 0}, &sync)
+	if sync.Ops[0] != "corrupted:x" {
+		t.Fatalf("corrupt fault: %v", sync.Ops)
+	}
+}
+
+func TestStaleSnapshotFault(t *testing.T) {
+	s := NewServer()
+	do(t, s, "/owncloud/leave", owncloudssm.LeaveMsg{Doc: "d", Client: "a", Snapshot: "v1", Seq: 1}, nil)
+	do(t, s, "/owncloud/leave", owncloudssm.LeaveMsg{Doc: "d", Client: "b", Snapshot: "v2", Seq: 2}, nil)
+	s.SetFaults(Faults{ServeStaleSnapshot: true})
+	var join owncloudssm.JoinRsp
+	do(t, s, "/owncloud/join", owncloudssm.JoinMsg{Doc: "d", Client: "c"}, &join)
+	if join.Snapshot != "v1" {
+		t.Fatalf("stale fault: %+v", join)
+	}
+}
+
+func TestDocumentsIsolated(t *testing.T) {
+	s := NewServer()
+	do(t, s, "/owncloud/push", owncloudssm.PushMsg{Doc: "d1", Client: "a", Ops: []string{"x"}}, nil)
+	var sync owncloudssm.SyncRsp
+	do(t, s, "/owncloud/sync", owncloudssm.SyncMsg{Doc: "d2", Client: "b", Since: 0}, &sync)
+	if sync.Seq != 0 || len(sync.Ops) != 0 {
+		t.Fatalf("documents leaked: %+v", sync)
+	}
+	if got := s.Ops("d1"); len(got) != 1 {
+		t.Fatalf("Ops = %v", got)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	s := NewServer()
+	if rsp := s.Handler().Handle(httpparse.NewRequest("POST", "/owncloud/push", []byte("not json"))); rsp.Status != 400 {
+		t.Fatalf("bad json -> %d", rsp.Status)
+	}
+	if rsp := s.Handler().Handle(httpparse.NewRequest("GET", "/owncloud/push", nil)); rsp.Status != 404 {
+		t.Fatalf("GET -> %d", rsp.Status)
+	}
+	if rsp := s.Handler().Handle(httpparse.NewRequest("POST", "/owncloud/unknown", []byte("{}"))); rsp.Status != 404 {
+		t.Fatalf("unknown endpoint -> %d", rsp.Status)
+	}
+}

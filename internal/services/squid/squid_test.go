@@ -1,0 +1,146 @@
+package squid
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"libseal/internal/asyncall"
+	"libseal/internal/httpparse"
+	"libseal/internal/netsim"
+	"libseal/internal/services/apache"
+	"libseal/internal/testutil"
+	"libseal/internal/tlsterm"
+)
+
+// proxySetup wires client -> squid -> origin with configurable terminators.
+type proxySetup struct {
+	nw     *netsim.Network
+	env    *testutil.CertEnv
+	origin *apache.Server
+	proxy  *Proxy
+}
+
+func newProxySetup(t *testing.T, term func(*testutil.CertEnv) tlsterm.Terminator, upstreamLatency time.Duration) *proxySetup {
+	t.Helper()
+	env, err := testutil.NewCertEnv("origin.test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := netsim.NewNetwork()
+	if upstreamLatency > 0 {
+		nw.SetLink("origin:443", netsim.LinkConfig{Latency: upstreamLatency})
+	}
+
+	// TLS origin server.
+	originListener, _ := nw.Listen("origin:443")
+	origin, _ := apache.New(apache.Config{
+		Terminator: tlsterm.NewNativeTerminator(env.ServerConfig()),
+		Handler: apache.HandlerFunc(func(req *httpparse.Request) *httpparse.Response {
+			return httpparse.NewResponse(200, []byte("origin:"+req.Path))
+		}),
+		KeepAlive: true,
+	})
+	go origin.Serve(originListener)
+	t.Cleanup(origin.Close)
+
+	// Squid proxy: terminates client TLS, opens its own TLS to the origin.
+	proxyListener, _ := nw.Listen("squid:3128")
+	proxy, err := New(Config{
+		Terminator:  term(env),
+		Dial:        func() (net.Conn, error) { return nw.Dial("origin:443") },
+		UpstreamTLS: &tlsterm.ClientConfig{Roots: env.Pool, ServerName: "origin.test"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go proxy.Serve(proxyListener)
+	t.Cleanup(proxy.Close)
+
+	return &proxySetup{nw: nw, env: env, origin: origin, proxy: proxy}
+}
+
+func (ps *proxySetup) client(persistent bool) *testutil.HTTPClient {
+	// The paper's Dropbox clients disable certificate verification for the
+	// proxy-terminated leg (§6.4).
+	return testutil.NewHTTPClient(func() (net.Conn, error) { return ps.nw.Dial("squid:3128") },
+		&tlsterm.ClientConfig{InsecureSkipVerify: true}, persistent)
+}
+
+func TestRelayThroughTwoTLSHops(t *testing.T) {
+	ps := newProxySetup(t, func(env *testutil.CertEnv) tlsterm.Terminator {
+		return tlsterm.NewNativeTerminator(env.ServerConfig())
+	}, 0)
+	client := ps.client(true)
+	defer client.Close()
+	rsp, err := client.Do(httpparse.NewRequest("GET", "/file", nil))
+	if err != nil || string(rsp.Body) != "origin:/file" {
+		t.Fatalf("rsp = %v, %v", rsp, err)
+	}
+	if ps.proxy.RelayedBytes() == 0 {
+		t.Fatal("no bytes relayed")
+	}
+}
+
+func TestRelayWithLibSEALTerminator(t *testing.T) {
+	_, bridge, err := testutil.NewBridge(testutil.BridgeOptions{Mode: asyncall.ModeSync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bridge.Close()
+	ps := newProxySetup(t, func(env *testutil.CertEnv) tlsterm.Terminator {
+		lib, err := tlsterm.NewLibrary(bridge, tlsterm.LibraryConfig{
+			Cert: env.Cert, Key: env.Key, Opts: tlsterm.AllOptimizations(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lib.Terminator()
+	}, 0)
+	client := ps.client(true)
+	rsp, err := client.Do(httpparse.NewRequest("GET", "/x", nil))
+	if err != nil || string(rsp.Body) != "origin:/x" {
+		t.Fatalf("rsp = %v, %v", rsp, err)
+	}
+	client.Close()
+}
+
+func TestWANLatencyPaid(t *testing.T) {
+	const oneWay = 20 * time.Millisecond
+	ps := newProxySetup(t, func(env *testutil.CertEnv) tlsterm.Terminator {
+		return tlsterm.NewNativeTerminator(env.ServerConfig())
+	}, oneWay)
+	client := ps.client(true)
+	defer client.Close()
+	// First request includes the upstream handshake (2+ RTTs).
+	if _, err := client.Do(httpparse.NewRequest("GET", "/warm", nil)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := client.Do(httpparse.NewRequest("GET", "/timed", nil)); err != nil {
+		t.Fatal(err)
+	}
+	if rtt := time.Since(start); rtt < 2*oneWay {
+		t.Fatalf("request rtt = %v, want >= %v over the WAN link", rtt, 2*oneWay)
+	}
+}
+
+func TestMultipleSequentialConnections(t *testing.T) {
+	ps := newProxySetup(t, func(env *testutil.CertEnv) tlsterm.Terminator {
+		return tlsterm.NewNativeTerminator(env.ServerConfig())
+	}, 0)
+	for i := 0; i < 3; i++ {
+		client := ps.client(false)
+		rsp, err := client.Do(httpparse.NewRequest("GET", "/n", nil))
+		if err != nil || rsp.Status != 200 {
+			t.Fatalf("conn %d: %v %v", i, rsp, err)
+		}
+		client.Close()
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}

@@ -1,0 +1,480 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Common errors.
+var (
+	ErrNoSuchTable  = errors.New("sqldb: no such table")
+	ErrTableExists  = errors.New("sqldb: table already exists")
+	ErrNoSuchColumn = errors.New("sqldb: no such column")
+)
+
+// Table holds rows in insertion order.
+type Table struct {
+	Name string
+	Cols []ColumnDef
+	Rows [][]Value
+}
+
+func (t *Table) colIndex(name string) int {
+	for i, c := range t.Cols {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// View is a named stored SELECT.
+type View struct {
+	Name   string
+	Select *SelectStmt
+}
+
+// DB is an in-memory relational database. All methods are safe for
+// concurrent use; writers exclude readers.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	views  map[string]*View
+}
+
+// New creates an empty database.
+func New() *DB {
+	return &DB{
+		tables: make(map[string]*Table),
+		views:  make(map[string]*View),
+	}
+}
+
+// Result is the outcome of a query.
+type Result struct {
+	Columns []string
+	Rows    [][]Value
+}
+
+// Empty reports whether the result has no rows.
+func (r *Result) Empty() bool { return len(r.Rows) == 0 }
+
+// Stmt is a prepared statement that can be executed repeatedly without
+// re-parsing.
+type Stmt struct {
+	db *DB
+	st Statement
+}
+
+// Prepare parses a statement for repeated execution.
+func (db *DB) Prepare(sql string) (*Stmt, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{db: db, st: st}, nil
+}
+
+// Exec runs the prepared statement with the given parameters and returns the
+// number of rows affected (for writes) or returned (for queries).
+func (s *Stmt) Exec(args ...any) (int, error) {
+	res, n, err := s.db.run(s.st, args)
+	if err != nil {
+		return 0, err
+	}
+	if res != nil {
+		return len(res.Rows), nil
+	}
+	return n, nil
+}
+
+// Query runs the prepared statement, which must be a SELECT.
+func (s *Stmt) Query(args ...any) (*Result, error) {
+	res, _, err := s.db.run(s.st, args)
+	if err != nil {
+		return nil, err
+	}
+	if res == nil {
+		return nil, fmt.Errorf("sqldb: statement is not a query")
+	}
+	return res, nil
+}
+
+// Exec parses and runs one or more semicolon-separated statements, returning
+// the total number of affected rows. Parameters apply in order across the
+// script.
+func (db *DB) Exec(sql string, args ...any) (int, error) {
+	stmts, err := ParseAll(sql)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, st := range stmts {
+		_, n, err := db.run(st, args)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// Query parses and runs a single SELECT.
+func (db *DB) Query(sql string, args ...any) (*Result, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	res, _, err := db.run(st, args)
+	if err != nil {
+		return nil, err
+	}
+	if res == nil {
+		return nil, fmt.Errorf("sqldb: statement is not a query")
+	}
+	return res, nil
+}
+
+// run dispatches a parsed statement. It returns a Result for queries, or an
+// affected-row count for writes.
+func (db *DB) run(st Statement, args []any) (*Result, int, error) {
+	params := make([]Value, len(args))
+	for i, a := range args {
+		v, err := FromGo(a)
+		if err != nil {
+			return nil, 0, err
+		}
+		params[i] = v
+	}
+	switch s := st.(type) {
+	case *SelectStmt:
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		ev := &evaluator{db: db, params: params}
+		res, err := ev.execSelect(s, nil)
+		return res, 0, err
+	case *CreateTableStmt:
+		return nil, 0, db.createTable(s)
+	case *CreateViewStmt:
+		return nil, 0, db.createView(s)
+	case *DropStmt:
+		return nil, 0, db.drop(s)
+	case *InsertStmt:
+		n, err := db.insert(s, params)
+		return nil, n, err
+	case *UpdateStmt:
+		n, err := db.update(s, params)
+		return nil, n, err
+	case *DeleteStmt:
+		n, err := db.delete(s, params)
+		return nil, n, err
+	default:
+		return nil, 0, fmt.Errorf("sqldb: unsupported statement %T", st)
+	}
+}
+
+func (db *DB) createTable(s *CreateTableStmt) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(s.Name)
+	if _, ok := db.tables[key]; ok {
+		if s.IfNotExists {
+			return nil
+		}
+		return fmt.Errorf("%w: %s", ErrTableExists, s.Name)
+	}
+	if _, ok := db.views[key]; ok {
+		return fmt.Errorf("%w: %s (as view)", ErrTableExists, s.Name)
+	}
+	seen := map[string]bool{}
+	for _, c := range s.Cols {
+		lc := strings.ToLower(c.Name)
+		if seen[lc] {
+			return fmt.Errorf("sqldb: duplicate column %s", c.Name)
+		}
+		seen[lc] = true
+	}
+	db.tables[key] = &Table{Name: s.Name, Cols: s.Cols}
+	return nil
+}
+
+func (db *DB) createView(s *CreateViewStmt) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(s.Name)
+	if _, ok := db.views[key]; ok {
+		if s.IfNotExists {
+			return nil
+		}
+		return fmt.Errorf("%w: %s", ErrTableExists, s.Name)
+	}
+	if _, ok := db.tables[key]; ok {
+		return fmt.Errorf("%w: %s (as table)", ErrTableExists, s.Name)
+	}
+	db.views[key] = &View{Name: s.Name, Select: s.Select}
+	return nil
+}
+
+func (db *DB) drop(s *DropStmt) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(s.Name)
+	if s.View {
+		if _, ok := db.views[key]; !ok {
+			if s.IfExists {
+				return nil
+			}
+			return fmt.Errorf("%w: view %s", ErrNoSuchTable, s.Name)
+		}
+		delete(db.views, key)
+		return nil
+	}
+	if _, ok := db.tables[key]; !ok {
+		if s.IfExists {
+			return nil
+		}
+		return fmt.Errorf("%w: %s", ErrNoSuchTable, s.Name)
+	}
+	delete(db.tables, key)
+	return nil
+}
+
+// applyAffinity coerces a value according to the column's declared type,
+// following SQLite's affinity rules closely enough for audit-log use.
+func applyAffinity(v Value, t Kind) Value {
+	if v.IsNull() {
+		return v
+	}
+	switch t {
+	case KindInt:
+		switch v.kind {
+		case KindInt:
+			return v
+		case KindFloat:
+			if v.f == float64(int64(v.f)) {
+				return Int(int64(v.f))
+			}
+			return v
+		case KindText:
+			s := strings.TrimSpace(v.s)
+			var n int64
+			if _, err := fmt.Sscanf(s, "%d", &n); err == nil && fmt.Sprintf("%d", n) == s {
+				return Int(n)
+			}
+			return v
+		}
+	case KindFloat:
+		switch v.kind {
+		case KindInt:
+			return Float(float64(v.i))
+		case KindFloat:
+			return v
+		}
+	case KindText:
+		switch v.kind {
+		case KindInt, KindFloat:
+			return Text(v.TextVal())
+		}
+	}
+	return v
+}
+
+func (db *DB) insert(s *InsertStmt, params []Value) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[strings.ToLower(s.Table)]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoSuchTable, s.Table)
+	}
+	// Map the statement's column list to table indices.
+	idx := make([]int, 0, len(t.Cols))
+	if len(s.Cols) == 0 {
+		for i := range t.Cols {
+			idx = append(idx, i)
+		}
+	} else {
+		for _, name := range s.Cols {
+			ci := t.colIndex(name)
+			if ci < 0 {
+				return 0, fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, s.Table, name)
+			}
+			idx = append(idx, ci)
+		}
+	}
+	ev := &evaluator{db: db, params: params}
+
+	var sourceRows [][]Value
+	if s.Select != nil {
+		res, err := ev.execSelect(s.Select, nil)
+		if err != nil {
+			return 0, err
+		}
+		sourceRows = res.Rows
+	} else {
+		for _, exprs := range s.Rows {
+			row := make([]Value, len(exprs))
+			for i, e := range exprs {
+				v, err := ev.eval(e, nil)
+				if err != nil {
+					return 0, err
+				}
+				row[i] = v
+			}
+			sourceRows = append(sourceRows, row)
+		}
+	}
+	inserted := 0
+	for _, src := range sourceRows {
+		if len(src) != len(idx) {
+			return inserted, fmt.Errorf("sqldb: %d values for %d columns", len(src), len(idx))
+		}
+		row := make([]Value, len(t.Cols))
+		for i := range row {
+			row[i] = Null()
+		}
+		for i, ci := range idx {
+			row[ci] = applyAffinity(src[i], t.Cols[ci].Type)
+		}
+		t.Rows = append(t.Rows, row)
+		inserted++
+	}
+	return inserted, nil
+}
+
+// tableScope builds the evaluation scope for a single table's row.
+func tableScope(t *Table, row []Value) *rowScope {
+	cols := make([]scopeCol, len(t.Cols))
+	alias := strings.ToLower(t.Name)
+	for i, c := range t.Cols {
+		cols[i] = scopeCol{table: alias, name: strings.ToLower(c.Name)}
+	}
+	return &rowScope{cols: cols, row: row}
+}
+
+func (db *DB) update(s *UpdateStmt, params []Value) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[strings.ToLower(s.Table)]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoSuchTable, s.Table)
+	}
+	setIdx := make([]int, len(s.Set))
+	for i, a := range s.Set {
+		ci := t.colIndex(a.Col)
+		if ci < 0 {
+			return 0, fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, s.Table, a.Col)
+		}
+		setIdx[i] = ci
+	}
+	ev := &evaluator{db: db, params: params, nocache: true}
+	updated := 0
+	for ri, row := range t.Rows {
+		scope := tableScope(t, row)
+		if s.Where != nil {
+			v, err := ev.eval(s.Where, scope)
+			if err != nil {
+				return updated, err
+			}
+			if truth, _ := v.Truth(); !truth {
+				continue
+			}
+		}
+		newRow := append([]Value(nil), row...)
+		for i, a := range s.Set {
+			v, err := ev.eval(a.Expr, scope)
+			if err != nil {
+				return updated, err
+			}
+			newRow[setIdx[i]] = applyAffinity(v, t.Cols[setIdx[i]].Type)
+		}
+		t.Rows[ri] = newRow
+		updated++
+	}
+	return updated, nil
+}
+
+func (db *DB) delete(s *DeleteStmt, params []Value) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[strings.ToLower(s.Table)]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoSuchTable, s.Table)
+	}
+	ev := &evaluator{db: db, params: params}
+	// Evaluate the predicate over the unmodified table first so subqueries
+	// against the same table (as in LibSEAL's trimming queries) see a
+	// consistent snapshot.
+	keep := t.Rows[:0:0]
+	deleted := 0
+	var marks []bool
+	if s.Where != nil {
+		marks = make([]bool, len(t.Rows))
+		for ri, row := range t.Rows {
+			v, err := ev.eval(s.Where, tableScope(t, row))
+			if err != nil {
+				return 0, err
+			}
+			truth, _ := v.Truth()
+			marks[ri] = truth
+		}
+	}
+	for ri, row := range t.Rows {
+		if s.Where == nil || marks[ri] {
+			deleted++
+			continue
+		}
+		keep = append(keep, row)
+	}
+	t.Rows = keep
+	return deleted, nil
+}
+
+// Tables lists the table names in the database.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		out = append(out, t.Name)
+	}
+	return out
+}
+
+// TableColumns returns a table's column definitions.
+func (db *DB) TableColumns(name string) ([]ColumnDef, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, name)
+	}
+	return append([]ColumnDef(nil), t.Cols...), nil
+}
+
+// TableRows returns a copy of a table's rows in storage order.
+func (db *DB) TableRows(name string) ([][]Value, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, name)
+	}
+	out := make([][]Value, len(t.Rows))
+	for i, r := range t.Rows {
+		out[i] = append([]Value(nil), r...)
+	}
+	return out, nil
+}
+
+// TableRowCount returns the number of rows in a table.
+func (db *DB) TableRowCount(name string) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoSuchTable, name)
+	}
+	return len(t.Rows), nil
+}

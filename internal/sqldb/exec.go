@@ -1,0 +1,723 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// execSelect runs a (possibly compound) SELECT. outer is the enclosing row
+// scope for correlated subqueries, nil at top level.
+func (ev *evaluator) execSelect(st *SelectStmt, outer *rowScope) (*Result, error) {
+	if len(st.Compound) == 0 {
+		return ev.execCore(st, outer, true)
+	}
+	left, err := ev.execCore(st, outer, false)
+	if err != nil {
+		return nil, err
+	}
+	for _, part := range st.Compound {
+		right, err := ev.execCore(part.Select, outer, false)
+		if err != nil {
+			return nil, err
+		}
+		if len(right.Columns) != len(left.Columns) {
+			return nil, fmt.Errorf("sqldb: compound SELECTs have different column counts (%d vs %d)",
+				len(left.Columns), len(right.Columns))
+		}
+		left.Rows = combineCompound(part.Op, left.Rows, right.Rows)
+	}
+	if err := ev.orderResultRows(st, left); err != nil {
+		return nil, err
+	}
+	if err := ev.applyLimit(st, left); err != nil {
+		return nil, err
+	}
+	return left, nil
+}
+
+func rowKey(row []Value) string {
+	var sb strings.Builder
+	for _, v := range row {
+		v.groupKey(&sb)
+	}
+	return sb.String()
+}
+
+func combineCompound(op CompoundOp, left, right [][]Value) [][]Value {
+	switch op {
+	case CompoundUnionAll:
+		return append(left, right...)
+	case CompoundUnion:
+		seen := map[string]bool{}
+		var out [][]Value
+		for _, r := range append(left, right...) {
+			k := rowKey(r)
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, r)
+			}
+		}
+		return out
+	case CompoundExcept:
+		drop := map[string]bool{}
+		for _, r := range right {
+			drop[rowKey(r)] = true
+		}
+		seen := map[string]bool{}
+		var out [][]Value
+		for _, r := range left {
+			k := rowKey(r)
+			if !drop[k] && !seen[k] {
+				seen[k] = true
+				out = append(out, r)
+			}
+		}
+		return out
+	case CompoundIntersect:
+		keep := map[string]bool{}
+		for _, r := range right {
+			keep[rowKey(r)] = true
+		}
+		seen := map[string]bool{}
+		var out [][]Value
+		for _, r := range left {
+			k := rowKey(r)
+			if keep[k] && !seen[k] {
+				seen[k] = true
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	return left
+}
+
+// orderResultRows sorts a compound result; keys may only reference output
+// columns by alias/name or 1-based index.
+func (ev *evaluator) orderResultRows(st *SelectStmt, res *Result) error {
+	if len(st.OrderBy) == 0 {
+		return nil
+	}
+	idxs := make([]int, len(st.OrderBy))
+	for i, key := range st.OrderBy {
+		switch k := key.Expr.(type) {
+		case *ColExpr:
+			found := -1
+			for ci, name := range res.Columns {
+				if strings.EqualFold(name, k.Name) {
+					found = ci
+					break
+				}
+			}
+			if found < 0 {
+				return fmt.Errorf("%w: ORDER BY %s", ErrNoSuchColumn, k.Name)
+			}
+			idxs[i] = found
+		case *Literal:
+			n := int(k.Val.Int64())
+			if n < 1 || n > len(res.Columns) {
+				return fmt.Errorf("sqldb: ORDER BY position %d out of range", n)
+			}
+			idxs[i] = n - 1
+		default:
+			return fmt.Errorf("sqldb: compound ORDER BY must use column names or positions")
+		}
+	}
+	sort.SliceStable(res.Rows, func(a, b int) bool {
+		for i, ci := range idxs {
+			c := Compare(res.Rows[a][ci], res.Rows[b][ci])
+			if st.OrderBy[i].Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return nil
+}
+
+func (ev *evaluator) applyLimit(st *SelectStmt, res *Result) error {
+	if st.Limit == nil {
+		return nil
+	}
+	lv, err := ev.eval(st.Limit, nil)
+	if err != nil {
+		return err
+	}
+	limit := int(lv.Int64())
+	offset := 0
+	if st.Offset != nil {
+		ov, err := ev.eval(st.Offset, nil)
+		if err != nil {
+			return err
+		}
+		offset = int(ov.Int64())
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	if offset >= len(res.Rows) {
+		res.Rows = nil
+		return nil
+	}
+	res.Rows = res.Rows[offset:]
+	if limit >= 0 && limit < len(res.Rows) {
+		res.Rows = res.Rows[:limit]
+	}
+	return nil
+}
+
+// projected carries one output row plus its sort keys.
+type projected struct {
+	out  []Value
+	keys []Value
+}
+
+// execCore runs a single non-compound SELECT body.
+func (ev *evaluator) execCore(st *SelectStmt, outer *rowScope, applyOrderLimit bool) (*Result, error) {
+	var cols []scopeCol
+	var rows [][]Value
+	if st.From != nil {
+		var err error
+		cols, rows, err = ev.evalTableExpr(st.From, outer)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		rows = [][]Value{{}}
+	}
+
+	// Validate column references at this query level eagerly so that a bad
+	// query fails even over an empty table. Subquery bodies are validated
+	// when they execute.
+	validate := func(e Expr) error { return validateCols(e, cols, outer) }
+	for _, item := range st.Items {
+		if !item.Star {
+			if err := validate(item.Expr); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := validate(st.Where); err != nil {
+		return nil, err
+	}
+	for _, ge := range st.GroupBy {
+		if err := validate(ge); err != nil {
+			return nil, err
+		}
+	}
+	if err := validate(st.Having); err != nil {
+		return nil, err
+	}
+
+	// WHERE filter.
+	if st.Where != nil {
+		filtered := rows[:0:0]
+		for _, row := range rows {
+			s := &rowScope{cols: cols, row: row, parent: outer}
+			v, err := ev.eval(st.Where, s)
+			if err != nil {
+				return nil, err
+			}
+			if truth, _ := v.Truth(); truth {
+				filtered = append(filtered, row)
+			}
+		}
+		rows = filtered
+	}
+
+	aggregated := len(st.GroupBy) > 0 || st.Having != nil
+	if !aggregated {
+		for _, item := range st.Items {
+			if item.Expr != nil && hasAggregate(item.Expr) {
+				aggregated = true
+				break
+			}
+		}
+	}
+	if !aggregated {
+		for _, k := range st.OrderBy {
+			if hasAggregate(k.Expr) {
+				aggregated = true
+				break
+			}
+		}
+	}
+
+	// Expand the select list into concrete expressions and column names.
+	type projItem struct {
+		expr  Expr
+		name  string
+		alias string
+	}
+	var items []projItem
+	for _, item := range st.Items {
+		if item.Star {
+			want := strings.ToLower(item.StarTable)
+			matched := false
+			for _, c := range cols {
+				if want != "" && c.table != want {
+					continue
+				}
+				matched = true
+				items = append(items, projItem{
+					expr: &ColExpr{Table: c.table, Name: c.name},
+					name: c.name,
+				})
+			}
+			if want != "" && !matched {
+				return nil, fmt.Errorf("%w: %s.*", ErrNoSuchTable, item.StarTable)
+			}
+			continue
+		}
+		name := item.Alias
+		if name == "" {
+			if ce, ok := item.Expr.(*ColExpr); ok {
+				name = ce.Name
+			} else {
+				name = exprName(item.Expr)
+			}
+		}
+		items = append(items, projItem{expr: item.Expr, name: name, alias: item.Alias})
+	}
+	columns := make([]string, len(items))
+	for i, it := range items {
+		columns[i] = it.name
+	}
+
+	// Resolve ORDER BY keys: select-list aliases and 1-based positions map
+	// to projected columns; anything else evaluates in the source scope.
+	type orderPlan struct {
+		colIdx int // >= 0: use projected column
+		expr   Expr
+		desc   bool
+	}
+	var plans []orderPlan
+	if applyOrderLimit {
+		for _, key := range st.OrderBy {
+			plan := orderPlan{colIdx: -1, expr: key.Expr, desc: key.Desc}
+			switch k := key.Expr.(type) {
+			case *ColExpr:
+				if k.Table == "" {
+					for ci, it := range items {
+						if it.alias != "" && strings.EqualFold(it.alias, k.Name) {
+							plan.colIdx = ci
+							break
+						}
+					}
+				}
+			case *Literal:
+				if k.Val.Kind() == KindInt {
+					n := int(k.Val.Int64())
+					if n < 1 || n > len(items) {
+						return nil, fmt.Errorf("sqldb: ORDER BY position %d out of range", n)
+					}
+					plan.colIdx = n - 1
+				}
+			}
+			plans = append(plans, plan)
+		}
+	}
+
+	project := func(s *rowScope) (*projected, error) {
+		p := &projected{out: make([]Value, len(items))}
+		for i, it := range items {
+			v, err := ev.eval(it.expr, s)
+			if err != nil {
+				return nil, err
+			}
+			p.out[i] = v
+		}
+		for _, plan := range plans {
+			if plan.colIdx >= 0 {
+				p.keys = append(p.keys, p.out[plan.colIdx])
+				continue
+			}
+			v, err := ev.eval(plan.expr, s)
+			if err != nil {
+				return nil, err
+			}
+			p.keys = append(p.keys, v)
+		}
+		return p, nil
+	}
+
+	var projRows []*projected
+	if aggregated {
+		groups, order, err := ev.groupRows(st.GroupBy, cols, rows, outer)
+		if err != nil {
+			return nil, err
+		}
+		for _, gk := range order {
+			group := groups[gk]
+			rep := make([]Value, len(cols))
+			for i := range rep {
+				rep[i] = Null()
+			}
+			if len(group) > 0 {
+				rep = group[0]
+			}
+			s := &rowScope{cols: cols, row: rep, parent: outer, grouped: true, group: group}
+			if st.Having != nil {
+				hv, err := ev.eval(st.Having, s)
+				if err != nil {
+					return nil, err
+				}
+				if truth, _ := hv.Truth(); !truth {
+					continue
+				}
+			}
+			p, err := project(s)
+			if err != nil {
+				return nil, err
+			}
+			projRows = append(projRows, p)
+		}
+	} else {
+		for _, row := range rows {
+			s := &rowScope{cols: cols, row: row, parent: outer}
+			p, err := project(s)
+			if err != nil {
+				return nil, err
+			}
+			projRows = append(projRows, p)
+		}
+	}
+
+	if st.Distinct {
+		seen := map[string]bool{}
+		dedup := projRows[:0:0]
+		for _, p := range projRows {
+			k := rowKey(p.out)
+			if !seen[k] {
+				seen[k] = true
+				dedup = append(dedup, p)
+			}
+		}
+		projRows = dedup
+	}
+
+	if applyOrderLimit && len(plans) > 0 {
+		sort.SliceStable(projRows, func(a, b int) bool {
+			for i := range plans {
+				c := Compare(projRows[a].keys[i], projRows[b].keys[i])
+				if plans[i].desc {
+					c = -c
+				}
+				if c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+	}
+
+	res := &Result{Columns: columns}
+	for _, p := range projRows {
+		res.Rows = append(res.Rows, p.out)
+	}
+	if applyOrderLimit {
+		if err := ev.applyLimit(st, res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// groupRows partitions rows by the GROUP BY key expressions, preserving
+// first-seen order. With no GROUP BY it forms a single group containing all
+// rows (possibly zero, for global aggregates over empty inputs).
+func (ev *evaluator) groupRows(groupBy []Expr, cols []scopeCol, rows [][]Value, outer *rowScope) (map[string][][]Value, []string, error) {
+	groups := make(map[string][][]Value)
+	var order []string
+	if len(groupBy) == 0 {
+		groups[""] = rows
+		return groups, []string{""}, nil
+	}
+	for _, row := range rows {
+		s := &rowScope{cols: cols, row: row, parent: outer}
+		var sb strings.Builder
+		for _, ge := range groupBy {
+			v, err := ev.eval(ge, s)
+			if err != nil {
+				return nil, nil, err
+			}
+			v.groupKey(&sb)
+		}
+		k := sb.String()
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], row)
+	}
+	return groups, order, nil
+}
+
+// evalTableExpr materialises a FROM source into a scope-column list and
+// row set.
+func (ev *evaluator) evalTableExpr(te TableExpr, outer *rowScope) ([]scopeCol, [][]Value, error) {
+	switch t := te.(type) {
+	case *TableName:
+		key := strings.ToLower(t.Name)
+		alias := strings.ToLower(t.Alias)
+		if alias == "" {
+			alias = key
+		}
+		if tbl, ok := ev.db.tables[key]; ok {
+			cols := make([]scopeCol, len(tbl.Cols))
+			for i, c := range tbl.Cols {
+				cols[i] = scopeCol{table: alias, name: strings.ToLower(c.Name)}
+			}
+			return cols, tbl.Rows, nil
+		}
+		if view, ok := ev.db.views[key]; ok {
+			res, err := ev.execSelect(view.Select, nil)
+			if err != nil {
+				return nil, nil, fmt.Errorf("sqldb: view %s: %w", view.Name, err)
+			}
+			cols := make([]scopeCol, len(res.Columns))
+			for i, name := range res.Columns {
+				cols[i] = scopeCol{table: alias, name: strings.ToLower(name)}
+			}
+			return cols, res.Rows, nil
+		}
+		return nil, nil, fmt.Errorf("%w: %s", ErrNoSuchTable, t.Name)
+
+	case *SubqueryTable:
+		res, err := ev.execSelect(t.Select, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		alias := strings.ToLower(t.Alias)
+		cols := make([]scopeCol, len(res.Columns))
+		for i, name := range res.Columns {
+			cols[i] = scopeCol{table: alias, name: strings.ToLower(name)}
+		}
+		return cols, res.Rows, nil
+
+	case *JoinExpr:
+		return ev.evalJoin(t, outer)
+	}
+	return nil, nil, fmt.Errorf("sqldb: unsupported FROM clause %T", te)
+}
+
+func (ev *evaluator) evalJoin(j *JoinExpr, outer *rowScope) ([]scopeCol, [][]Value, error) {
+	lcols, lrows, err := ev.evalTableExpr(j.Left, outer)
+	if err != nil {
+		return nil, nil, err
+	}
+	rcols, rrows, err := ev.evalTableExpr(j.Right, outer)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	if j.Natural {
+		return ev.evalNaturalJoin(j.Kind, lcols, lrows, rcols, rrows)
+	}
+
+	cols := append(append([]scopeCol{}, lcols...), rcols...)
+	var out [][]Value
+	for _, lr := range lrows {
+		matched := false
+		for _, rr := range rrows {
+			row := make([]Value, 0, len(lr)+len(rr))
+			row = append(row, lr...)
+			row = append(row, rr...)
+			if j.On != nil {
+				s := &rowScope{cols: cols, row: row, parent: outer}
+				v, err := ev.eval(j.On, s)
+				if err != nil {
+					return nil, nil, err
+				}
+				if truth, _ := v.Truth(); !truth {
+					continue
+				}
+			}
+			matched = true
+			out = append(out, row)
+		}
+		if j.Kind == JoinLeft && !matched {
+			row := make([]Value, 0, len(lr)+len(rcols))
+			row = append(row, lr...)
+			for range rcols {
+				row = append(row, Null())
+			}
+			out = append(out, row)
+		}
+	}
+	return cols, out, nil
+}
+
+// evalNaturalJoin joins on equality of all identically named columns; the
+// shared columns appear once in the output (taken from the left side).
+func (ev *evaluator) evalNaturalJoin(kind JoinKind, lcols []scopeCol, lrows [][]Value, rcols []scopeCol, rrows [][]Value) ([]scopeCol, [][]Value, error) {
+	type pair struct{ li, ri int }
+	var common []pair
+	rightDrop := make([]bool, len(rcols))
+	for ri, rc := range rcols {
+		for li, lc := range lcols {
+			if lc.name == rc.name {
+				common = append(common, pair{li, ri})
+				rightDrop[ri] = true
+				break
+			}
+		}
+	}
+	cols := append([]scopeCol{}, lcols...)
+	for ri, rc := range rcols {
+		if !rightDrop[ri] {
+			cols = append(cols, rc)
+		}
+	}
+	var out [][]Value
+	for _, lr := range lrows {
+		matched := false
+		for _, rr := range rrows {
+			ok := true
+			for _, p := range common {
+				cmp, known := CompareSQL(lr[p.li], rr[p.ri])
+				if !known || cmp != 0 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			matched = true
+			row := append([]Value{}, lr...)
+			for ri, v := range rr {
+				if !rightDrop[ri] {
+					row = append(row, v)
+				}
+			}
+			out = append(out, row)
+		}
+		if kind == JoinLeft && !matched {
+			row := append([]Value{}, lr...)
+			for ri := range rcols {
+				if !rightDrop[ri] {
+					row = append(row, Null())
+				}
+			}
+			out = append(out, row)
+		}
+	}
+	return cols, out, nil
+}
+
+// validateCols checks that every column reference in e (not descending into
+// subqueries) resolves in the given scope columns or an outer scope.
+func validateCols(e Expr, cols []scopeCol, outer *rowScope) error {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *ColExpr:
+		table := strings.ToLower(x.Table)
+		name := strings.ToLower(x.Name)
+		probe := &rowScope{cols: cols, parent: outer}
+		for sc := probe; sc != nil; sc = sc.parent {
+			idx, err := sc.lookup(table, name)
+			if err != nil {
+				return err
+			}
+			if idx >= 0 {
+				return nil
+			}
+		}
+		if x.Table != "" {
+			return fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, x.Table, x.Name)
+		}
+		return fmt.Errorf("%w: %s", ErrNoSuchColumn, x.Name)
+	case *Unary:
+		return validateCols(x.X, cols, outer)
+	case *Binary:
+		if err := validateCols(x.L, cols, outer); err != nil {
+			return err
+		}
+		return validateCols(x.R, cols, outer)
+	case *FuncCall:
+		for _, a := range x.Args {
+			if err := validateCols(a, cols, outer); err != nil {
+				return err
+			}
+		}
+	case *IsNullExpr:
+		return validateCols(x.X, cols, outer)
+	case *BetweenExpr:
+		for _, sub := range []Expr{x.X, x.Lo, x.Hi} {
+			if err := validateCols(sub, cols, outer); err != nil {
+				return err
+			}
+		}
+	case *LikeExpr:
+		if err := validateCols(x.X, cols, outer); err != nil {
+			return err
+		}
+		return validateCols(x.Pattern, cols, outer)
+	case *InExpr:
+		if err := validateCols(x.X, cols, outer); err != nil {
+			return err
+		}
+		for _, le := range x.List {
+			if err := validateCols(le, cols, outer); err != nil {
+				return err
+			}
+		}
+	case *CaseExpr:
+		if err := validateCols(x.Operand, cols, outer); err != nil {
+			return err
+		}
+		for _, w := range x.Whens {
+			if err := validateCols(w.Cond, cols, outer); err != nil {
+				return err
+			}
+			if err := validateCols(w.Result, cols, outer); err != nil {
+				return err
+			}
+		}
+		return validateCols(x.Else, cols, outer)
+	case *CastExpr:
+		return validateCols(x.X, cols, outer)
+	}
+	return nil
+}
+
+// exprName synthesises a result column name for an unnamed expression,
+// approximating SQLite's use of the expression text.
+func exprName(e Expr) string {
+	switch x := e.(type) {
+	case *Literal:
+		return x.Val.String()
+	case *ColExpr:
+		if x.Table != "" {
+			return x.Table + "." + x.Name
+		}
+		return x.Name
+	case *FuncCall:
+		if x.Star {
+			return x.Name + "(*)"
+		}
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = exprName(a)
+		}
+		return x.Name + "(" + strings.Join(args, ",") + ")"
+	case *Binary:
+		return exprName(x.L) + x.Op + exprName(x.R)
+	case *Unary:
+		return x.Op + exprName(x.X)
+	case *SubqueryExpr:
+		return "(subquery)"
+	case *CastExpr:
+		return "CAST(" + exprName(x.X) + ")"
+	case *CaseExpr:
+		return "CASE"
+	case *ParamExpr:
+		return "?"
+	}
+	return "expr"
+}

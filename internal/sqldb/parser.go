@@ -1,0 +1,1081 @@
+package sqldb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type parser struct {
+	toks   []token
+	pos    int
+	params int // running count of `?` placeholders
+}
+
+// Parse parses a single SQL statement (a trailing semicolon is allowed).
+func Parse(sql string) (Statement, error) {
+	stmts, err := ParseAll(sql)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("sqldb: expected one statement, got %d", len(stmts))
+	}
+	return stmts[0], nil
+}
+
+// ParseAll parses a semicolon-separated script.
+func ParseAll(sql string) ([]Statement, error) {
+	toks, err := lexAll(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmts []Statement
+	for {
+		for p.acceptOp(";") {
+		}
+		if p.peek().kind == tkEOF {
+			return stmts, nil
+		}
+		s, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+		if !p.acceptOp(";") && p.peek().kind != tkEOF {
+			return nil, p.errHere("expected ';' or end of input")
+		}
+	}
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) peek2() token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errHere(format string, args ...any) error {
+	t := p.peek()
+	what := t.text
+	if t.kind == tkEOF {
+		what = "end of input"
+	}
+	return fmt.Errorf("sqldb: parse error near %q (offset %d): %s", what, t.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) acceptKw(kw string) bool {
+	if t := p.peek(); t.kind == tkKeyword && t.text == kw {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return p.errHere("expected %s", kw)
+	}
+	return nil
+}
+
+func (p *parser) acceptOp(op string) bool {
+	if t := p.peek(); t.kind == tkOp && t.text == op {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return p.errHere("expected %q", op)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind == tkIdent {
+		p.advance()
+		return t.text, nil
+	}
+	return "", p.errHere("expected identifier")
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	t := p.peek()
+	if t.kind != tkKeyword {
+		return nil, p.errHere("expected statement keyword")
+	}
+	switch t.text {
+	case "SELECT":
+		return p.parseSelect()
+	case "CREATE":
+		return p.parseCreate()
+	case "DROP":
+		return p.parseDrop()
+	case "INSERT":
+		return p.parseInsert()
+	case "UPDATE":
+		return p.parseUpdate()
+	case "DELETE":
+		return p.parseDelete()
+	default:
+		return nil, p.errHere("unsupported statement %s", t.text)
+	}
+}
+
+func (p *parser) parseCreate() (Statement, error) {
+	p.advance() // CREATE
+	switch {
+	case p.acceptKw("TABLE"):
+		st := &CreateTableStmt{}
+		if p.acceptKw("IF") {
+			if err := p.expectKw("NOT"); err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("EXISTS"); err != nil {
+				return nil, err
+			}
+			st.IfNotExists = true
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		st.Name = name
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			def := ColumnDef{Name: col}
+			// Optional type affinity.
+			switch {
+			case p.acceptKw("INTEGER"), p.acceptKw("INT"):
+				def.Type = KindInt
+			case p.acceptKw("TEXT"):
+				def.Type = KindText
+			case p.acceptKw("REAL"):
+				def.Type = KindFloat
+			case p.acceptKw("BLOB"):
+				def.Type = KindBlob
+			}
+			// Accept and ignore common constraints.
+			for {
+				switch {
+				case p.acceptKw("PRIMARY"):
+					if err := p.expectKw("KEY"); err != nil {
+						return nil, err
+					}
+				case p.acceptKw("UNIQUE"):
+				case p.acceptKw("NOT"):
+					if err := p.expectKw("NULL"); err != nil {
+						return nil, err
+					}
+				case p.acceptKw("DEFAULT"):
+					if _, err := p.parsePrimary(); err != nil {
+						return nil, err
+					}
+				default:
+					goto colDone
+				}
+			}
+		colDone:
+			st.Cols = append(st.Cols, def)
+			if p.acceptOp(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return st, nil
+
+	case p.acceptKw("VIEW"):
+		st := &CreateViewStmt{}
+		if p.acceptKw("IF") {
+			if err := p.expectKw("NOT"); err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("EXISTS"); err != nil {
+				return nil, err
+			}
+			st.IfNotExists = true
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		st.Name = name
+		if err := p.expectKw("AS"); err != nil {
+			return nil, err
+		}
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		st.Select = sel
+		return st, nil
+	}
+	return nil, p.errHere("expected TABLE or VIEW after CREATE")
+}
+
+func (p *parser) parseDrop() (Statement, error) {
+	p.advance() // DROP
+	st := &DropStmt{}
+	switch {
+	case p.acceptKw("TABLE"):
+	case p.acceptKw("VIEW"):
+		st.View = true
+	default:
+		return nil, p.errHere("expected TABLE or VIEW after DROP")
+	}
+	if p.acceptKw("IF") {
+		if err := p.expectKw("EXISTS"); err != nil {
+			return nil, err
+		}
+		st.IfExists = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Name = name
+	return st, nil
+}
+
+func (p *parser) parseInsert() (Statement, error) {
+	p.advance() // INSERT
+	if err := p.expectKw("INTO"); err != nil {
+		return nil, err
+	}
+	st := &InsertStmt{}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = name
+	if p.acceptOp("(") {
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			st.Cols = append(st.Cols, col)
+			if p.acceptOp(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	if p.peek().kind == tkKeyword && p.peek().text == "SELECT" {
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		st.Select = sel
+		return st, nil
+	}
+	if err := p.expectKw("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.acceptOp(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		st.Rows = append(st.Rows, row)
+		if p.acceptOp(",") {
+			continue
+		}
+		break
+	}
+	return st, nil
+}
+
+func (p *parser) parseUpdate() (Statement, error) {
+	p.advance() // UPDATE
+	st := &UpdateStmt{}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = name
+	if err := p.expectKw("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Set = append(st.Set, Assign{Col: col, Expr: e})
+		if p.acceptOp(",") {
+			continue
+		}
+		break
+	}
+	if p.acceptKw("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	return st, nil
+}
+
+func (p *parser) parseDelete() (Statement, error) {
+	p.advance() // DELETE
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	st := &DeleteStmt{}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = name
+	if p.acceptKw("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	return st, nil
+}
+
+// parseSelect parses a full select including compound operators and the
+// trailing ORDER BY / LIMIT, which apply to the compound result.
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	st, err := p.parseSelectCore()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op CompoundOp
+		switch {
+		case p.acceptKw("UNION"):
+			if p.acceptKw("ALL") {
+				op = CompoundUnionAll
+			} else {
+				op = CompoundUnion
+			}
+		case p.acceptKw("EXCEPT"):
+			op = CompoundExcept
+		case p.acceptKw("INTERSECT"):
+			op = CompoundIntersect
+		default:
+			goto tail
+		}
+		rhs, err := p.parseSelectCore()
+		if err != nil {
+			return nil, err
+		}
+		st.Compound = append(st.Compound, CompoundPart{Op: op, Select: rhs})
+	}
+tail:
+	if p.acceptKw("ORDER") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			key := OrderKey{Expr: e}
+			if p.acceptKw("DESC") {
+				key.Desc = true
+			} else {
+				p.acceptKw("ASC")
+			}
+			st.OrderBy = append(st.OrderBy, key)
+			if p.acceptOp(",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.acceptKw("LIMIT") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Limit = e
+		if p.acceptKw("OFFSET") {
+			off, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Offset = off
+		} else if p.acceptOp(",") { // LIMIT off, n
+			n, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Offset = st.Limit
+			st.Limit = n
+		}
+	}
+	return st, nil
+}
+
+// parseSelectCore parses one SELECT ... [FROM ... WHERE ... GROUP BY ...
+// HAVING ...] without compound/order/limit tails.
+func (p *parser) parseSelectCore() (*SelectStmt, error) {
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	st := &SelectStmt{}
+	if p.acceptKw("DISTINCT") {
+		st.Distinct = true
+	} else {
+		p.acceptKw("ALL")
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		st.Items = append(st.Items, item)
+		if p.acceptOp(",") {
+			continue
+		}
+		break
+	}
+	if p.acceptKw("FROM") {
+		from, err := p.parseTableExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.From = from
+	}
+	if p.acceptKw("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	if p.acceptKw("GROUP") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.GroupBy = append(st.GroupBy, e)
+			if p.acceptOp(",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.acceptKw("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Having = e
+	}
+	return st, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.acceptOp("*") {
+		return SelectItem{Star: true}, nil
+	}
+	// t.* form: ident '.' '*'
+	if p.peek().kind == tkIdent && p.peek2().kind == tkOp && p.peek2().text == "." {
+		save := p.pos
+		name, _ := p.ident()
+		p.acceptOp(".")
+		if p.acceptOp("*") {
+			return SelectItem{Star: true, StarTable: name}, nil
+		}
+		p.pos = save
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKw("AS") {
+		alias, err := p.ident()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = alias
+	} else if p.peek().kind == tkIdent {
+		item.Alias = p.advance().text
+	}
+	return item, nil
+}
+
+// parseTableExpr parses a FROM clause: sources combined by commas and joins.
+func (p *parser) parseTableExpr() (TableExpr, error) {
+	left, err := p.parseTableSource()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptOp(","):
+			right, err := p.parseTableSource()
+			if err != nil {
+				return nil, err
+			}
+			left = &JoinExpr{Kind: JoinCross, Left: left, Right: right}
+
+		case p.peekJoin():
+			join := &JoinExpr{Left: left}
+			if p.acceptKw("NATURAL") {
+				join.Natural = true
+			}
+			switch {
+			case p.acceptKw("LEFT"):
+				p.acceptKw("OUTER")
+				join.Kind = JoinLeft
+			case p.acceptKw("INNER"):
+				join.Kind = JoinInner
+			case p.acceptKw("CROSS"):
+				join.Kind = JoinCross
+			}
+			if err := p.expectKw("JOIN"); err != nil {
+				return nil, err
+			}
+			right, err := p.parseTableSource()
+			if err != nil {
+				return nil, err
+			}
+			join.Right = right
+			if !join.Natural && join.Kind != JoinCross && p.acceptKw("ON") {
+				on, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				join.On = on
+			} else if join.Kind == JoinInner && !join.Natural && join.On == nil {
+				// JOIN without ON behaves as a cross join.
+				join.Kind = JoinCross
+			}
+			left = join
+
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) peekJoin() bool {
+	t := p.peek()
+	if t.kind != tkKeyword {
+		return false
+	}
+	switch t.text {
+	case "JOIN", "INNER", "LEFT", "CROSS", "NATURAL":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseTableSource() (TableExpr, error) {
+	if p.acceptOp("(") {
+		if p.peek().kind == tkKeyword && p.peek().text == "SELECT" {
+			sel, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			sub := &SubqueryTable{Select: sel}
+			if p.acceptKw("AS") {
+				alias, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				sub.Alias = alias
+			} else if p.peek().kind == tkIdent {
+				sub.Alias = p.advance().text
+			}
+			return sub, nil
+		}
+		// Parenthesised join expression.
+		te, err := p.parseTableExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return te, nil
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	tn := &TableName{Name: name}
+	if p.acceptKw("AS") {
+		alias, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		tn.Alias = alias
+	} else if p.peek().kind == tkIdent {
+		tn.Alias = p.advance().text
+	}
+	return tn, nil
+}
+
+// Expression parsing: precedence climbing.
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: "OR", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		// AND may terminate a BETWEEN, which parseComparison handles; at
+		// this level a bare AND is always a conjunction.
+		if !p.acceptKw("AND") {
+			return left, nil
+		}
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: "AND", L: left, R: right}
+	}
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if t := p.peek(); t.kind == tkKeyword && t.text == "NOT" &&
+		!(p.peek2().kind == tkKeyword && p.peek2().text == "EXISTS") {
+		p.advance()
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "NOT", X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		switch {
+		case t.kind == tkOp && (t.text == "=" || t.text == "!=" || t.text == "<" ||
+			t.text == "<=" || t.text == ">" || t.text == ">="):
+			p.advance()
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			left = &Binary{Op: t.text, L: left, R: right}
+
+		case t.kind == tkKeyword && t.text == "IS":
+			p.advance()
+			not := p.acceptKw("NOT")
+			if err := p.expectKw("NULL"); err != nil {
+				return nil, err
+			}
+			left = &IsNullExpr{X: left, Not: not}
+
+		case t.kind == tkKeyword && (t.text == "IN" || t.text == "LIKE" || t.text == "BETWEEN" || t.text == "NOT"):
+			not := false
+			if t.text == "NOT" {
+				// Only treat NOT as a suffix operator if followed by
+				// IN/LIKE/BETWEEN; otherwise it belongs to an outer NOT.
+				nt := p.peek2()
+				if nt.kind != tkKeyword || (nt.text != "IN" && nt.text != "LIKE" && nt.text != "BETWEEN") {
+					return left, nil
+				}
+				p.advance()
+				not = true
+				t = p.peek()
+			}
+			switch t.text {
+			case "IN":
+				p.advance()
+				in := &InExpr{X: left, Not: not}
+				if err := p.expectOp("("); err != nil {
+					return nil, err
+				}
+				if p.peek().kind == tkKeyword && p.peek().text == "SELECT" {
+					sel, err := p.parseSelect()
+					if err != nil {
+						return nil, err
+					}
+					in.Select = sel
+				} else {
+					for {
+						e, err := p.parseExpr()
+						if err != nil {
+							return nil, err
+						}
+						in.List = append(in.List, e)
+						if p.acceptOp(",") {
+							continue
+						}
+						break
+					}
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				left = in
+			case "LIKE":
+				p.advance()
+				pat, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				left = &LikeExpr{X: left, Pattern: pat, Not: not}
+			case "BETWEEN":
+				p.advance()
+				lo, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectKw("AND"); err != nil {
+					return nil, err
+				}
+				hi, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				left = &BetweenExpr{X: left, Lo: lo, Hi: hi, Not: not}
+			}
+
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tkOp && (t.text == "+" || t.text == "-" || t.text == "||") {
+			p.advance()
+			right, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			left = &Binary{Op: t.text, L: left, R: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tkOp && (t.text == "*" || t.text == "/" || t.text == "%") {
+			p.advance()
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = &Binary{Op: t.text, L: left, R: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.peek()
+	if t.kind == tkOp && (t.text == "-" || t.text == "+") {
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if t.text == "+" {
+			return x, nil
+		}
+		return &Unary{Op: "-", X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tkNumber:
+		p.advance()
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errHere("bad number %q", t.text)
+			}
+			return &Literal{Val: Float(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			f, ferr := strconv.ParseFloat(t.text, 64)
+			if ferr != nil {
+				return nil, p.errHere("bad number %q", t.text)
+			}
+			return &Literal{Val: Float(f)}, nil
+		}
+		return &Literal{Val: Int(n)}, nil
+
+	case tkString:
+		p.advance()
+		return &Literal{Val: Text(t.text)}, nil
+
+	case tkParam:
+		p.advance()
+		idx := p.params
+		p.params++
+		return &ParamExpr{Index: idx}, nil
+
+	case tkKeyword:
+		switch t.text {
+		case "NULL":
+			p.advance()
+			return &Literal{Val: Null()}, nil
+		case "NOT":
+			// NOT EXISTS reaches here via parseNot's carve-out.
+			p.advance()
+			if err := p.expectKw("EXISTS"); err != nil {
+				return nil, err
+			}
+			return p.parseExists(true)
+		case "EXISTS":
+			p.advance()
+			return p.parseExists(false)
+		case "CASE":
+			p.advance()
+			return p.parseCase()
+		case "CAST":
+			p.advance()
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("AS"); err != nil {
+				return nil, err
+			}
+			var kind Kind
+			switch {
+			case p.acceptKw("INTEGER"), p.acceptKw("INT"):
+				kind = KindInt
+			case p.acceptKw("TEXT"):
+				kind = KindText
+			case p.acceptKw("REAL"):
+				kind = KindFloat
+			case p.acceptKw("BLOB"):
+				kind = KindBlob
+			default:
+				return nil, p.errHere("expected type in CAST")
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &CastExpr{X: x, Type: kind}, nil
+		}
+		return nil, p.errHere("unexpected keyword %s in expression", t.text)
+
+	case tkIdent:
+		p.advance()
+		// Function call?
+		if p.acceptOp("(") {
+			fc := &FuncCall{Name: strings.ToUpper(t.text)}
+			if p.acceptOp("*") {
+				fc.Star = true
+			} else if !p.acceptOp(")") {
+				if p.acceptKw("DISTINCT") {
+					fc.Distinct = true
+				}
+				for {
+					e, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					fc.Args = append(fc.Args, e)
+					if p.acceptOp(",") {
+						continue
+					}
+					break
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				return fc, nil
+			} else {
+				return fc, nil // empty arg list
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return fc, nil
+		}
+		// Qualified column?
+		if p.acceptOp(".") {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &ColExpr{Table: t.text, Name: col}, nil
+		}
+		return &ColExpr{Name: t.text}, nil
+
+	case tkOp:
+		if t.text == "(" {
+			p.advance()
+			if p.peek().kind == tkKeyword && p.peek().text == "SELECT" {
+				sel, err := p.parseSelect()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				return &SubqueryExpr{Select: sel}, nil
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errHere("unexpected token in expression")
+}
+
+func (p *parser) parseExists(not bool) (Expr, error) {
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return &ExistsExpr{Not: not, Select: sel}, nil
+}
+
+func (p *parser) parseCase() (Expr, error) {
+	ce := &CaseExpr{}
+	if !(p.peek().kind == tkKeyword && (p.peek().text == "WHEN" || p.peek().text == "ELSE" || p.peek().text == "END")) {
+		op, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Operand = op
+	}
+	for p.acceptKw("WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("THEN"); err != nil {
+			return nil, err
+		}
+		res, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Whens = append(ce.Whens, When{Cond: cond, Result: res})
+	}
+	if p.acceptKw("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Else = e
+	}
+	if err := p.expectKw("END"); err != nil {
+		return nil, err
+	}
+	if len(ce.Whens) == 0 {
+		return nil, p.errHere("CASE requires at least one WHEN")
+	}
+	return ce, nil
+}

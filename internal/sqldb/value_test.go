@@ -1,0 +1,202 @@
+package sqldb
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// randomValue generates an arbitrary Value for property-based tests.
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(5) {
+	case 0:
+		return Null()
+	case 1:
+		return Int(r.Int63() - r.Int63())
+	case 2:
+		return Float(r.NormFloat64() * 1000)
+	case 3:
+		b := make([]byte, r.Intn(12))
+		r.Read(b)
+		return Text(string(b))
+	default:
+		b := make([]byte, r.Intn(12))
+		r.Read(b)
+		return Blob(b)
+	}
+}
+
+type valuePair struct{ A, B Value }
+
+// Generate implements quick.Generator.
+func (valuePair) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(valuePair{A: randomValue(r), B: randomValue(r)})
+}
+
+func TestCompareAntisymmetric(t *testing.T) {
+	f := func(p valuePair) bool {
+		return Compare(p.A, p.B) == -Compare(p.B, p.A)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareReflexive(t *testing.T) {
+	f := func(p valuePair) bool {
+		return Compare(p.A, p.A) == 0 && Compare(p.B, p.B) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type valueTriple struct{ A, B, C Value }
+
+// Generate implements quick.Generator.
+func (valueTriple) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(valueTriple{randomValue(r), randomValue(r), randomValue(r)})
+}
+
+func TestCompareTransitive(t *testing.T) {
+	f := func(tr valueTriple) bool {
+		vals := []Value{tr.A, tr.B, tr.C}
+		// Sort the three; then pairwise order must be consistent.
+		for i := 0; i < 3; i++ {
+			for j := i + 1; j < 3; j++ {
+				if Compare(vals[i], vals[j]) > 0 {
+					vals[i], vals[j] = vals[j], vals[i]
+				}
+			}
+		}
+		return Compare(vals[0], vals[1]) <= 0 &&
+			Compare(vals[1], vals[2]) <= 0 &&
+			Compare(vals[0], vals[2]) <= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupKeyConsistentWithCompare(t *testing.T) {
+	// Equal values must have equal group keys; unequal values unequal keys.
+	f := func(p valuePair) bool {
+		var sa, sb strings.Builder
+		p.A.groupKey(&sa)
+		p.B.groupKey(&sb)
+		sameKey := sa.String() == sb.String()
+		return sameKey == (Compare(p.A, p.B) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareSQLNullUnknown(t *testing.T) {
+	f := func(p valuePair) bool {
+		_, ok := CompareSQL(p.A, p.B)
+		wantOK := !p.A.IsNull() && !p.B.IsNull()
+		return ok == wantOK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntFloatCrossComparison(t *testing.T) {
+	if Compare(Int(3), Float(3.0)) != 0 {
+		t.Error("Int(3) != Float(3.0)")
+	}
+	if Compare(Int(3), Float(3.5)) >= 0 {
+		t.Error("Int(3) not < Float(3.5)")
+	}
+	if Compare(Float(2.5), Int(3)) >= 0 {
+		t.Error("Float(2.5) not < Int(3)")
+	}
+}
+
+func TestTypeOrdering(t *testing.T) {
+	// SQLite ordering: NULL < numeric < TEXT < BLOB.
+	ordered := []Value{Null(), Int(999999), Text(""), Blob(nil)}
+	for i := 0; i < len(ordered)-1; i++ {
+		if Compare(ordered[i], ordered[i+1]) >= 0 {
+			t.Errorf("%v not < %v", ordered[i], ordered[i+1])
+		}
+	}
+}
+
+func TestTruth(t *testing.T) {
+	cases := []struct {
+		v     Value
+		truth bool
+		known bool
+	}{
+		{Null(), false, false},
+		{Int(0), false, true},
+		{Int(1), true, true},
+		{Int(-5), true, true},
+		{Float(0), false, true},
+		{Float(0.1), true, true},
+		{Text("1"), true, true},
+		{Text("0"), false, true},
+		{Text("abc"), false, true},
+		{Blob([]byte{1}), false, true},
+	}
+	for _, c := range cases {
+		truth, known := c.v.Truth()
+		if truth != c.truth || known != c.known {
+			t.Errorf("Truth(%v) = (%v,%v), want (%v,%v)", c.v, truth, known, c.truth, c.known)
+		}
+	}
+}
+
+func TestFromGo(t *testing.T) {
+	cases := []struct {
+		in   any
+		want Value
+	}{
+		{nil, Null()},
+		{42, Int(42)},
+		{int64(-7), Int(-7)},
+		{uint8(255), Int(255)},
+		{3.5, Float(3.5)},
+		{"hi", Text("hi")},
+		{[]byte{1, 2}, Blob([]byte{1, 2})},
+		{true, Int(1)},
+		{false, Int(0)},
+		{Int(9), Int(9)},
+	}
+	for _, c := range cases {
+		got, err := FromGo(c.in)
+		if err != nil {
+			t.Errorf("FromGo(%v): %v", c.in, err)
+			continue
+		}
+		if Compare(got, c.want) != 0 {
+			t.Errorf("FromGo(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if _, err := FromGo(struct{}{}); err == nil {
+		t.Error("FromGo(struct{}{}) succeeded")
+	}
+}
+
+func TestValueStringRendering(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "NULL"},
+		{Int(42), "42"},
+		{Float(2.5), "2.5"},
+		{Text("x"), "x"},
+		{Blob([]byte{0xab}), "x'ab'"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}

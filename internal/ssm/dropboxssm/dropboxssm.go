@@ -1,0 +1,160 @@
+// Package dropboxssm is the LibSEAL service-specific module for the Dropbox
+// file storage service (§6.1, §6.2). Dropbox splits files into 4 MB blocks;
+// the per-file list of block hashes (the blocklist) travels in commit_batch
+// messages on upload and in list responses on retrieval. Dropbox protects
+// block contents but not this metadata, so the module records both message
+// types and checks blocklist soundness and file-list completeness.
+package dropboxssm
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"libseal/internal/httpparse"
+	"libseal/internal/ssm"
+)
+
+// Module implements ssm.Module for Dropbox.
+type Module struct{}
+
+// New returns the Dropbox SSM.
+func New() *Module { return &Module{} }
+
+// Name implements ssm.Module.
+func (*Module) Name() string { return "dropbox" }
+
+// Schema implements ssm.Module: the two relations of §6.2 plus a marker
+// relation for list requests used by the completeness invariant.
+func (*Module) Schema() string {
+	return `
+CREATE TABLE commit_batch (time INTEGER, file TEXT, blocks TEXT, account TEXT, host TEXT, size INTEGER);
+CREATE TABLE list (time INTEGER, file TEXT, blocks TEXT, account TEXT, host TEXT, size INTEGER);
+CREATE TABLE listreq (time INTEGER, account TEXT, host TEXT);
+`
+}
+
+// CommitBatchMsg is POST /dropbox/commit_batch: one or more file commits.
+// Size -1 marks a deletion (§6.1).
+type CommitBatchMsg struct {
+	Account string       `json:"account"`
+	Host    string       `json:"host"`
+	Commits []FileCommit `json:"commits"`
+}
+
+// FileCommit describes one file's new state.
+type FileCommit struct {
+	File      string `json:"file"`
+	Blocklist string `json:"blocklist"`
+	Size      int64  `json:"size"`
+}
+
+// ListRsp is the response to GET /dropbox/list: the account's current files.
+type ListRsp struct {
+	Files []FileCommit `json:"files"`
+}
+
+// HandlePair implements ssm.Module.
+func (m *Module) HandlePair(st *ssm.State, reqRaw, rspRaw []byte) ([]ssm.Tuple, error) {
+	req, err := httpparse.ParseRequestBytes(reqRaw)
+	if err != nil {
+		return nil, fmt.Errorf("dropboxssm: request: %w", err)
+	}
+	path := req.PathOnly()
+	if !strings.HasPrefix(path, "/dropbox/") {
+		return nil, nil
+	}
+	rsp, err := httpparse.ParseResponseBytes(rspRaw)
+	if err != nil {
+		return nil, fmt.Errorf("dropboxssm: response: %w", err)
+	}
+	if rsp.Status != 200 {
+		return nil, nil
+	}
+
+	switch strings.TrimPrefix(path, "/dropbox/") {
+	case "commit_batch":
+		var msg CommitBatchMsg
+		if err := json.Unmarshal(req.Body, &msg); err != nil {
+			return nil, fmt.Errorf("dropboxssm: commit_batch body: %w", err)
+		}
+		var tuples []ssm.Tuple
+		for _, c := range msg.Commits {
+			tuples = append(tuples, ssm.Tuple{
+				Table:  "commit_batch",
+				Values: []any{st.Time, c.File, c.Blocklist, msg.Account, msg.Host, c.Size},
+			})
+		}
+		return tuples, nil
+
+	case "list":
+		account := req.Query("account")
+		host := req.Query("host")
+		var out ListRsp
+		if err := json.Unmarshal(rsp.Body, &out); err != nil {
+			return nil, fmt.Errorf("dropboxssm: list response: %w", err)
+		}
+		tuples := []ssm.Tuple{{
+			Table:  "listreq",
+			Values: []any{st.Time, account, host},
+		}}
+		for _, f := range out.Files {
+			tuples = append(tuples, ssm.Tuple{
+				Table:  "list",
+				Values: []any{st.Time, f.File, f.Blocklist, account, host, f.Size},
+			})
+		}
+		return tuples, nil
+	}
+	return nil, nil
+}
+
+// BlocklistSoundnessSQL: the blocklist returned for a file must equal the
+// blocklist most recently uploaded for it. Since the client verifies block
+// contents against hashes, a correct blocklist pins the whole file (§6.2).
+const BlocklistSoundnessSQL = `SELECT l.time, l.file FROM list l
+	WHERE l.blocks != (
+		SELECT c.blocks FROM commit_batch c WHERE c.file = l.file AND
+			c.account = l.account AND c.time < l.time
+		ORDER BY c.time DESC LIMIT 1)`
+
+// ListCompletenessSQL: every file whose latest commit is not a deletion must
+// appear in each list response for its account. Violations mean lost files.
+const ListCompletenessSQL = `SELECT r.time, c.file FROM listreq r
+	JOIN commit_batch c ON c.account = r.account AND c.time < r.time
+	WHERE c.size != -1
+	AND c.time = (SELECT MAX(time) FROM commit_batch
+		WHERE file = c.file AND account = c.account AND time < r.time)
+	AND c.file NOT IN (SELECT file FROM list WHERE time = r.time)`
+
+// Invariants implements ssm.Module.
+func (*Module) Invariants() []ssm.Invariant {
+	return []ssm.Invariant{
+		{
+			Name:        "dropbox-blocklist-soundness",
+			Kind:        "soundness",
+			Description: "returned blocklists match the most recently committed blocklist",
+			SQL:         BlocklistSoundnessSQL,
+		},
+		{
+			Name:        "dropbox-list-completeness",
+			Kind:        "completeness",
+			Description: "every live file is reported in list responses",
+			SQL:         ListCompletenessSQL,
+		},
+	}
+}
+
+// TrimQueries implements ssm.Module: list responses are checked once; only
+// the latest commit per (account, file) is needed for future checks, so the
+// log grows with the number of live files (§6.5: #files x 64-byte hash).
+func (*Module) TrimQueries() []string {
+	return []string{
+		`DELETE FROM list`,
+		`DELETE FROM listreq`,
+		`DELETE FROM commit_batch WHERE time NOT IN
+	(SELECT MAX(time) FROM commit_batch GROUP BY account, file)`,
+	}
+}
+
+var _ ssm.Module = (*Module)(nil)

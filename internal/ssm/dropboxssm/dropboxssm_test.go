@@ -1,0 +1,178 @@
+package dropboxssm
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"libseal/internal/httpparse"
+	"libseal/internal/sqldb"
+	"libseal/internal/ssm"
+)
+
+type harness struct {
+	t    *testing.T
+	db   *sqldb.DB
+	mod  *Module
+	time int64
+}
+
+func newHarness(t *testing.T) *harness {
+	t.Helper()
+	db := sqldb.New()
+	mod := New()
+	if _, err := db.Exec(mod.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	return &harness{t: t, db: db, mod: mod}
+}
+
+func (h *harness) apply(req *httpparse.Request, rsp *httpparse.Response) {
+	h.t.Helper()
+	h.time++
+	tuples, err := h.mod.HandlePair(&ssm.State{Time: h.time, DB: h.db}, req.Bytes(), rsp.Bytes())
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	for _, tu := range tuples {
+		ph := strings.TrimSuffix(strings.Repeat("?,", len(tu.Values)), ",")
+		if _, err := h.db.Exec(fmt.Sprintf("INSERT INTO %s VALUES (%s)", tu.Table, ph), tu.Values...); err != nil {
+			h.t.Fatal(err)
+		}
+	}
+}
+
+func (h *harness) commit(account string, commits ...FileCommit) {
+	body, _ := json.Marshal(CommitBatchMsg{Account: account, Host: "h1", Commits: commits})
+	h.apply(httpparse.NewRequest("POST", "/dropbox/commit_batch", body),
+		httpparse.NewResponse(200, []byte(`{"ok":1}`)))
+}
+
+func (h *harness) list(account string, files ...FileCommit) {
+	body, _ := json.Marshal(ListRsp{Files: files})
+	h.apply(httpparse.NewRequest("GET", "/dropbox/list?account="+account+"&host=h1", nil),
+		httpparse.NewResponse(200, body))
+}
+
+func (h *harness) violations() map[string]*sqldb.Result {
+	h.t.Helper()
+	v, err := ssm.CheckInvariants(h.db, h.mod)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return v
+}
+
+func TestCleanWorkloadNoViolations(t *testing.T) {
+	h := newHarness(t)
+	h.commit("acct", FileCommit{File: "a.txt", Blocklist: "h1,h2", Size: 8 << 20})
+	h.commit("acct", FileCommit{File: "b.bin", Blocklist: "h3", Size: 1 << 20})
+	h.list("acct",
+		FileCommit{File: "a.txt", Blocklist: "h1,h2", Size: 8 << 20},
+		FileCommit{File: "b.bin", Blocklist: "h3", Size: 1 << 20})
+	if v := h.violations(); len(v) != 0 {
+		t.Fatalf("clean workload flagged: %v", v)
+	}
+}
+
+func TestDetectsCorruptedBlocklist(t *testing.T) {
+	h := newHarness(t)
+	h.commit("acct", FileCommit{File: "a.txt", Blocklist: "h1,h2", Size: 8 << 20})
+	// The service returns a different blocklist: metadata corruption.
+	h.list("acct", FileCommit{File: "a.txt", Blocklist: "h1,hX", Size: 8 << 20})
+	if v := h.violations(); v["dropbox-blocklist-soundness"] == nil {
+		t.Fatalf("corrupted blocklist not detected: %v", v)
+	}
+}
+
+func TestDetectsStaleBlocklist(t *testing.T) {
+	h := newHarness(t)
+	h.commit("acct", FileCommit{File: "a.txt", Blocklist: "v1", Size: 4 << 20})
+	h.commit("acct", FileCommit{File: "a.txt", Blocklist: "v2", Size: 4 << 20})
+	// An old version is served.
+	h.list("acct", FileCommit{File: "a.txt", Blocklist: "v1", Size: 4 << 20})
+	if v := h.violations(); v["dropbox-blocklist-soundness"] == nil {
+		t.Fatalf("stale blocklist not detected: %v", v)
+	}
+}
+
+func TestDetectsLostFile(t *testing.T) {
+	h := newHarness(t)
+	h.commit("acct", FileCommit{File: "a.txt", Blocklist: "h1", Size: 100})
+	h.commit("acct", FileCommit{File: "b.txt", Blocklist: "h2", Size: 200})
+	// b.txt silently vanishes from the listing.
+	h.list("acct", FileCommit{File: "a.txt", Blocklist: "h1", Size: 100})
+	if v := h.violations(); v["dropbox-list-completeness"] == nil {
+		t.Fatalf("lost file not detected: %v", v)
+	}
+}
+
+func TestDeletedFileNotExpected(t *testing.T) {
+	h := newHarness(t)
+	h.commit("acct", FileCommit{File: "a.txt", Blocklist: "h1", Size: 100})
+	h.commit("acct", FileCommit{File: "a.txt", Blocklist: "", Size: -1}) // deletion
+	h.list("acct")                                                       // empty listing is correct
+	if v := h.violations(); len(v) != 0 {
+		t.Fatalf("deleted file flagged: %v", v)
+	}
+}
+
+func TestAccountsIsolated(t *testing.T) {
+	h := newHarness(t)
+	h.commit("alice", FileCommit{File: "a.txt", Blocklist: "ha", Size: 10})
+	h.commit("bob", FileCommit{File: "b.txt", Blocklist: "hb", Size: 20})
+	h.list("alice", FileCommit{File: "a.txt", Blocklist: "ha", Size: 10})
+	h.list("bob", FileCommit{File: "b.txt", Blocklist: "hb", Size: 20})
+	if v := h.violations(); len(v) != 0 {
+		t.Fatalf("isolated accounts flagged: %v", v)
+	}
+}
+
+func TestTrimPreservesDetection(t *testing.T) {
+	h := newHarness(t)
+	h.commit("acct", FileCommit{File: "a.txt", Blocklist: "v1", Size: 10})
+	h.commit("acct", FileCommit{File: "a.txt", Blocklist: "v2", Size: 10})
+	h.commit("acct", FileCommit{File: "b.txt", Blocklist: "w1", Size: 20})
+	h.list("acct",
+		FileCommit{File: "a.txt", Blocklist: "v2", Size: 10},
+		FileCommit{File: "b.txt", Blocklist: "w1", Size: 20})
+	for _, q := range h.mod.TrimQueries() {
+		if _, err := h.db.Exec(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One commit per live file remains (§6.5: log ~ #files).
+	if n, _ := h.db.TableRowCount("commit_batch"); n != 2 {
+		t.Fatalf("commit_batch after trim = %d, want 2", n)
+	}
+	if n, _ := h.db.TableRowCount("list"); n != 0 {
+		t.Fatal("list not trimmed")
+	}
+	// Serving a stale blocklist after trimming is still detected.
+	h.list("acct",
+		FileCommit{File: "a.txt", Blocklist: "v1", Size: 10},
+		FileCommit{File: "b.txt", Blocklist: "w1", Size: 20})
+	if v := h.violations(); v["dropbox-blocklist-soundness"] == nil {
+		t.Fatalf("stale blocklist after trim not detected: %v", v)
+	}
+}
+
+func TestIgnoresOtherTraffic(t *testing.T) {
+	h := newHarness(t)
+	req := httpparse.NewRequest("GET", "/git/x/info/refs", nil)
+	tuples, err := h.mod.HandlePair(&ssm.State{Time: 1, DB: h.db}, req.Bytes(), httpparse.NewResponse(200, nil).Bytes())
+	if err != nil || tuples != nil {
+		t.Fatalf("foreign traffic produced tuples: %v %v", tuples, err)
+	}
+}
+
+func TestModuleMetadata(t *testing.T) {
+	m := New()
+	if m.Name() != "dropbox" {
+		t.Fatal("name")
+	}
+	if len(m.Invariants()) != 2 || len(m.TrimQueries()) != 3 {
+		t.Fatal("metadata counts")
+	}
+}

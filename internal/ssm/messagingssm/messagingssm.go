@@ -1,0 +1,187 @@
+// Package messagingssm is a LibSEAL service-specific module for an
+// XMPP-style instant messaging service — the fourth application scenario of
+// the paper's motivation (§2.2): "messaging services should deliver messages
+// without modification and should not drop them" nor deliver them to the
+// wrong recipients. The paper evaluates three services; this module
+// demonstrates that writing one for a new service only requires the schema,
+// the parser and a handful of SQL invariants (§5.1).
+package messagingssm
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"libseal/internal/httpparse"
+	"libseal/internal/ssm"
+)
+
+// Module implements ssm.Module for the messaging service.
+type Module struct{}
+
+// New returns the messaging SSM.
+func New() *Module { return &Module{} }
+
+// Name implements ssm.Module.
+func (*Module) Name() string { return "messaging" }
+
+// Schema implements ssm.Module. Relation sent records messages the server
+// accepted (with the per-recipient sequence it assigned); delivered records
+// messages it handed out, including to whom; inboxreq records each inbox
+// fetch and the sequence range it claims to cover.
+func (*Module) Schema() string {
+	return `
+CREATE TABLE sent (time INTEGER, id TEXT, sender TEXT, recipient TEXT, seq INTEGER, body TEXT);
+CREATE TABLE delivered (time INTEGER, id TEXT, sender TEXT, recipient TEXT, body TEXT, reader TEXT);
+CREATE TABLE inboxreq (time INTEGER, reader TEXT, since INTEGER, upto INTEGER);
+`
+}
+
+// Wire messages of the simulated service.
+
+// SendMsg is POST /messaging/send.
+type SendMsg struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	Body string `json:"body"`
+}
+
+// SendAck acknowledges a send with the message id and the recipient-mailbox
+// sequence number the server assigned.
+type SendAck struct {
+	ID  string `json:"id"`
+	Seq int64  `json:"seq"`
+}
+
+// InboxMsg is POST /messaging/inbox: fetch messages after Since.
+type InboxMsg struct {
+	User  string `json:"user"`
+	Since int64  `json:"since"`
+}
+
+// Delivered is one message in an inbox response.
+type Delivered struct {
+	ID   string `json:"id"`
+	From string `json:"from"`
+	To   string `json:"to"`
+	Body string `json:"body"`
+}
+
+// InboxRsp returns the messages in (Since, Seq].
+type InboxRsp struct {
+	Messages []Delivered `json:"messages"`
+	Seq      int64       `json:"seq"`
+}
+
+// HandlePair implements ssm.Module.
+func (m *Module) HandlePair(st *ssm.State, reqRaw, rspRaw []byte) ([]ssm.Tuple, error) {
+	req, err := httpparse.ParseRequestBytes(reqRaw)
+	if err != nil {
+		return nil, fmt.Errorf("messagingssm: request: %w", err)
+	}
+	path := req.PathOnly()
+	if !strings.HasPrefix(path, "/messaging/") || req.Method != "POST" {
+		return nil, nil
+	}
+	rsp, err := httpparse.ParseResponseBytes(rspRaw)
+	if err != nil {
+		return nil, fmt.Errorf("messagingssm: response: %w", err)
+	}
+	if rsp.Status != 200 {
+		return nil, nil
+	}
+
+	switch strings.TrimPrefix(path, "/messaging/") {
+	case "send":
+		var msg SendMsg
+		if err := json.Unmarshal(req.Body, &msg); err != nil {
+			return nil, fmt.Errorf("messagingssm: send body: %w", err)
+		}
+		var ack SendAck
+		if err := json.Unmarshal(rsp.Body, &ack); err != nil {
+			return nil, fmt.Errorf("messagingssm: send ack: %w", err)
+		}
+		return []ssm.Tuple{{
+			Table:  "sent",
+			Values: []any{st.Time, ack.ID, msg.From, msg.To, ack.Seq, msg.Body},
+		}}, nil
+
+	case "inbox":
+		var msg InboxMsg
+		if err := json.Unmarshal(req.Body, &msg); err != nil {
+			return nil, fmt.Errorf("messagingssm: inbox body: %w", err)
+		}
+		var out InboxRsp
+		if err := json.Unmarshal(rsp.Body, &out); err != nil {
+			return nil, fmt.Errorf("messagingssm: inbox response: %w", err)
+		}
+		tuples := []ssm.Tuple{{
+			Table:  "inboxreq",
+			Values: []any{st.Time, msg.User, msg.Since, out.Seq},
+		}}
+		for _, d := range out.Messages {
+			tuples = append(tuples, ssm.Tuple{
+				Table:  "delivered",
+				Values: []any{st.Time, d.ID, d.From, d.To, d.Body, msg.User},
+			})
+		}
+		return tuples, nil
+	}
+	return nil, nil
+}
+
+// DeliverySoundnessSQL: every delivered message must be byte-identical (id,
+// sender, recipient, body) to a message the server accepted. Violations mean
+// messages were modified or fabricated.
+const DeliverySoundnessSQL = `SELECT d.time, d.id FROM delivered d
+	WHERE NOT EXISTS (SELECT 1 FROM sent s WHERE s.id = d.id AND
+		s.body = d.body AND s.sender = d.sender AND s.recipient = d.recipient)`
+
+// RecipientSQL: messages must only be delivered to their recipient.
+// Violations mean misdelivery.
+const RecipientSQL = `SELECT time, id FROM delivered WHERE reader != recipient`
+
+// DeliveryCompletenessSQL: an inbox response claiming to cover sequence
+// range (since, upto] must contain every accepted message for that reader in
+// the range. Violations mean dropped messages.
+const DeliveryCompletenessSQL = `SELECT r.time, s.id FROM inboxreq r
+	JOIN sent s ON s.recipient = r.reader
+	WHERE s.seq > r.since AND s.seq <= r.upto
+	AND s.id NOT IN (SELECT id FROM delivered WHERE time = r.time)`
+
+// Invariants implements ssm.Module.
+func (*Module) Invariants() []ssm.Invariant {
+	return []ssm.Invariant{
+		{
+			Name:        "messaging-delivery-soundness",
+			Kind:        "soundness",
+			Description: "delivered messages are identical to accepted messages",
+			SQL:         DeliverySoundnessSQL,
+		},
+		{
+			Name:        "messaging-recipient",
+			Kind:        "soundness",
+			Description: "messages are delivered only to their recipient",
+			SQL:         RecipientSQL,
+		},
+		{
+			Name:        "messaging-delivery-completeness",
+			Kind:        "completeness",
+			Description: "inbox responses contain every accepted message in their claimed range",
+			SQL:         DeliveryCompletenessSQL,
+		},
+	}
+}
+
+// TrimQueries implements ssm.Module: messages covered by a checked inbox
+// fetch are settled; undelivered messages must be retained.
+func (*Module) TrimQueries() []string {
+	return []string{
+		`DELETE FROM sent WHERE seq <= (SELECT MAX(upto) FROM inboxreq r
+	WHERE r.reader = sent.recipient)`,
+		`DELETE FROM delivered`,
+		`DELETE FROM inboxreq`,
+	}
+}
+
+var _ ssm.Module = (*Module)(nil)

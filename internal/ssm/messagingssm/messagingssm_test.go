@@ -1,0 +1,166 @@
+package messagingssm
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"libseal/internal/httpparse"
+	"libseal/internal/sqldb"
+	"libseal/internal/ssm"
+)
+
+type harness struct {
+	t    *testing.T
+	db   *sqldb.DB
+	mod  *Module
+	time int64
+}
+
+func newHarness(t *testing.T) *harness {
+	t.Helper()
+	db := sqldb.New()
+	mod := New()
+	if _, err := db.Exec(mod.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	return &harness{t: t, db: db, mod: mod}
+}
+
+func (h *harness) pair(path string, reqBody, rspBody any) {
+	h.t.Helper()
+	reqJSON, _ := json.Marshal(reqBody)
+	rspJSON, _ := json.Marshal(rspBody)
+	h.time++
+	tuples, err := h.mod.HandlePair(&ssm.State{Time: h.time, DB: h.db},
+		httpparse.NewRequest("POST", path, reqJSON).Bytes(),
+		httpparse.NewResponse(200, rspJSON).Bytes())
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	for _, tu := range tuples {
+		ph := strings.TrimSuffix(strings.Repeat("?,", len(tu.Values)), ",")
+		if _, err := h.db.Exec(fmt.Sprintf("INSERT INTO %s VALUES (%s)", tu.Table, ph), tu.Values...); err != nil {
+			h.t.Fatal(err)
+		}
+	}
+}
+
+func (h *harness) send(from, to, body, id string, seq int64) {
+	h.pair("/messaging/send", SendMsg{From: from, To: to, Body: body}, SendAck{ID: id, Seq: seq})
+}
+
+func (h *harness) inbox(user string, since, upto int64, msgs ...Delivered) {
+	h.pair("/messaging/inbox", InboxMsg{User: user, Since: since}, InboxRsp{Messages: msgs, Seq: upto})
+}
+
+func (h *harness) violations() map[string]*sqldb.Result {
+	h.t.Helper()
+	v, err := ssm.CheckInvariants(h.db, h.mod)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return v
+}
+
+func TestCleanConversation(t *testing.T) {
+	h := newHarness(t)
+	h.send("alice", "bob", "hi bob", "m1", 1)
+	h.send("carol", "bob", "hello", "m2", 2)
+	h.inbox("bob", 0, 2,
+		Delivered{ID: "m1", From: "alice", To: "bob", Body: "hi bob"},
+		Delivered{ID: "m2", From: "carol", To: "bob", Body: "hello"})
+	if v := h.violations(); len(v) != 0 {
+		t.Fatalf("clean conversation flagged: %v", v)
+	}
+}
+
+func TestDetectsDroppedMessage(t *testing.T) {
+	h := newHarness(t)
+	h.send("alice", "bob", "one", "m1", 1)
+	h.send("alice", "bob", "two", "m2", 2)
+	// The inbox claims to cover (0,2] but delivers only one message.
+	h.inbox("bob", 0, 2, Delivered{ID: "m1", From: "alice", To: "bob", Body: "one"})
+	if v := h.violations(); v["messaging-delivery-completeness"] == nil {
+		t.Fatalf("dropped message not detected: %v", v)
+	}
+}
+
+func TestDetectsModifiedMessage(t *testing.T) {
+	h := newHarness(t)
+	h.send("alice", "bob", "meet at 5pm", "m1", 1)
+	h.inbox("bob", 0, 1, Delivered{ID: "m1", From: "alice", To: "bob", Body: "meet at 6pm"})
+	if v := h.violations(); v["messaging-delivery-soundness"] == nil {
+		t.Fatalf("modified message not detected: %v", v)
+	}
+}
+
+func TestDetectsMisdelivery(t *testing.T) {
+	h := newHarness(t)
+	h.send("alice", "bob", "secret for bob", "m1", 1)
+	// The message is handed to carol.
+	h.inbox("carol", 0, 0, Delivered{ID: "m1", From: "alice", To: "bob", Body: "secret for bob"})
+	if v := h.violations(); v["messaging-recipient"] == nil {
+		t.Fatalf("misdelivery not detected: %v", v)
+	}
+}
+
+func TestDetectsFabricatedMessage(t *testing.T) {
+	h := newHarness(t)
+	h.inbox("bob", 0, 0, Delivered{ID: "mX", From: "mallory", To: "bob", Body: "fabricated"})
+	if v := h.violations(); v["messaging-delivery-soundness"] == nil {
+		t.Fatalf("fabricated message not detected: %v", v)
+	}
+}
+
+func TestPartialInboxFetchClean(t *testing.T) {
+	h := newHarness(t)
+	h.send("alice", "bob", "one", "m1", 1)
+	h.send("alice", "bob", "two", "m2", 2)
+	h.send("alice", "bob", "three", "m3", 3)
+	// Fetch only the tail.
+	h.inbox("bob", 2, 3, Delivered{ID: "m3", From: "alice", To: "bob", Body: "three"})
+	if v := h.violations(); len(v) != 0 {
+		t.Fatalf("partial fetch flagged: %v", v)
+	}
+}
+
+func TestTrimRetainsUndelivered(t *testing.T) {
+	h := newHarness(t)
+	h.send("alice", "bob", "read", "m1", 1)
+	h.inbox("bob", 0, 1, Delivered{ID: "m1", From: "alice", To: "bob", Body: "read"})
+	h.send("alice", "bob", "unread", "m2", 2)
+	for _, q := range h.mod.TrimQueries() {
+		if _, err := h.db.Exec(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The delivered message is settled; the unread one is retained.
+	got, err := h.db.Query("SELECT id FROM sent")
+	if err != nil || len(got.Rows) != 1 || got.Rows[0][0].TextVal() != "m2" {
+		t.Fatalf("sent after trim = %v, %v", got, err)
+	}
+	// Dropping the retained message later is still detected.
+	h.inbox("bob", 1, 2)
+	if v := h.violations(); v["messaging-delivery-completeness"] == nil {
+		t.Fatalf("post-trim drop not detected: %v", v)
+	}
+}
+
+func TestIgnoresOtherTraffic(t *testing.T) {
+	h := newHarness(t)
+	req := httpparse.NewRequest("GET", "/git/x/info/refs", nil)
+	tuples, err := h.mod.HandlePair(&ssm.State{Time: 1, DB: h.db}, req.Bytes(),
+		httpparse.NewResponse(200, nil).Bytes())
+	if err != nil || tuples != nil {
+		t.Fatalf("foreign traffic produced tuples: %v %v", tuples, err)
+	}
+}
+
+func TestModuleMetadata(t *testing.T) {
+	m := New()
+	if m.Name() != "messaging" || len(m.Invariants()) != 3 || len(m.TrimQueries()) != 3 {
+		t.Fatal("metadata")
+	}
+}

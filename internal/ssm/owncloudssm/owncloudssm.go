@@ -1,0 +1,237 @@
+// Package owncloudssm is the LibSEAL service-specific module for the
+// ownCloud Documents collaborative editing service (§6.1, §6.2). The service
+// synchronises JSON-encoded document updates between clients within editing
+// sessions; clients leaving a session upload a snapshot, and joining clients
+// receive the latest snapshot plus subsequent updates. The module records
+// both directions of this traffic and detects lost or altered edits and
+// stale snapshots.
+package owncloudssm
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"libseal/internal/httpparse"
+	"libseal/internal/ssm"
+)
+
+// Module implements ssm.Module for ownCloud Documents.
+type Module struct{}
+
+// New returns the ownCloud SSM.
+func New() *Module { return &Module{} }
+
+// Name implements ssm.Module.
+func (*Module) Name() string { return "owncloud" }
+
+// Schema implements ssm.Module. Direction 'recv' marks data the service
+// received from clients, 'sent' marks data it returned.
+func (*Module) Schema() string {
+	return `
+CREATE TABLE docupdates (time INTEGER, doc TEXT, client TEXT, seq INTEGER, op TEXT, dir TEXT);
+CREATE TABLE snapshots (time INTEGER, doc TEXT, client TEXT, seq INTEGER, content TEXT, dir TEXT);
+CREATE TABLE docsync (time INTEGER, doc TEXT, client TEXT, since INTEGER, upto INTEGER);
+`
+}
+
+// Wire messages of the simulated ownCloud Documents API.
+
+// PushMsg is POST /owncloud/push: a client submits edits.
+type PushMsg struct {
+	Doc    string   `json:"doc"`
+	Client string   `json:"client"`
+	Ops    []string `json:"ops"`
+}
+
+// PushRsp acknowledges a push with the new head sequence number.
+type PushRsp struct {
+	Seq int64 `json:"seq"` // sequence of the last accepted op
+}
+
+// SyncMsg is POST /owncloud/sync: a client asks for ops after Since.
+type SyncMsg struct {
+	Doc    string `json:"doc"`
+	Client string `json:"client"`
+	Since  int64  `json:"since"`
+}
+
+// SyncRsp returns the ops in (Since, Seq].
+type SyncRsp struct {
+	Ops []string `json:"ops"`
+	Seq int64    `json:"seq"`
+}
+
+// JoinMsg is POST /owncloud/join: a client enters a session.
+type JoinMsg struct {
+	Doc    string `json:"doc"`
+	Client string `json:"client"`
+}
+
+// JoinRsp hands the joining client the latest snapshot.
+type JoinRsp struct {
+	Snapshot string `json:"snapshot"`
+	Seq      int64  `json:"seq"` // sequence the snapshot includes
+}
+
+// LeaveMsg is POST /owncloud/leave: the departing client uploads a snapshot.
+type LeaveMsg struct {
+	Doc      string `json:"doc"`
+	Client   string `json:"client"`
+	Snapshot string `json:"snapshot"`
+	Seq      int64  `json:"seq"`
+}
+
+// HandlePair implements ssm.Module.
+func (m *Module) HandlePair(st *ssm.State, reqRaw, rspRaw []byte) ([]ssm.Tuple, error) {
+	req, err := httpparse.ParseRequestBytes(reqRaw)
+	if err != nil {
+		return nil, fmt.Errorf("owncloudssm: request: %w", err)
+	}
+	path := req.PathOnly()
+	if !strings.HasPrefix(path, "/owncloud/") {
+		return nil, nil
+	}
+	rsp, err := httpparse.ParseResponseBytes(rspRaw)
+	if err != nil {
+		return nil, fmt.Errorf("owncloudssm: response: %w", err)
+	}
+	if rsp.Status != 200 {
+		return nil, nil
+	}
+
+	switch strings.TrimPrefix(path, "/owncloud/") {
+	case "push":
+		var msg PushMsg
+		if err := json.Unmarshal(req.Body, &msg); err != nil {
+			return nil, fmt.Errorf("owncloudssm: push body: %w", err)
+		}
+		var ack PushRsp
+		if err := json.Unmarshal(rsp.Body, &ack); err != nil {
+			return nil, fmt.Errorf("owncloudssm: push response: %w", err)
+		}
+		// The service assigned sequence numbers ending at ack.Seq.
+		var tuples []ssm.Tuple
+		base := ack.Seq - int64(len(msg.Ops))
+		for i, op := range msg.Ops {
+			tuples = append(tuples, ssm.Tuple{
+				Table:  "docupdates",
+				Values: []any{st.Time, msg.Doc, msg.Client, base + int64(i) + 1, op, "recv"},
+			})
+		}
+		return tuples, nil
+
+	case "sync":
+		var msg SyncMsg
+		if err := json.Unmarshal(req.Body, &msg); err != nil {
+			return nil, fmt.Errorf("owncloudssm: sync body: %w", err)
+		}
+		var out SyncRsp
+		if err := json.Unmarshal(rsp.Body, &out); err != nil {
+			return nil, fmt.Errorf("owncloudssm: sync response: %w", err)
+		}
+		tuples := []ssm.Tuple{{
+			Table:  "docsync",
+			Values: []any{st.Time, msg.Doc, msg.Client, msg.Since, out.Seq},
+		}}
+		for i, op := range out.Ops {
+			tuples = append(tuples, ssm.Tuple{
+				Table:  "docupdates",
+				Values: []any{st.Time, msg.Doc, msg.Client, msg.Since + int64(i) + 1, op, "sent"},
+			})
+		}
+		return tuples, nil
+
+	case "join":
+		var msg JoinMsg
+		if err := json.Unmarshal(req.Body, &msg); err != nil {
+			return nil, fmt.Errorf("owncloudssm: join body: %w", err)
+		}
+		var out JoinRsp
+		if err := json.Unmarshal(rsp.Body, &out); err != nil {
+			return nil, fmt.Errorf("owncloudssm: join response: %w", err)
+		}
+		return []ssm.Tuple{{
+			Table:  "snapshots",
+			Values: []any{st.Time, msg.Doc, msg.Client, out.Seq, out.Snapshot, "sent"},
+		}}, nil
+
+	case "leave":
+		var msg LeaveMsg
+		if err := json.Unmarshal(req.Body, &msg); err != nil {
+			return nil, fmt.Errorf("owncloudssm: leave body: %w", err)
+		}
+		return []ssm.Tuple{{
+			Table:  "snapshots",
+			Values: []any{st.Time, msg.Doc, msg.Client, msg.Seq, msg.Snapshot, "recv"},
+		}}, nil
+	}
+	return nil, nil
+}
+
+// SnapshotSoundnessSQL: a snapshot handed to a joining client must equal the
+// most recent snapshot any client uploaded for that document. Violations
+// mean the service serves a stale or altered document.
+const SnapshotSoundnessSQL = `SELECT s.time, s.doc, s.client FROM snapshots s
+	WHERE s.dir = 'sent' AND s.content != (
+		SELECT r.content FROM snapshots r WHERE r.doc = s.doc AND
+			r.dir = 'recv' AND r.time < s.time
+		ORDER BY r.time DESC LIMIT 1)`
+
+// UpdateSoundnessSQL: every op the service relays must be byte-identical to
+// the op it received under the same (doc, seq). Violations mean edits were
+// altered in flight.
+const UpdateSoundnessSQL = `SELECT o.time, o.doc, o.seq FROM docupdates o
+	WHERE o.dir = 'sent' AND o.op != (
+		SELECT i.op FROM docupdates i WHERE i.dir = 'recv' AND
+			i.doc = o.doc AND i.seq = o.seq LIMIT 1)`
+
+// SyncCompletenessSQL: a sync response advertising head sequence `upto` must
+// carry exactly upto-since ops — the aggregate history sent to each client
+// is a prefix of the history the service received (§6.2). Violations mean
+// lost edits.
+const SyncCompletenessSQL = `SELECT d.time, d.doc, d.client FROM docsync d
+	WHERE d.upto - d.since != (
+		SELECT COUNT(*) FROM docupdates o WHERE o.dir = 'sent' AND
+			o.doc = d.doc AND o.client = d.client AND o.time = d.time)`
+
+// Invariants implements ssm.Module.
+func (*Module) Invariants() []ssm.Invariant {
+	return []ssm.Invariant{
+		{
+			Name:        "owncloud-snapshot-soundness",
+			Kind:        "soundness",
+			Description: "snapshots sent to new clients match the latest uploaded snapshot",
+			SQL:         SnapshotSoundnessSQL,
+		},
+		{
+			Name:        "owncloud-update-soundness",
+			Kind:        "soundness",
+			Description: "relayed edits are byte-identical to the received edits",
+			SQL:         UpdateSoundnessSQL,
+		},
+		{
+			Name:        "owncloud-sync-completeness",
+			Kind:        "completeness",
+			Description: "each sync delivers the full prefix of updates it advertises",
+			SQL:         SyncCompletenessSQL,
+		},
+	}
+}
+
+// TrimQueries implements ssm.Module: sent rows and syncs are checked once;
+// of the received state, the latest snapshot per document and the updates
+// after it must be retained for future soundness checks.
+func (*Module) TrimQueries() []string {
+	return []string{
+		`DELETE FROM docsync`,
+		`DELETE FROM docupdates WHERE dir = 'sent'`,
+		`DELETE FROM snapshots WHERE dir = 'sent'`,
+		`DELETE FROM snapshots WHERE dir = 'recv' AND time NOT IN
+	(SELECT MAX(time) FROM snapshots WHERE dir = 'recv' GROUP BY doc)`,
+		`DELETE FROM docupdates WHERE dir = 'recv' AND seq <= (
+	SELECT MAX(s.seq) FROM snapshots s WHERE s.doc = docupdates.doc AND s.dir = 'recv')`,
+	}
+}
+
+var _ ssm.Module = (*Module)(nil)

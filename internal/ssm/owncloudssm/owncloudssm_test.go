@@ -1,0 +1,181 @@
+package owncloudssm
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"libseal/internal/httpparse"
+	"libseal/internal/sqldb"
+	"libseal/internal/ssm"
+)
+
+type harness struct {
+	t    *testing.T
+	db   *sqldb.DB
+	mod  *Module
+	time int64
+}
+
+func newHarness(t *testing.T) *harness {
+	t.Helper()
+	db := sqldb.New()
+	mod := New()
+	if _, err := db.Exec(mod.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	return &harness{t: t, db: db, mod: mod}
+}
+
+func (h *harness) pair(path string, reqBody, rspBody any) {
+	h.t.Helper()
+	reqJSON, _ := json.Marshal(reqBody)
+	rspJSON, _ := json.Marshal(rspBody)
+	req := httpparse.NewRequest("POST", path, reqJSON)
+	rsp := httpparse.NewResponse(200, rspJSON)
+	h.time++
+	tuples, err := h.mod.HandlePair(&ssm.State{Time: h.time, DB: h.db}, req.Bytes(), rsp.Bytes())
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	for _, tu := range tuples {
+		ph := strings.TrimSuffix(strings.Repeat("?,", len(tu.Values)), ",")
+		if _, err := h.db.Exec(fmt.Sprintf("INSERT INTO %s VALUES (%s)", tu.Table, ph), tu.Values...); err != nil {
+			h.t.Fatal(err)
+		}
+	}
+}
+
+func (h *harness) violations() map[string]*sqldb.Result {
+	h.t.Helper()
+	v, err := ssm.CheckInvariants(h.db, h.mod)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return v
+}
+
+func TestCleanSessionNoViolations(t *testing.T) {
+	h := newHarness(t)
+	// Alice pushes two edits, Bob syncs them, Alice leaves with a snapshot,
+	// Carol joins and receives it.
+	h.pair("/owncloud/push", PushMsg{Doc: "d", Client: "alice", Ops: []string{"ins(0,'h')", "ins(1,'i')"}}, PushRsp{Seq: 2})
+	h.pair("/owncloud/sync", SyncMsg{Doc: "d", Client: "bob", Since: 0}, SyncRsp{Ops: []string{"ins(0,'h')", "ins(1,'i')"}, Seq: 2})
+	h.pair("/owncloud/leave", LeaveMsg{Doc: "d", Client: "alice", Snapshot: "hi", Seq: 2}, map[string]string{"ok": "1"})
+	h.pair("/owncloud/join", JoinMsg{Doc: "d", Client: "carol"}, JoinRsp{Snapshot: "hi", Seq: 2})
+	if v := h.violations(); len(v) != 0 {
+		t.Fatalf("clean session flagged: %v", v)
+	}
+}
+
+func TestDetectsLostEdit(t *testing.T) {
+	h := newHarness(t)
+	h.pair("/owncloud/push", PushMsg{Doc: "d", Client: "alice", Ops: []string{"op1", "op2"}}, PushRsp{Seq: 2})
+	// The service claims head seq 2 but delivers only one op: a lost edit.
+	h.pair("/owncloud/sync", SyncMsg{Doc: "d", Client: "bob", Since: 0}, SyncRsp{Ops: []string{"op1"}, Seq: 2})
+	if v := h.violations(); v["owncloud-sync-completeness"] == nil {
+		t.Fatalf("lost edit not detected: %v", v)
+	}
+}
+
+func TestDetectsAlteredEdit(t *testing.T) {
+	h := newHarness(t)
+	h.pair("/owncloud/push", PushMsg{Doc: "d", Client: "alice", Ops: []string{"ins(0,'x')"}}, PushRsp{Seq: 1})
+	// The relayed op differs from what Alice submitted.
+	h.pair("/owncloud/sync", SyncMsg{Doc: "d", Client: "bob", Since: 0}, SyncRsp{Ops: []string{"ins(0,'y')"}, Seq: 1})
+	if v := h.violations(); v["owncloud-update-soundness"] == nil {
+		t.Fatalf("altered edit not detected: %v", v)
+	}
+}
+
+func TestDetectsStaleSnapshot(t *testing.T) {
+	h := newHarness(t)
+	h.pair("/owncloud/leave", LeaveMsg{Doc: "d", Client: "alice", Snapshot: "v1", Seq: 1}, map[string]string{"ok": "1"})
+	h.pair("/owncloud/leave", LeaveMsg{Doc: "d", Client: "bob", Snapshot: "v2", Seq: 2}, map[string]string{"ok": "1"})
+	// Carol receives the outdated snapshot v1.
+	h.pair("/owncloud/join", JoinMsg{Doc: "d", Client: "carol"}, JoinRsp{Snapshot: "v1", Seq: 2})
+	if v := h.violations(); v["owncloud-snapshot-soundness"] == nil {
+		t.Fatalf("stale snapshot not detected: %v", v)
+	}
+}
+
+func TestConcurrentClientsPrefixProperty(t *testing.T) {
+	h := newHarness(t)
+	// Interleaved pushes from two clients; seq assignment is the service's.
+	h.pair("/owncloud/push", PushMsg{Doc: "d", Client: "alice", Ops: []string{"a1"}}, PushRsp{Seq: 1})
+	h.pair("/owncloud/push", PushMsg{Doc: "d", Client: "bob", Ops: []string{"b1", "b2"}}, PushRsp{Seq: 3})
+	// A late-joining client must receive the full prefix.
+	h.pair("/owncloud/sync", SyncMsg{Doc: "d", Client: "carol", Since: 0}, SyncRsp{Ops: []string{"a1", "b1", "b2"}, Seq: 3})
+	if v := h.violations(); len(v) != 0 {
+		t.Fatalf("prefix delivery flagged: %v", v)
+	}
+	// Partial sync starting mid-stream is fine too.
+	h.pair("/owncloud/sync", SyncMsg{Doc: "d", Client: "alice", Since: 1}, SyncRsp{Ops: []string{"b1", "b2"}, Seq: 3})
+	if v := h.violations(); len(v) != 0 {
+		t.Fatalf("partial sync flagged: %v", v)
+	}
+}
+
+func TestTrimPreservesDetection(t *testing.T) {
+	h := newHarness(t)
+	h.pair("/owncloud/push", PushMsg{Doc: "d", Client: "alice", Ops: []string{"op1", "op2"}}, PushRsp{Seq: 2})
+	h.pair("/owncloud/sync", SyncMsg{Doc: "d", Client: "bob", Since: 0}, SyncRsp{Ops: []string{"op1", "op2"}, Seq: 2})
+	h.pair("/owncloud/leave", LeaveMsg{Doc: "d", Client: "alice", Snapshot: "s2", Seq: 2}, map[string]string{"ok": "1"})
+	for _, q := range h.mod.TrimQueries() {
+		if _, err := h.db.Exec(q); err != nil {
+			t.Fatalf("trim %q: %v", q, err)
+		}
+	}
+	// Ops covered by the snapshot and all sent rows are gone.
+	if n, _ := h.db.TableRowCount("docupdates"); n != 0 {
+		t.Fatalf("docupdates after trim = %d, want 0", n)
+	}
+	if n, _ := h.db.TableRowCount("snapshots"); n != 1 {
+		t.Fatalf("snapshots after trim = %d, want 1", n)
+	}
+	// A stale snapshot served after trimming is still detected.
+	h.pair("/owncloud/join", JoinMsg{Doc: "d", Client: "carol"}, JoinRsp{Snapshot: "old", Seq: 2})
+	if v := h.violations(); v["owncloud-snapshot-soundness"] == nil {
+		t.Fatalf("stale snapshot after trim not detected: %v", v)
+	}
+}
+
+func TestPostSnapshotEditsSurviveTrim(t *testing.T) {
+	h := newHarness(t)
+	h.pair("/owncloud/leave", LeaveMsg{Doc: "d", Client: "alice", Snapshot: "s", Seq: 2}, map[string]string{"ok": "1"})
+	h.pair("/owncloud/push", PushMsg{Doc: "d", Client: "bob", Ops: []string{"late1"}}, PushRsp{Seq: 3})
+	for _, q := range h.mod.TrimQueries() {
+		if _, err := h.db.Exec(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The edit after the snapshot is still needed and retained.
+	if n, _ := h.db.TableRowCount("docupdates"); n != 1 {
+		t.Fatalf("docupdates after trim = %d, want 1", n)
+	}
+	// And its alteration is detectable.
+	h.pair("/owncloud/sync", SyncMsg{Doc: "d", Client: "carol", Since: 2}, SyncRsp{Ops: []string{"altered"}, Seq: 3})
+	if v := h.violations(); v["owncloud-update-soundness"] == nil {
+		t.Fatalf("post-trim alteration not detected: %v", v)
+	}
+}
+
+func TestIgnoresOtherTraffic(t *testing.T) {
+	h := newHarness(t)
+	req := httpparse.NewRequest("GET", "/git/x/info/refs", nil)
+	tuples, err := h.mod.HandlePair(&ssm.State{Time: 1, DB: h.db}, req.Bytes(), httpparse.NewResponse(200, nil).Bytes())
+	if err != nil || tuples != nil {
+		t.Fatalf("foreign traffic produced tuples: %v %v", tuples, err)
+	}
+}
+
+func TestModuleMetadata(t *testing.T) {
+	m := New()
+	if m.Name() != "owncloud" {
+		t.Fatal("name")
+	}
+	if len(m.Invariants()) != 3 {
+		t.Fatal("invariants")
+	}
+}

@@ -1,0 +1,74 @@
+// Package ssm defines the service-specific module interface of LibSEAL
+// (§5.1). An SSM teaches LibSEAL about one service: it declares the
+// relational schema of the audit log, parses observed request/response pairs
+// into log tuples, and supplies the integrity invariants and trimming
+// queries. The paper's SSMs are 250-400 lines each; the Git, ownCloud and
+// Dropbox modules live in subpackages.
+package ssm
+
+import (
+	"libseal/internal/sqldb"
+)
+
+// Tuple is one row destined for a relation of the audit log.
+type Tuple struct {
+	Table  string
+	Values []any
+}
+
+// Invariant is one service integrity check, expressed as a SQL query whose
+// result rows are violations (§5.2: queries express the negation of the
+// invariant).
+type Invariant struct {
+	// Name identifies the invariant in check results.
+	Name string
+	// Kind is "soundness" or "completeness".
+	Kind string
+	// Description explains what a violation means.
+	Description string
+	// SQL returns one row per violation.
+	SQL string
+}
+
+// State is the context handed to an SSM for each request/response pair.
+type State struct {
+	// Time is the logical timestamp of this pair, maintained inside the
+	// enclave; all tuples of one pair share it.
+	Time int64
+	// DB offers read access to the audit log for stateful protocols
+	// (e.g. ownCloud sessions, §5.1).
+	DB *sqldb.DB
+}
+
+// Module is a service-specific module.
+type Module interface {
+	// Name identifies the service ("git", "owncloud", "dropbox").
+	Name() string
+	// Schema is the DDL creating the module's relations and views.
+	Schema() string
+	// HandlePair extracts log tuples from one request/response pair. The
+	// raw bytes are the plaintext observed at SSL_read/SSL_write. A pair
+	// that is irrelevant to auditing returns no tuples.
+	HandlePair(st *State, req, rsp []byte) ([]Tuple, error)
+	// Invariants returns the service's integrity checks.
+	Invariants() []Invariant
+	// TrimQueries returns the queries that prune log entries not needed by
+	// future checks (§5.1, "Log trimming").
+	TrimQueries() []string
+}
+
+// CheckInvariants runs every invariant against a database and returns the
+// violations found, keyed by invariant name.
+func CheckInvariants(db *sqldb.DB, m Module) (map[string]*sqldb.Result, error) {
+	violations := make(map[string]*sqldb.Result)
+	for _, inv := range m.Invariants() {
+		res, err := db.Query(inv.SQL)
+		if err != nil {
+			return nil, err
+		}
+		if !res.Empty() {
+			violations[inv.Name] = res
+		}
+	}
+	return violations, nil
+}

@@ -1,0 +1,154 @@
+// Package testutil provides shared fixtures for tests and benchmarks: a
+// certificate environment and an enclave+bridge factory.
+package testutil
+
+import (
+	"bufio"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"fmt"
+	"net"
+
+	"libseal/internal/asyncall"
+	"libseal/internal/enclave"
+	"libseal/internal/httpparse"
+	"libseal/internal/pki"
+	"libseal/internal/tlsterm"
+)
+
+// CertEnv bundles a CA, a server certificate and the matching trust pool.
+type CertEnv struct {
+	CA   *pki.CA
+	Pool *pki.Pool
+	Cert *pki.Certificate
+	Key  *ecdsa.PrivateKey
+}
+
+// NewCertEnv issues a server certificate for the given subject.
+func NewCertEnv(subject string) (*CertEnv, error) {
+	ca, err := pki.NewCA("test-ca")
+	if err != nil {
+		return nil, err
+	}
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	cert, err := ca.Issue(subject, &key.PublicKey, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &CertEnv{CA: ca, Pool: pki.NewPool(ca), Cert: cert, Key: key}, nil
+}
+
+// ClientConfig returns a client configuration trusting the environment's CA.
+func (e *CertEnv) ClientConfig(serverName string) *tlsterm.ClientConfig {
+	return &tlsterm.ClientConfig{Roots: e.Pool, ServerName: serverName}
+}
+
+// ServerConfig returns the native server configuration.
+func (e *CertEnv) ServerConfig() *tlsterm.ServerConfig {
+	return &tlsterm.ServerConfig{Cert: e.Cert, Key: e.Key}
+}
+
+// BridgeOptions configures NewBridge.
+type BridgeOptions struct {
+	Mode              asyncall.Mode
+	MaxThreads        int
+	AppSlots          int
+	Schedulers        int
+	TasksPerScheduler int
+	Cost              enclave.CostModel
+}
+
+// NewBridge launches an enclave on a fresh platform and opens a call bridge.
+func NewBridge(opts BridgeOptions) (*enclave.Enclave, *asyncall.Bridge, error) {
+	if opts.MaxThreads == 0 {
+		opts.MaxThreads = 16
+	}
+	platform := enclave.NewPlatform()
+	encl, err := platform.Launch(enclave.Config{
+		Code:       []byte("libseal-test"),
+		MaxThreads: opts.MaxThreads,
+		Cost:       opts.Cost,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("testutil: launch: %w", err)
+	}
+	bridge, err := asyncall.New(encl, asyncall.Config{
+		Mode:              opts.Mode,
+		AppSlots:          opts.AppSlots,
+		Schedulers:        opts.Schedulers,
+		TasksPerScheduler: opts.TasksPerScheduler,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("testutil: bridge: %w", err)
+	}
+	return encl, bridge, nil
+}
+
+// HTTPClient issues HTTPS-like requests to a service over the secure
+// channel protocol.
+type HTTPClient struct {
+	dial       func() (net.Conn, error)
+	cfg        *tlsterm.ClientConfig
+	persistent bool
+
+	conn *tlsterm.Conn
+	br   *bufio.Reader
+}
+
+// NewHTTPClient builds a client. With persistent=false every request uses a
+// fresh connection and pays a full handshake — the worst case measured in
+// §6.6.
+func NewHTTPClient(dial func() (net.Conn, error), cfg *tlsterm.ClientConfig, persistent bool) *HTTPClient {
+	return &HTTPClient{dial: dial, cfg: cfg, persistent: persistent}
+}
+
+func (c *HTTPClient) connect() error {
+	raw, err := c.dial()
+	if err != nil {
+		return err
+	}
+	conn, err := tlsterm.Connect(raw, c.cfg)
+	if err != nil {
+		raw.Close()
+		return err
+	}
+	c.conn = conn
+	c.br = bufio.NewReader(conn)
+	return nil
+}
+
+// Do sends one request and reads its response.
+func (c *HTTPClient) Do(req *httpparse.Request) (*httpparse.Response, error) {
+	if c.conn == nil {
+		if err := c.connect(); err != nil {
+			return nil, err
+		}
+	}
+	if !c.persistent {
+		req.Header.Set("Connection", "close")
+	}
+	if _, err := c.conn.Write(req.Bytes()); err != nil {
+		return nil, err
+	}
+	rsp, err := httpparse.ReadResponse(c.br)
+	if err != nil {
+		return nil, err
+	}
+	if !c.persistent {
+		c.conn.Close()
+		c.conn = nil
+	}
+	return rsp, nil
+}
+
+// Close releases the connection.
+func (c *HTTPClient) Close() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}

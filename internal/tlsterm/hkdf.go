@@ -1,0 +1,31 @@
+package tlsterm
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+)
+
+// hkdfExtract implements HKDF-Extract with SHA-256 (RFC 5869).
+func hkdfExtract(salt, ikm []byte) []byte {
+	mac := hmac.New(sha256.New, salt)
+	mac.Write(ikm)
+	return mac.Sum(nil)
+}
+
+// hkdfExpand implements HKDF-Expand with SHA-256 for lengths up to 8160
+// bytes.
+func hkdfExpand(prk []byte, info string, length int) []byte {
+	var out []byte
+	var prev []byte
+	counter := byte(1)
+	for len(out) < length {
+		mac := hmac.New(sha256.New, prk)
+		mac.Write(prev)
+		mac.Write([]byte(info))
+		mac.Write([]byte{counter})
+		prev = mac.Sum(nil)
+		out = append(out, prev...)
+		counter++
+	}
+	return out[:length]
+}

@@ -1,0 +1,699 @@
+// Package tlsterm implements LibSEAL's TLS termination layer (§4): a secure
+// channel protocol (ECDHE + HKDF + AES-GCM) exposed through an
+// OpenSSL/LibreSSL-shaped API. The server side can run either natively
+// in-process (AcceptNative — the paper's LibreSSL baseline) or inside a
+// simulated SGX enclave (Library/SSL), where protocol code and session keys
+// are enclave-resident, network BIOs and API wrappers stay outside, shadow
+// structures expose sanitised connection state, and application callbacks
+// are invoked through secure ocall trampolines.
+package tlsterm
+
+import (
+	"bufio"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"libseal/internal/asyncall"
+	"libseal/internal/enclave"
+	"libseal/internal/pki"
+)
+
+func cryptoRandRead(b []byte) (int, error) { return rand.Read(b) }
+
+// Direction distinguishes intercepted request and response data.
+type Direction int
+
+// Interception directions.
+const (
+	DirRead  Direction = iota // client -> service (requests)
+	DirWrite                  // service -> client (responses)
+)
+
+func (d Direction) String() string {
+	if d == DirRead {
+		return "read"
+	}
+	return "write"
+}
+
+// Tap observes every byte of plaintext crossing the termination point. It
+// executes inside the enclave, within the SSL_read/SSL_write ecall — this is
+// where LibSEAL's audit logger attaches (Fig. 1, step 3).
+type Tap interface {
+	// OnData sees plaintext read from (DirRead) or written to (DirWrite)
+	// the connection. For writes it may return a rewritten buffer (LibSEAL
+	// uses this to inject the in-band Libseal-Check-Result header); a nil
+	// return keeps the data unchanged. An error aborts the I/O operation.
+	OnData(env *asyncall.Env, connID uint64, dir Direction, data []byte) ([]byte, error)
+	// OnClose runs when the connection shuts down.
+	OnClose(env *asyncall.Env, connID uint64)
+}
+
+// Optimizations toggles the transition-reduction techniques of §4.2.
+// Disabling one reintroduces the enclave crossings it eliminates, which the
+// §4.2 ablation benchmark measures.
+type Optimizations struct {
+	// MemoryPool preallocates outside buffers so the enclave does not ocall
+	// malloc/free for every BIO object.
+	MemoryPool bool
+	// InEnclaveLocksRNG uses SGX-SDK locks and in-enclave randomness
+	// instead of ocalls to pthreads and the random syscall.
+	InEnclaveLocksRNG bool
+	// ExDataOutside stores application-specific data attached to TLS
+	// objects outside the enclave, avoiding ecalls on every access.
+	ExDataOutside bool
+}
+
+// AllOptimizations enables every §4.2 technique (the paper's default).
+func AllOptimizations() Optimizations {
+	return Optimizations{MemoryPool: true, InEnclaveLocksRNG: true, ExDataOutside: true}
+}
+
+// LibraryConfig configures an enclave-backed TLS library instance.
+type LibraryConfig struct {
+	Cert              *pki.Certificate
+	Key               *ecdsa.PrivateKey // provisioned into the enclave
+	RequireClientCert bool
+	ClientRoots       *pki.Pool
+	Opts              Optimizations
+	Tap               Tap
+}
+
+// insideState is the enclave-resident part of the library: the private key
+// and all per-connection session secrets. It must only be touched from
+// within an ecall.
+type insideState struct {
+	mu       sync.Mutex
+	key      *ecdsa.PrivateKey
+	sessions map[uint64]*session
+}
+
+type session struct {
+	rd, wr     *sessionKeys
+	peer       *pki.Certificate
+	callbackID uint64
+	exData     map[string]any // used when ExDataOutside is disabled
+}
+
+// Library is a LibSEAL TLS library instance bound to one enclave bridge.
+// It is the drop-in replacement servers link against.
+type Library struct {
+	bridge *asyncall.Bridge
+	cfg    LibraryConfig
+	inside *insideState
+
+	nextID atomic.Uint64
+
+	cbMu      sync.Mutex
+	callbacks map[uint64]func(state string)
+
+	pool sync.Pool // outside memory pool for BIO buffers
+}
+
+// NewLibrary provisions a library instance. The private key is transferred
+// into the enclave-resident state and the outside copy is not retained.
+func NewLibrary(bridge *asyncall.Bridge, cfg LibraryConfig) (*Library, error) {
+	if cfg.Cert == nil || cfg.Key == nil {
+		return nil, fmt.Errorf("tlsterm: certificate and key required")
+	}
+	lib := &Library{
+		bridge:    bridge,
+		cfg:       cfg,
+		inside:    &insideState{sessions: make(map[uint64]*session)},
+		callbacks: make(map[uint64]func(string)),
+	}
+	lib.pool.New = func() any { b := make([]byte, 0, maxFramePayload+4); return &b }
+	key := cfg.Key
+	lib.cfg.Key = nil // the outside copy is dropped; only the enclave holds it
+	err := bridge.Call(func(env *asyncall.Env) error {
+		lib.inside.mu.Lock()
+		defer lib.inside.mu.Unlock()
+		lib.inside.key = key
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return lib, nil
+}
+
+// GenerateEnclaveIdentity creates a fresh ECDSA key inside the enclave and
+// returns its public half together with a quote whose report data commits to
+// the key hash. A CA can then issue a certificate that clients verify as
+// belonging to a genuine LibSEAL enclave (§6.3). Use the returned setter to
+// install the issued certificate.
+func GenerateEnclaveIdentity(bridge *asyncall.Bridge) (*ecdsa.PublicKey, enclave.Quote, *ecdsa.PrivateKey, error) {
+	var pub *ecdsa.PublicKey
+	var quote enclave.Quote
+	var key *ecdsa.PrivateKey
+	err := bridge.Call(func(env *asyncall.Env) error {
+		var err error
+		key, err = ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+		if err != nil {
+			return err
+		}
+		pub = &key.PublicKey
+		cert := &pki.Certificate{PubKey: pub}
+		keyHash := cert.KeyHash()
+		quote, err = env.Ctx.Quote(keyHash[:])
+		return err
+	})
+	if err != nil {
+		return nil, enclave.Quote{}, nil, err
+	}
+	return pub, quote, key, nil
+}
+
+// Bridge returns the enclave bridge the library uses.
+func (lib *Library) Bridge() *asyncall.Bridge { return lib.bridge }
+
+// ShadowSSL is the sanitised, outside-resident copy of a connection's TLS
+// state (§4.1 "Shadowing"). It deliberately contains no key material; tests
+// assert this by reflection.
+type ShadowSSL struct {
+	State        string
+	Established  bool
+	PeerSubject  string
+	BytesRead    int64
+	BytesWritten int64
+}
+
+// SSL is one terminated TLS connection: the OpenSSL SSL* equivalent. The
+// struct itself lives outside the enclave; secrets stay inside, referenced
+// by ID.
+type SSL struct {
+	lib  *Library
+	id   uint64
+	conn net.Conn
+	br   *bufio.Reader
+
+	// readMu serialises SSL_read (and the handshake); writeMu serialises
+	// SSL_write; stateMu guards the shadow structure and ex_data so that
+	// outside code can inspect them while I/O is blocked.
+	readMu  sync.Mutex
+	writeMu sync.Mutex
+	stateMu sync.Mutex
+
+	shadow   ShadowSSL
+	leftover []byte
+	exData   map[string]any
+	closed   bool
+}
+
+// NewSSL wraps an accepted transport connection.
+func (lib *Library) NewSSL(conn net.Conn) *SSL {
+	return &SSL{
+		lib:    lib,
+		id:     lib.nextID.Add(1),
+		conn:   conn,
+		br:     bufio.NewReader(conn),
+		shadow: ShadowSSL{State: "init"},
+		exData: make(map[string]any),
+	}
+}
+
+// SetInfoCallback registers an application callback invoked on handshake
+// state transitions. The function itself stays outside the enclave; enclave
+// code reaches it through an ocall trampoline keyed by the connection ID,
+// mirroring the paper's secure-callback listing (§4.1).
+func (s *SSL) SetInfoCallback(cb func(state string)) {
+	s.lib.cbMu.Lock()
+	s.lib.callbacks[s.id] = cb
+	s.lib.cbMu.Unlock()
+}
+
+// invokeCallback is the outside half of the callback trampoline.
+func (lib *Library) invokeCallback(id uint64, state string) {
+	lib.cbMu.Lock()
+	cb := lib.callbacks[id]
+	lib.cbMu.Unlock()
+	if cb != nil {
+		cb(state)
+	}
+}
+
+// fireCallback runs inside the enclave and performs the trampoline ocall if
+// a callback is registered.
+func (s *SSL) fireCallback(env *asyncall.Env, state string) {
+	s.lib.cbMu.Lock()
+	registered := s.lib.callbacks[s.id] != nil
+	s.lib.cbMu.Unlock()
+	if !registered {
+		return
+	}
+	_ = env.Ocall(func() error {
+		s.lib.invokeCallback(s.id, state)
+		return nil
+	})
+}
+
+// chargeUnoptimized models the extra crossings that the §4.2 optimisations
+// eliminate: without the memory pool every BIO buffer is malloc'd/freed via
+// ocall, and without SDK locks/RNG each record operation ocalls into
+// pthreads or the random syscall.
+func (s *SSL) chargeUnoptimized(env *asyncall.Env) error {
+	if !s.lib.cfg.Opts.MemoryPool {
+		if err := env.Ocall(func() error { return nil }); err != nil { // malloc
+			return err
+		}
+		if err := env.Ocall(func() error { return nil }); err != nil { // free
+			return err
+		}
+	}
+	if !s.lib.cfg.Opts.InEnclaveLocksRNG {
+		if err := env.Ocall(func() error { return nil }); err != nil { // pthread lock
+			return err
+		}
+	}
+	return nil
+}
+
+// getBuf obtains a BIO buffer from the outside memory pool.
+func (lib *Library) getBuf() *[]byte { return lib.pool.Get().(*[]byte) }
+
+// putBuf returns a buffer to the pool.
+func (lib *Library) putBuf(b *[]byte) {
+	*b = (*b)[:0]
+	lib.pool.Put(b)
+}
+
+// bioReadFrame reads one frame from the network BIO via ocall: the socket
+// lives outside the enclave.
+func (s *SSL) bioReadFrame(env *asyncall.Env) (byte, []byte, error) {
+	var ftype byte
+	var payload []byte
+	err := env.Ocall(func() error {
+		var err error
+		ftype, payload, err = readFrame(s.br)
+		return err
+	})
+	return ftype, payload, err
+}
+
+// bioWriteFrames writes frames to the network BIO via one ocall. Small
+// frame groups are coalesced through the memory pool to issue one transport
+// write; large transfers are written frame by frame to avoid doubling the
+// data in flight.
+func (s *SSL) bioWriteFrames(env *asyncall.Env, frames [][]byte) error {
+	return env.Ocall(func() error {
+		total := 0
+		for _, f := range frames {
+			total += len(f)
+		}
+		if len(frames) > 1 && total <= maxFramePayload {
+			buf := s.lib.getBuf()
+			defer s.lib.putBuf(buf)
+			out := *buf
+			for _, f := range frames {
+				out = append(out, f...)
+			}
+			_, err := s.conn.Write(out)
+			return err
+		}
+		for _, f := range frames {
+			if _, err := s.conn.Write(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Accept runs the server-side handshake inside the enclave (SSL_accept).
+func (s *SSL) Accept() error {
+	s.readMu.Lock()
+	defer s.readMu.Unlock()
+	var peer *pki.Certificate
+	err := s.lib.bridge.Call(func(env *asyncall.Env) error {
+		s.fireCallback(env, "accept:start")
+		if err := s.chargeUnoptimized(env); err != nil {
+			return err
+		}
+		tr := &transcript{}
+
+		ftype, payload, err := s.bioReadFrame(env)
+		if err != nil {
+			return err
+		}
+		if ftype != frameClientHello {
+			return fmt.Errorf("%w: expected ClientHello, got frame %d", ErrHandshakeFailed, ftype)
+		}
+		env.Ctx.ChargeData(len(payload))
+		ch, err := parseClientHello(payload)
+		if err != nil {
+			return err
+		}
+		tr.add(payload)
+
+		if !s.lib.cfg.Opts.InEnclaveLocksRNG {
+			// Entropy fetched from the host via ocall.
+			if err := env.Ocall(func() error { return nil }); err != nil {
+				return err
+			}
+		}
+		eph, err := generateEphemeral()
+		if err != nil {
+			return err
+		}
+		sh := &serverHello{
+			EphPub:   eph.PublicKey().Bytes(),
+			Cert:     s.lib.cfg.Cert.Marshal(),
+			WantCert: s.lib.cfg.RequireClientCert,
+		}
+		if err := env.Ctx.Random(sh.Random[:]); err != nil {
+			return err
+		}
+		s.lib.inside.mu.Lock()
+		key := s.lib.inside.key
+		s.lib.inside.mu.Unlock()
+		sigTr := &transcript{}
+		sigTr.add(payload)
+		sigTr.add(sh.Random[:])
+		sigTr.add(sh.EphPub)
+		sigTr.add(sh.Cert)
+		if sh.SigR, sh.SigS, err = signTranscript(key, sigTr); err != nil {
+			return err
+		}
+		shBytes := sh.marshal()
+		tr.add(shBytes)
+		if err := s.bioWriteFrames(env, [][]byte{frameBytes(frameServerHello, shBytes)}); err != nil {
+			return err
+		}
+
+		shared, err := ecdhShared(eph, ch.EphPub)
+		if err != nil {
+			return err
+		}
+		keys, err := deriveKeys(shared, ch.Random[:], sh.Random[:])
+		if err != nil {
+			return err
+		}
+
+		ftype, payload, err = s.bioReadFrame(env)
+		if err != nil {
+			return err
+		}
+		if ftype != frameClientFinished {
+			return fmt.Errorf("%w: expected ClientFinished, got frame %d", ErrHandshakeFailed, ftype)
+		}
+		env.Ctx.ChargeData(len(payload))
+		cfPlain, err := keys.client.open(frameClientFinished, payload)
+		if err != nil {
+			return err
+		}
+		cf, err := parseClientFinished(cfPlain)
+		if err != nil {
+			return err
+		}
+		if !macEqual(cf.MAC, finishedMAC(keys.finKey, tr, "client finished")) {
+			return ErrFinishedMismatch
+		}
+		if s.lib.cfg.RequireClientCert {
+			if !cf.HasCert {
+				return ErrCertRequired
+			}
+			peer, err = pki.Unmarshal(cf.Cert)
+			if err != nil {
+				return err
+			}
+			if s.lib.cfg.ClientRoots == nil {
+				return fmt.Errorf("%w: no client roots configured", ErrCertUntrusted)
+			}
+			if err := s.lib.cfg.ClientRoots.Verify(peer); err != nil {
+				return fmt.Errorf("%w: %v", ErrCertUntrusted, err)
+			}
+			if !verifyTranscript(peer.PubKey, tr, cf.SigR, cf.SigS) {
+				return fmt.Errorf("%w: client transcript signature invalid", ErrHandshakeFailed)
+			}
+		}
+		tr.add(cfPlain)
+
+		sf := finishedMAC(keys.finKey, tr, "server finished")
+		ct, err := keys.server.seal(frameServerFinished, sf)
+		if err != nil {
+			return err
+		}
+		if err := s.bioWriteFrames(env, [][]byte{frameBytes(frameServerFinished, ct)}); err != nil {
+			return err
+		}
+
+		s.lib.inside.mu.Lock()
+		s.lib.inside.sessions[s.id] = &session{
+			rd:     keys.client,
+			wr:     keys.server,
+			peer:   peer,
+			exData: make(map[string]any),
+		}
+		s.lib.inside.mu.Unlock()
+		s.fireCallback(env, "accept:done")
+		return nil
+	})
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	if err != nil {
+		s.shadow.State = "error"
+		return err
+	}
+	// Synchronise the sanitised shadow copy (no key material).
+	s.shadow.State = "established"
+	s.shadow.Established = true
+	if peer != nil {
+		s.shadow.PeerSubject = peer.Subject
+	}
+	return nil
+}
+
+// lookupSession fetches the enclave-resident session. Must run inside.
+func (lib *Library) lookupSession(id uint64) (*session, error) {
+	lib.inside.mu.Lock()
+	defer lib.inside.mu.Unlock()
+	sess, ok := lib.inside.sessions[id]
+	if !ok {
+		return nil, ErrClosed
+	}
+	return sess, nil
+}
+
+// Read decrypts application data (SSL_read). Plaintext passes through the
+// Tap inside the enclave before being returned to the caller.
+func (s *SSL) Read(p []byte) (int, error) {
+	s.readMu.Lock()
+	defer s.readMu.Unlock()
+	if len(s.leftover) == 0 {
+		var plaintext []byte
+		eof := false
+		err := s.lib.bridge.Call(func(env *asyncall.Env) error {
+			sess, err := s.lib.lookupSession(s.id)
+			if err != nil {
+				return err
+			}
+			if err := s.chargeUnoptimized(env); err != nil {
+				return err
+			}
+			ftype, payload, err := s.bioReadFrame(env)
+			if err != nil {
+				return err
+			}
+			switch ftype {
+			case frameAppData:
+				env.Ctx.ChargeData(len(payload))
+				pt, err := sess.rd.open(frameAppData, payload)
+				if err != nil {
+					return err
+				}
+				if tap := s.lib.cfg.Tap; tap != nil {
+					if _, err := tap.OnData(env, s.id, DirRead, pt); err != nil {
+						return err
+					}
+				}
+				plaintext = pt
+			case frameAlert:
+				eof = true
+			default:
+				return fmt.Errorf("tlsterm: unexpected frame type %d", ftype)
+			}
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		if eof {
+			return 0, io.EOF
+		}
+		s.leftover = plaintext
+		s.stateMu.Lock()
+		s.shadow.BytesRead += int64(len(plaintext))
+		s.stateMu.Unlock()
+	}
+	n := copy(p, s.leftover)
+	s.leftover = s.leftover[n:]
+	return n, nil
+}
+
+// Write encrypts and sends application data (SSL_write). Plaintext passes
+// through the Tap inside the enclave before encryption.
+func (s *SSL) Write(p []byte) (int, error) {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.stateMu.Lock()
+	closed := s.closed
+	s.stateMu.Unlock()
+	if closed {
+		return 0, ErrClosed
+	}
+	total := 0
+	err := s.lib.bridge.Call(func(env *asyncall.Env) error {
+		sess, err := s.lib.lookupSession(s.id)
+		if err != nil {
+			return err
+		}
+		if err := s.chargeUnoptimized(env); err != nil {
+			return err
+		}
+		payload := p
+		if tap := s.lib.cfg.Tap; tap != nil {
+			rewritten, err := tap.OnData(env, s.id, DirWrite, payload)
+			if err != nil {
+				return err
+			}
+			if rewritten != nil {
+				payload = rewritten
+			}
+		}
+		var frames [][]byte
+		rest := payload
+		for len(rest) > 0 {
+			chunk := rest
+			if len(chunk) > maxRecordPlaintext {
+				chunk = chunk[:maxRecordPlaintext]
+			}
+			env.Ctx.ChargeData(len(chunk))
+			frame, err := sess.wr.sealFrame(frameAppData, chunk)
+			if err != nil {
+				return err
+			}
+			frames = append(frames, frame)
+			total += len(chunk)
+			rest = rest[len(chunk):]
+			if !s.lib.cfg.Opts.MemoryPool {
+				// One malloc ocall per record buffer without the pool.
+				if err := env.Ocall(func() error { return nil }); err != nil {
+					return err
+				}
+			}
+		}
+		return s.bioWriteFrames(env, frames)
+	})
+	if err != nil {
+		return 0, err
+	}
+	s.stateMu.Lock()
+	s.shadow.BytesWritten += int64(total)
+	s.stateMu.Unlock()
+	// Report the caller's byte count even if the tap rewrote the payload,
+	// preserving io.Writer semantics for the application.
+	return len(p), nil
+}
+
+// Close tears the session down (SSL_shutdown + free).
+func (s *SSL) Close() error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.stateMu.Lock()
+	if s.closed {
+		s.stateMu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.stateMu.Unlock()
+	_ = s.lib.bridge.Call(func(env *asyncall.Env) error {
+		s.lib.inside.mu.Lock()
+		sess, ok := s.lib.inside.sessions[s.id]
+		delete(s.lib.inside.sessions, s.id)
+		s.lib.inside.mu.Unlock()
+		if tap := s.lib.cfg.Tap; tap != nil {
+			tap.OnClose(env, s.id)
+		}
+		if ok {
+			if ct, err := sess.wr.seal(frameAlert, nil); err == nil {
+				_ = s.bioWriteFrames(env, [][]byte{frameBytes(frameAlert, ct)})
+			}
+		}
+		return nil
+	})
+	s.lib.cbMu.Lock()
+	delete(s.lib.callbacks, s.id)
+	s.lib.cbMu.Unlock()
+	s.stateMu.Lock()
+	s.shadow.State = "closed"
+	s.shadow.Established = false
+	s.stateMu.Unlock()
+	return s.conn.Close()
+}
+
+// Shadow returns the sanitised outside view of the connection state.
+func (s *SSL) Shadow() ShadowSSL {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	return s.shadow
+}
+
+// ID returns the connection identifier used by taps.
+func (s *SSL) ID() uint64 { return s.id }
+
+// PeerSubject returns the authenticated client subject, if any.
+func (s *SSL) PeerSubject() string {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	return s.shadow.PeerSubject
+}
+
+// SetExData attaches application data to the connection, like
+// SSL_set_ex_data. With the ExDataOutside optimisation the value stays in
+// the outside shadow object; otherwise every access crosses into the
+// enclave (§4.2, optimisation 3).
+func (s *SSL) SetExData(key string, v any) error {
+	if s.lib.cfg.Opts.ExDataOutside {
+		s.stateMu.Lock()
+		s.exData[key] = v
+		s.stateMu.Unlock()
+		return nil
+	}
+	return s.lib.bridge.Call(func(env *asyncall.Env) error {
+		sess, err := s.lib.lookupSession(s.id)
+		if err != nil {
+			return err
+		}
+		s.lib.inside.mu.Lock()
+		sess.exData[key] = v
+		s.lib.inside.mu.Unlock()
+		return nil
+	})
+}
+
+// GetExData retrieves application data attached with SetExData.
+func (s *SSL) GetExData(key string) (any, error) {
+	if s.lib.cfg.Opts.ExDataOutside {
+		s.stateMu.Lock()
+		defer s.stateMu.Unlock()
+		return s.exData[key], nil
+	}
+	var out any
+	err := s.lib.bridge.Call(func(env *asyncall.Env) error {
+		sess, err := s.lib.lookupSession(s.id)
+		if err != nil {
+			return err
+		}
+		s.lib.inside.mu.Lock()
+		out = sess.exData[key]
+		s.lib.inside.mu.Unlock()
+		return nil
+	})
+	return out, err
+}

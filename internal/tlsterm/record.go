@@ -1,0 +1,151 @@
+package tlsterm
+
+import (
+	"bufio"
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame types on the wire.
+const (
+	frameClientHello    byte = 1
+	frameServerHello    byte = 2
+	frameClientFinished byte = 3
+	frameServerFinished byte = 4
+	frameAlert          byte = 21
+	frameAppData        byte = 23
+)
+
+// maxRecordPlaintext is the largest plaintext carried by one record,
+// matching TLS.
+const maxRecordPlaintext = 16384
+
+// maxFramePayload bounds any frame on the wire.
+const maxFramePayload = maxRecordPlaintext + 1024
+
+// Errors of the record layer.
+var (
+	ErrRecordTooLarge = errors.New("tlsterm: record exceeds maximum size")
+	ErrBadRecord      = errors.New("tlsterm: record authentication failed")
+	ErrClosed         = errors.New("tlsterm: connection closed")
+)
+
+// writeFrame emits one frame: type(1) || length(3) || payload.
+func writeFrame(w io.Writer, ftype byte, payload []byte) error {
+	if len(payload) > maxFramePayload {
+		return ErrRecordTooLarge
+	}
+	hdr := [4]byte{ftype, byte(len(payload) >> 16), byte(len(payload) >> 8), byte(len(payload))}
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// frameBytes serialises a frame into a fresh buffer.
+func frameBytes(ftype byte, payload []byte) []byte {
+	out := make([]byte, 4+len(payload))
+	out[0] = ftype
+	out[1], out[2], out[3] = byte(len(payload)>>16), byte(len(payload)>>8), byte(len(payload))
+	copy(out[4:], payload)
+	return out
+}
+
+// readFrame parses one frame from the stream.
+func readFrame(br *bufio.Reader) (byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := int(hdr[1])<<16 | int(hdr[2])<<8 | int(hdr[3])
+	if n > maxFramePayload {
+		return 0, nil, ErrRecordTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// sessionKeys holds one direction's record protection state.
+type sessionKeys struct {
+	aead cipher.AEAD
+	iv   [12]byte
+	seq  uint64
+}
+
+func newSessionKeys(key, iv []byte) (*sessionKeys, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	sk := &sessionKeys{aead: aead}
+	copy(sk.iv[:], iv)
+	return sk, nil
+}
+
+func (sk *sessionKeys) nonce() [12]byte {
+	var n [12]byte
+	copy(n[:], sk.iv[:])
+	var seqb [8]byte
+	binary.BigEndian.PutUint64(seqb[:], sk.seq)
+	for i := 0; i < 8; i++ {
+		n[4+i] ^= seqb[i]
+	}
+	return n
+}
+
+// seal encrypts one record, consuming a sequence number.
+func (sk *sessionKeys) seal(ftype byte, plaintext []byte) ([]byte, error) {
+	if len(plaintext) > maxRecordPlaintext {
+		return nil, ErrRecordTooLarge
+	}
+	nonce := sk.nonce()
+	aad := [9]byte{ftype}
+	binary.BigEndian.PutUint64(aad[1:], sk.seq)
+	ct := sk.aead.Seal(nil, nonce[:], plaintext, aad[:])
+	sk.seq++
+	return ct, nil
+}
+
+// sealFrame encrypts one record directly into a complete wire frame
+// (header + ciphertext) with a single allocation, avoiding the extra copy of
+// framing separately — this matters for the large-transfer experiments.
+func (sk *sessionKeys) sealFrame(ftype byte, plaintext []byte) ([]byte, error) {
+	if len(plaintext) > maxRecordPlaintext {
+		return nil, ErrRecordTooLarge
+	}
+	nonce := sk.nonce()
+	aad := [9]byte{ftype}
+	binary.BigEndian.PutUint64(aad[1:], sk.seq)
+	frame := make([]byte, 4, 4+len(plaintext)+sk.aead.Overhead())
+	frame = sk.aead.Seal(frame, nonce[:], plaintext, aad[:])
+	sk.seq++
+	n := len(frame) - 4
+	frame[0] = ftype
+	frame[1], frame[2], frame[3] = byte(n>>16), byte(n>>8), byte(n)
+	return frame, nil
+}
+
+// open decrypts one record, consuming a sequence number.
+func (sk *sessionKeys) open(ftype byte, ciphertext []byte) ([]byte, error) {
+	nonce := sk.nonce()
+	aad := [9]byte{ftype}
+	binary.BigEndian.PutUint64(aad[1:], sk.seq)
+	pt, err := sk.aead.Open(nil, nonce[:], ciphertext, aad[:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRecord, err)
+	}
+	sk.seq++
+	return pt, nil
+}

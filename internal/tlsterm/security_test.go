@@ -1,0 +1,213 @@
+package tlsterm
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"testing"
+
+	"libseal/internal/asyncall"
+	"libseal/internal/netsim"
+)
+
+// tamperConn wraps a net.Conn and flips one byte at a chosen offset of the
+// outgoing stream, modelling an in-path attacker.
+type tamperConn struct {
+	net.Conn
+	offset  int
+	written int
+}
+
+func (c *tamperConn) Write(p []byte) (int, error) {
+	if c.offset >= c.written && c.offset < c.written+len(p) {
+		mut := append([]byte(nil), p...)
+		mut[c.offset-c.written] ^= 0xA5
+		c.written += len(p)
+		return c.Conn.Write(mut)
+	}
+	c.written += len(p)
+	return c.Conn.Write(p)
+}
+
+// TestHandshakeTamperingAlwaysFails flips single bytes at many positions of
+// the client's outgoing handshake stream; every mutation must make the
+// handshake fail on at least one side — never succeed with altered state.
+func TestHandshakeTamperingAlwaysFails(t *testing.T) {
+	env := newTestEnv(t, asyncall.ModeSync)
+	// Measure an unmodified handshake's client-side byte count first.
+	probeC, probeS := netsim.Pipe(netsim.LinkConfig{})
+	go func() {
+		defer probeS.Close()
+		AcceptNative(probeS, &ServerConfig{Cert: env.cert, Key: env.key})
+	}()
+	probe := &tamperConn{Conn: probeC, offset: 1 << 30}
+	conn, err := Connect(probe, clientCfg(env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	total := probe.written
+
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 25; trial++ {
+		offset := r.Intn(total)
+		cConn, sConn := netsim.Pipe(netsim.LinkConfig{})
+		serverErr := make(chan error, 1)
+		go func() {
+			// Closing the transport on failure unblocks the client, which
+			// may otherwise wait for a response that will never come.
+			defer sConn.Close()
+			sc, err := AcceptNative(sConn, &ServerConfig{Cert: env.cert, Key: env.key})
+			if err != nil {
+				serverErr <- err
+				return
+			}
+			// If the handshake "succeeded", try to exchange data — the
+			// finished MACs must have caught any tampering before this.
+			buf := make([]byte, 4)
+			if _, err := io.ReadFull(sc, buf); err != nil {
+				serverErr <- err
+				return
+			}
+			sc.Write(buf)
+			serverErr <- nil
+		}()
+		client, err := Connect(&tamperConn{Conn: cConn, offset: offset}, clientCfg(env))
+		if err == nil {
+			// The client-side handshake passed (mutation may have hit
+			// client-to-server data the client cannot check); the server
+			// must have rejected it instead.
+			client.Write([]byte("ping"))
+			buf := make([]byte, 4)
+			_, rerr := io.ReadFull(client, buf)
+			serr := <-serverErr
+			if rerr == nil && serr == nil {
+				t.Fatalf("offset %d: tampered handshake succeeded end-to-end", offset)
+			}
+			client.Close()
+			continue
+		}
+		cConn.Close()
+	}
+}
+
+// TestRecordStreamTamperDetected flips bytes in application records; the
+// receiver must reject them (AEAD) rather than deliver corrupted plaintext.
+func TestRecordStreamTamperDetected(t *testing.T) {
+	env := newTestEnv(t, asyncall.ModeSync)
+	for _, offset := range []int{0, 3, 4, 10, 20} {
+		cConn, sConn := netsim.Pipe(netsim.LinkConfig{})
+		received := make(chan error, 1)
+		go func() {
+			sc, err := AcceptNative(sConn, &ServerConfig{Cert: env.cert, Key: env.key})
+			if err != nil {
+				received <- err
+				return
+			}
+			buf := make([]byte, 64)
+			_, err = sc.Read(buf)
+			received <- err
+		}()
+		client, err := Connect(cConn, clientCfg(env))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Tamper with the first application record after the handshake.
+		frame, err := client.wr.sealFrame(frameAppData, []byte("sensitive request"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		frame[4+offset%len(frame[4:])] ^= 0xFF
+		if _, err := cConn.Write(frame); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-received; !errors.Is(err, ErrBadRecord) {
+			t.Fatalf("offset %d: server accepted tampered record: %v", offset, err)
+		}
+		client.Close()
+	}
+}
+
+// TestRecordReorderingRejected swaps two records in flight; sequence-bound
+// nonces must reject them.
+func TestRecordReorderingRejected(t *testing.T) {
+	env := newTestEnv(t, asyncall.ModeSync)
+	cConn, sConn := netsim.Pipe(netsim.LinkConfig{})
+	result := make(chan error, 1)
+	go func() {
+		sc, err := AcceptNative(sConn, &ServerConfig{Cert: env.cert, Key: env.key})
+		if err != nil {
+			result <- err
+			return
+		}
+		buf := make([]byte, 64)
+		_, err = sc.Read(buf)
+		result <- err
+	}()
+	client, err := Connect(cConn, clientCfg(env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	f1, _ := client.wr.sealFrame(frameAppData, []byte("first"))
+	f2, _ := client.wr.sealFrame(frameAppData, []byte("second"))
+	// Deliver the second record first.
+	cConn.Write(f2)
+	cConn.Write(f1)
+	if err := <-result; !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("reordered records accepted: %v", err)
+	}
+}
+
+// TestSessionKeysAreConnectionSpecific ensures a record captured on one
+// connection cannot be replayed into another (fresh ECDHE per handshake).
+func TestSessionKeysAreConnectionSpecific(t *testing.T) {
+	env := newTestEnv(t, asyncall.ModeSync)
+	dial := func() (*Conn, *netsim.Conn) {
+		cConn, sConn := netsim.Pipe(netsim.LinkConfig{})
+		go func() {
+			sc, err := AcceptNative(sConn, &ServerConfig{Cert: env.cert, Key: env.key})
+			if err != nil {
+				return
+			}
+			buf := make([]byte, 64)
+			for {
+				if _, err := sc.Read(buf); err != nil {
+					return
+				}
+			}
+		}()
+		c, err := Connect(cConn, clientCfg(env))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, cConn
+	}
+	c1, _ := dial()
+	defer c1.Close()
+	c2, raw2 := dial()
+	defer c2.Close()
+	// A frame sealed under connection 1's keys fails on connection 2.
+	frame, _ := c1.wr.sealFrame(frameAppData, []byte("cross-session replay"))
+	readErr := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 64)
+		_, err := c2.Read(buf)
+		readErr <- err
+	}()
+	_ = raw2
+	// Write the foreign frame directly into connection 2's transport from
+	// the server side is not possible here; instead decrypt check: keys
+	// must differ.
+	if bytes.Equal(c1.wr.iv[:], c2.wr.iv[:]) {
+		t.Fatal("two connections derived identical IVs")
+	}
+	if _, err := c2.rd.open(frameAppData, frame[4:]); err == nil {
+		t.Fatal("record sealed for connection 1 opened under connection 2 keys")
+	}
+	c2.Close()
+	<-readErr
+	_ = frame
+}

@@ -1,0 +1,62 @@
+package tlsterm
+
+import (
+	"io"
+	"net"
+)
+
+// Stream is a secured, terminated connection as seen by a server.
+type Stream interface {
+	io.ReadWriteCloser
+}
+
+// Terminator abstracts who terminates TLS for a server: the native
+// in-process implementation (the paper's LibreSSL baseline) or a LibSEAL
+// enclave library. Servers written against it need no changes to switch —
+// LibSEAL's drop-in property (R2).
+type Terminator interface {
+	// Accept performs the server-side handshake on a raw connection.
+	Accept(conn net.Conn) (Stream, error)
+}
+
+// nativeTerminator terminates with AcceptNative.
+type nativeTerminator struct {
+	cfg *ServerConfig
+}
+
+// NewNativeTerminator returns the baseline in-process terminator.
+func NewNativeTerminator(cfg *ServerConfig) Terminator {
+	return &nativeTerminator{cfg: cfg}
+}
+
+// Accept implements Terminator.
+func (n *nativeTerminator) Accept(conn net.Conn) (Stream, error) {
+	return AcceptNative(conn, n.cfg)
+}
+
+// libraryTerminator terminates inside the enclave via a LibSEAL library.
+type libraryTerminator struct {
+	lib *Library
+}
+
+// Terminator adapts the library to the Terminator interface.
+func (lib *Library) Terminator() Terminator {
+	return &libraryTerminator{lib: lib}
+}
+
+// Accept implements Terminator.
+func (l *libraryTerminator) Accept(conn net.Conn) (Stream, error) {
+	ssl := l.lib.NewSSL(conn)
+	if err := ssl.Accept(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return ssl, nil
+}
+
+// PlainTerminator passes connections through without TLS; used for backend
+// legs of reverse proxies.
+type PlainTerminator struct{}
+
+// Accept implements Terminator.
+func (PlainTerminator) Accept(conn net.Conn) (Stream, error) { return conn, nil }

@@ -1,0 +1,176 @@
+// Package libseal is a SEcure Audit Library for Internet services: a
+// reproduction, in pure Go, of "LibSEAL: Revealing Service Integrity
+// Violations Using Trusted Execution" (Aublin et al., EuroSys 2018).
+//
+// LibSEAL acts as a drop-in replacement for a TLS library. It terminates
+// TLS connections inside a (simulated) trusted execution environment, logs
+// information about every request and response into a tamper-evident
+// relational audit log, and checks service-specific integrity invariants
+// expressed as SQL queries. Violations — a Git server advertising a rolled-
+// back branch, a collaborative editor losing edits, a file store corrupting
+// metadata — become provable facts backed by the enclave's signature chain.
+//
+// The package re-exports the library's public surface; the implementation
+// lives in internal packages:
+//
+//   - enclave:   simulated SGX platform (costed transitions, sealing,
+//     attestation, monotonic counters)
+//   - lthread, asyncall: user-level threading and asynchronous enclave calls
+//   - sqldb:     embedded relational database (SQLite substitute)
+//   - tlsterm:   TLS termination with the OpenSSL-shaped API
+//   - audit:     hash-chained, signed, rollback-protected audit log
+//   - rote:      distributed monotonic counter protocol
+//   - ssm/...:   service-specific modules for Git, ownCloud and Dropbox
+//   - services/...: the simulated services and attack injection
+//
+// A minimal server looks like:
+//
+//	platform := libseal.NewPlatform()
+//	encl, _ := platform.Launch(libseal.EnclaveConfig{Code: []byte("my-service")})
+//	bridge, _ := libseal.NewBridge(encl, libseal.BridgeConfig{})
+//	seal, _ := libseal.New(bridge, libseal.Config{
+//	    TLS:    libseal.TLSConfig{Cert: cert, Key: key},
+//	    Module: libseal.GitModule(),
+//	})
+//	ssl := seal.TLS().NewSSL(conn) // then ssl.Accept / Read / Write
+package libseal
+
+import (
+	"libseal/internal/asyncall"
+	"libseal/internal/audit"
+	"libseal/internal/core"
+	"libseal/internal/enclave"
+	"libseal/internal/rote"
+	"libseal/internal/ssm"
+	"libseal/internal/ssm/dropboxssm"
+	"libseal/internal/ssm/gitssm"
+	"libseal/internal/ssm/messagingssm"
+	"libseal/internal/ssm/owncloudssm"
+	"libseal/internal/tlsterm"
+)
+
+// Core library types.
+type (
+	// LibSEAL is one audit-library instance.
+	LibSEAL = core.LibSEAL
+	// Config assembles a LibSEAL instance.
+	Config = core.Config
+	// Violation records one detected integrity violation.
+	Violation = core.Violation
+
+	// TLSConfig configures the enclave TLS library.
+	TLSConfig = tlsterm.LibraryConfig
+	// ClientConfig configures a TLS client.
+	ClientConfig = tlsterm.ClientConfig
+	// ServerConfig configures a native (baseline) TLS server.
+	ServerConfig = tlsterm.ServerConfig
+	// Optimizations toggles the §4.2 transition-reduction techniques.
+	Optimizations = tlsterm.Optimizations
+	// SSL is one terminated TLS connection (the OpenSSL SSL* equivalent).
+	SSL = tlsterm.SSL
+
+	// Module is a service-specific module: schema, parser, invariants and
+	// trimming queries for one service.
+	Module = ssm.Module
+	// Invariant is one integrity check expressed as SQL.
+	Invariant = ssm.Invariant
+
+	// Platform models one SGX-capable machine.
+	Platform = enclave.Platform
+	// Enclave is a launched enclave instance.
+	Enclave = enclave.Enclave
+	// EnclaveConfig describes an enclave to launch.
+	EnclaveConfig = enclave.Config
+	// CostModel describes the simulated platform's performance.
+	CostModel = enclave.CostModel
+
+	// Bridge connects application threads to an enclave.
+	Bridge = asyncall.Bridge
+	// BridgeConfig sizes the bridge.
+	BridgeConfig = asyncall.Config
+
+	// AuditMode selects in-memory or persistent logging.
+	AuditMode = audit.Mode
+	// VerifyOptions controls persisted-log verification.
+	VerifyOptions = audit.VerifyOptions
+	// LogEntry is one verified audit-log tuple.
+	LogEntry = audit.Entry
+
+	// CounterGroup is a ROTE distributed monotonic counter group.
+	CounterGroup = rote.Group
+)
+
+// Audit log modes.
+const (
+	// AuditMemory keeps the log in enclave memory only.
+	AuditMemory = audit.ModeMemory
+	// AuditDisk persists the log with hash chain, signatures and rollback
+	// protection.
+	AuditDisk = audit.ModeDisk
+)
+
+// Check header names for in-band invariant checking (§5.2).
+const (
+	// CheckHeader on a request triggers an invariant check.
+	CheckHeader = core.CheckHeader
+	// CheckResultHeader carries the most recent check result.
+	CheckResultHeader = core.CheckResultHeader
+)
+
+// New builds a LibSEAL instance on an enclave bridge.
+func New(bridge *Bridge, cfg Config) (*LibSEAL, error) { return core.New(bridge, cfg) }
+
+// NewPlatform creates a fresh simulated SGX machine.
+func NewPlatform() *Platform { return enclave.NewPlatform() }
+
+// LoadOrCreatePlatform restores a persisted platform state (the simulation
+// analogue of running on the same physical machine across restarts) or
+// creates and persists a fresh one.
+func LoadOrCreatePlatform(path string) (*Platform, error) {
+	return enclave.LoadOrCreatePlatform(path)
+}
+
+// NewBridge opens an enclave call bridge (synchronous or asynchronous).
+func NewBridge(encl *Enclave, cfg BridgeConfig) (*Bridge, error) {
+	return asyncall.New(encl, cfg)
+}
+
+// DefaultCostModel returns the cost model calibrated against the paper's
+// SGX v1 testbed.
+func DefaultCostModel() CostModel { return enclave.DefaultCostModel() }
+
+// ZeroCostModel returns a model in which enclave operations are free.
+func ZeroCostModel() CostModel { return enclave.ZeroCostModel() }
+
+// AllOptimizations enables every §4.2 transition-reduction technique.
+func AllOptimizations() Optimizations { return tlsterm.AllOptimizations() }
+
+// GitModule returns the service-specific module for Git (§6.2): it detects
+// teleport, rollback and reference-deletion attacks.
+func GitModule() Module { return gitssm.New() }
+
+// OwnCloudModule returns the module for collaborative document editing: it
+// detects lost edits, altered edits and stale snapshots.
+func OwnCloudModule() Module { return owncloudssm.New() }
+
+// DropboxModule returns the module for block-based file storage: it detects
+// blocklist corruption and lost files.
+func DropboxModule() Module { return dropboxssm.New() }
+
+// MessagingModule returns the module for XMPP-style instant messaging (the
+// fourth application scenario of §2.2): it detects dropped, modified and
+// misdelivered messages.
+func MessagingModule() Module { return messagingssm.New() }
+
+// NewCounterGroup creates a ROTE counter group tolerating f faulty nodes.
+func NewCounterGroup(f int) (*CounterGroup, error) { return rote.NewGroup(f, 0) }
+
+// VerifyLogFile checks a persisted audit log's integrity (hash chain,
+// enclave signature, counter freshness) and returns its entries. Clients run
+// this out-of-band to validate evidence during dispute resolution.
+func VerifyLogFile(path string, opts VerifyOptions) ([]*LogEntry, error) {
+	return audit.VerifyFile(path, opts)
+}
+
+// ConnectTLS performs the client side of the secure-channel handshake.
+var ConnectTLS = tlsterm.Connect

@@ -1,0 +1,159 @@
+package libseal
+
+import (
+	"bufio"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"libseal/internal/httpparse"
+	"libseal/internal/netsim"
+	"libseal/internal/services/apache"
+	"libseal/internal/services/gitserver"
+	"libseal/internal/sqldb"
+	"libseal/internal/testutil"
+)
+
+// TestPublicAPIEndToEnd drives the whole system through the re-exported
+// public surface only: enclave launch, bridge, LibSEAL construction, a Git
+// service behind the enclave TLS library, attack detection, persistent
+// logging and out-of-band verification.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+
+	platform := NewPlatform()
+	encl, err := platform.Launch(EnclaveConfig{Code: []byte("public-api-test"), MaxThreads: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bridge, err := NewBridge(encl, BridgeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bridge.Close()
+
+	certs, err := testutil.NewCertEnv("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	group, err := NewCounterGroup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seenViolations []string
+	seal, err := New(bridge, Config{
+		TLS:              TLSConfig{Cert: certs.Cert, Key: certs.Key, Opts: AllOptimizations()},
+		Module:           GitModule(),
+		AuditMode:        AuditDisk,
+		AuditDir:         dir,
+		Protector:        group,
+		CheckEvery:       10,
+		CheckMinInterval: time.Millisecond,
+		OnViolation:      func(name string, _ *sqldb.Result) { seenViolations = append(seenViolations, name) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seal.Close()
+
+	git := gitserver.NewServer()
+	network := netsim.NewNetwork()
+	listener, err := network.Listen("svc:443")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := apache.New(apache.Config{
+		Terminator: seal.TLS().Terminator(),
+		Handler:    git.Handler(),
+		KeepAlive:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go server.Serve(listener)
+	defer server.Close()
+
+	raw, err := network.Dial("svc:443")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := ConnectTLS(raw, certs.ClientConfig("svc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	do := func(req *httpparse.Request) *httpparse.Response {
+		t.Helper()
+		if _, err := conn.Write(req.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+		rsp, err := httpparse.ReadResponse(br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rsp
+	}
+
+	do(httpparse.NewRequest("POST", "/git/x/git-receive-pack", []byte("create main c1")))
+	do(httpparse.NewRequest("POST", "/git/x/git-receive-pack", []byte("update main c2")))
+	git.InjectRollback("x", "main", "c1")
+	do(httpparse.NewRequest("GET", "/git/x/info/refs", nil))
+
+	req := httpparse.NewRequest("GET", "/git/x/info/refs", nil)
+	req.Header.Set(CheckHeader, "1")
+	rsp := do(req)
+	if got := rsp.Header.Get(CheckResultHeader); !strings.Contains(got, "git-soundness") {
+		t.Fatalf("%s = %q", CheckResultHeader, got)
+	}
+	if len(seenViolations) == 0 || seenViolations[0] != "git-soundness" {
+		t.Fatalf("OnViolation = %v", seenViolations)
+	}
+	if len(seal.Violations()) == 0 {
+		t.Fatal("Violations empty")
+	}
+
+	// Out-of-band verification of the persisted evidence.
+	conn.Close()
+	server.Close()
+	seal.Close()
+	entries, err := VerifyLogFile(filepath.Join(dir, "git.lseal"), VerifyOptions{
+		Pub:       encl.PublicKey(),
+		Protector: group,
+		Name:      "git",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no verified entries")
+	}
+}
+
+func TestCostModelExports(t *testing.T) {
+	def := DefaultCostModel()
+	if def.TransitionCycles != 8400 || def.EPCBytes != 128<<20 {
+		t.Fatalf("DefaultCostModel = %+v", def)
+	}
+	zero := ZeroCostModel()
+	if zero.TransitionCycles != 0 {
+		t.Fatalf("ZeroCostModel charges transitions: %+v", zero)
+	}
+	if d := def.TransitionCost(1); d <= 0 {
+		t.Fatal("transition cost not positive")
+	}
+}
+
+func TestModuleConstructors(t *testing.T) {
+	for _, m := range []Module{GitModule(), OwnCloudModule(), DropboxModule()} {
+		if m.Name() == "" || m.Schema() == "" || len(m.Invariants()) == 0 || len(m.TrimQueries()) == 0 {
+			t.Fatalf("module %q incomplete", m.Name())
+		}
+		for _, inv := range m.Invariants() {
+			if inv.Kind != "soundness" && inv.Kind != "completeness" {
+				t.Fatalf("%s invariant %s has kind %q", m.Name(), inv.Name, inv.Kind)
+			}
+		}
+	}
+}
