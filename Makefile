@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full gate: static checks plus the whole suite (chaos soak included)
+# under the race detector. Use `go test -short ./...` to skip the
+# long-running determinism replay.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=2x ./...
+
+clean:
+	$(GO) clean ./...

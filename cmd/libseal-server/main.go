@@ -43,6 +43,9 @@ func main() {
 	checkEvery := flag.Int("check-every", 25, "run checks and trimming every N logged pairs (0 = off)")
 	rateLimit := flag.Duration("check-rate-limit", time.Second, "minimum interval between client-triggered checks")
 	recover := flag.Bool("recover", false, "resume from an existing audit log (requires the platform state from the previous run)")
+	degradedLimit := flag.Int("degraded-limit", 64, "appends buffered under a stale counter anchor while the counter quorum is unreachable (0 = fail writes instead)")
+	anchorTimeout := flag.Duration("anchor-timeout", 2*time.Second, "bound on each rollback-counter operation on the request path")
+	recoverMaxLag := flag.Uint64("recover-max-lag", 1, "counter lag tolerated when resuming with -recover (a crash between increment and flush leaves lag 1)")
 	flag.Parse()
 
 	var module libseal.Module
@@ -130,6 +133,9 @@ func main() {
 	case "disk":
 		cfg.AuditMode = audit.ModeDisk
 		cfg.AuditDir = *dir
+		cfg.DegradedLimit = *degradedLimit
+		cfg.AnchorTimeout = *anchorTimeout
+		cfg.RecoverMaxLag = *recoverMaxLag
 		group, err := libseal.NewCounterGroup(1)
 		if err != nil {
 			log.Fatal(err)

@@ -9,6 +9,7 @@ package audit
 
 import (
 	"bytes"
+	"context"
 	"crypto/ecdsa"
 	"crypto/sha256"
 	"encoding/binary"
@@ -20,16 +21,21 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"libseal/internal/asyncall"
 	"libseal/internal/enclave"
 	"libseal/internal/sqldb"
+	"libseal/internal/vfs"
 )
 
 // Errors reported by the audit log.
 var (
 	ErrTampered   = errors.New("audit: log integrity violation")
 	ErrBadCounter = errors.New("audit: rollback detected (stale counter)")
+	// ErrDegradedFull is returned by Append when the counter quorum is
+	// unreachable and the degraded-mode buffer is exhausted.
+	ErrDegradedFull = errors.New("audit: degraded-mode buffer full (counter quorum unreachable)")
 )
 
 // Mode selects where the log lives.
@@ -49,6 +55,16 @@ type RollbackProtector interface {
 	Read(name string) (uint64, error)
 }
 
+// ContextRollbackProtector is implemented by protectors whose operations
+// can be cancelled. When the configured protector implements it, the log
+// bounds every counter operation with Config.AnchorTimeout so a stuck
+// quorum cannot stall the request path indefinitely. rote.Group implements
+// it.
+type ContextRollbackProtector interface {
+	IncrementContext(ctx context.Context, name string) (uint64, error)
+	ReadContext(ctx context.Context, name string) (uint64, error)
+}
+
 // Config describes one audit log.
 type Config struct {
 	// Name identifies the log (counter name, file name).
@@ -64,6 +80,26 @@ type Config struct {
 	// Seal encrypts entries on disk using the enclave sealing key, for
 	// log privacy (§6.3).
 	Seal bool
+	// FS overrides the filesystem used for persistence; nil uses the real
+	// one. The seam exists for fault injection and tests.
+	FS vfs.FS
+	// AnchorTimeout bounds each rollback-counter operation when the
+	// protector supports cancellation. Zero leaves the protector's own
+	// retry policy in charge.
+	AnchorTimeout time.Duration
+	// DegradedLimit, when positive, enables degraded mode: if the counter
+	// quorum is unreachable, up to this many appends are persisted,
+	// chained and signed — but anchored at the last reachable counter
+	// value. The log re-anchors (one fresh increment covers the whole
+	// chain) as soon as the quorum answers again, and the gap is flagged
+	// in Status. Zero means an unreachable quorum fails the append.
+	DegradedLimit int
+	// RecoverMaxLag tolerates the persisted counter being up to this far
+	// behind the group's stable value during Recover — the state a crash
+	// between a counter increment and the matching signature flush leaves
+	// behind. Recovery re-anchors immediately. Zero is strict. Client-side
+	// verification (VerifyFile) is not affected by this field.
+	RecoverMaxLag uint64
 }
 
 // Log is the enclave-resident audit log. All mutating methods must be called
@@ -72,6 +108,7 @@ type Config struct {
 // key.
 type Log struct {
 	cfg Config
+	fs  vfs.FS
 	mu  sync.Mutex
 	db  *sqldb.DB
 
@@ -80,8 +117,41 @@ type Log struct {
 	counter uint64
 	heap    int64 // enclave heap charged for retained tuples
 
-	file  *os.File // outside resource, accessed via ocalls
-	stmts map[string]*sqldb.Stmt
+	// pendingAnchor counts appends persisted under a stale counter value
+	// while the quorum is unreachable (degraded mode); gaps counts closed
+	// degraded episodes.
+	pendingAnchor int
+	gaps          int
+
+	file     vfs.File // outside resource, accessed via ocalls
+	fileSize int64    // committed bytes; partial appends truncate back to it
+	stmts    map[string]*sqldb.Stmt
+}
+
+// Status describes the log's degraded-mode state.
+type Status struct {
+	// Degraded is set while appended entries await a fresh counter anchor.
+	Degraded bool
+	// PendingAnchor is the number of appends not yet covered by a fresh
+	// counter value; they are chained and signed but carry a rollback
+	// window until re-anchored.
+	PendingAnchor int
+	// Gaps counts degraded episodes that have been closed by re-anchoring.
+	Gaps int
+}
+
+// Status returns the degraded-mode state.
+func (l *Log) Status() Status {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Status{Degraded: l.pendingAnchor > 0, PendingAnchor: l.pendingAnchor, Gaps: l.gaps}
+}
+
+// Counter returns the last counter value anchored into the persisted log.
+func (l *Log) Counter() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.counter
 }
 
 // file record types.
@@ -94,7 +164,7 @@ var fileMagic = []byte("LIBSEALLOG1\n")
 
 // New creates (or truncates) an audit log. Must run inside an enclave call.
 func New(env *asyncall.Env, cfg Config) (*Log, error) {
-	l := &Log{cfg: cfg, db: sqldb.New(), stmts: make(map[string]*sqldb.Stmt)}
+	l := &Log{cfg: cfg, fs: vfs.Default(cfg.FS), db: sqldb.New(), stmts: make(map[string]*sqldb.Stmt)}
 	if cfg.Schema != "" {
 		if _, err := l.db.Exec(cfg.Schema); err != nil {
 			return nil, fmt.Errorf("audit: schema: %w", err)
@@ -102,7 +172,7 @@ func New(env *asyncall.Env, cfg Config) (*Log, error) {
 	}
 	if cfg.Mode == ModeDisk {
 		if err := env.Ocall(func() error {
-			f, err := os.Create(l.path())
+			f, err := l.fs.Create(l.path())
 			if err != nil {
 				return err
 			}
@@ -111,6 +181,7 @@ func New(env *asyncall.Env, cfg Config) (*Log, error) {
 				return err
 			}
 			l.file = f
+			l.fileSize = int64(len(fileMagic))
 			return nil
 		}); err != nil {
 			return nil, err
@@ -183,20 +254,25 @@ func (l *Log) Append(env *asyncall.Env, table string, vals ...any) error {
 
 	entry := &Entry{Seq: l.seq, Table: table, Values: svals}
 	enc := entry.Marshal()
-	l.chain = chainNext(l.chain, enc)
-	l.seq++
+	next := chainNext(l.chain, enc)
 	// Account the tuple against the enclave heap: the in-enclave database
 	// pays EPC paging costs once the log outgrows the enclave page cache
 	// (§2.5), which is why trimming matters beyond log-size hygiene.
 	if err := env.Ctx.Alloc(int64(len(enc))); err != nil {
 		return err
 	}
-	l.heap += int64(len(enc))
-
-	if l.cfg.Mode != ModeDisk {
-		return nil
+	if l.cfg.Mode == ModeDisk {
+		if err := l.persistAppend(env, enc, next); err != nil {
+			env.Ctx.Free(int64(len(enc)))
+			return err
+		}
 	}
-	return l.persistAppend(env, enc)
+	// The chain head moves only once the entry is durable, so the signed
+	// in-memory state never runs ahead of what a crash would leave on disk.
+	l.chain = next
+	l.seq++
+	l.heap += int64(len(enc))
+	return nil
 }
 
 // chainNext extends the hash chain by one entry.
@@ -209,15 +285,97 @@ func chainNext(prev [32]byte, entry []byte) [32]byte {
 	return out
 }
 
-// persistAppend writes one entry plus a fresh signature record, called with
-// l.mu held from inside the enclave.
-func (l *Log) persistAppend(env *asyncall.Env, enc []byte) error {
-	if l.cfg.Protector != nil {
-		c, err := l.cfg.Protector.Increment(l.cfg.Name)
-		if err != nil {
+// incrementCounter advances the rollback counter, bounding the operation
+// with AnchorTimeout when the protector supports cancellation.
+func (l *Log) incrementCounter() (uint64, error) {
+	if cp, ok := l.cfg.Protector.(ContextRollbackProtector); ok && l.cfg.AnchorTimeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), l.cfg.AnchorTimeout)
+		defer cancel()
+		return cp.IncrementContext(ctx, l.cfg.Name)
+	}
+	return l.cfg.Protector.Increment(l.cfg.Name)
+}
+
+// readCounter reads the group's stable counter under the same bound.
+func (l *Log) readCounter() (uint64, error) {
+	if cp, ok := l.cfg.Protector.(ContextRollbackProtector); ok && l.cfg.AnchorTimeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), l.cfg.AnchorTimeout)
+		defer cancel()
+		return cp.ReadContext(ctx, l.cfg.Name)
+	}
+	return l.cfg.Protector.Read(l.cfg.Name)
+}
+
+// anchor obtains a fresh counter value for the next signature. When the
+// quorum is unreachable and degraded mode has buffer room, the append
+// proceeds under the last reachable value; the chain stays intact and the
+// next successful anchor covers the whole backlog. Called with l.mu held.
+func (l *Log) anchor() error {
+	if l.cfg.Protector == nil {
+		return nil
+	}
+	c, err := l.incrementCounter()
+	if err == nil {
+		l.counter = c
+		if l.pendingAnchor > 0 {
+			// Quorum recovered: the signature about to be written anchors
+			// every buffered entry. Flag the closed gap.
+			l.gaps++
+			l.pendingAnchor = 0
+		}
+		return nil
+	}
+	if l.cfg.DegradedLimit <= 0 {
+		return err
+	}
+	if l.pendingAnchor >= l.cfg.DegradedLimit {
+		return fmt.Errorf("%w: %d appends pending, last error: %v", ErrDegradedFull, l.pendingAnchor, err)
+	}
+	l.pendingAnchor++
+	return nil
+}
+
+// Reanchor attempts to close a degraded-mode gap by anchoring the chain at
+// a fresh counter value; it is a no-op when the log is healthy. Must run
+// inside an enclave call.
+func (l *Log) Reanchor(env *asyncall.Env) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.pendingAnchor == 0 || l.cfg.Protector == nil || l.cfg.Mode != ModeDisk {
+		return nil
+	}
+	c, err := l.incrementCounter()
+	if err != nil {
+		return err
+	}
+	l.counter = c
+	sig, err := l.signState(env, l.chain)
+	if err != nil {
+		return err
+	}
+	if err := env.Ocall(func() error {
+		if err := writeRecord(l.file, recSig, sig); err != nil {
 			return err
 		}
-		l.counter = c
+		return l.file.Sync()
+	}); err != nil {
+		env.Ocall(func() error { l.file.Truncate(l.fileSize); return nil })
+		return err
+	}
+	l.fileSize += recordSize(sig)
+	l.gaps++
+	l.pendingAnchor = 0
+	return nil
+}
+
+// persistAppend writes one entry plus a fresh signature record, called with
+// l.mu held from inside the enclave. chain is the prospective chain head
+// including the entry. A partially-written append is rolled back by
+// truncating the file to the last committed prefix, so torn writes never
+// corrupt the committed log.
+func (l *Log) persistAppend(env *asyncall.Env, enc []byte, chain [32]byte) error {
+	if err := l.anchor(); err != nil {
+		return err
 	}
 	payload := enc
 	if l.cfg.Seal {
@@ -227,11 +385,11 @@ func (l *Log) persistAppend(env *asyncall.Env, enc []byte) error {
 		}
 		payload = sealed
 	}
-	sig, err := l.signState(env)
+	sig, err := l.signState(env, chain)
 	if err != nil {
 		return err
 	}
-	return env.Ocall(func() error {
+	err = env.Ocall(func() error {
 		if err := writeRecord(l.file, recEntry, payload); err != nil {
 			return err
 		}
@@ -240,12 +398,23 @@ func (l *Log) persistAppend(env *asyncall.Env, enc []byte) error {
 		}
 		return l.file.Sync() // synchronous flush after each pair (§5.1)
 	})
+	if err != nil {
+		// Best-effort rollback of the partial append; if the handle is dead
+		// (simulated crash), recovery discards the torn tail instead.
+		env.Ocall(func() error { l.file.Truncate(l.fileSize); return nil })
+		return err
+	}
+	l.fileSize += recordSize(payload) + recordSize(sig)
+	return nil
 }
 
+// recordSize is the on-disk footprint of one record.
+func recordSize(payload []byte) int64 { return 5 + int64(len(payload)) }
+
 // signState signs (chain hash || counter) with the enclave report key.
-func (l *Log) signState(env *asyncall.Env) ([]byte, error) {
+func (l *Log) signState(env *asyncall.Env, chain [32]byte) ([]byte, error) {
 	var buf bytes.Buffer
-	buf.Write(l.chain[:])
+	buf.Write(chain[:])
 	var c [8]byte
 	binary.BigEndian.PutUint64(c[:], l.counter)
 	buf.Write(c[:])
@@ -255,7 +424,7 @@ func (l *Log) signState(env *asyncall.Env) ([]byte, error) {
 		return nil, err
 	}
 	var out bytes.Buffer
-	out.Write(l.chain[:])
+	out.Write(chain[:])
 	out.Write(c[:])
 	writeString(&out, string(sig.R))
 	writeString(&out, string(sig.S))
@@ -275,7 +444,14 @@ func (l *Log) Exec(sql string, args ...any) (int, error) {
 
 // Trim applies the service's trimming queries and rewrites the persisted
 // log: the hash chain is recomputed over the surviving tuples, re-anchored
-// at a fresh counter value and re-signed (§5.1, "Log trimming").
+// at a fresh counter value and re-signed (§5.1, "Log trimming"). The
+// rewrite is crash-safe: the new image is written to a temporary file,
+// fsynced and atomically renamed over the old one, so a crash at any point
+// leaves either the complete old log or the complete new one on disk. If
+// the rewrite (or its fresh counter anchor) fails, the in-memory chain is
+// left at its pre-trim state, which still matches the old on-disk log; the
+// database rows are trimmed either way, and the next successful trim
+// reconciles the file.
 func (l *Log) Trim(env *asyncall.Env, queries []string) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -285,8 +461,8 @@ func (l *Log) Trim(env *asyncall.Env, queries []string) error {
 		}
 	}
 	// Rebuild the chain over the surviving rows in deterministic order.
-	l.chain = [32]byte{}
-	l.seq = 0
+	var newChain [32]byte
+	newSeq := uint64(0)
 	tables := l.db.Tables()
 	sort.Strings(tables)
 	var encs [][]byte
@@ -297,30 +473,39 @@ func (l *Log) Trim(env *asyncall.Env, queries []string) error {
 			return err
 		}
 		for _, row := range rows {
-			e := &Entry{Seq: l.seq, Table: t, Values: row}
+			e := &Entry{Seq: newSeq, Table: t, Values: row}
 			enc := e.Marshal()
-			l.chain = chainNext(l.chain, enc)
-			l.seq++
+			newChain = chainNext(newChain, enc)
+			newSeq++
 			encs = append(encs, enc)
 			retained += int64(len(enc))
 		}
 	}
-	// Release the enclave heap freed by trimming.
-	if l.heap > retained {
-		env.Ctx.Free(l.heap - retained)
+	commitMemory := func() {
+		// Release the enclave heap freed by trimming.
+		if l.heap > retained {
+			env.Ctx.Free(l.heap - retained)
+		}
+		l.heap = retained
+		l.chain = newChain
+		l.seq = newSeq
 	}
-	l.heap = retained
 	if l.cfg.Mode != ModeDisk {
+		commitMemory()
 		return nil
 	}
 	if l.cfg.Protector != nil {
-		c, err := l.cfg.Protector.Increment(l.cfg.Name)
+		// A trim rewrite must carry a fresh anchor — re-signing trimmed-away
+		// history at a stale counter would widen the rollback window — so an
+		// unreachable quorum aborts the rewrite instead of degrading.
+		c, err := l.incrementCounter()
 		if err != nil {
 			return err
 		}
 		l.counter = c
 	}
 	payloads := make([][]byte, len(encs))
+	size := int64(len(fileMagic))
 	for i, enc := range encs {
 		payload := enc
 		if l.cfg.Seal {
@@ -331,41 +516,69 @@ func (l *Log) Trim(env *asyncall.Env, queries []string) error {
 			payload = sealed
 		}
 		payloads[i] = payload
+		size += recordSize(payload)
 	}
-	sig, err := l.signState(env)
+	sig, err := l.signState(env, newChain)
 	if err != nil {
 		return err
 	}
-	return env.Ocall(func() error {
-		f, err := os.Create(l.path())
+	size += recordSize(sig)
+	err = env.Ocall(func() error {
+		tmp := l.path() + ".tmp"
+		f, err := l.fs.Create(tmp)
 		if err != nil {
 			return err
 		}
-		if _, err := f.Write(fileMagic); err != nil {
+		fail := func(err error) error {
 			f.Close()
+			l.fs.Remove(tmp)
 			return err
+		}
+		if _, err := f.Write(fileMagic); err != nil {
+			return fail(err)
 		}
 		for _, p := range payloads {
 			if err := writeRecord(f, recEntry, p); err != nil {
-				f.Close()
-				return err
+				return fail(err)
 			}
 		}
 		if err := writeRecord(f, recSig, sig); err != nil {
-			f.Close()
-			return err
+			return fail(err)
 		}
 		if err := f.Sync(); err != nil {
-			f.Close()
+			return fail(err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
+		// The commit point: before the rename the old log is intact, after
+		// it the new one is.
+		if err := l.fs.Rename(tmp, l.path()); err != nil {
+			l.fs.Remove(tmp)
+			return err
+		}
+		nf, err := l.fs.Append(l.path())
+		if err != nil {
 			return err
 		}
 		old := l.file
-		l.file = f
+		l.file = nf
 		if old != nil {
 			old.Close()
 		}
 		return nil
 	})
+	if err != nil {
+		return err
+	}
+	l.fileSize = size
+	commitMemory()
+	if l.pendingAnchor > 0 {
+		// The fresh anchor covers everything that was buffered.
+		l.gaps++
+		l.pendingAnchor = 0
+	}
+	return nil
 }
 
 // Close releases the log's outside resources.
@@ -395,14 +608,19 @@ func writeRecord(w io.Writer, typ byte, payload []byte) error {
 type fileRecord struct {
 	typ     byte
 	payload []byte
+	end     int64 // file offset just past this record
 }
 
-func readRecords(r io.Reader) ([]fileRecord, error) {
+// readRecords parses the record stream. In tolerant mode a torn tail — a
+// truncated record left by a crash mid-append — ends the stream instead of
+// failing it; the caller then verifies the intact prefix.
+func readRecords(r io.Reader, tolerant bool) ([]fileRecord, error) {
 	magic := make([]byte, len(fileMagic))
 	if _, err := io.ReadFull(r, magic); err != nil || !bytes.Equal(magic, fileMagic) {
 		return nil, fmt.Errorf("%w: bad magic", ErrTampered)
 	}
 	var recs []fileRecord
+	offset := int64(len(fileMagic))
 	var hdr [5]byte
 	for {
 		_, err := io.ReadFull(r, hdr[:])
@@ -410,14 +628,21 @@ func readRecords(r io.Reader) ([]fileRecord, error) {
 			return recs, nil
 		}
 		if err != nil {
+			if tolerant {
+				return recs, nil
+			}
 			return nil, fmt.Errorf("%w: truncated record header", ErrTampered)
 		}
 		n := binary.BigEndian.Uint32(hdr[1:])
 		payload := make([]byte, n)
 		if _, err := io.ReadFull(r, payload); err != nil {
+			if tolerant {
+				return recs, nil
+			}
 			return nil, fmt.Errorf("%w: truncated record", ErrTampered)
 		}
-		recs = append(recs, fileRecord{typ: hdr[0], payload: payload})
+		offset += 5 + int64(n)
+		recs = append(recs, fileRecord{typ: hdr[0], payload: payload, end: offset})
 	}
 }
 
@@ -458,6 +683,28 @@ type VerifyOptions struct {
 	// Unseal decrypts sealed entries; required when the log was written
 	// with Config.Seal. It runs inside an enclave in production.
 	Unseal func(blob []byte) ([]byte, error)
+	// RecoverTruncated tolerates a torn tail: records after the last
+	// intact, signature-covered prefix are discarded instead of failing
+	// verification — they were never acknowledged as durable. Crash
+	// recovery sets this; client-side evidence verification keeps it
+	// false so any truncation shows up as tampering.
+	RecoverTruncated bool
+	// MaxCounterLag accepts a persisted counter up to this far behind the
+	// group's stable value — the state left by a crash between a counter
+	// increment and the matching signature flush. Recovery passes a small
+	// bound and immediately re-anchors; clients keep the strict zero.
+	MaxCounterLag uint64
+}
+
+// VerifyResult is the outcome of a successful verification.
+type VerifyResult struct {
+	// Entries are the verified tuples, in file order.
+	Entries []*Entry
+	// Counter is the rollback-counter value of the verified signature.
+	Counter uint64
+	// CommittedBytes is the length of the verified file prefix. With
+	// RecoverTruncated, bytes past it are crash debris and can be cut off.
+	CommittedBytes int64
 }
 
 // VerifyFile checks a persisted log's integrity: hash chain, enclave
@@ -475,14 +722,34 @@ func VerifyFile(path string, opts VerifyOptions) ([]*Entry, error) {
 
 // VerifyReader verifies a persisted log from an in-memory reader.
 func VerifyReader(r io.Reader, opts VerifyOptions) ([]*Entry, error) {
-	recs, err := readRecords(r)
+	res, err := VerifyReaderResult(r, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Entries, nil
+}
+
+// VerifyReaderResult verifies a persisted log and reports the verified
+// counter value and committed prefix length alongside the entries.
+func VerifyReaderResult(r io.Reader, opts VerifyOptions) (*VerifyResult, error) {
+	recs, err := readRecords(r, opts.RecoverTruncated)
 	if err != nil {
 		return nil, err
 	}
 	var entries []*Entry
 	var chain [32]byte
-	var lastSig *fileRecord
 	seq := uint64(0)
+	// The commit point is the state as of the last signature record; with
+	// RecoverTruncated, anything after it is crash debris.
+	var lastSig *fileRecord
+	commit := struct {
+		entries int
+		chain   [32]byte
+		end     int64
+	}{end: int64(len(fileMagic))}
+	// tornAt marks where a tolerant scan stopped making sense of entries.
+	tornAt := -1
+scan:
 	for i := range recs {
 		rec := recs[i]
 		switch rec.typ {
@@ -490,14 +757,26 @@ func VerifyReader(r io.Reader, opts VerifyOptions) ([]*Entry, error) {
 			raw := rec.payload
 			if opts.Unseal != nil {
 				if raw, err = opts.Unseal(raw); err != nil {
+					if opts.RecoverTruncated {
+						tornAt = i
+						break scan
+					}
 					return nil, fmt.Errorf("%w: unseal: %v", ErrTampered, err)
 				}
 			}
 			e, err := UnmarshalEntry(raw)
 			if err != nil {
+				if opts.RecoverTruncated {
+					tornAt = i
+					break scan
+				}
 				return nil, fmt.Errorf("%w: %v", ErrTampered, err)
 			}
 			if e.Seq != seq {
+				if opts.RecoverTruncated {
+					tornAt = i
+					break scan
+				}
 				return nil, fmt.Errorf("%w: sequence gap at %d", ErrTampered, seq)
 			}
 			seq++
@@ -505,13 +784,27 @@ func VerifyReader(r io.Reader, opts VerifyOptions) ([]*Entry, error) {
 			entries = append(entries, e)
 		case recSig:
 			lastSig = &recs[i]
+			commit.entries = len(entries)
+			commit.chain = chain
+			commit.end = rec.end
 		default:
 			return nil, fmt.Errorf("%w: unknown record type %q", ErrTampered, rec.typ)
 		}
 	}
+	if tornAt >= 0 {
+		// A malformed entry is forgivable only as uncommitted debris. Any
+		// signature record beyond it proves the damage sits inside the
+		// committed prefix — that is tampering, not a torn tail.
+		for _, rec := range recs[tornAt+1:] {
+			if rec.typ == recSig {
+				return nil, fmt.Errorf("%w: corrupted entry inside signed prefix", ErrTampered)
+			}
+		}
+	}
 	if lastSig == nil {
-		if len(entries) == 0 {
-			return nil, nil
+		if len(entries) == 0 || opts.RecoverTruncated {
+			// Nothing was ever committed (or only debris survives).
+			return &VerifyResult{CommittedBytes: commit.end}, nil
 		}
 		return nil, fmt.Errorf("%w: missing signature record", ErrTampered)
 	}
@@ -519,11 +812,17 @@ func VerifyReader(r io.Reader, opts VerifyOptions) ([]*Entry, error) {
 	if err != nil {
 		return nil, err
 	}
-	if sigChain != chain {
+	checkChain := chain
+	checkEntries := entries
+	if opts.RecoverTruncated {
+		checkChain = commit.chain
+		checkEntries = entries[:commit.entries]
+	}
+	if sigChain != checkChain {
 		return nil, fmt.Errorf("%w: chain hash mismatch", ErrTampered)
 	}
 	var buf bytes.Buffer
-	buf.Write(chain[:])
+	buf.Write(checkChain[:])
 	var c [8]byte
 	binary.BigEndian.PutUint64(c[:], counter)
 	buf.Write(c[:])
@@ -536,27 +835,35 @@ func VerifyReader(r io.Reader, opts VerifyOptions) ([]*Entry, error) {
 		if err != nil {
 			return nil, err
 		}
-		if counter < stable {
+		if counter+opts.MaxCounterLag < stable {
 			return nil, fmt.Errorf("%w: log counter %d < group counter %d", ErrBadCounter, counter, stable)
 		}
 	}
-	return entries, nil
+	return &VerifyResult{Entries: checkEntries, Counter: counter, CommittedBytes: commit.end}, nil
 }
 
 // Recover rebuilds an audit log from its persisted file after a restart: the
 // file is verified (chain, signature, counter freshness) and the entries are
-// replayed into a fresh database. Must run inside an enclave call.
+// replayed into a fresh database. Recovery is torn-tail tolerant — records
+// past the last signed prefix were never acknowledged as durable and are cut
+// off — and tolerates the persisted counter lagging the group by up to
+// Config.RecoverMaxLag (the state a crash between an increment and its
+// signature flush leaves behind). It re-anchors the chain at a fresh counter
+// value before returning. Must run inside an enclave call.
 func Recover(env *asyncall.Env, cfg Config, pub *ecdsa.PublicKey) (*Log, error) {
 	if cfg.Mode != ModeDisk {
 		return nil, errors.New("audit: recovery requires disk mode")
 	}
-	l := &Log{cfg: cfg, db: sqldb.New(), stmts: make(map[string]*sqldb.Stmt)}
+	l := &Log{cfg: cfg, fs: vfs.Default(cfg.FS), db: sqldb.New(), stmts: make(map[string]*sqldb.Stmt)}
 	if cfg.Schema != "" {
 		if _, err := l.db.Exec(cfg.Schema); err != nil {
 			return nil, fmt.Errorf("audit: schema: %w", err)
 		}
 	}
-	opts := VerifyOptions{Pub: pub, Protector: cfg.Protector, Name: cfg.Name}
+	opts := VerifyOptions{
+		Pub: pub, Protector: cfg.Protector, Name: cfg.Name,
+		RecoverTruncated: true, MaxCounterLag: cfg.RecoverMaxLag,
+	}
 	if cfg.Seal {
 		opts.Unseal = func(blob []byte) ([]byte, error) {
 			return env.Ctx.Unseal(blob, []byte(cfg.Name))
@@ -567,16 +874,16 @@ func Recover(env *asyncall.Env, cfg Config, pub *ecdsa.PublicKey) (*Log, error) 
 	var raw []byte
 	if err := env.Ocall(func() error {
 		var err error
-		raw, err = os.ReadFile(l.path())
+		raw, err = l.fs.ReadFile(l.path())
 		return err
 	}); err != nil {
 		return nil, err
 	}
-	entries, err := VerifyReader(bytes.NewReader(raw), opts)
+	res, err := VerifyReaderResult(bytes.NewReader(raw), opts)
 	if err != nil {
 		return nil, err
 	}
-	for _, e := range entries {
+	for _, e := range res.Entries {
 		st, err := l.insertStmt(e.Table, len(e.Values))
 		if err != nil {
 			return nil, err
@@ -589,25 +896,64 @@ func Recover(env *asyncall.Env, cfg Config, pub *ecdsa.PublicKey) (*Log, error) 
 			return nil, err
 		}
 		enc := e.Marshal()
+		if err := env.Ctx.Alloc(int64(len(enc))); err != nil {
+			return nil, err
+		}
+		l.heap += int64(len(enc))
 		l.chain = chainNext(l.chain, enc)
 		l.seq++
 	}
-	if cfg.Protector != nil {
-		c, err := cfg.Protector.Read(cfg.Name)
-		if err != nil {
-			return nil, err
-		}
-		l.counter = c
-	}
+	l.counter = res.Counter
+	// Reopen for appending, cutting off any crash debris past the committed
+	// prefix so future appends extend a verified file.
 	if err := env.Ocall(func() error {
-		f, err := os.OpenFile(l.path(), os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := l.fs.Append(l.path())
 		if err != nil {
 			return err
+		}
+		if int64(len(raw)) > res.CommittedBytes {
+			if err := f.Truncate(res.CommittedBytes); err != nil {
+				f.Close()
+				return err
+			}
 		}
 		l.file = f
 		return nil
 	}); err != nil {
 		return nil, err
+	}
+	l.fileSize = res.CommittedBytes
+	if cfg.Protector != nil {
+		// Re-anchor at a fresh counter value: if the crash lost an in-flight
+		// increment, the recovered log would otherwise keep signing at a
+		// value behind the group and fail strict client verification.
+		if c, err := l.incrementCounter(); err == nil {
+			l.counter = c
+			sig, err := l.signState(env, l.chain)
+			if err != nil {
+				return nil, err
+			}
+			if err := env.Ocall(func() error {
+				if err := writeRecord(l.file, recSig, sig); err != nil {
+					return err
+				}
+				return l.file.Sync()
+			}); err != nil {
+				env.Ocall(func() error { l.file.Truncate(l.fileSize); return nil })
+				return nil, err
+			}
+			l.fileSize += recordSize(sig)
+		} else {
+			// No fresh value to be had right now; fall back to the stable
+			// read. The next successful append or Reanchor closes the lag.
+			c, rerr := l.readCounter()
+			if rerr != nil {
+				return nil, err
+			}
+			if c > l.counter {
+				l.counter = c
+			}
+		}
 	}
 	return l, nil
 }

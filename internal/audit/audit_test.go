@@ -151,7 +151,7 @@ func TestDeletedEntryDetected(t *testing.T) {
 	// [E0 S0 E1 S1 E2 S2]; drop E1+S1, keeping the final signature. The
 	// chain breaks because the final signature covers all three.
 	f, _ := os.Open(path)
-	recs, err := readRecords(f)
+	recs, err := readRecords(f, false)
 	f.Close()
 	if err != nil {
 		t.Fatal(err)

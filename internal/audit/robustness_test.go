@@ -1,0 +1,467 @@
+package audit
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"libseal/internal/asyncall"
+	"libseal/internal/faultinject"
+	"libseal/internal/rote"
+	"libseal/internal/vfs"
+)
+
+// Write-operation layout of a fresh log file: the magic is write 0, and each
+// append issues four writes (entry header, entry payload, signature header,
+// signature payload), so append k spans writes [1+4k, 4+4k].
+func appendFirstWrite(k int) int { return 1 + 4*k }
+
+func fastGroupPolicy() rote.RetryPolicy {
+	return rote.RetryPolicy{
+		Timeout:     100 * time.Millisecond,
+		Retries:     1,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  5 * time.Millisecond,
+	}
+}
+
+func TestTornAppendRecovered(t *testing.T) {
+	e := newAuditEnv(t)
+	in := faultinject.Scenario{Rules: []faultinject.Rule{
+		faultinject.TornWrite("git.lseal", appendFirstWrite(2)),
+	}}.Build()
+
+	cfg := e.diskConfig("git")
+	cfg.FS = in.FS(nil)
+	var l *Log
+	e.call(t, func(env *asyncall.Env) error {
+		var err error
+		l, err = New(env, cfg)
+		if err != nil {
+			return err
+		}
+		if err := l.Append(env, "updates", 1, "r", "main", "c1", "update"); err != nil {
+			return err
+		}
+		return l.Append(env, "updates", 2, "r", "main", "c2", "update")
+	})
+	// The third append dies mid-write: the handle is wedged (process crash)
+	// and the caller sees the failure, so the entry was never acknowledged.
+	err := e.bridge.Call(func(env *asyncall.Env) error {
+		return l.Append(env, "updates", 3, "r", "main", "c3", "update")
+	})
+	if !errors.Is(err, faultinject.ErrTornWrite) {
+		t.Fatalf("torn append: %v, want ErrTornWrite", err)
+	}
+	if l.Seq() != 2 {
+		t.Fatalf("seq advanced past the failed append: %d", l.Seq())
+	}
+	l.Close()
+
+	// The torn tail makes the raw file fail strict verification...
+	path := filepath.Join(e.dir, "git.lseal")
+	if _, err := VerifyFile(path, VerifyOptions{Pub: e.encl.PublicKey()}); !errors.Is(err, ErrTampered) {
+		t.Fatalf("strict verify of torn file: %v, want ErrTampered", err)
+	}
+
+	// ...but recovery discards the debris and replays the committed prefix.
+	// The crash happened after the counter increment but before the flush,
+	// so the persisted anchor lags the group by one.
+	rcfg := e.diskConfig("git")
+	rcfg.RecoverMaxLag = 1
+	var rec *Log
+	e.call(t, func(env *asyncall.Env) error {
+		var err error
+		rec, err = Recover(env, rcfg, e.encl.PublicKey())
+		return err
+	})
+	defer rec.Close()
+	if rec.Seq() != 2 {
+		t.Fatalf("recovered seq = %d, want 2", rec.Seq())
+	}
+	// Recovery truncated the debris and re-anchored: the file passes strict
+	// client-side verification again, and appends keep working.
+	entries, err := VerifyFile(path, VerifyOptions{Pub: e.encl.PublicKey(), Protector: e.group, Name: "git"})
+	if err != nil {
+		t.Fatalf("post-recovery strict verify: %v", err)
+	}
+	if len(entries) != 2 || entries[1].Values[3].TextVal() != "c2" {
+		t.Fatalf("entries = %v", entries)
+	}
+	e.call(t, func(env *asyncall.Env) error {
+		return rec.Append(env, "updates", 4, "r", "main", "c4", "update")
+	})
+	if _, err := VerifyFile(path, VerifyOptions{Pub: e.encl.PublicKey(), Protector: e.group, Name: "git"}); err != nil {
+		t.Fatalf("append after recovery broke the chain: %v", err)
+	}
+}
+
+func TestENOSPCAppendRolledBack(t *testing.T) {
+	e := newAuditEnv(t)
+	first := appendFirstWrite(1)
+	in := faultinject.Scenario{Rules: []faultinject.Rule{
+		faultinject.NoSpace("git.lseal", first, first+1),
+	}}.Build()
+	cfg := e.diskConfig("git")
+	cfg.FS = in.FS(nil)
+	var l *Log
+	e.call(t, func(env *asyncall.Env) error {
+		var err error
+		l, err = New(env, cfg)
+		if err != nil {
+			return err
+		}
+		return l.Append(env, "updates", 1, "r", "main", "c1", "update")
+	})
+	err := e.bridge.Call(func(env *asyncall.Env) error {
+		return l.Append(env, "updates", 2, "r", "main", "c2", "update")
+	})
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("append on full disk: %v, want ENOSPC", err)
+	}
+	// The disk "recovers"; the same handle keeps working and the failed
+	// append left no trace behind.
+	e.call(t, func(env *asyncall.Env) error {
+		return l.Append(env, "updates", 3, "r", "main", "c3", "update")
+	})
+	l.Close()
+	entries, err := VerifyFile(filepath.Join(e.dir, "git.lseal"), VerifyOptions{
+		Pub: e.encl.PublicKey(), Protector: e.group, Name: "git",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[1].Values[3].TextVal() != "c3" {
+		t.Fatalf("entries = %v", entries)
+	}
+}
+
+// failRenameFS simulates a crash at the trim rewrite's commit point: the new
+// image is fully written but the rename never lands.
+type failRenameFS struct{ vfs.OS }
+
+var errRenameCrash = errors.New("simulated crash at rename")
+
+func (failRenameFS) Rename(oldpath, newpath string) error { return errRenameCrash }
+
+func TestCrashBeforeTrimCommitKeepsOldChain(t *testing.T) {
+	e := newAuditEnv(t)
+	cfg := e.diskConfig("git")
+	cfg.FS = failRenameFS{}
+	var l *Log
+	e.call(t, func(env *asyncall.Env) error {
+		var err error
+		l, err = New(env, cfg)
+		if err != nil {
+			return err
+		}
+		for i := 1; i <= 3; i++ {
+			cid := "c" + string(rune('0'+i))
+			if err := l.Append(env, "updates", i, "r", "main", cid, "update"); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	err := e.bridge.Call(func(env *asyncall.Env) error {
+		return l.Trim(env, []string{
+			"DELETE FROM updates WHERE time NOT IN (SELECT MAX(time) FROM updates GROUP BY repo, branch)",
+		})
+	})
+	if !errors.Is(err, errRenameCrash) {
+		t.Fatalf("trim: %v, want rename crash", err)
+	}
+	// No half state: the temporary image is gone and the old log is intact.
+	if _, err := os.Stat(filepath.Join(e.dir, "git.lseal.tmp")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("trim left its temporary file behind: %v", err)
+	}
+	// The process dies here (no Close). Recovery replays the complete old
+	// chain; the trim's counter increment landed before the crash, so the
+	// old file lags the group by one.
+	rcfg := e.diskConfig("git")
+	rcfg.RecoverMaxLag = 1
+	var rec *Log
+	e.call(t, func(env *asyncall.Env) error {
+		var err error
+		rec, err = Recover(env, rcfg, e.encl.PublicKey())
+		return err
+	})
+	defer rec.Close()
+	if rec.Seq() != 3 {
+		t.Fatalf("recovered seq = %d, want the full pre-trim chain (3)", rec.Seq())
+	}
+	if _, err := VerifyFile(filepath.Join(e.dir, "git.lseal"), VerifyOptions{
+		Pub: e.encl.PublicKey(), Protector: e.group, Name: "git",
+	}); err != nil {
+		t.Fatalf("re-anchored old chain fails verification: %v", err)
+	}
+}
+
+func TestCrashAfterTrimCommitKeepsNewChain(t *testing.T) {
+	e := newAuditEnv(t)
+	var l *Log
+	e.call(t, func(env *asyncall.Env) error {
+		var err error
+		l, err = New(env, e.diskConfig("git"))
+		if err != nil {
+			return err
+		}
+		for i := 1; i <= 3; i++ {
+			cid := "c" + string(rune('0'+i))
+			if err := l.Append(env, "updates", i, "r", "main", cid, "update"); err != nil {
+				return err
+			}
+		}
+		return l.Trim(env, []string{
+			"DELETE FROM updates WHERE time NOT IN (SELECT MAX(time) FROM updates GROUP BY repo, branch)",
+		})
+	})
+	// Crash immediately after the rename committed (no Close). Recovery
+	// accepts the complete new chain — the trim re-signed it at a fresh
+	// counter, so no lag allowance is needed.
+	var rec *Log
+	e.call(t, func(env *asyncall.Env) error {
+		var err error
+		rec, err = Recover(env, e.diskConfig("git"), e.encl.PublicKey())
+		return err
+	})
+	defer rec.Close()
+	if rec.Seq() != 1 {
+		t.Fatalf("recovered seq = %d, want the trimmed chain (1)", rec.Seq())
+	}
+	entries, err := VerifyFile(filepath.Join(e.dir, "git.lseal"), VerifyOptions{
+		Pub: e.encl.PublicKey(), Protector: e.group, Name: "git",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Values[0].Int64() != 3 {
+		t.Fatalf("entries = %+v", entries)
+	}
+}
+
+func TestDegradedModeBuffersAndReanchors(t *testing.T) {
+	e := newAuditEnv(t)
+	e.group.SetRetryPolicy(fastGroupPolicy())
+	cfg := e.diskConfig("git")
+	cfg.AnchorTimeout = 150 * time.Millisecond
+	cfg.DegradedLimit = 2
+	var l *Log
+	e.call(t, func(env *asyncall.Env) error {
+		var err error
+		l, err = New(env, cfg)
+		if err != nil {
+			return err
+		}
+		return l.Append(env, "updates", 1, "r", "main", "c1", "update")
+	})
+	defer l.Close()
+	anchored := l.Counter()
+
+	// Kill the counter quorum (2 of 4 nodes with f = 1).
+	nodes := e.group.Nodes()
+	nodes[0].Fail()
+	nodes[1].Fail()
+
+	// Appends keep succeeding — persisted, chained and signed — under the
+	// stale anchor, up to the degraded-mode bound.
+	e.call(t, func(env *asyncall.Env) error {
+		if err := l.Append(env, "updates", 2, "r", "main", "c2", "update"); err != nil {
+			return err
+		}
+		return l.Append(env, "updates", 3, "r", "main", "c3", "update")
+	})
+	st := l.Status()
+	if !st.Degraded || st.PendingAnchor != 2 {
+		t.Fatalf("status = %+v, want degraded with 2 pending", st)
+	}
+	if l.Counter() != anchored {
+		t.Fatalf("counter moved while the quorum was down: %d", l.Counter())
+	}
+	// Past the bound the append fails instead of widening the rollback
+	// window without limit.
+	err := e.bridge.Call(func(env *asyncall.Env) error {
+		return l.Append(env, "updates", 4, "r", "main", "c4", "update")
+	})
+	if !errors.Is(err, ErrDegradedFull) {
+		t.Fatalf("append past degraded limit: %v, want ErrDegradedFull", err)
+	}
+	if l.Seq() != 3 {
+		t.Fatalf("seq = %d, want 3", l.Seq())
+	}
+
+	// Quorum heals; one re-anchor covers the whole backlog and flags the gap.
+	nodes[0].Recover()
+	nodes[1].Recover()
+	e.call(t, func(env *asyncall.Env) error { return l.Reanchor(env) })
+	st = l.Status()
+	if st.Degraded || st.PendingAnchor != 0 || st.Gaps != 1 {
+		t.Fatalf("status after reanchor = %+v", st)
+	}
+	if l.Counter() <= anchored {
+		t.Fatalf("reanchor did not advance the counter: %d", l.Counter())
+	}
+	// Everything appended during the outage survives strict verification.
+	entries, err := VerifyFile(filepath.Join(e.dir, "git.lseal"), VerifyOptions{
+		Pub: e.encl.PublicKey(), Protector: e.group, Name: "git",
+	})
+	if err != nil {
+		t.Fatalf("strict verify after reanchor: %v", err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("entries = %d, want 3", len(entries))
+	}
+}
+
+func TestDegradedDisabledFailsAppend(t *testing.T) {
+	e := newAuditEnv(t)
+	e.group.SetRetryPolicy(fastGroupPolicy())
+	cfg := e.diskConfig("git")
+	cfg.AnchorTimeout = 150 * time.Millisecond // DegradedLimit stays 0
+	var l *Log
+	e.call(t, func(env *asyncall.Env) error {
+		var err error
+		l, err = New(env, cfg)
+		return err
+	})
+	defer l.Close()
+	nodes := e.group.Nodes()
+	nodes[0].Fail()
+	nodes[1].Fail()
+	err := e.bridge.Call(func(env *asyncall.Env) error {
+		return l.Append(env, "updates", 1, "r", "main", "c1", "update")
+	})
+	if !errors.Is(err, rote.ErrNoQuorum) {
+		t.Fatalf("append without degraded mode: %v, want ErrNoQuorum", err)
+	}
+	if l.Seq() != 0 {
+		t.Fatalf("failed append advanced seq to %d", l.Seq())
+	}
+}
+
+func TestTrimNeverDegrades(t *testing.T) {
+	e := newAuditEnv(t)
+	e.group.SetRetryPolicy(fastGroupPolicy())
+	cfg := e.diskConfig("git")
+	cfg.AnchorTimeout = 150 * time.Millisecond
+	cfg.DegradedLimit = 8
+	var l *Log
+	e.call(t, func(env *asyncall.Env) error {
+		var err error
+		l, err = New(env, cfg)
+		if err != nil {
+			return err
+		}
+		return l.Append(env, "updates", 1, "r", "main", "c1", "update")
+	})
+	defer l.Close()
+	nodes := e.group.Nodes()
+	nodes[0].Fail()
+	nodes[1].Fail()
+	// Re-signing trimmed history at a stale counter would widen the rollback
+	// window, so a trim must fail outright while the quorum is down even
+	// though appends would degrade gracefully.
+	err := e.bridge.Call(func(env *asyncall.Env) error {
+		return l.Trim(env, []string{"DELETE FROM updates"})
+	})
+	if !errors.Is(err, rote.ErrNoQuorum) {
+		t.Fatalf("trim under dead quorum: %v, want ErrNoQuorum", err)
+	}
+	nodes[0].Recover()
+	nodes[1].Recover()
+	// The old chain is untouched. The trim's failed increment may have
+	// landed on the minority of live nodes, so the group can read one ahead
+	// of the log's anchor — the standard crashed-increment lag.
+	if _, err := VerifyFile(filepath.Join(e.dir, "git.lseal"), VerifyOptions{
+		Pub: e.encl.PublicKey(), Protector: e.group, Name: "git", MaxCounterLag: 1,
+	}); err != nil {
+		t.Fatalf("old chain after failed trim: %v", err)
+	}
+}
+
+func TestRecoverCounterLag(t *testing.T) {
+	e := newAuditEnv(t)
+	var l *Log
+	e.call(t, func(env *asyncall.Env) error {
+		var err error
+		l, err = New(env, e.diskConfig("git"))
+		if err != nil {
+			return err
+		}
+		return l.Append(env, "updates", 1, "r", "main", "c1", "update")
+	})
+	l.Close()
+	// A crash between a counter increment and the matching signature flush
+	// leaves the group one ahead of the persisted anchor.
+	if _, err := e.group.Increment("git"); err != nil {
+		t.Fatal(err)
+	}
+	// Strict recovery refuses the lag: it is indistinguishable from a
+	// rolled-back log at this layer.
+	err := e.bridge.Call(func(env *asyncall.Env) error {
+		_, err := Recover(env, e.diskConfig("git"), e.encl.PublicKey())
+		return err
+	})
+	if !errors.Is(err, ErrBadCounter) {
+		t.Fatalf("strict recover: %v, want ErrBadCounter", err)
+	}
+	// With the documented one-increment allowance, recovery succeeds and
+	// immediately re-anchors, so clients never see the lag.
+	rcfg := e.diskConfig("git")
+	rcfg.RecoverMaxLag = 1
+	var rec *Log
+	e.call(t, func(env *asyncall.Env) error {
+		var err error
+		rec, err = Recover(env, rcfg, e.encl.PublicKey())
+		return err
+	})
+	defer rec.Close()
+	if _, err := VerifyFile(filepath.Join(e.dir, "git.lseal"), VerifyOptions{
+		Pub: e.encl.PublicKey(), Protector: e.group, Name: "git",
+	}); err != nil {
+		t.Fatalf("strict verify after lag recovery: %v", err)
+	}
+}
+
+func TestSilentCorruptionDetected(t *testing.T) {
+	e := newAuditEnv(t)
+	// Corrupt the first entry's payload write. The write reports success, so
+	// the log believes the entry is durable — only verification can tell.
+	in := faultinject.Scenario{Rules: []faultinject.Rule{
+		faultinject.CorruptWrite("git.lseal", appendFirstWrite(0)+1),
+	}}.Build()
+	cfg := e.diskConfig("git")
+	cfg.FS = in.FS(nil)
+	var l *Log
+	e.call(t, func(env *asyncall.Env) error {
+		var err error
+		l, err = New(env, cfg)
+		if err != nil {
+			return err
+		}
+		if err := l.Append(env, "updates", 1, "r", "main", "c1", "update"); err != nil {
+			return err
+		}
+		return l.Append(env, "updates", 2, "r", "main", "c2", "update")
+	})
+	l.Close()
+	path := filepath.Join(e.dir, "git.lseal")
+	if _, err := VerifyFile(path, VerifyOptions{Pub: e.encl.PublicKey()}); !errors.Is(err, ErrTampered) {
+		t.Fatalf("strict verify of corrupted log: %v, want ErrTampered", err)
+	}
+	// Recovery must not paper over it either: the damage sits inside the
+	// signed prefix (signatures follow it), which is tampering, not a torn
+	// tail.
+	err := e.bridge.Call(func(env *asyncall.Env) error {
+		rcfg := e.diskConfig("git")
+		rcfg.RecoverMaxLag = 1
+		_, err := Recover(env, rcfg, e.encl.PublicKey())
+		return err
+	})
+	if !errors.Is(err, ErrTampered) {
+		t.Fatalf("recover from corrupted log: %v, want ErrTampered", err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"libseal/internal/audit"
 	"libseal/internal/core"
 	"libseal/internal/enclave"
+	"libseal/internal/faultinject"
 	"libseal/internal/netsim"
 	"libseal/internal/rote"
 	"libseal/internal/services/apache"
@@ -78,8 +79,32 @@ type StackOptions struct {
 	CheckEvery int
 	// AuditDir overrides the disk-mode log directory.
 	AuditDir string
+	// RecoverExisting resumes from a persisted log in AuditDir instead of
+	// truncating it (disk mode; requires Platform so keys match).
+	RecoverExisting bool
 	// ROTELatency is the one-way latency to counter nodes (same cluster).
 	ROTELatency time.Duration
+	// ROTEF is the number of counter-node failures the group tolerates
+	// (n = 3f+1 nodes); zero means f=1.
+	ROTEF int
+	// Group reuses an existing counter group instead of minting one, so a
+	// restarted stack keeps its monotonic counters (disk mode).
+	Group *rote.Group
+	// Inject, when set, drives chaos: its node rules attach to the counter
+	// group and its filesystem rules interpose on audit-log persistence.
+	// Link rules are installed by the test via Stack.Net.SetLinkFault.
+	Inject *faultinject.Injector
+	// AnchorTimeout, DegradedLimit and RecoverMaxLag are the audit log's
+	// robustness knobs; see core.Config.
+	AnchorTimeout time.Duration
+	DegradedLimit int
+	RecoverMaxLag uint64
+	// RetryPolicy overrides the counter group's request timeout/retry
+	// policy (nil keeps rote.DefaultRetryPolicy).
+	RetryPolicy *rote.RetryPolicy
+	// Platform reuses an enclave platform across stacks, so a restarted
+	// deployment keeps its keys and can verify its previous log.
+	Platform *enclave.Platform
 	// KeepAlive enables persistent connections on the front server.
 	KeepAlive bool
 	// UseExData makes the front server store request data in TLS ex_data.
@@ -154,6 +179,7 @@ func buildStack(opts StackOptions, module ssm.Module) (*Stack, tlsterm.Terminato
 		Schedulers:        opts.Schedulers,
 		TasksPerScheduler: opts.TasksPerScheduler,
 		Cost:              opts.Cost,
+		Platform:          opts.Platform,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -187,12 +213,31 @@ func buildStack(opts StackOptions, module ssm.Module) (*Stack, tlsterm.Terminato
 			dir = tmp
 		}
 		cfg.AuditDir = dir
-		group, err := rote.NewGroup(1, opts.ROTELatency)
-		if err != nil {
-			return nil, nil, err
+		group := opts.Group
+		if group == nil {
+			f := opts.ROTEF
+			if f == 0 {
+				f = 1
+			}
+			var err error
+			group, err = rote.NewGroup(f, opts.ROTELatency)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		if opts.RetryPolicy != nil {
+			group.SetRetryPolicy(*opts.RetryPolicy)
 		}
 		st.Group = group
 		cfg.Protector = group
+		cfg.RecoverExisting = opts.RecoverExisting
+		cfg.AnchorTimeout = opts.AnchorTimeout
+		cfg.DegradedLimit = opts.DegradedLimit
+		cfg.RecoverMaxLag = opts.RecoverMaxLag
+		if opts.Inject != nil {
+			opts.Inject.AttachGroup(group)
+			cfg.AuditFS = opts.Inject.FS(nil)
+		}
 	}
 	seal, err := core.New(bridge, cfg)
 	if err != nil {

@@ -25,6 +25,7 @@ import (
 	"libseal/internal/sqldb"
 	"libseal/internal/ssm"
 	"libseal/internal/tlsterm"
+	"libseal/internal/vfs"
 )
 
 // Check header names (§5.2, "Result notification").
@@ -55,6 +56,19 @@ type Config struct {
 	Protector audit.RollbackProtector
 	// SealLog encrypts persisted entries for log privacy.
 	SealLog bool
+	// AuditFS overrides the filesystem used for audit-log persistence; nil
+	// uses the real one. The seam exists for fault injection.
+	AuditFS vfs.FS
+	// AnchorTimeout bounds each rollback-counter operation on the request
+	// path when the protector supports cancellation.
+	AnchorTimeout time.Duration
+	// DegradedLimit, when positive, lets up to this many appends proceed
+	// under a stale counter anchor while the counter quorum is unreachable,
+	// instead of failing SSL writes. See audit.Config.DegradedLimit.
+	DegradedLimit int
+	// RecoverMaxLag tolerates the persisted counter lagging the group by up
+	// to this much during RecoverExisting. See audit.Config.RecoverMaxLag.
+	RecoverMaxLag uint64
 	// RecoverExisting resumes from a persisted log (verifying its chain,
 	// signature and counter freshness) instead of truncating it. The
 	// enclave must be launched from the same platform and code so its keys
@@ -110,6 +124,11 @@ type Stats struct {
 	Checks     int64
 	Trims      int64
 	Violations int64
+	// TrimFailures counts trims that could not complete (e.g. the counter
+	// quorum was unreachable); the log keeps growing until one succeeds.
+	TrimFailures int64
+	// Reanchors counts degraded-mode gaps closed by a fresh counter anchor.
+	Reanchors int64
 }
 
 // connTracker pairs the request and response streams of one connection.
@@ -135,12 +154,16 @@ func New(bridge *asyncall.Bridge, cfg Config) (*LibSEAL, error) {
 	}
 	if cfg.Module != nil {
 		auditCfg := audit.Config{
-			Name:      cfg.Module.Name(),
-			Schema:    cfg.Module.Schema(),
-			Mode:      cfg.AuditMode,
-			Dir:       cfg.AuditDir,
-			Protector: cfg.Protector,
-			Seal:      cfg.SealLog,
+			Name:          cfg.Module.Name(),
+			Schema:        cfg.Module.Schema(),
+			Mode:          cfg.AuditMode,
+			Dir:           cfg.AuditDir,
+			Protector:     cfg.Protector,
+			Seal:          cfg.SealLog,
+			FS:            cfg.AuditFS,
+			AnchorTimeout: cfg.AnchorTimeout,
+			DegradedLimit: cfg.DegradedLimit,
+			RecoverMaxLag: cfg.RecoverMaxLag,
 		}
 		err := bridge.Call(func(env *asyncall.Env) error {
 			var err error
@@ -191,6 +214,15 @@ func (ls *LibSEAL) periodicChecks(interval time.Duration) {
 				ls.runCheckLocked(env, false)
 				if err := ls.log.Trim(env, ls.cfg.Module.TrimQueries()); err == nil {
 					ls.stats.Trims++
+				} else {
+					ls.stats.TrimFailures++
+				}
+				// If appends ran degraded (counter quorum unreachable), the
+				// periodic tick doubles as the re-anchor retry loop.
+				if ls.log.Status().Degraded {
+					if err := ls.log.Reanchor(env); err == nil {
+						ls.stats.Reanchors++
+					}
 				}
 				return nil
 			})
@@ -212,6 +244,15 @@ func (ls *LibSEAL) StatsSnapshot() Stats {
 	ls.mu.Lock()
 	defer ls.mu.Unlock()
 	return ls.stats
+}
+
+// AuditStatus returns the audit log's degraded-mode state (zero when
+// auditing is disabled).
+func (ls *LibSEAL) AuditStatus() audit.Status {
+	if ls.log == nil {
+		return audit.Status{}
+	}
+	return ls.log.Status()
 }
 
 // Violations returns all violations detected so far.
@@ -364,10 +405,15 @@ func (ls *LibSEAL) logPairLocked(env *asyncall.Env, rawReq, rawRsp []byte) error
 		if ls.sinceCheck >= ls.cfg.CheckEvery {
 			ls.sinceCheck = 0
 			ls.runCheckLocked(env, false)
+			// A failed trim (say, the counter quorum is unreachable and the
+			// rewrite must not degrade) is not the client's problem: the log
+			// keeps growing and the next check retries. Only the append path
+			// may fail the SSL write, since there durability is at stake.
 			if err := ls.log.Trim(env, ls.cfg.Module.TrimQueries()); err != nil {
-				return fmt.Errorf("core: trim: %w", err)
+				ls.stats.TrimFailures++
+			} else {
+				ls.stats.Trims++
 			}
-			ls.stats.Trims++
 		}
 	}
 	return nil

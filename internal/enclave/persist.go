@@ -2,11 +2,14 @@ package enclave
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"crypto/x509"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"os"
+
+	"libseal/internal/vfs"
 )
 
 // Platform persistence. A real SGX machine's fuse key and provisioned
@@ -17,13 +20,22 @@ import (
 // recoverable across process restarts. The state file is as sensitive as
 // the hardware it stands in for; it exists so that the CLI tools can
 // demonstrate restart recovery.
+//
+// The v2 format appends a SHA-256 checksum so a torn or corrupted state
+// file is detected at load instead of yielding silently wrong counters, and
+// saves go through write-temp + fsync + rename so a crash mid-save leaves
+// the previous intact state in place. v1 files (no checksum) still load.
 
 // ErrBadPlatformState reports a malformed platform state blob.
 var ErrBadPlatformState = errors.New("enclave: malformed platform state")
 
-var platformStateMagic = []byte("LSEALPLATFORM1\n")
+var (
+	platformStateMagic   = []byte("LSEALPLATFORM2\n")
+	platformStateMagicV1 = []byte("LSEALPLATFORM1\n")
+)
 
-// Marshal serialises the platform's secrets and counter state.
+// Marshal serialises the platform's secrets and counter state, with a
+// trailing SHA-256 checksum over everything before it.
 func (p *Platform) Marshal() ([]byte, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -50,16 +62,37 @@ func (p *Platform) Marshal() ([]byte, error) {
 	}
 	binary.BigEndian.PutUint64(u64[:], p.nextCounter)
 	buf.Write(u64[:])
+	sum := sha256.Sum256(buf.Bytes())
+	buf.Write(sum[:])
 	return buf.Bytes(), nil
 }
 
-// UnmarshalPlatform restores a platform from Marshal output.
+// UnmarshalPlatform restores a platform from Marshal output. v2 blobs are
+// checksum-verified; v1 blobs (written before the checksum existed) are
+// accepted as-is.
 func UnmarshalPlatform(data []byte) (*Platform, error) {
-	r := bytes.NewReader(data)
-	magic := make([]byte, len(platformStateMagic))
-	if _, err := r.Read(magic); err != nil || !bytes.Equal(magic, platformStateMagic) {
+	if len(data) < len(platformStateMagic) {
 		return nil, ErrBadPlatformState
 	}
+	body := data[len(platformStateMagic):]
+	switch {
+	case bytes.HasPrefix(data, platformStateMagic):
+		if len(body) < sha256.Size {
+			return nil, ErrBadPlatformState
+		}
+		sum := sha256.Sum256(data[:len(data)-sha256.Size])
+		if !bytes.Equal(sum[:], data[len(data)-sha256.Size:]) {
+			return nil, fmt.Errorf("%w: checksum mismatch (torn or corrupted state file)", ErrBadPlatformState)
+		}
+		body = body[:len(body)-sha256.Size]
+	case bytes.HasPrefix(data, platformStateMagicV1):
+	default:
+		return nil, ErrBadPlatformState
+	}
+	return unmarshalPlatformBody(bytes.NewReader(body))
+}
+
+func unmarshalPlatformBody(r *bytes.Reader) (*Platform, error) {
 	p := &Platform{counters: make(map[uint64]*hardwareCounter)}
 	if _, err := r.Read(p.fuseKey[:]); err != nil {
 		return nil, ErrBadPlatformState
@@ -107,7 +140,16 @@ func UnmarshalPlatform(data []byte) (*Platform, error) {
 // LoadOrCreatePlatform restores the platform from path, or creates a fresh
 // one and persists it there.
 func LoadOrCreatePlatform(path string) (*Platform, error) {
-	if data, err := os.ReadFile(path); err == nil {
+	return LoadOrCreatePlatformFS(nil, path)
+}
+
+// LoadOrCreatePlatformFS is LoadOrCreatePlatform over an explicit
+// filesystem (nil for the real one); the seam exists for fault injection.
+// A present-but-corrupt state file is an error, not grounds for silently
+// minting a fresh platform: that would reset every monotonic counter.
+func LoadOrCreatePlatformFS(fsys vfs.FS, path string) (*Platform, error) {
+	fsys = vfs.Default(fsys)
+	if data, err := fsys.ReadFile(path); err == nil {
 		return UnmarshalPlatform(data)
 	}
 	p := NewPlatform()
@@ -115,7 +157,7 @@ func LoadOrCreatePlatform(path string) (*Platform, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := os.WriteFile(path, data, 0o600); err != nil {
+	if err := writeFileAtomic(fsys, path, data); err != nil {
 		return nil, err
 	}
 	return p, nil
@@ -123,9 +165,48 @@ func LoadOrCreatePlatform(path string) (*Platform, error) {
 
 // SaveState re-persists the platform (e.g. after counter increments).
 func (p *Platform) SaveState(path string) error {
+	return p.SaveStateFS(nil, path)
+}
+
+// SaveStateFS is SaveState over an explicit filesystem (nil for the real
+// one). The write is atomic: temp file, fsync, rename.
+func (p *Platform) SaveStateFS(fsys vfs.FS, path string) error {
 	data, err := p.Marshal()
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, data, 0o600)
+	return writeFileAtomic(vfs.Default(fsys), path, data)
+}
+
+// writeFileAtomic commits data to path via write-temp + fsync + rename, so
+// a crash at any point leaves either the old file or the new one — never a
+// torn mixture.
+func writeFileAtomic(fsys vfs.FS, path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return err
+	}
+	os.Chmod(tmp, 0o600) // best-effort: the state holds platform secrets
+	fail := func(err error) error {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	return nil
 }

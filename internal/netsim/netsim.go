@@ -32,6 +32,26 @@ type item struct {
 	at   time.Time // earliest delivery time
 }
 
+// Fault describes what happens to one write on a faulted link. The zero
+// value delivers the payload normally.
+type Fault struct {
+	// Drop silently discards the payload, as a lossy or partitioned link
+	// would; the writer still observes success.
+	Drop bool
+	// Reset fails the write with ErrConnReset, modelling an RST from a
+	// middlebox or a crashed peer.
+	Reset bool
+	// Delay adds one-way latency for this payload only (a latency spike).
+	Delay time.Duration
+}
+
+// FaultFunc inspects one write (payload size n) and returns the fault to
+// apply. Implementations must be safe for concurrent use.
+type FaultFunc func(n int) Fault
+
+// ErrConnReset is returned by Write when a fault resets the connection.
+var ErrConnReset = errors.New("netsim: connection reset by peer")
+
 // Conn is one endpoint of a simulated duplex link.
 type Conn struct {
 	cfg      LinkConfig
@@ -43,8 +63,10 @@ type Conn struct {
 	local    addr
 	remote   addr
 
-	mu           sync.Mutex
-	readDeadline time.Time
+	mu            sync.Mutex
+	readDeadline  time.Time
+	writeDeadline time.Time
+	fault         FaultFunc
 }
 
 type addr string
@@ -66,9 +88,18 @@ func NamedPipe(cfg LinkConfig, a, b string) (*Conn, *Conn) {
 	return c1, c2
 }
 
+// SetFault installs a fault function consulted on every Write from this
+// endpoint. A nil function clears it.
+func (c *Conn) SetFault(f FaultFunc) {
+	c.mu.Lock()
+	c.fault = f
+	c.mu.Unlock()
+}
+
 // Write sends data to the peer, paying serialisation delay proportional to
 // the configured bandwidth. Propagation latency is charged on the receive
 // side so that concurrent transfers overlap as they would on a real link.
+// Writes respect the write deadline and any installed fault function.
 func (c *Conn) Write(p []byte) (int, error) {
 	select {
 	case <-c.closed:
@@ -80,12 +111,44 @@ func (c *Conn) Write(p []byte) (int, error) {
 		return 0, io.ErrClosedPipe
 	default:
 	}
+	c.mu.Lock()
+	deadline := c.writeDeadline
+	fault := c.fault
+	c.mu.Unlock()
+	var timeout <-chan time.Time
+	if !deadline.IsZero() {
+		d := time.Until(deadline)
+		if d <= 0 {
+			return 0, timeoutError{}
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		timeout = t.C
+	}
+	var extra time.Duration
+	if fault != nil {
+		f := fault(len(p))
+		if f.Reset {
+			return 0, ErrConnReset
+		}
+		if f.Drop {
+			// The payload vanishes in the network; the writer cannot tell.
+			return len(p), nil
+		}
+		extra = f.Delay
+	}
 	if c.cfg.Bandwidth > 0 && len(p) > 0 {
 		d := time.Duration(float64(len(p)) / float64(c.cfg.Bandwidth) * float64(time.Second))
+		if !deadline.IsZero() {
+			if remaining := time.Until(deadline); remaining < d {
+				time.Sleep(remaining)
+				return 0, timeoutError{}
+			}
+		}
 		time.Sleep(d)
 	}
 	buf := append([]byte(nil), p...)
-	it := item{data: buf, at: time.Now().Add(c.cfg.Latency)}
+	it := item{data: buf, at: time.Now().Add(c.cfg.Latency + extra)}
 	select {
 	case c.peer.recv <- it:
 		return len(p), nil
@@ -93,6 +156,8 @@ func (c *Conn) Write(p []byte) (int, error) {
 		return 0, io.ErrClosedPipe
 	case <-c.closed:
 		return 0, net.ErrClosed
+	case <-timeout:
+		return 0, timeoutError{}
 	}
 }
 
@@ -158,9 +223,11 @@ func (c *Conn) LocalAddr() net.Addr { return c.local }
 // RemoteAddr returns the peer's simulated address.
 func (c *Conn) RemoteAddr() net.Addr { return c.remote }
 
-// SetDeadline sets both read and write deadlines (write deadline is not
-// enforced; writes only block when the queue is full).
-func (c *Conn) SetDeadline(t time.Time) error { return c.SetReadDeadline(t) }
+// SetDeadline sets both read and write deadlines.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.SetReadDeadline(t)
+	return c.SetWriteDeadline(t)
+}
 
 // SetReadDeadline sets the read deadline.
 func (c *Conn) SetReadDeadline(t time.Time) error {
@@ -170,8 +237,14 @@ func (c *Conn) SetReadDeadline(t time.Time) error {
 	return nil
 }
 
-// SetWriteDeadline is accepted but not enforced.
-func (c *Conn) SetWriteDeadline(time.Time) error { return nil }
+// SetWriteDeadline sets the write deadline: writes that would block past it
+// (serialisation delay or a full receive queue) fail with a timeout error.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.writeDeadline = t
+	c.mu.Unlock()
+	return nil
+}
 
 type timeoutError struct{}
 
@@ -184,16 +257,22 @@ var _ net.Conn = (*Conn)(nil)
 // Network is a collection of named listeners reachable by Dial, each with a
 // per-address link configuration.
 type Network struct {
-	mu        sync.Mutex
-	listeners map[string]*Listener
-	links     map[string]LinkConfig
+	mu         sync.Mutex
+	listeners  map[string]*Listener
+	links      map[string]LinkConfig
+	faults     map[string]FaultFunc
+	dialFaults map[string]func() error
+	conns      map[string][]*Conn // live endpoints per address, for fault updates
 }
 
 // NewNetwork creates an empty network.
 func NewNetwork() *Network {
 	return &Network{
-		listeners: make(map[string]*Listener),
-		links:     make(map[string]LinkConfig),
+		listeners:  make(map[string]*Listener),
+		links:      make(map[string]LinkConfig),
+		faults:     make(map[string]FaultFunc),
+		dialFaults: make(map[string]func() error),
+		conns:      make(map[string][]*Conn),
 	}
 }
 
@@ -202,6 +281,34 @@ func (n *Network) SetLink(address string, cfg LinkConfig) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.links[address] = cfg
+}
+
+// SetLinkFault installs a fault function on both directions of every live
+// and future connection to the address. A nil function clears it.
+func (n *Network) SetLinkFault(address string, f FaultFunc) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if f == nil {
+		delete(n.faults, address)
+	} else {
+		n.faults[address] = f
+	}
+	for _, c := range n.conns[address] {
+		c.SetFault(f)
+	}
+}
+
+// SetDialFault makes future Dial calls to the address fail with the error
+// returned by f (nil error or nil f restores normal dialing). It models a
+// partition between the dialer and the address.
+func (n *Network) SetDialFault(address string, f func() error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if f == nil {
+		delete(n.dialFaults, address)
+	} else {
+		n.dialFaults[address] = f
+	}
 }
 
 // Listener accepts simulated connections for one address.
@@ -242,11 +349,33 @@ func (n *Network) Dial(address string) (net.Conn, error) {
 	n.mu.Lock()
 	l, ok := n.listeners[address]
 	cfg := n.links[address]
+	fault := n.faults[address]
+	dialFault := n.dialFaults[address]
 	n.mu.Unlock()
+	if dialFault != nil {
+		if err := dialFault(); err != nil {
+			return nil, fmt.Errorf("netsim: dial %s: %w", address, err)
+		}
+	}
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrConnectionRefused, address)
 	}
 	clientEnd, serverEnd := NamedPipe(cfg, "dialer", address)
+	if fault != nil {
+		clientEnd.SetFault(fault)
+		serverEnd.SetFault(fault)
+	}
+	n.mu.Lock()
+	live := n.conns[address][:0]
+	for _, c := range n.conns[address] {
+		select {
+		case <-c.closed:
+		default:
+			live = append(live, c)
+		}
+	}
+	n.conns[address] = append(live, clientEnd, serverEnd)
+	n.mu.Unlock()
 	select {
 	case l.backlog <- serverEnd:
 		return clientEnd, nil

@@ -5,15 +5,26 @@
 // instances under the provider's control — stores counter state; an
 // increment is durable once a quorum of 2f+1 nodes acknowledges it, and the
 // counter survives as long as at most f nodes misbehave.
+//
+// The client side is hardened for production use: every operation takes a
+// context, each attempt is bounded by a per-request timeout, failed quorums
+// are retried with exponential backoff and deterministic jitter, and the
+// quorum wait returns as soon as 2f+1 valid replies are in — a crashed or
+// slow node never adds its full latency to the request path. Quorum
+// intersection keeps early return safe: any 2f+1 authenticated replies
+// overlap any earlier write quorum in at least f+1 honest nodes, so reads
+// still observe the latest committed value.
 package rote
 
 import (
+	"context"
 	"crypto/hmac"
 	"crypto/rand"
 	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	mathrand "math/rand"
 	"sync"
 	"time"
 )
@@ -42,6 +53,21 @@ func mac(key []byte, counter string, value uint64) [32]byte {
 	return out
 }
 
+// NodeFault describes the fate of one request at a node, as decided by an
+// installed fault hook.
+type NodeFault struct {
+	// Drop makes the node not answer (crash/omission fault).
+	Drop bool
+	// Delay postpones the reply (overloaded or slow node).
+	Delay time.Duration
+	// Byzantine makes the node reply with a stale value and a bad MAC.
+	Byzantine bool
+}
+
+// NodeFaultHook is consulted on every request a node handles. op is "store"
+// or "fetch". Implementations must be safe for concurrent use.
+type NodeFaultHook func(nodeID int, op string) NodeFault
+
 // Node is one counter-service node. In production each node is itself a
 // LibSEAL enclave; here it is an in-process actor with the same interface.
 type Node struct {
@@ -52,7 +78,11 @@ type Node struct {
 	counters  map[string]uint64
 	failed    bool
 	byzantine bool
+	hook      NodeFaultHook
 }
+
+// ID returns the node's index within its group.
+func (n *Node) ID() int { return n.id }
 
 // Fail makes the node stop responding (crash fault).
 func (n *Node) Fail() {
@@ -75,9 +105,46 @@ func (n *Node) SetByzantine(b bool) {
 	n.byzantine = b
 }
 
+// SetFaultHook installs a per-request fault hook (nil clears it). The hook
+// composes with Fail/SetByzantine: it is consulted first, then the sticky
+// node state applies.
+func (n *Node) SetFaultHook(h NodeFaultHook) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.hook = h
+}
+
+// applyHook runs the fault hook for one request. It reports whether the
+// request should be dropped; delays wait outside the node lock and respect
+// the caller's context.
+func (n *Node) applyHook(ctx context.Context, op string) (drop, byzantine bool) {
+	n.mu.Lock()
+	h := n.hook
+	n.mu.Unlock()
+	if h == nil {
+		return false, false
+	}
+	f := h(n.id, op)
+	if f.Delay > 0 {
+		t := time.NewTimer(f.Delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return true, false
+		}
+	}
+	return f.Drop, f.Byzantine
+}
+
 // store handles an increment request. It returns an acknowledgement message
 // or false if the node is down.
-func (n *Node) store(req message) (message, bool) {
+func (n *Node) store(ctx context.Context, req message) (message, bool) {
+	if drop, byz := n.applyHook(ctx, "store"); drop {
+		return message{}, false
+	} else if byz {
+		return message{Counter: req.Counter, Value: 0}, true
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.failed {
@@ -99,7 +166,12 @@ func (n *Node) store(req message) (message, bool) {
 }
 
 // fetch handles a read request.
-func (n *Node) fetch(counter string) (message, bool) {
+func (n *Node) fetch(ctx context.Context, counter string) (message, bool) {
+	if drop, byz := n.applyHook(ctx, "fetch"); drop {
+		return message{}, false
+	} else if byz {
+		return message{Counter: counter, Value: 0}, true
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.failed {
@@ -112,6 +184,34 @@ func (n *Node) fetch(counter string) (message, bool) {
 	return message{Counter: counter, Value: v, MAC: mac(n.key, counter, v)}, true
 }
 
+// RetryPolicy bounds and retries quorum operations.
+type RetryPolicy struct {
+	// Timeout is the per-attempt bound; zero means no per-attempt timeout.
+	Timeout time.Duration
+	// Retries is the number of additional attempts after the first.
+	Retries int
+	// BackoffBase is the delay before the first retry; it doubles on each
+	// subsequent retry (exponential backoff).
+	BackoffBase time.Duration
+	// BackoffMax caps the backoff delay.
+	BackoffMax time.Duration
+	// JitterSeed seeds the deterministic jitter source, so chaos runs that
+	// fix the seed reproduce the same retry schedule.
+	JitterSeed int64
+}
+
+// DefaultRetryPolicy is the policy installed by NewGroup: bounded attempts
+// with three tries and sub-second backoff, tuned so a dead quorum surfaces
+// as an error quickly instead of stalling the request path.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		Timeout:     2 * time.Second,
+		Retries:     2,
+		BackoffBase: 10 * time.Millisecond,
+		BackoffMax:  250 * time.Millisecond,
+	}
+}
+
 // Group is the client view of a counter group: the local LibSEAL instance
 // plus 3f other nodes.
 type Group struct {
@@ -120,8 +220,10 @@ type Group struct {
 	key     []byte
 	latency time.Duration
 
-	mu    sync.Mutex
-	cache map[string]uint64
+	mu     sync.Mutex
+	cache  map[string]uint64
+	policy RetryPolicy
+	jitter *mathrand.Rand
 }
 
 // NewGroup creates an in-process group tolerating f malicious/failed nodes
@@ -136,10 +238,23 @@ func NewGroup(f int, latency time.Duration) (*Group, error) {
 		return nil, err
 	}
 	g := &Group{f: f, key: key, latency: latency, cache: make(map[string]uint64)}
+	g.setPolicy(DefaultRetryPolicy())
 	for i := 0; i < 3*f+1; i++ {
 		g.nodes = append(g.nodes, &Node{id: i, key: key, counters: make(map[string]uint64)})
 	}
 	return g, nil
+}
+
+// SetRetryPolicy replaces the group's retry policy.
+func (g *Group) SetRetryPolicy(p RetryPolicy) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.setPolicy(p)
+}
+
+func (g *Group) setPolicy(p RetryPolicy) {
+	g.policy = p
+	g.jitter = mathrand.New(mathrand.NewSource(p.JitterSeed))
 }
 
 // Nodes exposes the group members for fault injection in tests.
@@ -152,8 +267,11 @@ func (g *Group) F() int { return g.f }
 func (g *Group) quorum() int { return 2*g.f + 1 }
 
 // broadcast sends a request to every node in parallel and collects valid,
-// MAC-authenticated responses.
-func (g *Group) broadcast(send func(*Node) (message, bool)) []message {
+// MAC-authenticated responses. It returns as soon as `need` valid replies
+// are in, when every node has answered, or when ctx is done — whichever
+// comes first. Replies arriving after return drain into the buffered
+// channel, so no goroutine is leaked.
+func (g *Group) broadcast(ctx context.Context, need int, send func(context.Context, *Node) (message, bool)) []message {
 	type result struct {
 		msg message
 		ok  bool
@@ -163,15 +281,27 @@ func (g *Group) broadcast(send func(*Node) (message, bool)) []message {
 		n := n
 		go func() {
 			if g.latency > 0 {
-				time.Sleep(2 * g.latency) // round trip
+				t := time.NewTimer(2 * g.latency) // round trip
+				select {
+				case <-t.C:
+				case <-ctx.Done():
+					t.Stop()
+					ch <- result{ok: false}
+					return
+				}
 			}
-			m, ok := send(n)
+			m, ok := send(ctx, n)
 			ch <- result{m, ok}
 		}()
 	}
 	var valid []message
-	for range g.nodes {
-		r := <-ch
+	for answered := 0; answered < len(g.nodes); answered++ {
+		var r result
+		select {
+		case r = <-ch:
+		case <-ctx.Done():
+			return valid
+		}
 		if !r.ok {
 			continue
 		}
@@ -180,57 +310,154 @@ func (g *Group) broadcast(send func(*Node) (message, bool)) []message {
 			continue // forged or byzantine response
 		}
 		valid = append(valid, r.msg)
+		if len(valid) >= need {
+			return valid
+		}
 	}
 	return valid
+}
+
+// attemptCtx derives the per-attempt context from the caller's.
+func (g *Group) attemptCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	g.mu.Lock()
+	timeout := g.policy.Timeout
+	g.mu.Unlock()
+	if timeout > 0 {
+		return context.WithTimeout(ctx, timeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// backoff sleeps before retry `attempt` (0-based), honouring ctx. The delay
+// grows exponentially from BackoffBase, capped at BackoffMax, with up to
+// 50% deterministic jitter to de-synchronise competing clients.
+func (g *Group) backoff(ctx context.Context, attempt int) error {
+	g.mu.Lock()
+	p := g.policy
+	d := p.BackoffBase << uint(attempt)
+	if p.BackoffMax > 0 && d > p.BackoffMax {
+		d = p.BackoffMax
+	}
+	if d > 0 {
+		d += time.Duration(g.jitter.Int63n(int64(d)/2 + 1))
+	}
+	g.mu.Unlock()
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// retries returns the configured retry count.
+func (g *Group) retries() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.policy.Retries
 }
 
 // Increment advances the named counter and returns its new value. The
 // increment is durable once 2f+1 nodes acknowledged a value >= the new one.
 func (g *Group) Increment(counter string) (uint64, error) {
+	return g.IncrementContext(context.Background(), counter)
+}
+
+// IncrementContext is Increment bounded by a context: cancelling it aborts
+// the quorum wait and any pending retries.
+func (g *Group) IncrementContext(ctx context.Context, counter string) (uint64, error) {
 	g.mu.Lock()
 	next := g.cache[counter] + 1
 	g.cache[counter] = next
 	g.mu.Unlock()
 
 	req := message{Counter: counter, Value: next, MAC: mac(g.key, counter, next)}
-	acks := 0
-	for _, m := range g.broadcast(func(n *Node) (message, bool) { return n.store(req) }) {
-		if m.Value >= next {
-			acks++
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		actx, cancel := g.attemptCtx(ctx)
+		acks := 0
+		// Re-broadcasting the same value is idempotent: nodes take the max.
+		for _, m := range g.broadcast(actx, g.quorum(), func(c context.Context, n *Node) (message, bool) {
+			return n.store(c, req)
+		}) {
+			if m.Value >= next {
+				acks++
+			}
+		}
+		cancel()
+		if acks >= g.quorum() {
+			return next, nil
+		}
+		lastErr = fmt.Errorf("%w: %d/%d acks for %s=%d", ErrNoQuorum, acks, g.quorum(), counter, next)
+		if err := ctx.Err(); err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrNoQuorum, err)
+		}
+		if attempt >= g.retries() {
+			return 0, lastErr
+		}
+		if err := g.backoff(ctx, attempt); err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrNoQuorum, err)
 		}
 	}
-	if acks < g.quorum() {
-		return 0, fmt.Errorf("%w: %d/%d acks for %s=%d", ErrNoQuorum, acks, g.quorum(), counter, next)
-	}
-	return next, nil
 }
 
 // Read returns the counter's current stable value: the maximum value
 // confirmed by the quorum view. Used after restart to detect log rollback.
 func (g *Group) Read(counter string) (uint64, error) {
-	msgs := g.broadcast(func(n *Node) (message, bool) { return n.fetch(counter) })
-	if len(msgs) < g.quorum() {
-		return 0, fmt.Errorf("%w: %d/%d responses", ErrNoQuorum, len(msgs), g.quorum())
-	}
-	var maxVal uint64
-	for _, m := range msgs {
-		if m.Value > maxVal {
-			maxVal = m.Value
+	return g.ReadContext(context.Background(), counter)
+}
+
+// ReadContext is Read bounded by a context.
+func (g *Group) ReadContext(ctx context.Context, counter string) (uint64, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		actx, cancel := g.attemptCtx(ctx)
+		msgs := g.broadcast(actx, g.quorum(), func(c context.Context, n *Node) (message, bool) {
+			return n.fetch(c, counter)
+		})
+		cancel()
+		if len(msgs) >= g.quorum() {
+			var maxVal uint64
+			for _, m := range msgs {
+				if m.Value > maxVal {
+					maxVal = m.Value
+				}
+			}
+			g.mu.Lock()
+			if maxVal > g.cache[counter] {
+				g.cache[counter] = maxVal
+			}
+			g.mu.Unlock()
+			return maxVal, nil
+		}
+		lastErr = fmt.Errorf("%w: %d/%d responses", ErrNoQuorum, len(msgs), g.quorum())
+		if err := ctx.Err(); err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrNoQuorum, err)
+		}
+		if attempt >= g.retries() {
+			return 0, lastErr
+		}
+		if err := g.backoff(ctx, attempt); err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrNoQuorum, err)
 		}
 	}
-	g.mu.Lock()
-	if maxVal > g.cache[counter] {
-		g.cache[counter] = maxVal
-	}
-	g.mu.Unlock()
-	return maxVal, nil
 }
 
 // VerifyFresh checks a claimed counter value (e.g. the one recorded in a
 // persisted audit log) against the group: a claimed value below the stable
 // value means an old log version is being presented.
 func (g *Group) VerifyFresh(counter string, claimed uint64) error {
-	stable, err := g.Read(counter)
+	return g.VerifyFreshContext(context.Background(), counter, claimed)
+}
+
+// VerifyFreshContext is VerifyFresh bounded by a context.
+func (g *Group) VerifyFreshContext(ctx context.Context, counter string, claimed uint64) error {
+	stable, err := g.ReadContext(ctx, counter)
 	if err != nil {
 		return err
 	}

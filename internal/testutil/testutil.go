@@ -60,14 +60,21 @@ type BridgeOptions struct {
 	Schedulers        int
 	TasksPerScheduler int
 	Cost              enclave.CostModel
+	// Platform reuses an existing platform instead of minting a fresh one,
+	// so a relaunched enclave keeps its keys and counters (restart tests).
+	Platform *enclave.Platform
 }
 
-// NewBridge launches an enclave on a fresh platform and opens a call bridge.
+// NewBridge launches an enclave on a fresh platform (or BridgeOptions.
+// Platform) and opens a call bridge.
 func NewBridge(opts BridgeOptions) (*enclave.Enclave, *asyncall.Bridge, error) {
 	if opts.MaxThreads == 0 {
 		opts.MaxThreads = 16
 	}
-	platform := enclave.NewPlatform()
+	platform := opts.Platform
+	if platform == nil {
+		platform = enclave.NewPlatform()
+	}
 	encl, err := platform.Launch(enclave.Config{
 		Code:       []byte("libseal-test"),
 		MaxThreads: opts.MaxThreads,

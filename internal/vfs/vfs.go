@@ -1,0 +1,62 @@
+// Package vfs abstracts the small slice of the filesystem that LibSEAL's
+// persistence paths use (audit-log files and platform state). The
+// indirection exists so the fault-injection layer can interpose torn
+// writes, corruption and ENOSPC between the enclave's ocalls and the disk,
+// which is how the chaos tests exercise crash recovery deterministically.
+package vfs
+
+import (
+	"io"
+	"os"
+)
+
+// File is a writable file handle. Truncate lets the audit log roll a
+// partially-written append back to the last committed prefix.
+type File interface {
+	io.Writer
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+}
+
+// FS is the filesystem surface used by LibSEAL persistence.
+type FS interface {
+	// Create truncates or creates the named file for writing.
+	Create(name string) (File, error)
+	// Append opens the named file for appending.
+	Append(name string) (File, error)
+	// ReadFile returns the file's contents.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes the named file.
+	Remove(name string) error
+}
+
+// OS is the passthrough implementation backed by the real filesystem.
+type OS struct{}
+
+// Create implements FS.
+func (OS) Create(name string) (File, error) { return os.Create(name) }
+
+// Append implements FS.
+func (OS) Append(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}
+
+// ReadFile implements FS.
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// Rename implements FS.
+func (OS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove implements FS.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// Default returns fs, or the real filesystem when fs is nil.
+func Default(fs FS) FS {
+	if fs == nil {
+		return OS{}
+	}
+	return fs
+}

@@ -40,6 +40,7 @@ import (
 	"libseal/internal/audit"
 	"libseal/internal/core"
 	"libseal/internal/enclave"
+	"libseal/internal/faultinject"
 	"libseal/internal/rote"
 	"libseal/internal/ssm"
 	"libseal/internal/ssm/dropboxssm"
@@ -95,9 +96,21 @@ type (
 	VerifyOptions = audit.VerifyOptions
 	// LogEntry is one verified audit-log tuple.
 	LogEntry = audit.Entry
+	// AuditStatus describes the audit log's degraded-mode state.
+	AuditStatus = audit.Status
 
 	// CounterGroup is a ROTE distributed monotonic counter group.
 	CounterGroup = rote.Group
+	// RetryPolicy tunes counter-group request timeouts, retries and backoff.
+	RetryPolicy = rote.RetryPolicy
+
+	// FaultScenario is a reproducible chaos schedule for robustness tests.
+	FaultScenario = faultinject.Scenario
+	// FaultRule schedules one fault against one target.
+	FaultRule = faultinject.Rule
+	// FaultInjector applies a scenario to the network, counter-node and
+	// storage seams.
+	FaultInjector = faultinject.Injector
 )
 
 // Audit log modes.
@@ -164,6 +177,10 @@ func MessagingModule() Module { return messagingssm.New() }
 
 // NewCounterGroup creates a ROTE counter group tolerating f faulty nodes.
 func NewCounterGroup(f int) (*CounterGroup, error) { return rote.NewGroup(f, 0) }
+
+// DefaultRetryPolicy returns the counter group's default request
+// timeout/retry policy.
+func DefaultRetryPolicy() RetryPolicy { return rote.DefaultRetryPolicy() }
 
 // VerifyLogFile checks a persisted audit log's integrity (hash chain,
 // enclave signature, counter freshness) and returns its entries. Clients run
