@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check bench clean
+.PHONY: all build test check bench bench-json clean
 
 all: build
 
@@ -19,6 +19,11 @@ check:
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=2x ./...
+
+# Machine-readable bench: runs the audited Git workload with telemetry off
+# and on, and writes the metric snapshot plus the overhead comparison.
+bench-json:
+	$(GO) run ./cmd/libseal-bench -json BENCH_pr3.json
 
 clean:
 	$(GO) clean ./...

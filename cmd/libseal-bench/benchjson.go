@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"libseal/internal/bench"
+	"libseal/internal/httpparse"
+	"libseal/internal/telemetry"
+)
+
+// benchReport is the machine-readable result of the telemetry pipeline. One
+// file per PR (BENCH_pr<N>.json) gives the repo a comparable perf trajectory:
+// every entry in Metrics carries its unit in Units, and the off/on throughput
+// pair bounds the instrumentation's own overhead.
+type benchReport struct {
+	Bench   string             `json:"bench"`
+	Config  benchConfig        `json:"config"`
+	Metrics map[string]float64 `json:"metrics"`
+	Units   map[string]string  `json:"units"`
+	// Throughput of the identical workload with telemetry disabled/enabled
+	// (requests per second), and the relative cost of observation.
+	ThroughputOffRPS float64 `json:"throughput_off_rps"`
+	ThroughputOnRPS  float64 `json:"throughput_on_rps"`
+	OverheadPct      float64 `json:"overhead_pct"`
+}
+
+type benchConfig struct {
+	Service    string `json:"service"`
+	Mode       string `json:"mode"`
+	Clients    int    `json:"clients"`
+	Requests   int    `json:"requests"`
+	Warmup     int    `json:"warmup"`
+	CheckEvery int    `json:"check_every"`
+	Quick      bool   `json:"quick"`
+}
+
+// runBenchJSON drives the audited Git deployment (disk mode: every append
+// pays the hash chain, signature, fsync and ROTE anchor) twice — telemetry
+// off, then on — and writes the enabled run's metric snapshot plus the
+// throughput comparison to path.
+func runBenchJSON(path string, q bool) error {
+	cfg := benchConfig{
+		Service:    "git",
+		Mode:       bench.ModeDisk.String(),
+		Clients:    4,
+		Requests:   scale(q, 240),
+		Warmup:     8,
+		CheckEvery: 20,
+		Quick:      q,
+	}
+
+	run := func() (bench.Result, error) {
+		st, err := bench.NewGitStack(bench.StackOptions{
+			Mode: bench.ModeDisk, Cost: cost(), CheckEvery: cfg.CheckEvery,
+		}, 500*time.Microsecond)
+		if err != nil {
+			return bench.Result{}, err
+		}
+		defer st.Close()
+		return bench.Load{
+			Clients:    cfg.Clients,
+			Requests:   cfg.Requests,
+			Warmup:     cfg.Warmup,
+			MakeClient: func(int) *bench.Client { return st.NewClient(true) },
+			MakeRequest: func(worker, seq int) *httpparse.Request {
+				repo := fmt.Sprintf("repo%d", worker)
+				if seq%10 == 9 {
+					return httpparse.NewRequest("GET", "/git/"+repo+"/info/refs", nil)
+				}
+				return httpparse.NewRequest("POST", "/git/"+repo+"/git-receive-pack",
+					[]byte(fmt.Sprintf("update main c%d", seq)))
+			},
+			Validate: status200,
+		}.Run()
+	}
+
+	// Baseline: identical workload with every metric update disabled.
+	telemetry.SetEnabled(false)
+	resOff, err := run()
+	if err != nil {
+		telemetry.SetEnabled(true)
+		return err
+	}
+
+	// Measured run: telemetry on, counters zeroed so the snapshot covers
+	// exactly this run.
+	telemetry.SetEnabled(true)
+	telemetry.Reset()
+	resOn, err := run()
+	if err != nil {
+		return err
+	}
+
+	report := benchReport{
+		Bench:            "pr3-telemetry",
+		Config:           cfg,
+		Metrics:          make(map[string]float64),
+		Units:            make(map[string]string),
+		ThroughputOffRPS: resOff.Throughput,
+		ThroughputOnRPS:  resOn.Throughput,
+	}
+	if resOff.Throughput > 0 {
+		report.OverheadPct = 100 * (resOff.Throughput - resOn.Throughput) / resOff.Throughput
+	}
+	for _, m := range telemetry.Snapshot() {
+		switch m.Type {
+		case "histogram":
+			report.Metrics[m.Name+".count"] = float64(m.Value)
+			report.Units[m.Name+".count"] = "observations"
+			if m.Value > 0 {
+				for suffix, v := range map[string]float64{
+					".mean": m.Mean,
+					".min":  float64(m.Min),
+					".max":  float64(m.Max),
+					".p50":  float64(m.P50),
+					".p95":  float64(m.P95),
+					".p99":  float64(m.P99),
+				} {
+					report.Metrics[m.Name+suffix] = v
+					report.Units[m.Name+suffix] = m.Unit
+				}
+			}
+		default:
+			report.Metrics[m.Name] = float64(m.Value)
+			report.Units[m.Name] = m.Unit
+		}
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("telemetry bench: off %.1f req/s, on %.1f req/s (overhead %.2f%%)\n",
+		resOff.Throughput, resOn.Throughput, report.OverheadPct)
+	fmt.Printf("wrote %s (%d metrics)\n", path, len(report.Metrics))
+	return nil
+}

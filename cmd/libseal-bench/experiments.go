@@ -28,6 +28,16 @@ import (
 
 func cost() enclave.CostModel { return libseal.DefaultCostModel() }
 
+// moduleFor resolves a service module through the public registry. The names
+// come from the static experiment tables, so a miss is a programming error.
+func moduleFor(name string) libseal.Module {
+	m, err := libseal.ModuleByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
 func status200(rsp *httpparse.Response) error {
 	if rsp.Status != 200 {
 		return fmt.Errorf("status %d", rsp.Status)
@@ -274,9 +284,9 @@ func runFig6(q bool) error {
 		name string
 		mk   func() (*bench.LogFiller, error)
 	}{
-		{"git", func() (*bench.LogFiller, error) { return bench.NewGitFiller(libseal.GitModule()) }},
-		{"owncloud", func() (*bench.LogFiller, error) { return bench.NewOwnCloudFiller(libseal.OwnCloudModule()) }},
-		{"dropbox", func() (*bench.LogFiller, error) { return bench.NewDropboxFiller(libseal.DropboxModule()) }},
+		{"git", func() (*bench.LogFiller, error) { return bench.NewGitFiller(moduleFor("git")) }},
+		{"owncloud", func() (*bench.LogFiller, error) { return bench.NewOwnCloudFiller(moduleFor("owncloud")) }},
+		{"dropbox", func() (*bench.LogFiller, error) { return bench.NewDropboxFiller(moduleFor("dropbox")) }},
 	}
 	intervals := []int{25, 50, 75, 100, 150, 225, 300}
 	if q {
@@ -591,9 +601,9 @@ func runSec65(bool) error {
 		mk   func() (*bench.LogFiller, error)
 		unit string
 	}{
-		{"git", func() (*bench.LogFiller, error) { return bench.NewGitFiller(libseal.GitModule()) }, "bytes per branch pointer"},
-		{"owncloud", func() (*bench.LogFiller, error) { return bench.NewOwnCloudFiller(libseal.OwnCloudModule()) }, "bytes per retained update"},
-		{"dropbox", func() (*bench.LogFiller, error) { return bench.NewDropboxFiller(libseal.DropboxModule()) }, "bytes per live file"},
+		{"git", func() (*bench.LogFiller, error) { return bench.NewGitFiller(moduleFor("git")) }, "bytes per branch pointer"},
+		{"owncloud", func() (*bench.LogFiller, error) { return bench.NewOwnCloudFiller(moduleFor("owncloud")) }, "bytes per retained update"},
+		{"dropbox", func() (*bench.LogFiller, error) { return bench.NewDropboxFiller(moduleFor("dropbox")) }, "bytes per live file"},
 	}
 	for _, c := range cases {
 		filler, err := c.mk()
@@ -729,7 +739,7 @@ func runMessagingDetect() error {
 	for _, c := range cases {
 		svc := messaging.NewServer()
 		st, err := bench.NewCustomStack(bench.StackOptions{Mode: bench.ModeMem},
-			libseal.MessagingModule(), svc.Handler())
+			moduleFor("messaging"), svc.Handler())
 		if err != nil {
 			return err
 		}

@@ -8,6 +8,7 @@
 //	libseal-bench -experiment fig5a
 //	libseal-bench -experiment all -quick
 //	libseal-bench -list
+//	libseal-bench -json BENCH_pr3.json
 package main
 
 import (
@@ -45,7 +46,16 @@ func main() {
 	id := flag.String("experiment", "", "experiment id (or 'all')")
 	list := flag.Bool("list", false, "list available experiments")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast pass")
+	jsonOut := flag.String("json", "", "run the telemetry bench pipeline and write machine-readable results to this file")
 	flag.Parse()
+
+	if *jsonOut != "" {
+		if err := runBenchJSON(*jsonOut, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "libseal-bench: json: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list || *id == "" {
 		fmt.Println("available experiments:")

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -32,8 +33,19 @@ import (
 	"libseal/internal/services/messaging"
 	"libseal/internal/services/owncloud"
 	"libseal/internal/sqldb"
+	"libseal/internal/telemetry"
 	"libseal/internal/tlsterm"
 )
+
+// serviceHandlers maps service names to their simulated backends. Module
+// resolution itself lives in libseal.ModuleByName; only the handlers are
+// binary-specific.
+var serviceHandlers = map[string]func() apache.Handler{
+	"git":       func() apache.Handler { return gitserver.NewServer().Handler() },
+	"owncloud":  func() apache.Handler { return owncloud.NewServer().Handler() },
+	"dropbox":   func() apache.Handler { return dropbox.NewServer().Handler() },
+	"messaging": func() apache.Handler { return messaging.NewServer().Handler() },
+}
 
 func main() {
 	listen := flag.String("listen", ":8443", "TCP listen address")
@@ -46,25 +58,26 @@ func main() {
 	degradedLimit := flag.Int("degraded-limit", 64, "appends buffered under a stale counter anchor while the counter quorum is unreachable (0 = fail writes instead)")
 	anchorTimeout := flag.Duration("anchor-timeout", 2*time.Second, "bound on each rollback-counter operation on the request path")
 	recoverMaxLag := flag.Uint64("recover-max-lag", 1, "counter lag tolerated when resuming with -recover (a crash between increment and flush leaves lag 1)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty = off)")
 	flag.Parse()
 
-	var module libseal.Module
-	var handler apache.Handler
-	switch *service {
-	case "git":
-		module = libseal.GitModule()
-		handler = gitserver.NewServer().Handler()
-	case "owncloud":
-		module = libseal.OwnCloudModule()
-		handler = owncloud.NewServer().Handler()
-	case "dropbox":
-		module = libseal.DropboxModule()
-		handler = dropbox.NewServer().Handler()
-	case "messaging":
-		module = libseal.MessagingModule()
-		handler = messaging.NewServer().Handler()
-	default:
-		log.Fatalf("unknown service %q", *service)
+	module, err := libseal.ModuleByName(*service)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mkHandler, ok := serviceHandlers[*service]
+	if !ok {
+		log.Fatalf("no handler for service %q", *service)
+	}
+	handler := mkHandler()
+
+	if *metricsAddr != "" {
+		go func() {
+			log.Printf("telemetry on http://%s/metrics (pprof under /debug/pprof/)", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, telemetry.NewServeMux()); err != nil {
+				log.Printf("telemetry endpoint: %v", err)
+			}
+		}()
 	}
 
 	// Launch the enclave and the call bridge. The platform state persists

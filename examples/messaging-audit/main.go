@@ -20,8 +20,12 @@ import (
 
 func main() {
 	svc := messaging.NewServer()
+	module, err := libseal.ModuleByName("messaging")
+	if err != nil {
+		log.Fatal(err)
+	}
 	stack, err := bench.NewCustomStack(bench.StackOptions{Mode: bench.ModeMem},
-		libseal.MessagingModule(), svc.Handler())
+		module, svc.Handler())
 	if err != nil {
 		log.Fatal(err)
 	}

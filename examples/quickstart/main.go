@@ -40,9 +40,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	module, err := libseal.ModuleByName("git")
+	if err != nil {
+		log.Fatal(err)
+	}
 	seal, err := libseal.New(bridge, libseal.Config{
 		TLS:    libseal.TLSConfig{Cert: certs.Cert, Key: certs.Key, Opts: libseal.AllOptimizations()},
-		Module: libseal.GitModule(),
+		Module: module,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -27,6 +27,15 @@ import (
 
 	"libseal/internal/enclave"
 	"libseal/internal/lthread"
+	"libseal/internal/telemetry"
+)
+
+// Bridge telemetry: the sync/async split reproduces Table 2's comparison,
+// and queue depth shows how far ahead of the schedulers callers run.
+var (
+	mSyncCalls  = telemetry.NewCounter("asyncall.sync_calls", "calls")
+	mAsyncCalls = telemetry.NewCounter("asyncall.async_calls", "calls")
+	mQueueDepth = telemetry.NewGauge("asyncall.queue_depth", "slots")
 )
 
 // Mode selects how calls cross the enclave boundary.
@@ -171,11 +180,13 @@ func (b *Bridge) Call(fn func(*Env) error) error {
 		return ErrClosed
 	}
 	if b.cfg.Mode == ModeSync {
+		mSyncCalls.Inc()
 		return b.encl.Ecall(func(ctx *enclave.Ctx) error {
 			env := &Env{Ctx: ctx, ocall: ctx.Ocall}
 			return fn(env)
 		})
 	}
+	mAsyncCalls.Inc()
 	s := <-b.free
 	b.inUse.Add(1)
 	defer func() {
@@ -191,6 +202,7 @@ func (b *Bridge) Call(fn func(*Env) error) error {
 	b.encl.NoteAsyncEcall()
 	select {
 	case b.pend <- s:
+		mQueueDepth.Add(1)
 	case <-b.quit:
 		return ErrClosed
 	}
@@ -225,6 +237,7 @@ func (b *Bridge) dispatch(ctx *enclave.Ctx, sched *lthread.Scheduler) {
 		case <-b.quit:
 			return
 		case s := <-b.pend:
+			mQueueDepth.Add(-1)
 			if err := sched.Submit(func(task *lthread.Task) {
 				b.runEcall(ctx, s, task)
 			}); err != nil {

@@ -26,7 +26,23 @@ import (
 	"libseal/internal/asyncall"
 	"libseal/internal/enclave"
 	"libseal/internal/sqldb"
+	"libseal/internal/telemetry"
 	"libseal/internal/vfs"
+)
+
+// Audit-log telemetry: append/trim latency dominates the request-path
+// overhead (§7.2), chain length tracks log growth between trims, and the
+// degraded-mode series records how often the counter quorum dropped out and
+// how many anchor gaps the log carries.
+var (
+	mAppends          = telemetry.NewCounter("audit.appends", "calls")
+	mTrims            = telemetry.NewCounter("audit.trims", "calls")
+	mAppendLatency    = telemetry.NewHistogram("audit.append.latency", "ns")
+	mTrimLatency      = telemetry.NewHistogram("audit.trim.latency", "ns")
+	mChainLength      = telemetry.NewGauge("audit.chain_length", "entries")
+	mDegradedEpisodes = telemetry.NewCounter("audit.degraded.episodes", "episodes")
+	mDegradedPending  = telemetry.NewGauge("audit.degraded.pending", "appends")
+	mGaps             = telemetry.NewCounter("audit.degraded.gaps", "gaps")
 )
 
 // Errors reported by the audit log.
@@ -232,6 +248,8 @@ func (l *Log) insertStmt(table string, arity int) (*sqldb.Stmt, error) {
 func (l *Log) Append(env *asyncall.Env, table string, vals ...any) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	mAppends.Inc()
+	defer telemetry.ObserveSince(mAppendLatency, "audit.append", time.Now())
 	svals := make([]sqldb.Value, len(vals))
 	for i, v := range vals {
 		sv, err := sqldb.FromGo(v)
@@ -272,6 +290,7 @@ func (l *Log) Append(env *asyncall.Env, table string, vals ...any) error {
 	l.chain = next
 	l.seq++
 	l.heap += int64(len(enc))
+	mChainLength.Set(int64(l.seq))
 	return nil
 }
 
@@ -322,6 +341,8 @@ func (l *Log) anchor() error {
 			// every buffered entry. Flag the closed gap.
 			l.gaps++
 			l.pendingAnchor = 0
+			mGaps.Inc()
+			mDegradedPending.Set(0)
 		}
 		return nil
 	}
@@ -331,7 +352,11 @@ func (l *Log) anchor() error {
 	if l.pendingAnchor >= l.cfg.DegradedLimit {
 		return fmt.Errorf("%w: %d appends pending, last error: %v", ErrDegradedFull, l.pendingAnchor, err)
 	}
+	if l.pendingAnchor == 0 {
+		mDegradedEpisodes.Inc()
+	}
 	l.pendingAnchor++
+	mDegradedPending.Set(int64(l.pendingAnchor))
 	return nil
 }
 
@@ -365,6 +390,8 @@ func (l *Log) Reanchor(env *asyncall.Env) error {
 	l.fileSize += recordSize(sig)
 	l.gaps++
 	l.pendingAnchor = 0
+	mGaps.Inc()
+	mDegradedPending.Set(0)
 	return nil
 }
 
@@ -455,6 +482,8 @@ func (l *Log) Exec(sql string, args ...any) (int, error) {
 func (l *Log) Trim(env *asyncall.Env, queries []string) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	mTrims.Inc()
+	defer telemetry.ObserveSince(mTrimLatency, "audit.trim", time.Now())
 	for _, q := range queries {
 		if _, err := l.db.Exec(q); err != nil {
 			return fmt.Errorf("audit: trimming query %q: %w", q, err)
@@ -489,6 +518,7 @@ func (l *Log) Trim(env *asyncall.Env, queries []string) error {
 		l.heap = retained
 		l.chain = newChain
 		l.seq = newSeq
+		mChainLength.Set(int64(l.seq))
 	}
 	if l.cfg.Mode != ModeDisk {
 		commitMemory()
@@ -577,6 +607,8 @@ func (l *Log) Trim(env *asyncall.Env, queries []string) error {
 		// The fresh anchor covers everything that was buffered.
 		l.gaps++
 		l.pendingAnchor = 0
+		mGaps.Inc()
+		mDegradedPending.Set(0)
 	}
 	return nil
 }

@@ -24,8 +24,16 @@ import (
 	"libseal/internal/httpparse"
 	"libseal/internal/sqldb"
 	"libseal/internal/ssm"
+	"libseal/internal/telemetry"
 	"libseal/internal/tlsterm"
 	"libseal/internal/vfs"
+)
+
+// Invariant-check telemetry: check latency is the paper's headline cost for
+// in-band integrity verification (§7.3).
+var (
+	mChecks       = telemetry.NewCounter("audit.checks", "calls")
+	mCheckLatency = telemetry.NewHistogram("audit.check.latency", "ns")
 )
 
 // Check header names (§5.2, "Result notification").
@@ -432,6 +440,8 @@ func (ls *LibSEAL) runCheckLocked(env *asyncall.Env, clientTriggered bool) strin
 	}
 	ls.lastCheck = now
 	ls.stats.Checks++
+	mChecks.Inc()
+	defer telemetry.ObserveSince(mCheckLatency, "audit.check", now)
 	var violated []string
 	for _, inv := range ls.cfg.Module.Invariants() {
 		res, err := ls.log.Query(inv.SQL)

@@ -18,6 +18,19 @@ import (
 	"math/big"
 	"sync"
 	"sync/atomic"
+
+	"libseal/internal/telemetry"
+)
+
+// Process-wide telemetry for the enclave interface: transition counts feed
+// the §6.8 contention analysis, paging feeds the §2.5 EPC-pressure story.
+var (
+	mTransitions = telemetry.NewCounter("enclave.transitions", "crossings")
+	mEcalls      = telemetry.NewCounter("enclave.ecalls", "calls")
+	mOcalls      = telemetry.NewCounter("enclave.ocalls", "calls")
+	mAsyncEcalls = telemetry.NewCounter("enclave.async_ecalls", "calls")
+	mAsyncOcalls = telemetry.NewCounter("enclave.async_ocalls", "calls")
+	mPagedBytes  = telemetry.NewCounter("enclave.paged_bytes", "bytes")
 )
 
 // Measurement identifies the code and configuration loaded into an enclave
@@ -204,6 +217,7 @@ func (c *Ctx) check() {
 
 // chargeTransition pays for one boundary crossing at current contention.
 func (e *Enclave) chargeTransition() {
+	mTransitions.Inc()
 	n := e.callers.Load()
 	for {
 		m := e.maxCallers.Load()
@@ -253,6 +267,7 @@ func (e *Enclave) TryEcall(fn func(*Ctx) error) error {
 // ecallLocked runs fn holding a TCS slot, charging both crossings.
 func (e *Enclave) ecallLocked(fn func(*Ctx) error) error {
 	e.stats.Ecalls.Add(1)
+	mEcalls.Inc()
 	e.chargeTransition()
 	ctx := Ctx{e: e, valid: true}
 	err := fn(&ctx)
@@ -275,6 +290,7 @@ func (e *Enclave) EnterResident(fn func(*Ctx)) error {
 	e.callers.Add(1)
 	defer e.callers.Add(-1)
 	e.stats.Ecalls.Add(1)
+	mEcalls.Inc()
 	e.chargeTransition()
 	ctx := Ctx{e: e, valid: true}
 	fn(&ctx)
@@ -290,6 +306,7 @@ func (c *Ctx) Ocall(fn func() error) error {
 	c.check()
 	e := c.e
 	e.stats.Ocalls.Add(1)
+	mOcalls.Inc()
 	c.valid = false
 	e.chargeTransition()
 	err := fn()
@@ -302,6 +319,7 @@ func (c *Ctx) Ocall(fn func() error) error {
 // mechanism and charges the slot handoff cost (paid by the caller outside).
 func (e *Enclave) NoteAsyncEcall() {
 	e.stats.AsyncEcalls.Add(1)
+	mAsyncEcalls.Inc()
 	burn(e.cost.AsyncCallCost())
 }
 
@@ -311,6 +329,7 @@ func (e *Enclave) NoteAsyncEcall() {
 // handoff cost.
 func (e *Enclave) NoteAsyncOcall() {
 	e.stats.AsyncOcalls.Add(1)
+	mAsyncOcalls.Inc()
 	burn(e.cost.AsyncCallCost())
 }
 
@@ -327,6 +346,7 @@ func (c *Ctx) Alloc(size int64) error {
 	if over := total - e.cost.EPCBytes; over > 0 && e.cost.EPCBytes > 0 {
 		paged := min64(size, over)
 		e.stats.PagedBytes.Add(paged)
+		mPagedBytes.Add(paged)
 		burn(e.cost.PagingCost(paged))
 	}
 	return nil

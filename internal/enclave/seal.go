@@ -6,6 +6,18 @@ import (
 	"crypto/hmac"
 	"crypto/rand"
 	"crypto/sha256"
+	"time"
+
+	"libseal/internal/telemetry"
+)
+
+// Sealing telemetry: counts and AES-GCM latency for the audit log's
+// persistence path (§6.3).
+var (
+	mSeals         = telemetry.NewCounter("enclave.seals", "calls")
+	mUnseals       = telemetry.NewCounter("enclave.unseals", "calls")
+	mSealLatency   = telemetry.NewHistogram("enclave.seal.latency", "ns")
+	mUnsealLatency = telemetry.NewHistogram("enclave.unseal.latency", "ns")
 )
 
 // SealPolicy selects the identity the sealing key is bound to.
@@ -43,6 +55,8 @@ func (c *Ctx) Seal(policy SealPolicy, plaintext, aad []byte) ([]byte, error) {
 	c.check()
 	e := c.e
 	e.stats.Seals.Add(1)
+	mSeals.Inc()
+	defer telemetry.ObserveSince(mSealLatency, "enclave.seal", time.Now())
 	block, err := aes.NewCipher(e.sealKey(policy))
 	if err != nil {
 		return nil, err
@@ -68,6 +82,8 @@ func (c *Ctx) Unseal(blob, aad []byte) ([]byte, error) {
 	c.check()
 	e := c.e
 	e.stats.Unseals.Add(1)
+	mUnseals.Inc()
+	defer telemetry.ObserveSince(mUnsealLatency, "enclave.unseal", time.Now())
 	if len(blob) < 1 {
 		return nil, ErrSealCorrupted
 	}

@@ -27,6 +27,21 @@ import (
 	mathrand "math/rand"
 	"sync"
 	"time"
+
+	"libseal/internal/telemetry"
+)
+
+// Counter-protocol telemetry: increment round-trip latency sits on the audit
+// append path (every anchor is one increment), so its distribution and the
+// retry/timeout counters explain append tail latency under node faults.
+var (
+	mIncrements       = telemetry.NewCounter("rote.increments", "calls")
+	mReads            = telemetry.NewCounter("rote.reads", "calls")
+	mIncrementLatency = telemetry.NewHistogram("rote.increment.latency", "ns")
+	mReadLatency      = telemetry.NewHistogram("rote.read.latency", "ns")
+	mRoundTrips       = telemetry.NewCounter("rote.round_trips", "broadcasts")
+	mRetries          = telemetry.NewCounter("rote.retries", "attempts")
+	mTimeouts         = telemetry.NewCounter("rote.timeouts", "attempts")
 )
 
 // Errors returned by the group client.
@@ -371,6 +386,8 @@ func (g *Group) Increment(counter string) (uint64, error) {
 // IncrementContext is Increment bounded by a context: cancelling it aborts
 // the quorum wait and any pending retries.
 func (g *Group) IncrementContext(ctx context.Context, counter string) (uint64, error) {
+	mIncrements.Inc()
+	defer telemetry.ObserveSince(mIncrementLatency, "rote.increment", time.Now())
 	g.mu.Lock()
 	next := g.cache[counter] + 1
 	g.cache[counter] = next
@@ -380,6 +397,7 @@ func (g *Group) IncrementContext(ctx context.Context, counter string) (uint64, e
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		actx, cancel := g.attemptCtx(ctx)
+		mRoundTrips.Inc()
 		acks := 0
 		// Re-broadcasting the same value is idempotent: nodes take the max.
 		for _, m := range g.broadcast(actx, g.quorum(), func(c context.Context, n *Node) (message, bool) {
@@ -389,9 +407,13 @@ func (g *Group) IncrementContext(ctx context.Context, counter string) (uint64, e
 				acks++
 			}
 		}
+		timedOut := actx.Err() == context.DeadlineExceeded
 		cancel()
 		if acks >= g.quorum() {
 			return next, nil
+		}
+		if timedOut {
+			mTimeouts.Inc()
 		}
 		lastErr = fmt.Errorf("%w: %d/%d acks for %s=%d", ErrNoQuorum, acks, g.quorum(), counter, next)
 		if err := ctx.Err(); err != nil {
@@ -403,6 +425,7 @@ func (g *Group) IncrementContext(ctx context.Context, counter string) (uint64, e
 		if err := g.backoff(ctx, attempt); err != nil {
 			return 0, fmt.Errorf("%w: %v", ErrNoQuorum, err)
 		}
+		mRetries.Inc()
 	}
 }
 
@@ -414,12 +437,16 @@ func (g *Group) Read(counter string) (uint64, error) {
 
 // ReadContext is Read bounded by a context.
 func (g *Group) ReadContext(ctx context.Context, counter string) (uint64, error) {
+	mReads.Inc()
+	defer telemetry.ObserveSince(mReadLatency, "rote.read", time.Now())
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		actx, cancel := g.attemptCtx(ctx)
+		mRoundTrips.Inc()
 		msgs := g.broadcast(actx, g.quorum(), func(c context.Context, n *Node) (message, bool) {
 			return n.fetch(c, counter)
 		})
+		timedOut := actx.Err() == context.DeadlineExceeded
 		cancel()
 		if len(msgs) >= g.quorum() {
 			var maxVal uint64
@@ -435,6 +462,9 @@ func (g *Group) ReadContext(ctx context.Context, counter string) (uint64, error)
 			g.mu.Unlock()
 			return maxVal, nil
 		}
+		if timedOut {
+			mTimeouts.Inc()
+		}
 		lastErr = fmt.Errorf("%w: %d/%d responses", ErrNoQuorum, len(msgs), g.quorum())
 		if err := ctx.Err(); err != nil {
 			return 0, fmt.Errorf("%w: %v", ErrNoQuorum, err)
@@ -445,6 +475,7 @@ func (g *Group) ReadContext(ctx context.Context, counter string) (uint64, error)
 		if err := g.backoff(ctx, attempt); err != nil {
 			return 0, fmt.Errorf("%w: %v", ErrNoQuorum, err)
 		}
+		mRetries.Inc()
 	}
 }
 

@@ -1,0 +1,39 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns an http.Handler serving the current metrics snapshot as
+// an expvar-style JSON object keyed by metric name. Keys are emitted in
+// sorted order (encoding/json sorts map keys), so the output is
+// deterministic for a given metric state.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		snap := Snapshot()
+		byName := make(map[string]Metric, len(snap))
+		for _, m := range snap {
+			byName[m.Name] = m
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(byName)
+	})
+}
+
+// NewServeMux returns the telemetry endpoint: /metrics serving the JSON
+// snapshot plus the net/http/pprof profiling handlers under /debug/pprof/.
+// cmd/libseal-server exposes it behind the -metrics-addr flag.
+func NewServeMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

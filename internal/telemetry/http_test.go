@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestMetricsHandler(t *testing.T) {
+	c := NewCounter("test.http.counter", "calls")
+	h := NewHistogram("test.http.hist", "ns")
+	c.reset()
+	h.reset()
+	c.Add(42)
+	h.Observe(5 * time.Millisecond)
+
+	rec := httptest.NewRecorder()
+	Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	var body map[string]Metric
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	m, ok := body["test.http.counter"]
+	if !ok || m.Value != 42 || m.Type != "counter" {
+		t.Fatalf("counter entry = %+v, %v", m, ok)
+	}
+	hm, ok := body["test.http.hist"]
+	if !ok || hm.Type != "histogram" || hm.Value != 1 || hm.P50 <= 0 {
+		t.Fatalf("histogram entry = %+v, %v", hm, ok)
+	}
+}
+
+func TestMetricsMuxRoutes(t *testing.T) {
+	mux := NewServeMux()
+	for _, path := range []string{"/metrics", "/debug/pprof/"} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, rec.Code)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// Registered metrics are process-global, so tests use distinct names and
+// reset state where they depend on absolute values.
+
+func TestCounterConcurrent(t *testing.T) {
+	c := NewCounter("test.counter.concurrent", "calls")
+	c.reset()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestGaugePairedAddsBalance(t *testing.T) {
+	g := NewGauge("test.gauge.paired", "slots")
+	g.reset()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge = %d after balanced adds, want 0", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram("test.hist.concurrent", "ns")
+	h.reset()
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(time.Duration(w*perWorker+i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("count = %d, want %d", got, workers*perWorker)
+	}
+	if h.min.Load() != 0 {
+		t.Fatalf("min = %d, want 0", h.min.Load())
+	}
+	wantMax := int64((workers*perWorker - 1) * 1000)
+	if h.max.Load() != wantMax {
+		t.Fatalf("max = %d, want %d", h.max.Load(), wantMax)
+	}
+	// Bucket counts must sum to the observation count.
+	var sum int64
+	for i := range h.buckets {
+		sum += h.buckets[i].Load()
+	}
+	if sum != workers*perWorker {
+		t.Fatalf("bucket sum = %d, want %d", sum, workers*perWorker)
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewHistogram("test.hist.quantile", "ns")
+	h.reset()
+	// Uniform 1..10000 ns: p50 ≈ 5000, p95 ≈ 9500 within the geometry's
+	// 12.5% relative error.
+	for v := 1; v <= 10000; v++ {
+		h.Observe(time.Duration(v))
+	}
+	check := func(q float64, want time.Duration) {
+		got := h.Quantile(q)
+		lo := time.Duration(float64(want) * 0.875)
+		hi := time.Duration(float64(want) * 1.125)
+		if got < lo || got > hi {
+			t.Errorf("q%.2f = %v, want within [%v, %v]", q, got, lo, hi)
+		}
+	}
+	check(0.50, 5000)
+	check(0.95, 9500)
+	check(0.99, 9900)
+}
+
+func TestHistogramEmptyAndNegative(t *testing.T) {
+	h := NewHistogram("test.hist.empty", "ns")
+	h.reset()
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+	h.Observe(-time.Second) // clamped to zero
+	if got := h.Count(); got != 1 {
+		t.Fatalf("count = %d, want 1", got)
+	}
+	if got := h.min.Load(); got != 0 {
+		t.Fatalf("min = %d after negative observe, want 0", got)
+	}
+}
+
+func TestBucketMapping(t *testing.T) {
+	// The bucket function must be monotone and bucketLower must invert it:
+	// bucketLower(i) is the smallest value in bucket i.
+	values := []int64{0, 1, 2, 3, 4, 5, 7, 8, 9, 10, 15, 16, 100, 1 << 20, 1<<40 + 12345, histEmptyMin}
+	prev := -1
+	for _, v := range values {
+		i := bucketIndex(v)
+		if i < prev {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", v, i, prev)
+		}
+		prev = i
+		if lo := bucketLower(i); lo > v {
+			t.Fatalf("bucketLower(%d) = %d > value %d", i, lo, v)
+		}
+		if i+1 < histBuckets {
+			if next := bucketLower(i + 1); next <= v && next > 0 {
+				t.Fatalf("value %d in bucket %d but bucketLower(%d) = %d <= value", v, i, i+1, next)
+			}
+		}
+	}
+}
+
+func TestSetEnabledGatesUpdates(t *testing.T) {
+	c := NewCounter("test.enabled.counter", "calls")
+	h := NewHistogram("test.enabled.hist", "ns")
+	c.reset()
+	h.reset()
+	SetEnabled(false)
+	defer SetEnabled(true)
+	c.Inc()
+	h.Observe(time.Millisecond)
+	if c.Value() != 0 || h.Count() != 0 {
+		t.Fatalf("updates recorded while disabled: counter=%d hist=%d", c.Value(), h.Count())
+	}
+	SetEnabled(true)
+	c.Inc()
+	h.Observe(time.Millisecond)
+	if c.Value() != 1 || h.Count() != 1 {
+		t.Fatalf("updates lost while enabled: counter=%d hist=%d", c.Value(), h.Count())
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	a := NewCounter("test.registry.same", "calls")
+	b := NewCounter("test.registry.same", "calls")
+	if a != b {
+		t.Fatal("re-registering a counter returned a different instance")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering with a different type did not panic")
+		}
+	}()
+	NewGauge("test.registry.same", "calls")
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	NewCounter("test.snap.b", "calls").reset()
+	NewCounter("test.snap.a", "calls").reset()
+	NewHistogram("test.snap.c", "ns").reset()
+	s1 := Snapshot()
+	s2 := Snapshot()
+	if len(s1) != len(s2) {
+		t.Fatalf("snapshot lengths differ: %d vs %d", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("snapshot entry %d differs: %+v vs %+v", i, s1[i], s2[i])
+		}
+		if i > 0 && s1[i-1].Name >= s1[i].Name {
+			t.Fatalf("snapshot not name-sorted: %q before %q", s1[i-1].Name, s1[i].Name)
+		}
+	}
+}
+
+func TestGetAndReset(t *testing.T) {
+	c := NewCounter("test.reset.counter", "calls")
+	c.reset()
+	c.Add(7)
+	m, ok := Get("test.reset.counter")
+	if !ok || m.Value != 7 || m.Type != "counter" || m.Unit != "calls" {
+		t.Fatalf("Get = %+v, %v", m, ok)
+	}
+	Reset()
+	if c.Value() != 0 {
+		t.Fatalf("counter = %d after Reset, want 0", c.Value())
+	}
+	if _, ok := Get("test.reset.missing"); ok {
+		t.Fatal("Get found an unregistered metric")
+	}
+}
+
+func TestTraceHooks(t *testing.T) {
+	var mu sync.Mutex
+	events := map[string]time.Duration{}
+	RegisterTrace("test-hook", func(event string, d time.Duration) {
+		mu.Lock()
+		events[event] = d
+		mu.Unlock()
+	})
+	defer UnregisterTrace("test-hook")
+	Emit("trace.one", 3*time.Millisecond)
+	mu.Lock()
+	got := events["trace.one"]
+	mu.Unlock()
+	if got != 3*time.Millisecond {
+		t.Fatalf("hook saw %v, want 3ms", got)
+	}
+	UnregisterTrace("test-hook")
+	Emit("trace.two", time.Millisecond)
+	mu.Lock()
+	_, saw := events["trace.two"]
+	mu.Unlock()
+	if saw {
+		t.Fatal("hook fired after unregistration")
+	}
+}
+
+func TestObserveSince(t *testing.T) {
+	h := NewHistogram("test.observesince.hist", "ns")
+	h.reset()
+	var mu sync.Mutex
+	var traced time.Duration
+	RegisterTrace("test-os", func(event string, d time.Duration) {
+		if event == "test.op" {
+			mu.Lock()
+			traced = d
+			mu.Unlock()
+		}
+	})
+	defer UnregisterTrace("test-os")
+	ObserveSince(h, "test.op", time.Now().Add(-time.Millisecond))
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if traced < time.Millisecond {
+		t.Fatalf("traced duration %v, want >= 1ms", traced)
+	}
+}

@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceFunc receives one named trace event and its duration. Hooks run
+// synchronously on the instrumented path (inside the enclave call for audit
+// events), so implementations must be fast and must not block.
+type TraceFunc func(event string, d time.Duration)
+
+// traceHooks holds the installed hooks behind an atomic pointer: the hot
+// path pays one load and a nil check when tracing is unused.
+var traceHooks atomic.Pointer[map[string]TraceFunc]
+
+var traceMu sync.Mutex
+
+// RegisterTrace installs a named trace hook observing every emitted event.
+// Re-registering a name replaces the previous hook.
+func RegisterTrace(name string, fn TraceFunc) {
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	next := make(map[string]TraceFunc)
+	if cur := traceHooks.Load(); cur != nil {
+		for k, v := range *cur {
+			next[k] = v
+		}
+	}
+	next[name] = fn
+	traceHooks.Store(&next)
+}
+
+// UnregisterTrace removes a named trace hook.
+func UnregisterTrace(name string) {
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	cur := traceHooks.Load()
+	if cur == nil {
+		return
+	}
+	if _, ok := (*cur)[name]; !ok {
+		return
+	}
+	if len(*cur) == 1 {
+		traceHooks.Store(nil)
+		return
+	}
+	next := make(map[string]TraceFunc, len(*cur)-1)
+	for k, v := range *cur {
+		if k != name {
+			next[k] = v
+		}
+	}
+	traceHooks.Store(&next)
+}
+
+// Emit delivers one trace event to every registered hook. With no hooks
+// installed it is a single atomic load.
+func Emit(event string, d time.Duration) {
+	m := traceHooks.Load()
+	if m == nil {
+		return
+	}
+	for _, fn := range *m {
+		fn(event, d)
+	}
+}
+
+// ObserveSince records the time elapsed since start into h and emits it as
+// a trace event. It is the standard epilogue of an instrumented operation:
+//
+//	start := time.Now()
+//	...
+//	telemetry.ObserveSince(appendLatency, "audit.append", start)
+func ObserveSince(h *Histogram, event string, start time.Time) {
+	d := time.Since(start)
+	h.Observe(d)
+	Emit(event, d)
+}

@@ -18,10 +18,24 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"libseal/internal/asyncall"
 	"libseal/internal/enclave"
 	"libseal/internal/pki"
+	"libseal/internal/telemetry"
+)
+
+// Termination-layer telemetry: handshake latency is the connection-setup
+// cost of moving TLS inside the enclave (§7.1); record/byte counters size
+// the steady-state interception workload.
+var (
+	mHandshakes       = telemetry.NewCounter("tlsterm.handshakes", "handshakes")
+	mHandshakeLatency = telemetry.NewHistogram("tlsterm.handshake.latency", "ns")
+	mRecordsRead      = telemetry.NewCounter("tlsterm.records.read", "records")
+	mRecordsWritten   = telemetry.NewCounter("tlsterm.records.written", "records")
+	mBytesRead        = telemetry.NewCounter("tlsterm.bytes.read", "bytes")
+	mBytesWritten     = telemetry.NewCounter("tlsterm.bytes.written", "bytes")
 )
 
 func cryptoRandRead(b []byte) (int, error) { return rand.Read(b) }
@@ -329,6 +343,7 @@ func (s *SSL) bioWriteFrames(env *asyncall.Env, frames [][]byte) error {
 func (s *SSL) Accept() error {
 	s.readMu.Lock()
 	defer s.readMu.Unlock()
+	hsStart := time.Now()
 	var peer *pki.Certificate
 	err := s.lib.bridge.Call(func(env *asyncall.Env) error {
 		s.fireCallback(env, "accept:start")
@@ -461,6 +476,8 @@ func (s *SSL) Accept() error {
 		return err
 	}
 	// Synchronise the sanitised shadow copy (no key material).
+	mHandshakes.Inc()
+	telemetry.ObserveSince(mHandshakeLatency, "tlsterm.handshake", hsStart)
 	s.shadow.State = "established"
 	s.shadow.Established = true
 	if peer != nil {
@@ -507,6 +524,8 @@ func (s *SSL) Read(p []byte) (int, error) {
 				if err != nil {
 					return err
 				}
+				mRecordsRead.Inc()
+				mBytesRead.Add(int64(len(pt)))
 				if tap := s.lib.cfg.Tap; tap != nil {
 					if _, err := tap.OnData(env, s.id, DirRead, pt); err != nil {
 						return err
@@ -579,6 +598,8 @@ func (s *SSL) Write(p []byte) (int, error) {
 				return err
 			}
 			frames = append(frames, frame)
+			mRecordsWritten.Inc()
+			mBytesWritten.Add(int64(len(chunk)))
 			total += len(chunk)
 			rest = rest[len(chunk):]
 			if !s.lib.cfg.Opts.MemoryPool {

@@ -36,6 +36,12 @@
 package libseal
 
 import (
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+
 	"libseal/internal/asyncall"
 	"libseal/internal/audit"
 	"libseal/internal/core"
@@ -47,6 +53,7 @@ import (
 	"libseal/internal/ssm/gitssm"
 	"libseal/internal/ssm/messagingssm"
 	"libseal/internal/ssm/owncloudssm"
+	"libseal/internal/telemetry"
 	"libseal/internal/tlsterm"
 )
 
@@ -69,6 +76,9 @@ type (
 	Optimizations = tlsterm.Optimizations
 	// SSL is one terminated TLS connection (the OpenSSL SSL* equivalent).
 	SSL = tlsterm.SSL
+	// ClientConn is the client side of a secure channel, as returned by
+	// ConnectTLS.
+	ClientConn = tlsterm.Conn
 
 	// Module is a service-specific module: schema, parser, invariants and
 	// trimming queries for one service.
@@ -111,6 +121,12 @@ type (
 	// FaultInjector applies a scenario to the network, counter-node and
 	// storage seams.
 	FaultInjector = faultinject.Injector
+
+	// Metric is one entry of a telemetry snapshot: a counter, gauge or
+	// latency histogram reading.
+	Metric = telemetry.Metric
+	// TraceFunc receives one named trace event and its duration.
+	TraceFunc = telemetry.TraceFunc
 )
 
 // Audit log modes.
@@ -175,8 +191,60 @@ func DropboxModule() Module { return dropboxssm.New() }
 // misdelivered messages.
 func MessagingModule() Module { return messagingssm.New() }
 
-// NewCounterGroup creates a ROTE counter group tolerating f faulty nodes.
-func NewCounterGroup(f int) (*CounterGroup, error) { return rote.NewGroup(f, 0) }
+// ErrUnknownModule is returned by ModuleByName for a name outside the
+// registry; its message lists the valid names.
+var ErrUnknownModule = errors.New("libseal: unknown service module")
+
+// moduleRegistry maps canonical service names to module constructors. A
+// fresh module is built per call: modules carry per-instance parser state.
+var moduleRegistry = map[string]func() Module{
+	"git":       GitModule,
+	"owncloud":  OwnCloudModule,
+	"dropbox":   DropboxModule,
+	"messaging": MessagingModule,
+}
+
+// ModuleNames returns the registered service-module names in sorted order.
+func ModuleNames() []string {
+	names := make([]string, 0, len(moduleRegistry))
+	for n := range moduleRegistry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ModuleByName builds the service-specific module registered under name
+// ("git", "owncloud", "dropbox" or "messaging"). It is the single place
+// where command-line service names resolve to modules; binaries and
+// examples should use it instead of switching over names themselves.
+func ModuleByName(name string) (Module, error) {
+	mk, ok := moduleRegistry[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (valid: %v)", ErrUnknownModule, name, ModuleNames())
+	}
+	return mk(), nil
+}
+
+// NewCounterGroup creates a ROTE counter group tolerating f faulty nodes,
+// using the default request timeout/retry policy. It is shorthand for
+// NewCounterGroupWith(f, DefaultRetryPolicy()).
+func NewCounterGroup(f int) (*CounterGroup, error) {
+	return NewCounterGroupWith(f, DefaultRetryPolicy())
+}
+
+// NewCounterGroupWith creates a ROTE counter group tolerating f faulty
+// nodes with an explicit request timeout/retry policy, so callers tune
+// quorum behaviour through the public API instead of reaching into the
+// internal rote package.
+func NewCounterGroupWith(f int, policy RetryPolicy) (*CounterGroup, error) {
+	g, err := rote.NewGroup(f, 0)
+	if err != nil {
+		return nil, err
+	}
+	g.SetRetryPolicy(policy)
+	return g, nil
+}
 
 // DefaultRetryPolicy returns the counter group's default request
 // timeout/retry policy.
@@ -189,5 +257,33 @@ func VerifyLogFile(path string, opts VerifyOptions) ([]*LogEntry, error) {
 	return audit.VerifyFile(path, opts)
 }
 
-// ConnectTLS performs the client side of the secure-channel handshake.
-var ConnectTLS = tlsterm.Connect
+// ConnectTLS performs the client side of the secure-channel handshake over
+// conn and returns the established channel. A nil cfg uses defaults
+// (no server-certificate pinning, no client certificate).
+func ConnectTLS(conn net.Conn, cfg *ClientConfig) (*ClientConn, error) {
+	return tlsterm.Connect(conn, cfg)
+}
+
+// MetricsSnapshot returns a copy of every registered telemetry metric,
+// sorted by name. See internal/telemetry for the metric inventory.
+func MetricsSnapshot() []Metric { return telemetry.Snapshot() }
+
+// SetMetricsEnabled turns telemetry recording on (the default) or off
+// process-wide; disabling reduces every metric update to one atomic load.
+func SetMetricsEnabled(on bool) { telemetry.SetEnabled(on) }
+
+// ResetMetrics zeroes every registered metric, e.g. between benchmark
+// phases. Registrations are kept.
+func ResetMetrics() { telemetry.Reset() }
+
+// MetricsHandler returns an http.Handler serving the current metrics
+// snapshot as an expvar-style JSON object keyed by metric name.
+func MetricsHandler() http.Handler { return telemetry.Handler() }
+
+// RegisterTrace installs a named hook observing every trace event emitted
+// by the instrumented hot paths (audit.append, rote.increment, ...). Hooks
+// run synchronously on those paths and must not block.
+func RegisterTrace(name string, fn TraceFunc) { telemetry.RegisterTrace(name, fn) }
+
+// UnregisterTrace removes a named trace hook.
+func UnregisterTrace(name string) { telemetry.UnregisterTrace(name) }

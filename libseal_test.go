@@ -2,8 +2,10 @@ package libseal
 
 import (
 	"bufio"
+	"errors"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -156,4 +158,108 @@ func TestModuleConstructors(t *testing.T) {
 			}
 		}
 	}
+}
+
+func TestModuleByName(t *testing.T) {
+	names := ModuleNames()
+	want := []string{"dropbox", "git", "messaging", "owncloud"}
+	if len(names) != len(want) {
+		t.Fatalf("ModuleNames = %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("ModuleNames = %v, want %v", names, want)
+		}
+	}
+	for _, n := range names {
+		m, err := ModuleByName(n)
+		if err != nil {
+			t.Fatalf("ModuleByName(%q): %v", n, err)
+		}
+		if m.Name() == "" || m.Schema() == "" {
+			t.Fatalf("module %q incomplete", n)
+		}
+	}
+	if _, err := ModuleByName("nope"); !errors.Is(err, ErrUnknownModule) {
+		t.Fatalf("unknown module error = %v, want ErrUnknownModule", err)
+	}
+}
+
+func TestNewCounterGroupWith(t *testing.T) {
+	policy := DefaultRetryPolicy()
+	policy.Retries = 0
+	policy.Timeout = 50 * time.Millisecond
+	group, err := NewCounterGroupWith(1, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := group.Increment("c")
+	if err != nil || v != 1 {
+		t.Fatalf("Increment = %d, %v", v, err)
+	}
+	// The old signature stays a thin wrapper over the default policy.
+	legacy, err := NewCounterGroup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := legacy.Increment("c"); err != nil || v != 1 {
+		t.Fatalf("legacy Increment = %d, %v", v, err)
+	}
+}
+
+func TestMetricsSurface(t *testing.T) {
+	ResetMetrics()
+	group, err := NewCounterGroup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	events := 0
+	RegisterTrace("test-surface", func(event string, d time.Duration) {
+		if event == "rote.increment" {
+			mu.Lock()
+			events++
+			mu.Unlock()
+		}
+	})
+	defer UnregisterTrace("test-surface")
+	if _, err := group.Increment("c"); err != nil {
+		t.Fatal(err)
+	}
+	snap := MetricsSnapshot()
+	byName := make(map[string]Metric, len(snap))
+	for _, m := range snap {
+		byName[m.Name] = m
+	}
+	if m := byName["rote.increments"]; m.Value != 1 {
+		t.Fatalf("rote.increments = %+v", m)
+	}
+	if m := byName["rote.increment.latency"]; m.Value != 1 || m.P50 <= 0 {
+		t.Fatalf("rote.increment.latency = %+v", m)
+	}
+	mu.Lock()
+	got := events
+	mu.Unlock()
+	if got != 1 {
+		t.Fatalf("trace events = %d, want 1", got)
+	}
+
+	// SetMetricsEnabled(false) freezes the counters.
+	SetMetricsEnabled(false)
+	if _, err := group.Increment("c"); err != nil {
+		t.Fatal(err)
+	}
+	SetMetricsEnabled(true)
+	if m, _ := findMetric("rote.increments"); m.Value != 1 {
+		t.Fatalf("rote.increments moved while disabled: %+v", m)
+	}
+}
+
+func findMetric(name string) (Metric, bool) {
+	for _, m := range MetricsSnapshot() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Metric{}, false
 }
