@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check bench bench-json clean
+.PHONY: all build test check bench bench-json bench-compare clean
 
 all: build
 
@@ -20,10 +20,17 @@ check:
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=2x ./...
 
-# Machine-readable bench: runs the audited Git workload with telemetry off
-# and on, and writes the metric snapshot plus the overhead comparison.
+# Machine-readable bench: sweeps the audited Git workload over
+# {batch off/on} x {sync/async bridge} x {1,4,16 clients}, verifies every
+# log produced, and writes per-run throughput, append latency quantiles and
+# fsync/signature/counter costs per request.
 bench-json:
-	$(GO) run ./cmd/libseal-bench -json BENCH_pr3.json
+	$(GO) run ./cmd/libseal-bench -json BENCH_pr4.json
+
+# Same sweep, but quick (smaller request budget): prints the batching
+# off/on delta table per bridge mode and client count.
+bench-compare:
+	$(GO) run ./cmd/libseal-bench -json /tmp/libseal-bench-compare.json -quick
 
 clean:
 	$(GO) clean ./...

@@ -4,130 +4,127 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
+	"libseal/internal/asyncall"
+	"libseal/internal/audit"
 	"libseal/internal/bench"
 	"libseal/internal/httpparse"
 	"libseal/internal/telemetry"
 )
 
-// benchReport is the machine-readable result of the telemetry pipeline. One
-// file per PR (BENCH_pr<N>.json) gives the repo a comparable perf trajectory:
-// every entry in Metrics carries its unit in Units, and the off/on throughput
-// pair bounds the instrumentation's own overhead.
+// pr3BaselineRPS is the audited disk-mode throughput recorded in
+// BENCH_pr3.json (4 clients, sync bridge, no batching) — the reference the
+// group-commit sweep is compared against.
+const pr3BaselineRPS = 710.0
+
+// benchReport is the machine-readable result of the group-commit sweep:
+// {batch off/on} × {sync/async bridge} × clients {1,4,16} over the audited
+// Git deployment in disk mode. Each run records throughput, append latency
+// quantiles and the absolute and per-request counts of the three costs group
+// commit amortises (fsyncs, signatures, counter increments), plus a strict
+// client-side verification of the log the run produced.
 type benchReport struct {
-	Bench   string             `json:"bench"`
-	Config  benchConfig        `json:"config"`
-	Metrics map[string]float64 `json:"metrics"`
-	Units   map[string]string  `json:"units"`
-	// Throughput of the identical workload with telemetry disabled/enabled
-	// (requests per second), and the relative cost of observation.
-	ThroughputOffRPS float64 `json:"throughput_off_rps"`
-	ThroughputOnRPS  float64 `json:"throughput_on_rps"`
-	OverheadPct      float64 `json:"overhead_pct"`
+	Bench   string      `json:"bench"`
+	Config  sweepConfig `json:"config"`
+	Runs    []sweepRun  `json:"runs"`
+	Summary summary     `json:"summary"`
 }
 
-type benchConfig struct {
-	Service    string `json:"service"`
-	Mode       string `json:"mode"`
-	Clients    int    `json:"clients"`
-	Requests   int    `json:"requests"`
-	Warmup     int    `json:"warmup"`
-	CheckEvery int    `json:"check_every"`
-	Quick      bool   `json:"quick"`
+type sweepConfig struct {
+	Service      string  `json:"service"`
+	Mode         string  `json:"mode"`
+	Requests     int     `json:"requests"`
+	Warmup       int     `json:"warmup"`
+	CheckEvery   int     `json:"check_every"`
+	BatchMax     int     `json:"batch_max"`
+	BatchDelayUS int     `json:"batch_delay_us"`
+	Quick        bool    `json:"quick"`
+	BaselinePR3  float64 `json:"baseline_pr3_rps"`
 }
 
-// runBenchJSON drives the audited Git deployment (disk mode: every append
-// pays the hash chain, signature, fsync and ROTE anchor) twice — telemetry
-// off, then on — and writes the enabled run's metric snapshot plus the
-// throughput comparison to path.
+type sweepRun struct {
+	Batch    bool   `json:"batch"`
+	CallMode string `json:"call_mode"`
+	Clients  int    `json:"clients"`
+
+	ThroughputRPS float64 `json:"throughput_rps"`
+	AppendP50NS   int64   `json:"append_p50_ns"`
+	AppendP95NS   int64   `json:"append_p95_ns"`
+	AppendP99NS   int64   `json:"append_p99_ns"`
+
+	Fsyncs            int64 `json:"fsyncs"`
+	Signatures        int64 `json:"signatures"`
+	CounterIncrements int64 `json:"counter_increments"`
+	SyncCalls         int64 `json:"sync_calls"`
+	AsyncCalls        int64 `json:"async_calls"`
+	BatchCommits      int64 `json:"batch_commits"`
+
+	FsyncsPerReq     float64 `json:"fsyncs_per_req"`
+	SignaturesPerReq float64 `json:"signatures_per_req"`
+	IncrementsPerReq float64 `json:"increments_per_req"`
+	BatchSizeMean    float64 `json:"batch_size_mean"`
+
+	VerifyOK        bool `json:"verify_ok"`
+	VerifiedEntries int  `json:"verified_entries"`
+}
+
+// summary compares batching off/on at the largest client count, per bridge
+// mode: the acceptance bar is a >= 4x reduction in fsyncs and signatures per
+// request and a throughput improvement over the PR 3 baseline.
+type summary struct {
+	Clients               int     `json:"clients"`
+	SyncFsyncReduction    float64 `json:"sync_fsync_reduction"`
+	SyncSigReduction      float64 `json:"sync_signature_reduction"`
+	SyncCounterReduction  float64 `json:"sync_counter_reduction"`
+	SyncSpeedup           float64 `json:"sync_speedup"`
+	AsyncFsyncReduction   float64 `json:"async_fsync_reduction"`
+	AsyncSigReduction     float64 `json:"async_signature_reduction"`
+	AsyncCounterReduction float64 `json:"async_counter_reduction"`
+	AsyncSpeedup          float64 `json:"async_speedup"`
+	BestBatchedRPS        float64 `json:"best_batched_rps"`
+	VsPR3Baseline         float64 `json:"best_batched_vs_pr3_baseline"`
+}
+
+// runBenchJSON sweeps the audited Git deployment (disk mode: hash chain,
+// signature, fsync and ROTE anchor on the append path) over batch off/on,
+// sync/async enclave transitions and 1/4/16 clients, verifies every log it
+// wrote, and writes the machine-readable report to path.
 func runBenchJSON(path string, q bool) error {
-	cfg := benchConfig{
-		Service:    "git",
-		Mode:       bench.ModeDisk.String(),
-		Clients:    4,
-		Requests:   scale(q, 240),
-		Warmup:     8,
-		CheckEvery: 20,
-		Quick:      q,
+	cfg := sweepConfig{
+		Service:      "git",
+		Mode:         bench.ModeDisk.String(),
+		Requests:     scale(q, 480),
+		Warmup:       16,
+		CheckEvery:   20,
+		BatchMax:     16,
+		BatchDelayUS: 750,
+		Quick:        q,
+		BaselinePR3:  pr3BaselineRPS,
 	}
+	report := benchReport{Bench: "pr4-group-commit", Config: cfg}
 
-	run := func() (bench.Result, error) {
-		st, err := bench.NewGitStack(bench.StackOptions{
-			Mode: bench.ModeDisk, Cost: cost(), CheckEvery: cfg.CheckEvery,
-		}, 500*time.Microsecond)
-		if err != nil {
-			return bench.Result{}, err
-		}
-		defer st.Close()
-		return bench.Load{
-			Clients:    cfg.Clients,
-			Requests:   cfg.Requests,
-			Warmup:     cfg.Warmup,
-			MakeClient: func(int) *bench.Client { return st.NewClient(true) },
-			MakeRequest: func(worker, seq int) *httpparse.Request {
-				repo := fmt.Sprintf("repo%d", worker)
-				if seq%10 == 9 {
-					return httpparse.NewRequest("GET", "/git/"+repo+"/info/refs", nil)
+	for _, batch := range []bool{false, true} {
+		for _, mode := range []asyncall.Mode{asyncall.ModeSync, asyncall.ModeAsync} {
+			for _, clients := range []int{1, 4, 16} {
+				run, err := sweepOne(cfg, batch, mode, clients)
+				if err != nil {
+					return fmt.Errorf("batch=%v mode=%s clients=%d: %w", batch, mode, clients, err)
 				}
-				return httpparse.NewRequest("POST", "/git/"+repo+"/git-receive-pack",
-					[]byte(fmt.Sprintf("update main c%d", seq)))
-			},
-			Validate: status200,
-		}.Run()
-	}
-
-	// Baseline: identical workload with every metric update disabled.
-	telemetry.SetEnabled(false)
-	resOff, err := run()
-	if err != nil {
-		telemetry.SetEnabled(true)
-		return err
-	}
-
-	// Measured run: telemetry on, counters zeroed so the snapshot covers
-	// exactly this run.
-	telemetry.SetEnabled(true)
-	telemetry.Reset()
-	resOn, err := run()
-	if err != nil {
-		return err
-	}
-
-	report := benchReport{
-		Bench:            "pr3-telemetry",
-		Config:           cfg,
-		Metrics:          make(map[string]float64),
-		Units:            make(map[string]string),
-		ThroughputOffRPS: resOff.Throughput,
-		ThroughputOnRPS:  resOn.Throughput,
-	}
-	if resOff.Throughput > 0 {
-		report.OverheadPct = 100 * (resOff.Throughput - resOn.Throughput) / resOff.Throughput
-	}
-	for _, m := range telemetry.Snapshot() {
-		switch m.Type {
-		case "histogram":
-			report.Metrics[m.Name+".count"] = float64(m.Value)
-			report.Units[m.Name+".count"] = "observations"
-			if m.Value > 0 {
-				for suffix, v := range map[string]float64{
-					".mean": m.Mean,
-					".min":  float64(m.Min),
-					".max":  float64(m.Max),
-					".p50":  float64(m.P50),
-					".p95":  float64(m.P95),
-					".p99":  float64(m.P99),
-				} {
-					report.Metrics[m.Name+suffix] = v
-					report.Units[m.Name+suffix] = m.Unit
-				}
+				report.Runs = append(report.Runs, run)
+				fmt.Printf("batch=%-5v bridge=%-5s clients=%-2d  %8.1f req/s  p95 %6s  fsync/req %.3f  sig/req %.3f  anchor/req %.3f\n",
+					batch, mode, clients, run.ThroughputRPS,
+					time.Duration(run.AppendP95NS).Round(time.Microsecond),
+					run.FsyncsPerReq, run.SignaturesPerReq, run.IncrementsPerReq)
 			}
-		default:
-			report.Metrics[m.Name] = float64(m.Value)
-			report.Units[m.Name] = m.Unit
 		}
 	}
+
+	report.Summary = summarize(report.Runs)
+	printDeltaTable(report.Runs)
+	fmt.Printf("\nbest batched throughput: %.1f req/s (%.2fx the PR 3 baseline of %.0f req/s)\n",
+		report.Summary.BestBatchedRPS, report.Summary.VsPR3Baseline, pr3BaselineRPS)
 
 	out, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -137,8 +134,171 @@ func runBenchJSON(path string, q bool) error {
 	if err := os.WriteFile(path, out, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("telemetry bench: off %.1f req/s, on %.1f req/s (overhead %.2f%%)\n",
-		resOff.Throughput, resOn.Throughput, report.OverheadPct)
-	fmt.Printf("wrote %s (%d metrics)\n", path, len(report.Metrics))
+	fmt.Printf("wrote %s (%d runs)\n", path, len(report.Runs))
 	return nil
+}
+
+// sweepOne executes one cell of the sweep and verifies the log it produced.
+func sweepOne(cfg sweepConfig, batch bool, mode asyncall.Mode, clients int) (sweepRun, error) {
+	run := sweepRun{Batch: batch, CallMode: mode.String(), Clients: clients}
+
+	dir, err := os.MkdirTemp("", "libseal-bench-*")
+	if err != nil {
+		return run, err
+	}
+	defer os.RemoveAll(dir)
+
+	opts := bench.StackOptions{
+		Mode:       bench.ModeDisk,
+		Cost:       cost(),
+		CallMode:   mode,
+		CheckEvery: cfg.CheckEvery,
+		AuditDir:   dir,
+	}
+	if batch {
+		opts.AuditBatchMax = cfg.BatchMax
+		opts.AuditBatchDelay = time.Duration(cfg.BatchDelayUS) * time.Microsecond
+	}
+	st, err := bench.NewGitStack(opts, 500*time.Microsecond)
+	if err != nil {
+		return run, err
+	}
+	pub := st.Enclave.PublicKey()
+	group := st.Group
+
+	telemetry.Reset()
+	res, err := bench.Load{
+		Clients:    clients,
+		Requests:   cfg.Requests,
+		Warmup:     cfg.Warmup,
+		MakeClient: func(int) *bench.Client { return st.NewClient(true) },
+		MakeRequest: func(worker, seq int) *httpparse.Request {
+			repo := fmt.Sprintf("repo%d", worker)
+			if seq%10 == 9 {
+				return httpparse.NewRequest("GET", "/git/"+repo+"/info/refs", nil)
+			}
+			return httpparse.NewRequest("POST", "/git/"+repo+"/git-receive-pack",
+				[]byte(fmt.Sprintf("update main c%d", seq)))
+		},
+		Validate: status200,
+	}.Run()
+	if err != nil {
+		st.Close()
+		return run, err
+	}
+
+	run.ThroughputRPS = res.Throughput
+	if m, ok := telemetry.Get("audit.append.latency"); ok {
+		run.AppendP50NS, run.AppendP95NS, run.AppendP99NS = m.P50, m.P95, m.P99
+	}
+	counter := func(name string) int64 {
+		m, _ := telemetry.Get(name)
+		return m.Value
+	}
+	run.Fsyncs = counter("audit.fsyncs")
+	run.Signatures = counter("audit.signatures")
+	run.CounterIncrements = counter("rote.increments")
+	run.SyncCalls = counter("asyncall.sync_calls")
+	run.AsyncCalls = counter("asyncall.async_calls")
+	run.BatchCommits = counter("audit.batch.commits")
+	if m, ok := telemetry.Get("audit.batch.size"); ok && m.Value > 0 {
+		run.BatchSizeMean = m.Mean
+	}
+	reqs := float64(cfg.Requests)
+	run.FsyncsPerReq = float64(run.Fsyncs) / reqs
+	run.SignaturesPerReq = float64(run.Signatures) / reqs
+	run.IncrementsPerReq = float64(run.CounterIncrements) / reqs
+
+	// Tear the stack down (flushing and closing the log), then verify the
+	// produced file exactly as an auditing client would: strict mode, no
+	// truncation tolerance, counter freshness against the live group.
+	st.Close()
+	entries, err := audit.VerifyFile(filepath.Join(dir, "git.lseal"), audit.VerifyOptions{
+		Pub: pub, Protector: group, Name: "git",
+	})
+	if err != nil {
+		return run, fmt.Errorf("client-side verification of batched log: %w", err)
+	}
+	run.VerifyOK = true
+	run.VerifiedEntries = len(entries)
+	return run, nil
+}
+
+// summarize computes the off/on reduction factors at the largest client
+// count for both bridge modes.
+func summarize(runs []sweepRun) summary {
+	maxClients := 0
+	for _, r := range runs {
+		if r.Clients > maxClients {
+			maxClients = r.Clients
+		}
+	}
+	s := summary{Clients: maxClients}
+	find := func(batch bool, mode string) *sweepRun {
+		for i := range runs {
+			r := &runs[i]
+			if r.Batch == batch && r.CallMode == mode && r.Clients == maxClients {
+				return r
+			}
+		}
+		return nil
+	}
+	ratio := func(off, on float64) float64 {
+		if on <= 0 {
+			return 0
+		}
+		return off / on
+	}
+	if off, on := find(false, "sync"), find(true, "sync"); off != nil && on != nil {
+		s.SyncFsyncReduction = ratio(off.FsyncsPerReq, on.FsyncsPerReq)
+		s.SyncSigReduction = ratio(off.SignaturesPerReq, on.SignaturesPerReq)
+		s.SyncCounterReduction = ratio(off.IncrementsPerReq, on.IncrementsPerReq)
+		s.SyncSpeedup = ratio(on.ThroughputRPS, off.ThroughputRPS)
+	}
+	if off, on := find(false, "async"), find(true, "async"); off != nil && on != nil {
+		s.AsyncFsyncReduction = ratio(off.FsyncsPerReq, on.FsyncsPerReq)
+		s.AsyncSigReduction = ratio(off.SignaturesPerReq, on.SignaturesPerReq)
+		s.AsyncCounterReduction = ratio(off.IncrementsPerReq, on.IncrementsPerReq)
+		s.AsyncSpeedup = ratio(on.ThroughputRPS, off.ThroughputRPS)
+	}
+	for _, r := range runs {
+		if r.Batch && r.ThroughputRPS > s.BestBatchedRPS {
+			s.BestBatchedRPS = r.ThroughputRPS
+		}
+	}
+	s.VsPR3Baseline = s.BestBatchedRPS / pr3BaselineRPS
+	return s
+}
+
+// printDeltaTable prints the off/on comparison per bridge mode and client
+// count (the `make bench-compare` output).
+func printDeltaTable(runs []sweepRun) {
+	find := func(batch bool, mode string, clients int) *sweepRun {
+		for i := range runs {
+			r := &runs[i]
+			if r.Batch == batch && r.CallMode == mode && r.Clients == clients {
+				return r
+			}
+		}
+		return nil
+	}
+	fmt.Printf("\n%-7s %-8s %12s %12s %8s %14s %14s %14s\n",
+		"bridge", "clients", "off req/s", "on req/s", "speedup", "fsync/req", "sig/req", "anchor/req")
+	for _, mode := range []string{"sync", "async"} {
+		for _, clients := range []int{1, 4, 16} {
+			off, on := find(false, mode, clients), find(true, mode, clients)
+			if off == nil || on == nil {
+				continue
+			}
+			speedup := 0.0
+			if off.ThroughputRPS > 0 {
+				speedup = on.ThroughputRPS / off.ThroughputRPS
+			}
+			fmt.Printf("%-7s %-8d %12.1f %12.1f %7.2fx %6.3f->%-6.3f %6.3f->%-6.3f %6.3f->%-6.3f\n",
+				mode, clients, off.ThroughputRPS, on.ThroughputRPS, speedup,
+				off.FsyncsPerReq, on.FsyncsPerReq,
+				off.SignaturesPerReq, on.SignaturesPerReq,
+				off.IncrementsPerReq, on.IncrementsPerReq)
+		}
+	}
 }

@@ -69,6 +69,25 @@ type Env struct {
 // Ocall executes fn outside the enclave and returns its error.
 func (e *Env) Ocall(fn func() error) error { return e.ocall(fn) }
 
+// Lock acquires mu from inside an enclave call without ever blocking an
+// enclave thread. An lthread scheduler runs one task at a time, and a task
+// that blocks on a contended mutex keeps the scheduler's thread — so if the
+// mutex owner is a sibling task parked in an async-ocall, the owner can
+// never resume to unlock: a deadlock the synchronous mode cannot exhibit.
+// Lock therefore takes the mutex directly only when it is free; a contended
+// acquisition runs as an ocall, parking the task (and releasing the enclave
+// thread) until the lock is held. The caller unlocks mu normally —
+// sync.Mutex is explicitly not goroutine-affine.
+func Lock(env *Env, mu *sync.Mutex) {
+	if mu.TryLock() {
+		return
+	}
+	env.Ocall(func() error {
+		mu.Lock()
+		return nil
+	})
+}
+
 // Config sizes the bridge. The zero value of any field picks a default.
 type Config struct {
 	Mode Mode

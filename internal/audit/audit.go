@@ -1,10 +1,25 @@
 // Package audit implements LibSEAL's tamper-evident relational audit log
 // (§5.1). Tuples extracted by service-specific modules are inserted into an
 // embedded in-enclave database and, in disk mode, serialised to untrusted
-// persistent storage protected by a hash chain, per-append ECDSA signatures
-// produced inside the enclave, and a distributed monotonic counter that
-// defeats rollback attacks. Trimming queries prune entries no longer needed
-// by the invariants; the chain is recomputed over the surviving tuples.
+// persistent storage protected by a hash chain, enclave-produced ECDSA
+// signatures and a distributed monotonic counter that defeats rollback
+// attacks. Trimming queries prune entries no longer needed by the
+// invariants; the chain is recomputed over the surviving tuples.
+//
+// # Group commit
+//
+// Writing a signature record and flushing after every entry is the
+// durability-conservative default; §5.1 observes that signatures and flushes
+// amortise over batches without weakening the rollback guarantee, because
+// the counter anchors the batch, not the entry. With Config.BatchMax > 1 the
+// log therefore group-commits: concurrent appends stage entries into the
+// open batch, and the batch commits as entries… + one signature record + one
+// fsync + one counter increment. The first stager of a batch is its leader
+// and performs the commit with its own enclave context; followers park until
+// the batch is durable. Batches commit strictly in staging (turn) order so
+// the on-disk record stream always matches the hash chain. Append returns
+// only once its batch is durable, and the published chain head advances only
+// post-durability, exactly as in the entry-at-a-time mode.
 package audit
 
 import (
@@ -31,11 +46,13 @@ import (
 )
 
 // Audit-log telemetry: append/trim latency dominates the request-path
-// overhead (§7.2), chain length tracks log growth between trims, and the
-// degraded-mode series records how often the counter quorum dropped out and
-// how many anchor gaps the log carries.
+// overhead (§7.2), chain length tracks log growth between trims, the
+// degraded-mode series records how often the counter quorum dropped out,
+// and the batch series shows how far group commit amortises the per-entry
+// signature, fsync and counter costs.
 var (
 	mAppends          = telemetry.NewCounter("audit.appends", "calls")
+	mAppendErrors     = telemetry.NewCounter("audit.append.errors", "calls")
 	mTrims            = telemetry.NewCounter("audit.trims", "calls")
 	mAppendLatency    = telemetry.NewHistogram("audit.append.latency", "ns")
 	mTrimLatency      = telemetry.NewHistogram("audit.trim.latency", "ns")
@@ -43,6 +60,14 @@ var (
 	mDegradedEpisodes = telemetry.NewCounter("audit.degraded.episodes", "episodes")
 	mDegradedPending  = telemetry.NewGauge("audit.degraded.pending", "appends")
 	mGaps             = telemetry.NewCounter("audit.degraded.gaps", "gaps")
+	mFsyncs           = telemetry.NewCounter("audit.fsyncs", "calls")
+	mSignatures       = telemetry.NewCounter("audit.signatures", "calls")
+	mBatchCommits     = telemetry.NewCounter("audit.batch.commits", "batches")
+	mBatchAborts      = telemetry.NewCounter("audit.batch.aborts", "batches")
+	mBatchSize        = telemetry.NewHistogram("audit.batch.size", "entries")
+	mFlushFull        = telemetry.NewCounter("audit.batch.flush.full", "batches")
+	mFlushDelay       = telemetry.NewCounter("audit.batch.flush.delay", "batches")
+	mFlushIdle        = telemetry.NewCounter("audit.batch.flush.idle", "batches")
 )
 
 // Errors reported by the audit log.
@@ -52,6 +77,12 @@ var (
 	// ErrDegradedFull is returned by Append when the counter quorum is
 	// unreachable and the degraded-mode buffer is exhausted.
 	ErrDegradedFull = errors.New("audit: degraded-mode buffer full (counter quorum unreachable)")
+	// ErrClosed is returned by Append/Stage after Close.
+	ErrClosed = errors.New("audit: log closed")
+	// ErrBatchAborted is returned by appends whose batch never committed
+	// because an earlier batch's commit failed: their entries chain off a
+	// head that never became durable.
+	ErrBatchAborted = errors.New("audit: batch aborted (earlier commit failed)")
 )
 
 // Mode selects where the log lives.
@@ -108,7 +139,9 @@ type Config struct {
 	// chained and signed — but anchored at the last reachable counter
 	// value. The log re-anchors (one fresh increment covers the whole
 	// chain) as soon as the quorum answers again, and the gap is flagged
-	// in Status. Zero means an unreachable quorum fails the append.
+	// in Status. Zero means an unreachable quorum fails the append. With
+	// batching on, admission is decided per batch, so the buffered count
+	// may overshoot the limit by at most one batch.
 	DegradedLimit int
 	// RecoverMaxLag tolerates the persisted counter being up to this far
 	// behind the group's stable value during Recover — the state a crash
@@ -116,6 +149,24 @@ type Config struct {
 	// behind. Recovery re-anchors immediately. Zero is strict. Client-side
 	// verification (VerifyFile) is not affected by this field.
 	RecoverMaxLag uint64
+	// BatchMax caps how many entries commit under one signature record,
+	// fsync and counter increment (group commit). Values <= 1 keep the
+	// conservative entry-at-a-time behaviour: every append pays its own
+	// signature, flush and counter round-trip.
+	BatchMax int
+	// BatchDelay is how long a batch leader waits for followers to fill a
+	// non-full batch before committing it. Zero adds no artificial delay;
+	// batching then emerges only from entries staged while an earlier
+	// batch's commit is in flight. Ignored when BatchMax <= 1.
+	BatchDelay time.Duration
+}
+
+// batchMax normalises the configured batch bound.
+func (c Config) batchMax() int {
+	if c.BatchMax < 1 {
+		return 1
+	}
+	return c.BatchMax
 }
 
 // Log is the enclave-resident audit log. All mutating methods must be called
@@ -128,10 +179,30 @@ type Log struct {
 	mu  sync.Mutex
 	db  *sqldb.DB
 
+	// Durable state: published only once the covering batch is on disk.
 	seq     uint64
 	chain   [32]byte
 	counter uint64
 	heap    int64 // enclave heap charged for retained tuples
+
+	// Speculative state: the chain head including every staged-but-not-yet
+	// -durable entry. Equal to the durable state while no batch is open.
+	specSeq   uint64
+	specChain [32]byte
+
+	// Group-commit lane. cur is the open batch accepting joiners; batches
+	// commit strictly in turn order (commitTurn is the next turn allowed
+	// to commit, nextTurn the turn the next new batch will get). epoch
+	// poisons staged batches when an earlier commit fails: their entries
+	// chain off a head that never became durable.
+	cur        *commitBatch
+	committing bool
+	commitTurn uint64
+	nextTurn   uint64
+	epoch      uint64
+	poisonErr  error
+	commitCond *sync.Cond
+	closed     bool
 
 	// pendingAnchor counts appends persisted under a stale counter value
 	// while the quorum is unreachable (degraded mode); gaps counts closed
@@ -142,6 +213,26 @@ type Log struct {
 	file     vfs.File // outside resource, accessed via ocalls
 	fileSize int64    // committed bytes; partial appends truncate back to it
 	stmts    map[string]*sqldb.Stmt
+}
+
+// commitBatch is one group of staged entries committed under a single
+// signature record, fsync and counter increment.
+type commitBatch struct {
+	turn  uint64 // commit order ticket
+	epoch uint64 // poison epoch at creation
+
+	payloads [][]byte // encoded entries, chain order
+	endChain [32]byte // chain head after the last entry
+	endSeq   uint64
+	bytes    int64 // enclave heap charged for the entries
+
+	full chan struct{} // closed when the batch reaches BatchMax
+	done chan struct{} // closed once the commit outcome is known
+	err  error         // valid after done
+
+	// Set by the leader during commit, read by publish (same goroutine).
+	disk   int64 // on-disk footprint of the committed batch
+	filled bool  // reached BatchMax (flush-reason telemetry)
 }
 
 // Status describes the log's degraded-mode state.
@@ -180,7 +271,7 @@ var fileMagic = []byte("LIBSEALLOG1\n")
 
 // New creates (or truncates) an audit log. Must run inside an enclave call.
 func New(env *asyncall.Env, cfg Config) (*Log, error) {
-	l := &Log{cfg: cfg, fs: vfs.Default(cfg.FS), db: sqldb.New(), stmts: make(map[string]*sqldb.Stmt)}
+	l := newLog(cfg)
 	if cfg.Schema != "" {
 		if _, err := l.db.Exec(cfg.Schema); err != nil {
 			return nil, fmt.Errorf("audit: schema: %w", err)
@@ -206,6 +297,12 @@ func New(env *asyncall.Env, cfg Config) (*Log, error) {
 	return l, nil
 }
 
+func newLog(cfg Config) *Log {
+	l := &Log{cfg: cfg, fs: vfs.Default(cfg.FS), db: sqldb.New(), stmts: make(map[string]*sqldb.Stmt)}
+	l.commitCond = sync.NewCond(&l.mu)
+	return l
+}
+
 func (l *Log) path() string {
 	return filepath.Join(l.cfg.Dir, l.cfg.Name+".lseal")
 }
@@ -213,14 +310,15 @@ func (l *Log) path() string {
 // DB exposes the underlying relational database for invariant queries.
 func (l *Log) DB() *sqldb.DB { return l.db }
 
-// Seq returns the number of entries appended since creation or recovery.
+// Seq returns the number of durable entries appended since creation or
+// recovery.
 func (l *Log) Seq() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.seq
 }
 
-// ChainHash returns the current head of the hash chain.
+// ChainHash returns the current durable head of the hash chain.
 func (l *Log) ChainHash() [32]byte {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -242,56 +340,432 @@ func (l *Log) insertStmt(table string, arity int) (*sqldb.Stmt, error) {
 	return st, nil
 }
 
+// Row is one tuple destined for a relation of the log, the staging unit of
+// the group-commit pipeline.
+type Row struct {
+	Table  string
+	Values []any
+}
+
+// Ticket tracks staged-but-not-yet-durable rows. Wait blocks until every
+// batch carrying one of the ticket's entries has committed (or failed).
+type Ticket struct {
+	l     *Log
+	start time.Time
+	count int
+	waits []waitRef
+}
+
+// waitRef is one batch the ticket's entries landed in.
+type waitRef struct {
+	b      *commitBatch
+	leader bool
+	count  int
+	bytes  int64
+}
+
 // Append adds one tuple to the named relation: it is inserted into the
-// database, chained into the running hash, and (in disk mode) synchronously
-// persisted under a fresh monotonic counter value and enclave signature.
+// database, chained into the running hash, and (in disk mode) persisted
+// under a monotonic counter value and enclave signature before returning —
+// either on its own (BatchMax <= 1) or as part of a group commit.
 func (l *Log) Append(env *asyncall.Env, table string, vals ...any) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	mAppends.Inc()
-	defer telemetry.ObserveSince(mAppendLatency, "audit.append", time.Now())
-	svals := make([]sqldb.Value, len(vals))
-	for i, v := range vals {
-		sv, err := sqldb.FromGo(v)
-		if err != nil {
-			return err
-		}
-		svals[i] = sv
-	}
-	st, err := l.insertStmt(table, len(svals))
+	t, err := l.Stage(env, []Row{{Table: table, Values: vals}})
 	if err != nil {
 		return err
 	}
-	args := make([]any, len(svals))
-	for i, sv := range svals {
-		args[i] = sv
-	}
-	if _, err := st.Exec(args...); err != nil {
-		return err
-	}
+	return t.Wait(env)
+}
 
-	entry := &Entry{Seq: l.seq, Table: table, Values: svals}
-	enc := entry.Marshal()
-	next := chainNext(l.chain, enc)
-	// Account the tuple against the enclave heap: the in-enclave database
-	// pays EPC paging costs once the log outgrows the enclave page cache
-	// (§2.5), which is why trimming matters beyond log-size hygiene.
-	if err := env.Ctx.Alloc(int64(len(enc))); err != nil {
-		return err
+// Stage inserts the rows into the database and stages them into the commit
+// pipeline as one unit: the rows occupy consecutive chain positions, so
+// checks running under the caller's serialisation never observe a partial
+// group. It performs no I/O waits; call Ticket.Wait for durability. Must
+// run inside an enclave call, and the returned ticket must be waited on by
+// the same call.
+func (l *Log) Stage(env *asyncall.Env, rows []Row) (*Ticket, error) {
+	t := &Ticket{l: l, start: time.Now(), count: len(rows)}
+	if len(rows) == 0 {
+		return t, nil
 	}
-	if l.cfg.Mode == ModeDisk {
-		if err := l.persistAppend(env, enc, next); err != nil {
-			env.Ctx.Free(int64(len(enc)))
-			return err
+	// Convert values outside the lock.
+	svals := make([][]sqldb.Value, len(rows))
+	for i, row := range rows {
+		svals[i] = make([]sqldb.Value, len(row.Values))
+		for j, v := range row.Values {
+			sv, err := sqldb.FromGo(v)
+			if err != nil {
+				mAppendErrors.Add(int64(len(rows)))
+				return nil, err
+			}
+			svals[i][j] = sv
 		}
 	}
-	// The chain head moves only once the entry is durable, so the signed
-	// in-memory state never runs ahead of what a crash would leave on disk.
-	l.chain = next
-	l.seq++
-	l.heap += int64(len(enc))
-	mChainLength.Set(int64(l.seq))
+
+	// A contended acquisition parks as an ocall (Trim holds the lock across
+	// its rewrite I/O); an lthread must never sleep holding its scheduler.
+	asyncall.Lock(env, &l.mu)
+	if l.closed {
+		l.mu.Unlock()
+		mAppendErrors.Add(int64(len(rows)))
+		return nil, ErrClosed
+	}
+	// Phase 1: insert rows, encode entries and charge the enclave heap.
+	// Failures leave already-inserted rows in the database (matching the
+	// historical insert-then-persist semantics) but touch no chain state.
+	encs := make([][]byte, len(rows))
+	var charged int64
+	fail := func(err error) (*Ticket, error) {
+		if charged > 0 {
+			env.Ctx.Free(charged)
+		}
+		l.mu.Unlock()
+		mAppendErrors.Add(int64(len(rows)))
+		return nil, err
+	}
+	for i, row := range rows {
+		st, err := l.insertStmt(row.Table, len(svals[i]))
+		if err != nil {
+			return fail(err)
+		}
+		args := make([]any, len(svals[i]))
+		for j, sv := range svals[i] {
+			args[j] = sv
+		}
+		if _, err := st.Exec(args...); err != nil {
+			return fail(err)
+		}
+		entry := &Entry{Seq: l.specSeq + uint64(i), Table: row.Table, Values: svals[i]}
+		enc := entry.Marshal()
+		// Account the tuple against the enclave heap: the in-enclave
+		// database pays EPC paging costs once the log outgrows the enclave
+		// page cache (§2.5), which is why trimming matters beyond log-size
+		// hygiene.
+		if err := env.Ctx.Alloc(int64(len(enc))); err != nil {
+			return fail(err)
+		}
+		charged += int64(len(enc))
+		encs[i] = enc
+	}
+	// Phase 2: advance the speculative chain and join batches. This cannot
+	// fail, so a ticket always covers all of its rows.
+	for _, enc := range encs {
+		next := chainNext(l.specChain, enc)
+		l.specChain = next
+		l.specSeq++
+		if l.cfg.Mode != ModeDisk {
+			// Memory mode has no durability step: publish immediately.
+			l.chain = next
+			l.seq = l.specSeq
+			l.heap += int64(len(enc))
+			mChainLength.Set(int64(l.seq))
+			continue
+		}
+		b, leader := l.joinBatch(enc, next)
+		if n := len(t.waits); n > 0 && t.waits[n-1].b == b {
+			t.waits[n-1].count++
+			t.waits[n-1].bytes += int64(len(enc))
+		} else {
+			t.waits = append(t.waits, waitRef{b: b, leader: leader, count: 1, bytes: int64(len(enc))})
+		}
+	}
+	l.mu.Unlock()
+	return t, nil
+}
+
+// joinBatch stages one encoded entry into the open batch, opening a new one
+// if necessary. Called with l.mu held; reports whether the caller opened the
+// batch (and therefore leads its commit).
+func (l *Log) joinBatch(enc []byte, next [32]byte) (*commitBatch, bool) {
+	leader := false
+	if l.cur == nil {
+		l.cur = &commitBatch{
+			turn:  l.nextTurn,
+			epoch: l.epoch,
+			full:  make(chan struct{}),
+			done:  make(chan struct{}),
+		}
+		l.nextTurn++
+		leader = true
+	}
+	b := l.cur
+	b.payloads = append(b.payloads, enc)
+	b.endChain = next
+	b.endSeq = l.specSeq
+	b.bytes += int64(len(enc))
+	if len(b.payloads) >= l.cfg.batchMax() {
+		b.filled = true
+		close(b.full)
+		l.cur = nil
+	}
+	return b, leader
+}
+
+// Wait blocks until every batch holding one of the ticket's entries is
+// durable, leading the commits this ticket opened. It returns the first
+// failure; entries of failed batches are not durable and their heap charge
+// is released. Must run inside the same enclave call that staged the
+// ticket.
+func (t *Ticket) Wait(env *asyncall.Env) error {
+	var firstErr error
+	failed := 0
+	for _, w := range t.waits {
+		var err error
+		if w.leader {
+			err = t.l.lead(env, w.b)
+		} else {
+			// Parking on the batch is an outside-world wait: run it as an
+			// ocall so an lthread scheduler is never blocked by a waiter.
+			env.Ocall(func() error { <-w.b.done; return nil })
+			err = w.b.err
+		}
+		if err != nil {
+			env.Ctx.Free(w.bytes)
+			failed += w.count
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if failed > 0 {
+		mAppendErrors.Add(int64(failed))
+	}
+	if ok := t.count - failed; ok > 0 {
+		mAppends.Add(int64(ok))
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	telemetry.ObserveSince(mAppendLatency, "audit.append", t.start)
 	return nil
+}
+
+// lead drives one batch through the commit lane: wait for the batch to
+// fill, wait for its turn, then commit it and publish the outcome.
+func (l *Log) lead(env *asyncall.Env, b *commitBatch) error {
+	// Both waits park the calling slot outside the enclave like any other
+	// ocall; a sleeping leader must never pin an lthread scheduler.
+	ok := false
+	if err := env.Ocall(func() error {
+		l.waitFill(b)
+		ok = l.awaitTurn(b)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if !ok {
+		return b.err
+	}
+	err := l.commitSealed(env, b)
+	l.publish(b, err)
+	return err
+}
+
+// waitFill gives followers up to BatchDelay to fill the batch. Runs outside
+// the enclave.
+func (l *Log) waitFill(b *commitBatch) {
+	if l.cfg.BatchDelay <= 0 || l.cfg.batchMax() <= 1 {
+		return
+	}
+	timer := time.NewTimer(l.cfg.BatchDelay)
+	defer timer.Stop()
+	select {
+	case <-b.full:
+	case <-timer.C:
+	}
+}
+
+// awaitTurn blocks until it is b's turn to commit, seals b against new
+// joiners and claims the commit lane. It reports false — after failing the
+// batch — when an earlier commit's failure invalidated b's chain position.
+// Runs outside the enclave.
+func (l *Log) awaitTurn(b *commitBatch) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.committing || l.commitTurn != b.turn {
+		l.commitCond.Wait()
+	}
+	if l.cur == b {
+		l.cur = nil
+	}
+	if b.epoch != l.epoch {
+		b.err = fmt.Errorf("%w: %v", ErrBatchAborted, l.poisonErr)
+		l.commitTurn++
+		mBatchAborts.Inc()
+		close(b.done)
+		l.commitCond.Broadcast()
+		return false
+	}
+	l.committing = true
+	return true
+}
+
+// commitSealed makes a sealed batch durable: one counter increment, sealed
+// payloads, one signature over the batch's end-of-chain state, one write
+// sequence and one fsync. The caller holds the commit lane.
+func (l *Log) commitSealed(env *asyncall.Env, b *commitBatch) error {
+	counter, err := l.anchorBatch(env, len(b.payloads))
+	if err != nil {
+		return err
+	}
+	payloads := b.payloads
+	if l.cfg.Seal {
+		sealed := make([][]byte, len(payloads))
+		for i, enc := range payloads {
+			s, err := env.Ctx.Seal(enclave.PolicySigner, enc, []byte(l.cfg.Name))
+			if err != nil {
+				return err
+			}
+			sealed[i] = s
+		}
+		payloads = sealed
+	}
+	sig, err := l.signState(env, b.endChain, counter)
+	if err != nil {
+		return err
+	}
+	size := recordSize(sig)
+	for _, p := range payloads {
+		size += recordSize(p)
+	}
+	base := l.committedSize()
+	err = env.Ocall(func() error {
+		for _, p := range payloads {
+			if err := writeRecord(l.file, recEntry, p); err != nil {
+				return err
+			}
+		}
+		if err := writeRecord(l.file, recSig, sig); err != nil {
+			return err
+		}
+		return l.file.Sync() // one flush covers the whole batch (§5.1)
+	})
+	if err != nil {
+		// Best-effort rollback of the partial batch; if the handle is dead
+		// (simulated crash), recovery discards the torn tail instead.
+		env.Ocall(func() error { l.file.Truncate(base); return nil })
+		return err
+	}
+	mFsyncs.Inc()
+	b.disk = size
+	return nil
+}
+
+// committedSize reads the durable file length under the lock.
+func (l *Log) committedSize() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.fileSize
+}
+
+// anchorBatch obtains the counter value anchoring a batch of n entries: one
+// fresh increment per batch. When the quorum is unreachable and degraded
+// mode has buffer room, the batch proceeds under the last reachable value;
+// the chain stays intact and the next successful anchor covers the whole
+// backlog. The increment is a network operation and runs outside the
+// enclave. Called with the commit lane held.
+func (l *Log) anchorBatch(env *asyncall.Env, n int) (uint64, error) {
+	l.mu.Lock()
+	current := l.counter
+	l.mu.Unlock()
+	if l.cfg.Protector == nil {
+		return current, nil
+	}
+	var c uint64
+	var cerr error
+	if err := env.Ocall(func() error {
+		c, cerr = l.incrementCounter()
+		return nil
+	}); err != nil {
+		return 0, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if cerr == nil {
+		l.counter = c
+		if l.pendingAnchor > 0 {
+			// Quorum recovered: the signature about to be written anchors
+			// every buffered entry. Flag the closed gap.
+			l.gaps++
+			l.pendingAnchor = 0
+			mGaps.Inc()
+			mDegradedPending.Set(0)
+		}
+		return c, nil
+	}
+	if l.cfg.DegradedLimit <= 0 {
+		return 0, cerr
+	}
+	if l.pendingAnchor >= l.cfg.DegradedLimit {
+		return 0, fmt.Errorf("%w: %d appends pending, last error: %v", ErrDegradedFull, l.pendingAnchor, cerr)
+	}
+	if l.pendingAnchor == 0 {
+		mDegradedEpisodes.Inc()
+	}
+	l.pendingAnchor += n
+	mDegradedPending.Set(int64(l.pendingAnchor))
+	return l.counter, nil
+}
+
+// publish records a batch's outcome: on success the durable chain head jumps
+// to the batch's end; on failure every staged successor is poisoned, since
+// its entries chain off a head that never became durable.
+func (l *Log) publish(b *commitBatch, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.committing = false
+	l.commitTurn++
+	if err == nil {
+		l.chain = b.endChain
+		l.seq = b.endSeq
+		l.heap += b.bytes
+		l.fileSize += b.disk
+		mChainLength.Set(int64(l.seq))
+		mBatchCommits.Inc()
+		mBatchSize.Observe(time.Duration(len(b.payloads)))
+		switch {
+		case b.filled:
+			mFlushFull.Inc()
+		case l.cfg.BatchDelay > 0:
+			mFlushDelay.Inc()
+		default:
+			mFlushIdle.Inc()
+		}
+	} else {
+		l.epoch++
+		l.poisonErr = err
+		l.specChain = l.chain
+		l.specSeq = l.seq
+		// The open batch (if any) chains off the failed entries; close it
+		// to new joiners. Its leader fails it when its turn comes.
+		l.cur = nil
+		mBatchAborts.Inc()
+	}
+	b.err = err
+	close(b.done)
+	l.commitCond.Broadcast()
+}
+
+// quiesceLocked waits until the commit lane is idle: no open batch, no
+// commit in flight, no batch waiting for its turn. Called with l.mu held;
+// the condition wait releases it while sleeping.
+func (l *Log) quiesceLocked() {
+	for l.committing || l.cur != nil || l.commitTurn != l.nextTurn {
+		l.commitCond.Wait()
+	}
+}
+
+// lockQuiesced acquires l.mu with the commit lane idle, waiting outside the
+// enclave (the wait can span an in-flight fsync). The caller must release
+// l.mu. Exclusive log-rewrite operations (Trim, Reanchor) use it so they
+// never interleave with a batch commit's file I/O.
+func (l *Log) lockQuiesced(env *asyncall.Env) {
+	// sync.Mutex is explicitly not goroutine-affine: locking it on the
+	// ocall thread and unlocking from the enclave call is legal.
+	env.Ocall(func() error {
+		l.mu.Lock()
+		l.quiesceLocked()
+		return nil
+	})
 }
 
 // chainNext extends the hash chain by one entry.
@@ -325,46 +799,11 @@ func (l *Log) readCounter() (uint64, error) {
 	return l.cfg.Protector.Read(l.cfg.Name)
 }
 
-// anchor obtains a fresh counter value for the next signature. When the
-// quorum is unreachable and degraded mode has buffer room, the append
-// proceeds under the last reachable value; the chain stays intact and the
-// next successful anchor covers the whole backlog. Called with l.mu held.
-func (l *Log) anchor() error {
-	if l.cfg.Protector == nil {
-		return nil
-	}
-	c, err := l.incrementCounter()
-	if err == nil {
-		l.counter = c
-		if l.pendingAnchor > 0 {
-			// Quorum recovered: the signature about to be written anchors
-			// every buffered entry. Flag the closed gap.
-			l.gaps++
-			l.pendingAnchor = 0
-			mGaps.Inc()
-			mDegradedPending.Set(0)
-		}
-		return nil
-	}
-	if l.cfg.DegradedLimit <= 0 {
-		return err
-	}
-	if l.pendingAnchor >= l.cfg.DegradedLimit {
-		return fmt.Errorf("%w: %d appends pending, last error: %v", ErrDegradedFull, l.pendingAnchor, err)
-	}
-	if l.pendingAnchor == 0 {
-		mDegradedEpisodes.Inc()
-	}
-	l.pendingAnchor++
-	mDegradedPending.Set(int64(l.pendingAnchor))
-	return nil
-}
-
 // Reanchor attempts to close a degraded-mode gap by anchoring the chain at
 // a fresh counter value; it is a no-op when the log is healthy. Must run
 // inside an enclave call.
 func (l *Log) Reanchor(env *asyncall.Env) error {
-	l.mu.Lock()
+	l.lockQuiesced(env)
 	defer l.mu.Unlock()
 	if l.pendingAnchor == 0 || l.cfg.Protector == nil || l.cfg.Mode != ModeDisk {
 		return nil
@@ -374,7 +813,7 @@ func (l *Log) Reanchor(env *asyncall.Env) error {
 		return err
 	}
 	l.counter = c
-	sig, err := l.signState(env, l.chain)
+	sig, err := l.signState(env, l.chain, l.counter)
 	if err != nil {
 		return err
 	}
@@ -387,6 +826,7 @@ func (l *Log) Reanchor(env *asyncall.Env) error {
 		env.Ocall(func() error { l.file.Truncate(l.fileSize); return nil })
 		return err
 	}
+	mFsyncs.Inc()
 	l.fileSize += recordSize(sig)
 	l.gaps++
 	l.pendingAnchor = 0
@@ -395,61 +835,29 @@ func (l *Log) Reanchor(env *asyncall.Env) error {
 	return nil
 }
 
-// persistAppend writes one entry plus a fresh signature record, called with
-// l.mu held from inside the enclave. chain is the prospective chain head
-// including the entry. A partially-written append is rolled back by
-// truncating the file to the last committed prefix, so torn writes never
-// corrupt the committed log.
-func (l *Log) persistAppend(env *asyncall.Env, enc []byte, chain [32]byte) error {
-	if err := l.anchor(); err != nil {
-		return err
-	}
-	payload := enc
-	if l.cfg.Seal {
-		sealed, err := env.Ctx.Seal(enclave.PolicySigner, enc, []byte(l.cfg.Name))
-		if err != nil {
-			return err
-		}
-		payload = sealed
-	}
-	sig, err := l.signState(env, chain)
-	if err != nil {
-		return err
-	}
-	err = env.Ocall(func() error {
-		if err := writeRecord(l.file, recEntry, payload); err != nil {
-			return err
-		}
-		if err := writeRecord(l.file, recSig, sig); err != nil {
-			return err
-		}
-		return l.file.Sync() // synchronous flush after each pair (§5.1)
-	})
-	if err != nil {
-		// Best-effort rollback of the partial append; if the handle is dead
-		// (simulated crash), recovery discards the torn tail instead.
-		env.Ocall(func() error { l.file.Truncate(l.fileSize); return nil })
-		return err
-	}
-	l.fileSize += recordSize(payload) + recordSize(sig)
-	return nil
-}
-
 // recordSize is the on-disk footprint of one record.
 func recordSize(payload []byte) int64 { return 5 + int64(len(payload)) }
 
+// sigDigest is the message a signature record attests: the chain head after
+// the batch's last entry, bound to the counter value that anchored it. The
+// writer (signState) and the verifier must agree on it byte for byte.
+func sigDigest(chain [32]byte, counter uint64) []byte {
+	var buf [40]byte
+	copy(buf[:32], chain[:])
+	binary.BigEndian.PutUint64(buf[32:], counter)
+	digest := sha256.Sum256(buf[:])
+	return digest[:]
+}
+
 // signState signs (chain hash || counter) with the enclave report key.
-func (l *Log) signState(env *asyncall.Env, chain [32]byte) ([]byte, error) {
-	var buf bytes.Buffer
-	buf.Write(chain[:])
+func (l *Log) signState(env *asyncall.Env, chain [32]byte, counter uint64) ([]byte, error) {
 	var c [8]byte
-	binary.BigEndian.PutUint64(c[:], l.counter)
-	buf.Write(c[:])
-	digest := sha256.Sum256(buf.Bytes())
-	sig, err := env.Ctx.Sign(digest[:])
+	binary.BigEndian.PutUint64(c[:], counter)
+	sig, err := env.Ctx.Sign(sigDigest(chain, counter))
 	if err != nil {
 		return nil, err
 	}
+	mSignatures.Inc()
 	var out bytes.Buffer
 	out.Write(chain[:])
 	out.Write(c[:])
@@ -478,9 +886,10 @@ func (l *Log) Exec(sql string, args ...any) (int, error) {
 // the rewrite (or its fresh counter anchor) fails, the in-memory chain is
 // left at its pre-trim state, which still matches the old on-disk log; the
 // database rows are trimmed either way, and the next successful trim
-// reconciles the file.
+// reconciles the file. Trim waits for the group-commit lane to drain first,
+// so it never interleaves with a batch's file I/O.
 func (l *Log) Trim(env *asyncall.Env, queries []string) error {
-	l.mu.Lock()
+	l.lockQuiesced(env)
 	defer l.mu.Unlock()
 	mTrims.Inc()
 	defer telemetry.ObserveSince(mTrimLatency, "audit.trim", time.Now())
@@ -518,6 +927,8 @@ func (l *Log) Trim(env *asyncall.Env, queries []string) error {
 		l.heap = retained
 		l.chain = newChain
 		l.seq = newSeq
+		l.specChain = newChain
+		l.specSeq = newSeq
 		mChainLength.Set(int64(l.seq))
 	}
 	if l.cfg.Mode != ModeDisk {
@@ -548,7 +959,7 @@ func (l *Log) Trim(env *asyncall.Env, queries []string) error {
 		payloads[i] = payload
 		size += recordSize(payload)
 	}
-	sig, err := l.signState(env, newChain)
+	sig, err := l.signState(env, newChain, l.counter)
 	if err != nil {
 		return err
 	}
@@ -601,6 +1012,7 @@ func (l *Log) Trim(env *asyncall.Env, queries []string) error {
 	if err != nil {
 		return err
 	}
+	mFsyncs.Inc()
 	l.fileSize = size
 	commitMemory()
 	if l.pendingAnchor > 0 {
@@ -613,10 +1025,13 @@ func (l *Log) Trim(env *asyncall.Env, queries []string) error {
 	return nil
 }
 
-// Close releases the log's outside resources.
+// Close releases the log's outside resources. In-flight batches are drained
+// first; new appends fail with ErrClosed.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.closed = true
+	l.quiesceLocked()
 	if l.file != nil {
 		err := l.file.Close()
 		l.file = nil
@@ -737,12 +1152,21 @@ type VerifyResult struct {
 	// CommittedBytes is the length of the verified file prefix. With
 	// RecoverTruncated, bytes past it are crash debris and can be cut off.
 	CommittedBytes int64
+	// Batches is the number of signature records (commit points) in the
+	// verified prefix: group commit anchors several chained entries per
+	// signature, so Batches <= len(Entries) once batching is on.
+	Batches int
+	// MaxBatch is the largest number of entries covered by one signature
+	// record.
+	MaxBatch int
 }
 
 // VerifyFile checks a persisted log's integrity: hash chain, enclave
 // signature, and counter freshness. It returns the verified entries. It
 // runs outside the enclave — verification requires no secrets, which is what
-// lets clients audit the provider.
+// lets clients audit the provider. A signature record may cover any number
+// of chained entries (group commit); the chain makes each batch
+// tamper-evident as a unit.
 func VerifyFile(path string, opts VerifyOptions) ([]*Entry, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -771,14 +1195,18 @@ func VerifyReaderResult(r io.Reader, opts VerifyOptions) (*VerifyResult, error) 
 	var entries []*Entry
 	var chain [32]byte
 	seq := uint64(0)
-	// The commit point is the state as of the last signature record; with
-	// RecoverTruncated, anything after it is crash debris.
-	var lastSig *fileRecord
+	// The commit point is the state as of the last valid signature record;
+	// with RecoverTruncated, anything after it is crash debris.
+	sawSig := false
 	commit := struct {
 		entries int
 		chain   [32]byte
 		end     int64
+		counter uint64
 	}{end: int64(len(fileMagic))}
+	batches := 0
+	maxBatch := 0
+	sinceSig := 0
 	// tornAt marks where a tolerant scan stopped making sense of entries.
 	tornAt := -1
 scan:
@@ -812,13 +1240,44 @@ scan:
 				return nil, fmt.Errorf("%w: sequence gap at %d", ErrTampered, seq)
 			}
 			seq++
+			sinceSig++
 			chain = chainNext(chain, raw)
 			entries = append(entries, e)
 		case recSig:
-			lastSig = &recs[i]
+			// Every signature record is validated, not just the final
+			// commit point: a batched log with a corrupt or forged
+			// intermediate signature is not the log the enclave wrote,
+			// even when the entries themselves still chain.
+			// Counter values may legitimately regress between records (a
+			// recovery that re-anchored on a rebuilt counter group), so
+			// rollback is judged against the live group, not file-locally.
+			sigChain, counter, sig, perr := parseSig(rec.payload)
+			bad := ""
+			switch {
+			case perr != nil:
+				bad = perr.Error()
+			case sigChain != chain:
+				bad = "chain hash mismatch"
+			case opts.Pub != nil && !enclave.VerifySignature(opts.Pub, sigDigest(sigChain, counter), sig):
+				bad = "signature invalid"
+			}
+			if bad != "" {
+				if opts.RecoverTruncated {
+					tornAt = i
+					break scan
+				}
+				return nil, fmt.Errorf("%w: signature record %d: %s", ErrTampered, batches, bad)
+			}
+			sawSig = true
 			commit.entries = len(entries)
 			commit.chain = chain
 			commit.end = rec.end
+			commit.counter = counter
+			batches++
+			if sinceSig > maxBatch {
+				maxBatch = sinceSig
+			}
+			sinceSig = 0
 		default:
 			return nil, fmt.Errorf("%w: unknown record type %q", ErrTampered, rec.typ)
 		}
@@ -833,52 +1292,43 @@ scan:
 			}
 		}
 	}
-	if lastSig == nil {
+	if !sawSig {
 		if len(entries) == 0 || opts.RecoverTruncated {
 			// Nothing was ever committed (or only debris survives).
 			return &VerifyResult{CommittedBytes: commit.end}, nil
 		}
 		return nil, fmt.Errorf("%w: missing signature record", ErrTampered)
 	}
-	sigChain, counter, sig, err := parseSig(lastSig.payload)
-	if err != nil {
-		return nil, err
+	if !opts.RecoverTruncated && sinceSig > 0 {
+		// Strict verification demands the file end at a signed prefix:
+		// trailing unsigned entries were never committed.
+		return nil, fmt.Errorf("%w: %d entries after the last signature record", ErrTampered, sinceSig)
 	}
-	checkChain := chain
 	checkEntries := entries
 	if opts.RecoverTruncated {
-		checkChain = commit.chain
 		checkEntries = entries[:commit.entries]
-	}
-	if sigChain != checkChain {
-		return nil, fmt.Errorf("%w: chain hash mismatch", ErrTampered)
-	}
-	var buf bytes.Buffer
-	buf.Write(checkChain[:])
-	var c [8]byte
-	binary.BigEndian.PutUint64(c[:], counter)
-	buf.Write(c[:])
-	digest := sha256.Sum256(buf.Bytes())
-	if opts.Pub != nil && !enclave.VerifySignature(opts.Pub, digest[:], sig) {
-		return nil, fmt.Errorf("%w: signature invalid", ErrTampered)
 	}
 	if opts.Protector != nil {
 		stable, err := opts.Protector.Read(opts.Name)
 		if err != nil {
 			return nil, err
 		}
-		if counter+opts.MaxCounterLag < stable {
-			return nil, fmt.Errorf("%w: log counter %d < group counter %d", ErrBadCounter, counter, stable)
+		if commit.counter+opts.MaxCounterLag < stable {
+			return nil, fmt.Errorf("%w: log counter %d < group counter %d", ErrBadCounter, commit.counter, stable)
 		}
 	}
-	return &VerifyResult{Entries: checkEntries, Counter: counter, CommittedBytes: commit.end}, nil
+	return &VerifyResult{
+		Entries: checkEntries, Counter: commit.counter, CommittedBytes: commit.end,
+		Batches: batches, MaxBatch: maxBatch,
+	}, nil
 }
 
 // Recover rebuilds an audit log from its persisted file after a restart: the
 // file is verified (chain, signature, counter freshness) and the entries are
 // replayed into a fresh database. Recovery is torn-tail tolerant — records
 // past the last signed prefix were never acknowledged as durable and are cut
-// off — and tolerates the persisted counter lagging the group by up to
+// off (with group commit that prefix ends at the last *signed batch*) — and
+// tolerates the persisted counter lagging the group by up to
 // Config.RecoverMaxLag (the state a crash between an increment and its
 // signature flush leaves behind). It re-anchors the chain at a fresh counter
 // value before returning. Must run inside an enclave call.
@@ -886,7 +1336,7 @@ func Recover(env *asyncall.Env, cfg Config, pub *ecdsa.PublicKey) (*Log, error) 
 	if cfg.Mode != ModeDisk {
 		return nil, errors.New("audit: recovery requires disk mode")
 	}
-	l := &Log{cfg: cfg, fs: vfs.Default(cfg.FS), db: sqldb.New(), stmts: make(map[string]*sqldb.Stmt)}
+	l := newLog(cfg)
 	if cfg.Schema != "" {
 		if _, err := l.db.Exec(cfg.Schema); err != nil {
 			return nil, fmt.Errorf("audit: schema: %w", err)
@@ -935,6 +1385,8 @@ func Recover(env *asyncall.Env, cfg Config, pub *ecdsa.PublicKey) (*Log, error) 
 		l.chain = chainNext(l.chain, enc)
 		l.seq++
 	}
+	l.specChain = l.chain
+	l.specSeq = l.seq
 	l.counter = res.Counter
 	// Reopen for appending, cutting off any crash debris past the committed
 	// prefix so future appends extend a verified file.
@@ -961,7 +1413,7 @@ func Recover(env *asyncall.Env, cfg Config, pub *ecdsa.PublicKey) (*Log, error) 
 		// value behind the group and fail strict client verification.
 		if c, err := l.incrementCounter(); err == nil {
 			l.counter = c
-			sig, err := l.signState(env, l.chain)
+			sig, err := l.signState(env, l.chain, l.counter)
 			if err != nil {
 				return nil, err
 			}
@@ -974,6 +1426,7 @@ func Recover(env *asyncall.Env, cfg Config, pub *ecdsa.PublicKey) (*Log, error) 
 				env.Ocall(func() error { l.file.Truncate(l.fileSize); return nil })
 				return nil, err
 			}
+			mFsyncs.Inc()
 			l.fileSize += recordSize(sig)
 		} else {
 			// No fresh value to be had right now; fall back to the stable

@@ -1,0 +1,489 @@
+package audit
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"libseal/internal/asyncall"
+	"libseal/internal/enclave"
+	"libseal/internal/faultinject"
+	"libseal/internal/rote"
+)
+
+// batchConfig returns a disk config with group commit enabled.
+func (e *auditEnv) batchConfig(name string, batchMax int, delay time.Duration) Config {
+	cfg := e.diskConfig(name)
+	cfg.BatchMax = batchMax
+	cfg.BatchDelay = delay
+	return cfg
+}
+
+// Write-operation layout with group commit: the magic is write 0, and a
+// committed batch of k entries issues 2k+2 writes (k entry header/payload
+// pairs, then one signature header/payload pair).
+func batchWrites(k int) int { return 2*k + 2 }
+
+// TestGroupCommitConcurrentAppends drives appends from many goroutines with
+// batching on and checks that every acknowledged entry lands durably, the
+// file passes strict client verification, and each committed batch paid
+// exactly one fsync and one signature.
+func TestGroupCommitConcurrentAppends(t *testing.T) {
+	e := newAuditEnv(t)
+	var l *Log
+	e.call(t, func(env *asyncall.Env) error {
+		var err error
+		l, err = New(env, e.batchConfig("git", 8, 2*time.Millisecond))
+		return err
+	})
+
+	fsyncs0 := mFsyncs.Value()
+	sigs0 := mSignatures.Value()
+	commits0 := mBatchCommits.Value()
+
+	const goroutines = 8
+	const perG = 6
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				err := e.bridge.Call(func(env *asyncall.Env) error {
+					return l.Append(env, "updates", g*perG+i, "r", "main", fmt.Sprintf("c%d-%d", g, i), "update")
+				})
+				if err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+
+	const total = goroutines * perG
+	if l.Seq() != total {
+		t.Fatalf("seq = %d, want %d", l.Seq(), total)
+	}
+	commits := mBatchCommits.Value() - commits0
+	if got := mFsyncs.Value() - fsyncs0; got != commits {
+		t.Fatalf("fsyncs = %d, want one per batch (%d)", got, commits)
+	}
+	if got := mSignatures.Value() - sigs0; got != commits {
+		t.Fatalf("signatures = %d, want one per batch (%d)", got, commits)
+	}
+	if commits < 1 || commits > total {
+		t.Fatalf("batch commits = %d for %d appends", commits, total)
+	}
+	t.Logf("committed %d appends in %d batches", total, commits)
+	l.Close()
+
+	entries, err := VerifyFile(filepath.Join(e.dir, "git.lseal"), VerifyOptions{
+		Pub: e.encl.PublicKey(), Protector: e.group, Name: "git",
+	})
+	if err != nil {
+		t.Fatalf("strict verify of batched log: %v", err)
+	}
+	if len(entries) != total {
+		t.Fatalf("verified entries = %d, want %d", len(entries), total)
+	}
+}
+
+// TestGroupCommitAsyncBridge repeats the concurrent-append workload over the
+// asynchronous call bridge, where a sleeping batch leader must never pin an
+// lthread scheduler (the regression this guards against is a deadlock, not a
+// wrong answer).
+func TestGroupCommitAsyncBridge(t *testing.T) {
+	p := enclave.NewPlatform()
+	encl, err := p.Launch(enclave.Config{Code: []byte("libseal-audit"), MaxThreads: 4, Cost: enclave.ZeroCostModel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bridge, err := asyncall.New(encl, asyncall.Config{Mode: asyncall.ModeAsync, AppSlots: 8, Schedulers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bridge.Close()
+	group, err := rote.NewGroup(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	var l *Log
+	if err := bridge.Call(func(env *asyncall.Env) error {
+		l, err = New(env, Config{
+			Name: "git", Schema: testSchema, Mode: ModeDisk, Dir: dir,
+			Protector: group, BatchMax: 8, BatchDelay: 2 * time.Millisecond,
+		})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	const perG = 4
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				err := bridge.Call(func(env *asyncall.Env) error {
+					return l.Append(env, "updates", g*perG+i, "r", "main", fmt.Sprintf("a%d-%d", g, i), "update")
+				})
+				if err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	if l.Seq() != goroutines*perG {
+		t.Fatalf("seq = %d, want %d", l.Seq(), goroutines*perG)
+	}
+	l.Close()
+	entries, err := VerifyFile(filepath.Join(dir, "git.lseal"), VerifyOptions{
+		Pub: encl.PublicKey(), Protector: group, Name: "git",
+	})
+	if err != nil {
+		t.Fatalf("strict verify: %v", err)
+	}
+	if len(entries) != goroutines*perG {
+		t.Fatalf("verified entries = %d, want %d", len(entries), goroutines*perG)
+	}
+}
+
+// TestGroupCommitSingleSigPerBatch stages one multi-row ticket and checks
+// the on-disk shape directly: N chained entry records under one signature
+// record, one counter increment for the whole batch.
+func TestGroupCommitSingleSigPerBatch(t *testing.T) {
+	e := newAuditEnv(t)
+	var l *Log
+	e.call(t, func(env *asyncall.Env) error {
+		var err error
+		l, err = New(env, e.batchConfig("git", 8, 0))
+		if err != nil {
+			return err
+		}
+		rows := make([]Row, 5)
+		for i := range rows {
+			rows[i] = Row{Table: "updates", Values: []any{i, "r", "main", fmt.Sprintf("c%d", i), "update"}}
+		}
+		tk, err := l.Stage(env, rows)
+		if err != nil {
+			return err
+		}
+		return tk.Wait(env)
+	})
+	l.Close()
+
+	f, err := os.Open(filepath.Join(e.dir, "git.lseal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	res, err := VerifyReaderResult(f, VerifyOptions{
+		Pub: e.encl.PublicKey(), Protector: e.group, Name: "git",
+	})
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if len(res.Entries) != 5 {
+		t.Fatalf("entries = %d, want 5", len(res.Entries))
+	}
+	if res.Batches != 1 || res.MaxBatch != 5 {
+		t.Fatalf("batches = %d maxBatch = %d, want 1 batch of 5", res.Batches, res.MaxBatch)
+	}
+	// The whole batch consumed a single counter increment.
+	if c, err := e.group.Read("git"); err != nil || c != 1 {
+		t.Fatalf("counter = %d (%v), want 1", c, err)
+	}
+}
+
+// TestGroupCommitCrashMidBatchRecovered tears a write in the middle of a
+// batch: the batch's appends fail (never acknowledged), and recovery lands
+// exactly on the last signed batch — every acknowledged entry survives,
+// nothing unacknowledged is resurrected.
+func TestGroupCommitCrashMidBatchRecovered(t *testing.T) {
+	e := newAuditEnv(t)
+	// Batch 1 (2 entries) occupies writes 1..6; batch 2 (3 entries) starts
+	// at write 7. Tear its third entry's payload: write 11.
+	in := faultinject.Scenario{Rules: []faultinject.Rule{
+		faultinject.TornWrite("git.lseal", 1+batchWrites(2)+4),
+	}}.Build()
+	cfg := e.batchConfig("git", 8, 0)
+	cfg.FS = in.FS(nil)
+
+	var l *Log
+	e.call(t, func(env *asyncall.Env) error {
+		var err error
+		l, err = New(env, cfg)
+		if err != nil {
+			return err
+		}
+		tk, err := l.Stage(env, []Row{
+			{Table: "updates", Values: []any{1, "r", "main", "c1", "update"}},
+			{Table: "updates", Values: []any{2, "r", "main", "c2", "update"}},
+		})
+		if err != nil {
+			return err
+		}
+		return tk.Wait(env) // acknowledged: must survive the crash
+	})
+
+	err := e.bridge.Call(func(env *asyncall.Env) error {
+		tk, err := l.Stage(env, []Row{
+			{Table: "updates", Values: []any{3, "r", "main", "c3", "update"}},
+			{Table: "updates", Values: []any{4, "r", "main", "c4", "update"}},
+			{Table: "updates", Values: []any{5, "r", "main", "c5", "update"}},
+		})
+		if err != nil {
+			return err
+		}
+		return tk.Wait(env)
+	})
+	if !errors.Is(err, faultinject.ErrTornWrite) {
+		t.Fatalf("torn batch: %v, want ErrTornWrite", err)
+	}
+	if l.Seq() != 2 {
+		t.Fatalf("seq advanced past the failed batch: %d", l.Seq())
+	}
+	l.Close()
+
+	// The batch's counter increment happened before the torn flush, so the
+	// persisted anchor lags the group by one.
+	rcfg := e.batchConfig("git", 8, 0)
+	rcfg.RecoverMaxLag = 1
+	var rec *Log
+	e.call(t, func(env *asyncall.Env) error {
+		var err error
+		rec, err = Recover(env, rcfg, e.encl.PublicKey())
+		return err
+	})
+	defer rec.Close()
+	if rec.Seq() != 2 {
+		t.Fatalf("recovered seq = %d, want the last signed batch (2)", rec.Seq())
+	}
+	res, err := rec.Query("SELECT cid FROM updates ORDER BY time")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0].TextVal() != "c1" || res.Rows[1][0].TextVal() != "c2" {
+		t.Fatalf("recovered rows = %v, want exactly the acknowledged batch", res.Rows)
+	}
+	// Re-anchored: strict client verification passes again.
+	if _, err := VerifyFile(filepath.Join(e.dir, "git.lseal"), VerifyOptions{
+		Pub: e.encl.PublicKey(), Protector: e.group, Name: "git",
+	}); err != nil {
+		t.Fatalf("post-recovery strict verify: %v", err)
+	}
+}
+
+// TestBatchAbortPoisonsSuccessors checks pipeline poisoning: when a batch's
+// commit fails, later staged batches chain off a head that never became
+// durable, so they must fail with ErrBatchAborted rather than commit.
+func TestBatchAbortPoisonsSuccessors(t *testing.T) {
+	e := newAuditEnv(t)
+	// Batch 1 (2 entries, sealed by BatchMax=2) dies at its signature
+	// header: write 5.
+	in := faultinject.Scenario{Rules: []faultinject.Rule{
+		faultinject.TornWrite("git.lseal", 5),
+	}}.Build()
+	cfg := e.batchConfig("git", 2, 0)
+	cfg.FS = in.FS(nil)
+
+	e.call(t, func(env *asyncall.Env) error {
+		l, err := New(env, cfg)
+		if err != nil {
+			return err
+		}
+		tkA, err := l.Stage(env, []Row{
+			{Table: "updates", Values: []any{1, "r", "main", "c1", "update"}},
+			{Table: "updates", Values: []any{2, "r", "main", "c2", "update"}},
+		})
+		if err != nil {
+			return err
+		}
+		tkB, err := l.Stage(env, []Row{
+			{Table: "updates", Values: []any{3, "r", "main", "c3", "update"}},
+		})
+		if err != nil {
+			return err
+		}
+		if err := tkA.Wait(env); !errors.Is(err, faultinject.ErrTornWrite) {
+			t.Errorf("batch 1: %v, want ErrTornWrite", err)
+		}
+		if err := tkB.Wait(env); !errors.Is(err, ErrBatchAborted) {
+			t.Errorf("batch 2: %v, want ErrBatchAborted", err)
+		}
+		if l.Seq() != 0 {
+			t.Errorf("seq = %d, want 0 (nothing durable)", l.Seq())
+		}
+		return nil
+	})
+}
+
+// TestAppendTelemetryCountsErrorsSeparately checks that failed appends land
+// in audit.append.errors and neither inflate audit.appends nor observe a
+// latency sample.
+func TestAppendTelemetryCountsErrorsSeparately(t *testing.T) {
+	e := newAuditEnv(t)
+	appends0 := mAppends.Value()
+	errs0 := mAppendErrors.Value()
+	lat0 := mAppendLatency.Count()
+
+	e.call(t, func(env *asyncall.Env) error {
+		l, err := New(env, Config{Name: "git", Schema: testSchema, Mode: ModeMemory})
+		if err != nil {
+			return err
+		}
+		// Unconvertible value: the append fails before reaching the chain.
+		if err := l.Append(env, "updates", struct{}{}, "r", "main", "c1", "update"); err == nil {
+			t.Error("append of unconvertible value succeeded")
+		}
+		return l.Append(env, "updates", 1, "r", "main", "c1", "update")
+	})
+
+	if got := mAppendErrors.Value() - errs0; got != 1 {
+		t.Fatalf("append errors = %d, want 1", got)
+	}
+	if got := mAppends.Value() - appends0; got != 1 {
+		t.Fatalf("appends = %d, want 1 (failures must not count)", got)
+	}
+	if got := mAppendLatency.Count() - lat0; got != 1 {
+		t.Fatalf("latency samples = %d, want 1 (success only)", got)
+	}
+}
+
+// sigPayloadOffsets walks the on-disk record stream and returns the byte
+// offset of every signature record's payload.
+func sigPayloadOffsets(t *testing.T, data []byte) []int {
+	t.Helper()
+	var offs []int
+	off := len(fileMagic)
+	for off < len(data) {
+		if off+5 > len(data) {
+			t.Fatalf("truncated record header at %d", off)
+		}
+		n := int(binary.BigEndian.Uint32(data[off+1 : off+5]))
+		if data[off] == recSig {
+			offs = append(offs, off+5)
+		}
+		off += 5 + n
+	}
+	return offs
+}
+
+// TestIntermediateSignatureCorruptionDetected pins down that a batched log
+// is rejected when ANY signature record is corrupted, not only the final
+// commit point: a log whose intermediate batch signature does not verify is
+// not the log the enclave wrote, even though the entries still chain up to
+// a valid final signature.
+func TestIntermediateSignatureCorruptionDetected(t *testing.T) {
+	e := newAuditEnv(t)
+	var l *Log
+	e.call(t, func(env *asyncall.Env) error {
+		var err error
+		l, err = New(env, e.batchConfig("git", 4, 0))
+		if err != nil {
+			return err
+		}
+		// Two batches: E E E S | E E S.
+		tk, err := l.Stage(env, []Row{
+			{Table: "updates", Values: []any{1, "r", "main", "c1", "update"}},
+			{Table: "updates", Values: []any{2, "r", "main", "c2", "update"}},
+			{Table: "updates", Values: []any{3, "r", "main", "c3", "update"}},
+		})
+		if err != nil {
+			return err
+		}
+		if err := tk.Wait(env); err != nil {
+			return err
+		}
+		tk, err = l.Stage(env, []Row{
+			{Table: "updates", Values: []any{4, "r", "main", "c4", "update"}},
+			{Table: "updates", Values: []any{5, "r", "main", "c5", "update"}},
+		})
+		if err != nil {
+			return err
+		}
+		return tk.Wait(env)
+	})
+	l.Close()
+
+	path := filepath.Join(e.dir, "git.lseal")
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := VerifyOptions{Pub: e.encl.PublicKey(), Protector: e.group, Name: "git"}
+	if _, err := VerifyFile(path, opts); err != nil {
+		t.Fatalf("pristine log rejected: %v", err)
+	}
+	sigs := sigPayloadOffsets(t, pristine)
+	if len(sigs) != 2 {
+		t.Fatalf("signature records = %d, want 2", len(sigs))
+	}
+
+	flip := func(off int) {
+		data := append([]byte(nil), pristine...)
+		data[off] ^= 0xff
+		if err := os.WriteFile(path, data, 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Corrupt the intermediate signature: strict verification must refuse,
+	// and so must torn-tail-tolerant verification — a signature record
+	// beyond the damage proves it sits inside the committed prefix.
+	flip(sigs[0] + 40)
+	if _, err := VerifyFile(path, opts); !errors.Is(err, ErrTampered) {
+		t.Fatalf("intermediate sig corruption: err = %v, want ErrTampered", err)
+	}
+	tolerant := opts
+	tolerant.RecoverTruncated = true
+	if _, err := VerifyFile(path, tolerant); !errors.Is(err, ErrTampered) {
+		t.Fatalf("tolerant verify of mid-file sig corruption: err = %v, want ErrTampered", err)
+	}
+
+	// Corrupt the final signature: strict refuses; tolerant treats it as a
+	// torn tail and falls back to the first batch's commit point — whose
+	// counter lags the group by the lost batch's increment, so recovery's
+	// lag allowance is needed to get past rollback detection.
+	flip(sigs[1] + 40)
+	if _, err := VerifyFile(path, opts); !errors.Is(err, ErrTampered) {
+		t.Fatalf("final sig corruption: err = %v, want ErrTampered", err)
+	}
+	tolerant.MaxCounterLag = 1
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	res, err := VerifyReaderResult(f, tolerant)
+	if err != nil {
+		t.Fatalf("tolerant verify of torn final sig: %v", err)
+	}
+	if len(res.Entries) != 3 || res.Batches != 1 {
+		t.Fatalf("tolerant result = %d entries / %d batches, want 3 / 1", len(res.Entries), res.Batches)
+	}
+}

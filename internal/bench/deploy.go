@@ -99,6 +99,12 @@ type StackOptions struct {
 	AnchorTimeout time.Duration
 	DegradedLimit int
 	RecoverMaxLag uint64
+	// AuditBatchMax and AuditBatchDelay configure audit-log group commit:
+	// up to AuditBatchMax entries share one signature, fsync and counter
+	// increment, and a batch leader waits AuditBatchDelay for followers.
+	// Zero values keep the conservative entry-at-a-time behaviour.
+	AuditBatchMax   int
+	AuditBatchDelay time.Duration
 	// RetryPolicy overrides the counter group's request timeout/retry
 	// policy (nil keeps rote.DefaultRetryPolicy).
 	RetryPolicy *rote.RetryPolicy
@@ -192,7 +198,9 @@ func buildStack(opts StackOptions, module ssm.Module) (*Stack, tlsterm.Terminato
 		TLS: tlsterm.LibraryConfig{
 			Cert: env.Cert, Key: env.Key, Opts: *opts.Opts,
 		},
-		CheckEvery: opts.CheckEvery,
+		CheckEvery:      opts.CheckEvery,
+		AuditBatchMax:   opts.AuditBatchMax,
+		AuditBatchDelay: opts.AuditBatchDelay,
 	}
 	switch opts.Mode {
 	case ModeProcess:

@@ -9,6 +9,20 @@
 // TLS connections via TLS().NewSSL and otherwise remain unmodified — the
 // interception, pairing, logging, checking and trimming all happen inside
 // the SSL_read/SSL_write path.
+//
+// # Locking
+//
+// Connection state is sharded: each connection's parse/pair buffers are
+// guarded by that connection's own tracker mutex, so independent
+// connections extract requests and pair responses in parallel. Pairs enter
+// the commit sequence under a single narrow log-order lock (logMu) that
+// covers only SSM tuple extraction and staging into the audit log — the
+// point that fixes the order of entries in the hash chain — plus the
+// check/trim bookkeeping. Durability waits happen outside both locks, which
+// is what lets concurrent connections fill one group-commit batch. The lock
+// hierarchy is tracker → logMu → audit-internal, and every enclave-side
+// acquisition of a lock that may be contended goes through asyncall.Lock so
+// no lthread ever sleeps holding its scheduler's thread.
 package core
 
 import (
@@ -82,6 +96,14 @@ type Config struct {
 	// enclave must be launched from the same platform and code so its keys
 	// match.
 	RecoverExisting bool
+	// AuditBatchMax enables group commit in the audit log: up to this many
+	// entries share one signature record, fsync and counter increment.
+	// Values <= 1 keep the conservative entry-at-a-time behaviour. See
+	// audit.Config.BatchMax.
+	AuditBatchMax int
+	// AuditBatchDelay is how long a batch leader waits for concurrent
+	// appends to fill a non-full batch. See audit.Config.BatchDelay.
+	AuditBatchDelay time.Duration
 	// CheckEvery runs invariant checks and trimming after this many logged
 	// request/response pairs. Zero disables pair-count checks.
 	CheckEvery int
@@ -111,15 +133,22 @@ type LibSEAL struct {
 	tls    *tlsterm.Library
 	log    *audit.Log
 
-	mu         sync.Mutex
-	conns      map[uint64]*connTracker
+	// connMu guards only the tracker map; each tracker carries its own
+	// lock, so connections make progress independently.
+	connMu sync.Mutex
+	conns  map[uint64]*connTracker
+
+	// logMu is the narrow log-order lock: it serialises SSM tuple
+	// extraction and the staging of pairs into the audit log (the point
+	// that fixes hash-chain order) along with check/trim state. It is
+	// never held across a durability wait.
+	logMu      sync.Mutex
 	pairTime   int64
 	sinceCheck int
 	lastCheck  time.Time
 	lastResult string
 	violations []Violation
-
-	stats Stats
+	stats      Stats
 
 	stopPeriodic chan struct{}
 	periodicDone chan struct{}
@@ -139,13 +168,14 @@ type Stats struct {
 	Reanchors int64
 }
 
-// connTracker pairs the request and response streams of one connection.
+// connTracker pairs the request and response streams of one connection. Its
+// mutex guards the buffers and pairing state; taking it never requires any
+// other lock.
 type connTracker struct {
+	mu      sync.Mutex
 	reqBuf  []byte
 	rspBuf  []byte
 	pending [][]byte // complete, unpaired request bytes (pipelining)
-	// checkASAP is set when the current request carried the check header.
-	checkRequested bool
 	// injectResult is set when the next response head should carry the
 	// check-result header.
 	injectResult string
@@ -172,6 +202,8 @@ func New(bridge *asyncall.Bridge, cfg Config) (*LibSEAL, error) {
 			AnchorTimeout: cfg.AnchorTimeout,
 			DegradedLimit: cfg.DegradedLimit,
 			RecoverMaxLag: cfg.RecoverMaxLag,
+			BatchMax:      cfg.AuditBatchMax,
+			BatchDelay:    cfg.AuditBatchDelay,
 		}
 		err := bridge.Call(func(env *asyncall.Env) error {
 			var err error
@@ -217,8 +249,8 @@ func (ls *LibSEAL) periodicChecks(interval time.Duration) {
 			return
 		case <-ticker.C:
 			_ = ls.bridge.Call(func(env *asyncall.Env) error {
-				ls.mu.Lock()
-				defer ls.mu.Unlock()
+				asyncall.Lock(env, &ls.logMu)
+				defer ls.logMu.Unlock()
 				ls.runCheckLocked(env, false)
 				if err := ls.log.Trim(env, ls.cfg.Module.TrimQueries()); err == nil {
 					ls.stats.Trims++
@@ -249,8 +281,8 @@ func (ls *LibSEAL) Bridge() *asyncall.Bridge { return ls.bridge }
 
 // StatsSnapshot returns a copy of the audit counters.
 func (ls *LibSEAL) StatsSnapshot() Stats {
-	ls.mu.Lock()
-	defer ls.mu.Unlock()
+	ls.logMu.Lock()
+	defer ls.logMu.Unlock()
 	return ls.stats
 }
 
@@ -265,16 +297,16 @@ func (ls *LibSEAL) AuditStatus() audit.Status {
 
 // Violations returns all violations detected so far.
 func (ls *LibSEAL) Violations() []Violation {
-	ls.mu.Lock()
-	defer ls.mu.Unlock()
+	ls.logMu.Lock()
+	defer ls.logMu.Unlock()
 	return append([]Violation(nil), ls.violations...)
 }
 
 // LastCheckResult returns the in-band result string of the most recent
 // invariant check ("ok", "violation:<names>", "rate-limited" or "none").
 func (ls *LibSEAL) LastCheckResult() string {
-	ls.mu.Lock()
-	defer ls.mu.Unlock()
+	ls.logMu.Lock()
+	defer ls.logMu.Unlock()
 	return ls.lastResult
 }
 
@@ -294,14 +326,16 @@ func (t *sealTap) OnData(env *asyncall.Env, connID uint64, dir tlsterm.Direction
 // OnClose implements tlsterm.Tap.
 func (t *sealTap) OnClose(env *asyncall.Env, connID uint64) {
 	ls := (*LibSEAL)(t)
-	ls.mu.Lock()
+	ls.connMu.Lock()
 	delete(ls.conns, connID)
-	ls.mu.Unlock()
+	ls.connMu.Unlock()
 }
 
+// tracker returns (creating if needed) the connection's state. connMu is
+// held only for the map access; callers lock the tracker itself.
 func (ls *LibSEAL) tracker(connID uint64) *connTracker {
-	ls.mu.Lock()
-	defer ls.mu.Unlock()
+	ls.connMu.Lock()
+	defer ls.connMu.Unlock()
 	tr, ok := ls.conns[connID]
 	if !ok {
 		tr = &connTracker{}
@@ -310,11 +344,12 @@ func (ls *LibSEAL) tracker(connID uint64) *connTracker {
 	return tr
 }
 
-// onRead accumulates request plaintext and extracts complete requests.
+// onRead accumulates request plaintext and extracts complete requests. Only
+// this connection's tracker is locked; other connections parse in parallel.
 func (ls *LibSEAL) onRead(env *asyncall.Env, connID uint64, data []byte) error {
 	tr := ls.tracker(connID)
-	ls.mu.Lock()
-	defer ls.mu.Unlock()
+	asyncall.Lock(env, &tr.mu)
+	defer tr.mu.Unlock()
 	tr.reqBuf = append(tr.reqBuf, data...)
 	for {
 		req, n, err := httpparse.ConsumeRequest(tr.reqBuf)
@@ -332,20 +367,24 @@ func (ls *LibSEAL) onRead(env *asyncall.Env, connID uint64, data []byte) error {
 		tr.reqBuf = tr.reqBuf[n:]
 		tr.pending = append(tr.pending, raw)
 		if req.Header.Has(CheckHeader) {
-			tr.checkRequested = true
 			// Run the check now so this response can carry the result.
+			asyncall.Lock(env, &ls.logMu)
 			result := ls.runCheckLocked(env, true)
+			ls.logMu.Unlock()
 			tr.injectResult = result
 		}
 	}
 }
 
 // onWrite accumulates response plaintext, pairs completed responses with
-// their requests, logs the pair, and injects the check-result header.
+// their requests, stages the pairs into the audit log, and injects the
+// check-result header. The durability wait runs after the tracker and
+// log-order locks are released, so appends from concurrent connections can
+// share one group-commit batch; the write still only succeeds once every
+// staged entry is durable.
 func (ls *LibSEAL) onWrite(env *asyncall.Env, connID uint64, data []byte) ([]byte, error) {
 	tr := ls.tracker(connID)
-	ls.mu.Lock()
-	defer ls.mu.Unlock()
+	asyncall.Lock(env, &tr.mu)
 
 	out := data
 	if tr.injectResult != "" {
@@ -358,6 +397,9 @@ func (ls *LibSEAL) onWrite(env *asyncall.Env, connID uint64, data []byte) ([]byt
 	// Pair using the (unmodified) response bytes: the audit log records
 	// what the service produced.
 	tr.rspBuf = append(tr.rspBuf, data...)
+	var tickets []stagedPair
+	var stageErr error
+	checkDue := false
 	for {
 		_, n, err := httpparse.ConsumeResponse(tr.rspBuf)
 		if errors.Is(err, httpparse.ErrIncomplete) {
@@ -377,12 +419,42 @@ func (ls *LibSEAL) onWrite(env *asyncall.Env, connID uint64, data []byte) ([]byt
 		tr.rspBuf = tr.rspBuf[n:]
 		rawReq := tr.pending[0]
 		tr.pending = tr.pending[1:]
-		if err := ls.logPairLocked(env, rawReq, rawRsp); err != nil {
-			return nil, err
+		staged, due, err := ls.stagePair(env, rawReq, rawRsp)
+		if staged.ticket != nil {
+			tickets = append(tickets, staged)
+		}
+		checkDue = checkDue || due
+		if err != nil {
+			stageErr = err
+			break
 		}
 		if len(tr.rspBuf) == 0 {
 			break
 		}
+	}
+	tr.mu.Unlock()
+
+	// Every staged ticket must be waited on — a batch leader commits its
+	// batch from inside Wait — even when a later pair failed to stage.
+	err := stageErr
+	for _, sp := range tickets {
+		if werr := sp.ticket.Wait(env); werr != nil {
+			// The pair never became durable: take it back out of the audit
+			// statistics so they count acknowledged work only.
+			asyncall.Lock(env, &ls.logMu)
+			ls.stats.Tuples -= sp.tuples
+			ls.stats.Pairs--
+			ls.logMu.Unlock()
+			if err == nil {
+				err = fmt.Errorf("core: audit append: %w", werr)
+			}
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if checkDue {
+		ls.checkAndTrim(env)
 	}
 	if bytes.Equal(out, data) {
 		return nil, nil
@@ -390,44 +462,71 @@ func (ls *LibSEAL) onWrite(env *asyncall.Env, connID uint64, data []byte) ([]byt
 	return out, nil
 }
 
-// logPairLocked hands one pair to the SSM and appends its tuples to the
-// audit log; ls.mu is held.
-func (ls *LibSEAL) logPairLocked(env *asyncall.Env, rawReq, rawRsp []byte) error {
+// stagedPair is one pair's durability ticket plus the statistics to undo
+// if the pair never becomes durable.
+type stagedPair struct {
+	ticket *audit.Ticket
+	tuples int64
+}
+
+// stagePair hands one pair to the SSM and stages its tuples into the audit
+// log's commit pipeline as one unit. Called with the connection's tracker
+// locked; logMu serialises the commit order across connections. The second
+// result reports that the CheckEvery budget is exhausted — the caller runs
+// the check once its entries are durable.
+func (ls *LibSEAL) stagePair(env *asyncall.Env, rawReq, rawRsp []byte) (stagedPair, bool, error) {
+	asyncall.Lock(env, &ls.logMu)
+	defer ls.logMu.Unlock()
 	ls.pairTime++
 	st := &ssm.State{Time: ls.pairTime, DB: ls.log.DB()}
 	tuples, err := ls.cfg.Module.HandlePair(st, rawReq, rawRsp)
 	if err != nil {
 		// Unparseable traffic is not a service integrity violation; it is
 		// recorded as a statistic but does not fail the connection.
-		return nil
+		return stagedPair{}, false, nil
 	}
-	for _, tu := range tuples {
-		if err := ls.log.Append(env, tu.Table, tu.Values...); err != nil {
-			return fmt.Errorf("core: audit append: %w", err)
+	var staged stagedPair
+	if len(tuples) > 0 {
+		rows := make([]audit.Row, len(tuples))
+		for i, tu := range tuples {
+			rows[i] = audit.Row{Table: tu.Table, Values: tu.Values}
 		}
-		ls.stats.Tuples++
+		ticket, err := ls.log.Stage(env, rows)
+		if err != nil {
+			return stagedPair{}, false, fmt.Errorf("core: audit append: %w", err)
+		}
+		staged = stagedPair{ticket: ticket, tuples: int64(len(tuples))}
+		ls.stats.Tuples += staged.tuples
 	}
 	ls.stats.Pairs++
+	due := false
 	if len(tuples) > 0 && ls.cfg.CheckEvery > 0 {
 		ls.sinceCheck++
 		if ls.sinceCheck >= ls.cfg.CheckEvery {
 			ls.sinceCheck = 0
-			ls.runCheckLocked(env, false)
-			// A failed trim (say, the counter quorum is unreachable and the
-			// rewrite must not degrade) is not the client's problem: the log
-			// keeps growing and the next check retries. Only the append path
-			// may fail the SSL write, since there durability is at stake.
-			if err := ls.log.Trim(env, ls.cfg.Module.TrimQueries()); err != nil {
-				ls.stats.TrimFailures++
-			} else {
-				ls.stats.Trims++
-			}
+			due = true
 		}
 	}
-	return nil
+	return staged, due, nil
 }
 
-// runCheckLocked executes all invariants; ls.mu is held. Client-triggered
+// checkAndTrim runs the CheckEvery invariant check and trim pass.
+func (ls *LibSEAL) checkAndTrim(env *asyncall.Env) {
+	asyncall.Lock(env, &ls.logMu)
+	defer ls.logMu.Unlock()
+	ls.runCheckLocked(env, false)
+	// A failed trim (say, the counter quorum is unreachable and the
+	// rewrite must not degrade) is not the client's problem: the log
+	// keeps growing and the next check retries. Only the append path
+	// may fail the SSL write, since there durability is at stake.
+	if err := ls.log.Trim(env, ls.cfg.Module.TrimQueries()); err != nil {
+		ls.stats.TrimFailures++
+	} else {
+		ls.stats.Trims++
+	}
+}
+
+// runCheckLocked executes all invariants; logMu is held. Client-triggered
 // checks are rate-limited.
 func (ls *LibSEAL) runCheckLocked(env *asyncall.Env, clientTriggered bool) string {
 	if ls.log == nil {
@@ -474,8 +573,8 @@ func (ls *LibSEAL) CheckNow() (string, error) {
 	}
 	var result string
 	err := ls.bridge.Call(func(env *asyncall.Env) error {
-		ls.mu.Lock()
-		defer ls.mu.Unlock()
+		asyncall.Lock(env, &ls.logMu)
+		defer ls.logMu.Unlock()
 		result = ls.runCheckLocked(env, false)
 		return nil
 	})
@@ -488,8 +587,8 @@ func (ls *LibSEAL) TrimNow() error {
 		return ErrLoggingDisabled
 	}
 	return ls.bridge.Call(func(env *asyncall.Env) error {
-		ls.mu.Lock()
-		defer ls.mu.Unlock()
+		asyncall.Lock(env, &ls.logMu)
+		defer ls.logMu.Unlock()
 		ls.stats.Trims++
 		return ls.log.Trim(env, ls.cfg.Module.TrimQueries())
 	})
