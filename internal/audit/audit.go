@@ -233,6 +233,13 @@ type commitBatch struct {
 	// Set by the leader during commit, read by publish (same goroutine).
 	disk   int64 // on-disk footprint of the committed batch
 	filled bool  // reached BatchMax (flush-reason telemetry)
+	// Degraded-mode outcome of anchorBatch, applied by publish only once the
+	// batch is durable: a fresh counter value anchors the batch (closing any
+	// degraded gap), or the batch was admitted under a stale anchor and its
+	// entries join the pending backlog. Entries that never become durable
+	// must neither consume the degraded budget nor close a gap.
+	anchorFresh bool
+	degraded    int
 }
 
 // Status describes the log's degraded-mode state.
@@ -387,14 +394,17 @@ func (l *Log) Stage(env *asyncall.Env, rows []Row) (*Ticket, error) {
 	if len(rows) == 0 {
 		return t, nil
 	}
-	// Convert values outside the lock.
+	// Convert values outside the lock. A failure anywhere before the rows
+	// enter the pipeline counts as one staging error — nothing was appended,
+	// so charging the whole group against audit.append.errors would skew the
+	// series relative to audit.appends (durably acknowledged rows).
 	svals := make([][]sqldb.Value, len(rows))
 	for i, row := range rows {
 		svals[i] = make([]sqldb.Value, len(row.Values))
 		for j, v := range row.Values {
 			sv, err := sqldb.FromGo(v)
 			if err != nil {
-				mAppendErrors.Add(int64(len(rows)))
+				mAppendErrors.Inc()
 				return nil, err
 			}
 			svals[i][j] = sv
@@ -406,20 +416,20 @@ func (l *Log) Stage(env *asyncall.Env, rows []Row) (*Ticket, error) {
 	asyncall.Lock(env, &l.mu)
 	if l.closed {
 		l.mu.Unlock()
-		mAppendErrors.Add(int64(len(rows)))
+		mAppendErrors.Inc()
 		return nil, ErrClosed
 	}
-	// Phase 1: insert rows, encode entries and charge the enclave heap.
-	// Failures leave already-inserted rows in the database (matching the
-	// historical insert-then-persist semantics) but touch no chain state.
+	// Phase 1a: prepare statements, encode entries and charge the enclave
+	// heap — everything fallible that does not touch the database.
 	encs := make([][]byte, len(rows))
+	stmts := make([]*sqldb.Stmt, len(rows))
 	var charged int64
 	fail := func(err error) (*Ticket, error) {
 		if charged > 0 {
 			env.Ctx.Free(charged)
 		}
 		l.mu.Unlock()
-		mAppendErrors.Add(int64(len(rows)))
+		mAppendErrors.Inc()
 		return nil, err
 	}
 	for i, row := range rows {
@@ -427,13 +437,7 @@ func (l *Log) Stage(env *asyncall.Env, rows []Row) (*Ticket, error) {
 		if err != nil {
 			return fail(err)
 		}
-		args := make([]any, len(svals[i]))
-		for j, sv := range svals[i] {
-			args[j] = sv
-		}
-		if _, err := st.Exec(args...); err != nil {
-			return fail(err)
-		}
+		stmts[i] = st
 		entry := &Entry{Seq: l.specSeq + uint64(i), Table: row.Table, Values: svals[i]}
 		enc := entry.Marshal()
 		// Account the tuple against the enclave heap: the in-enclave
@@ -445,6 +449,23 @@ func (l *Log) Stage(env *asyncall.Env, rows []Row) (*Ticket, error) {
 		}
 		charged += int64(len(enc))
 		encs[i] = enc
+	}
+	// Phase 1b: insert the rows. A mid-group failure removes the group's
+	// earlier inserts again (we hold l.mu, so the trailing rows are ours),
+	// keeping Stage atomic: checks never observe a partial group, and a
+	// later Trim — which rebuilds the signed log from the database — cannot
+	// fold never-staged rows into the verified chain.
+	for i := range rows {
+		args := make([]any, len(svals[i]))
+		for j, sv := range svals[i] {
+			args[j] = sv
+		}
+		if _, err := stmts[i].Exec(args...); err != nil {
+			for j := i - 1; j >= 0; j-- {
+				l.db.RemoveLastRows(rows[j].Table, 1)
+			}
+			return fail(err)
+		}
 	}
 	// Phase 2: advance the speculative chain and join batches. This cannot
 	// fail, so a ticket always covers all of its rows.
@@ -603,7 +624,7 @@ func (l *Log) awaitTurn(b *commitBatch) bool {
 // payloads, one signature over the batch's end-of-chain state, one write
 // sequence and one fsync. The caller holds the commit lane.
 func (l *Log) commitSealed(env *asyncall.Env, b *commitBatch) error {
-	counter, err := l.anchorBatch(env, len(b.payloads))
+	counter, err := l.anchorBatch(env, b)
 	if err != nil {
 		return err
 	}
@@ -657,13 +678,17 @@ func (l *Log) committedSize() int64 {
 	return l.fileSize
 }
 
-// anchorBatch obtains the counter value anchoring a batch of n entries: one
-// fresh increment per batch. When the quorum is unreachable and degraded
-// mode has buffer room, the batch proceeds under the last reachable value;
-// the chain stays intact and the next successful anchor covers the whole
-// backlog. The increment is a network operation and runs outside the
-// enclave. Called with the commit lane held.
-func (l *Log) anchorBatch(env *asyncall.Env, n int) (uint64, error) {
+// anchorBatch obtains the counter value anchoring a batch: one fresh
+// increment per batch. When the quorum is unreachable and degraded mode has
+// buffer room, the batch proceeds under the last reachable value; the chain
+// stays intact and the next successful anchor covers the whole backlog. The
+// increment is a network operation and runs outside the enclave. Called with
+// the commit lane held, so pendingAnchor is stable: the previous batch has
+// already published. The degraded bookkeeping itself (gap close, backlog
+// growth) is only recorded on the batch here and applied by publish once the
+// batch is durable — a batch whose write or fsync later fails must not
+// consume the degraded budget or claim to have closed a gap.
+func (l *Log) anchorBatch(env *asyncall.Env, b *commitBatch) (uint64, error) {
 	l.mu.Lock()
 	current := l.counter
 	l.mu.Unlock()
@@ -681,15 +706,11 @@ func (l *Log) anchorBatch(env *asyncall.Env, n int) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if cerr == nil {
+		// The fresh value is published to future signers immediately (the
+		// counter service advanced regardless of this batch's fate); whether
+		// it closed a degraded gap is decided at publish time.
 		l.counter = c
-		if l.pendingAnchor > 0 {
-			// Quorum recovered: the signature about to be written anchors
-			// every buffered entry. Flag the closed gap.
-			l.gaps++
-			l.pendingAnchor = 0
-			mGaps.Inc()
-			mDegradedPending.Set(0)
-		}
+		b.anchorFresh = true
 		return c, nil
 	}
 	if l.cfg.DegradedLimit <= 0 {
@@ -698,11 +719,7 @@ func (l *Log) anchorBatch(env *asyncall.Env, n int) (uint64, error) {
 	if l.pendingAnchor >= l.cfg.DegradedLimit {
 		return 0, fmt.Errorf("%w: %d appends pending, last error: %v", ErrDegradedFull, l.pendingAnchor, cerr)
 	}
-	if l.pendingAnchor == 0 {
-		mDegradedEpisodes.Inc()
-	}
-	l.pendingAnchor += n
-	mDegradedPending.Set(int64(l.pendingAnchor))
+	b.degraded = len(b.payloads)
 	return l.counter, nil
 }
 
@@ -719,6 +736,21 @@ func (l *Log) publish(b *commitBatch, err error) {
 		l.seq = b.endSeq
 		l.heap += b.bytes
 		l.fileSize += b.disk
+		switch {
+		case b.anchorFresh && l.pendingAnchor > 0:
+			// Quorum recovered: the now-durable signature anchors every
+			// buffered entry. Flag the closed gap.
+			l.gaps++
+			l.pendingAnchor = 0
+			mGaps.Inc()
+			mDegradedPending.Set(0)
+		case b.degraded > 0:
+			if l.pendingAnchor == 0 {
+				mDegradedEpisodes.Inc()
+			}
+			l.pendingAnchor += b.degraded
+			mDegradedPending.Set(int64(l.pendingAnchor))
+		}
 		mChainLength.Set(int64(l.seq))
 		mBatchCommits.Inc()
 		mBatchSize.Observe(time.Duration(len(b.payloads)))

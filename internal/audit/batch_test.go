@@ -374,6 +374,60 @@ func TestAppendTelemetryCountsErrorsSeparately(t *testing.T) {
 	}
 }
 
+// TestStageFailureLeavesNoPartialGroup pins Stage's atomicity promise: a
+// group whose insert fails part-way must leave no rows behind — otherwise a
+// later Trim, which rebuilds the signed log from the database, would fold
+// never-staged rows into the verified chain. Each failed Stage call counts
+// as one staging error, not one per row.
+func TestStageFailureLeavesNoPartialGroup(t *testing.T) {
+	e := newAuditEnv(t)
+	errs0 := mAppendErrors.Value()
+	e.call(t, func(env *asyncall.Env) error {
+		l, err := New(env, Config{Name: "git", Schema: testSchema, Mode: ModeMemory})
+		if err != nil {
+			return err
+		}
+		// Row 2's arity does not match the table, which only surfaces at
+		// insert time — after row 1 already went in.
+		_, err = l.Stage(env, []Row{
+			{Table: "updates", Values: []any{1, "r", "main", "c1", "update"}},
+			{Table: "updates", Values: []any{2, "r"}},
+		})
+		if err == nil {
+			t.Error("mid-group insert failure did not fail Stage")
+		}
+		if n, err := l.DB().TableRowCount("updates"); err != nil || n != 0 {
+			t.Errorf("rows after failed group = %d (%v), want 0", n, err)
+		}
+		if got := mAppendErrors.Value() - errs0; got != 1 {
+			t.Errorf("append errors after insert failure = %d, want 1 per Stage call", got)
+		}
+		// A pre-pipeline conversion failure is also one error, and equally
+		// traceless.
+		_, err = l.Stage(env, []Row{
+			{Table: "updates", Values: []any{3, "r", "main", "c3", "update"}},
+			{Table: "updates", Values: []any{struct{}{}, "r", "main", "c4", "update"}},
+		})
+		if err == nil {
+			t.Error("unconvertible value did not fail Stage")
+		}
+		if got := mAppendErrors.Value() - errs0; got != 2 {
+			t.Errorf("append errors after conversion failure = %d, want 2", got)
+		}
+		// The chain state is untouched: a clean append still works from seq 0.
+		if err := l.Append(env, "updates", 5, "r", "main", "c5", "update"); err != nil {
+			return err
+		}
+		if l.Seq() != 1 {
+			t.Errorf("seq = %d, want 1", l.Seq())
+		}
+		if n, _ := l.DB().TableRowCount("updates"); n != 1 {
+			t.Errorf("rows after clean append = %d, want 1", n)
+		}
+		return nil
+	})
+}
+
 // sigPayloadOffsets walks the on-disk record stream and returns the byte
 // offset of every signature record's payload.
 func sigPayloadOffsets(t *testing.T, data []byte) []int {

@@ -316,6 +316,70 @@ func TestDegradedModeBuffersAndReanchors(t *testing.T) {
 	}
 }
 
+// TestDegradedBudgetSurvivesFailedCommit pins degraded-mode accounting to
+// durable batches: a degraded-admitted append whose write fails never became
+// part of the log, so it must not consume the DegradedLimit budget — and a
+// later re-anchor must not record a gap over entries that do not exist.
+func TestDegradedBudgetSurvivesFailedCommit(t *testing.T) {
+	e := newAuditEnv(t)
+	e.group.SetRetryPolicy(fastGroupPolicy())
+	// Append 0 commits healthy (writes 1..4); append 1 is admitted degraded
+	// and its first write fails with ENOSPC (rolled back, handle survives).
+	first := appendFirstWrite(1)
+	in := faultinject.Scenario{Rules: []faultinject.Rule{
+		faultinject.NoSpace("git.lseal", first, first+1),
+	}}.Build()
+	cfg := e.diskConfig("git")
+	cfg.FS = in.FS(nil)
+	cfg.AnchorTimeout = 150 * time.Millisecond
+	cfg.DegradedLimit = 2
+	var l *Log
+	e.call(t, func(env *asyncall.Env) error {
+		var err error
+		l, err = New(env, cfg)
+		if err != nil {
+			return err
+		}
+		return l.Append(env, "updates", 1, "r", "main", "c1", "update")
+	})
+	defer l.Close()
+
+	// Kill the counter quorum (2 of 4 nodes with f = 1).
+	nodes := e.group.Nodes()
+	nodes[0].Fail()
+	nodes[1].Fail()
+
+	// The failed degraded append: nothing became durable, so nothing may
+	// count against the degraded budget.
+	err := e.bridge.Call(func(env *asyncall.Env) error {
+		return l.Append(env, "updates", 2, "r", "main", "c2", "update")
+	})
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("failed degraded append: %v, want ENOSPC", err)
+	}
+	if st := l.Status(); st.Degraded || st.PendingAnchor != 0 {
+		t.Fatalf("status after failed degraded commit = %+v, want no pending", st)
+	}
+
+	// The full budget is still available: two degraded appends succeed...
+	e.call(t, func(env *asyncall.Env) error {
+		if err := l.Append(env, "updates", 3, "r", "main", "c3", "update"); err != nil {
+			return err
+		}
+		return l.Append(env, "updates", 4, "r", "main", "c4", "update")
+	})
+	if st := l.Status(); !st.Degraded || st.PendingAnchor != 2 {
+		t.Fatalf("status = %+v, want degraded with 2 pending", st)
+	}
+	// ...and only the next one hits the limit.
+	err = e.bridge.Call(func(env *asyncall.Env) error {
+		return l.Append(env, "updates", 5, "r", "main", "c5", "update")
+	})
+	if !errors.Is(err, ErrDegradedFull) {
+		t.Fatalf("append past degraded limit: %v, want ErrDegradedFull", err)
+	}
+}
+
 func TestDegradedDisabledFailsAppend(t *testing.T) {
 	e := newAuditEnv(t)
 	e.group.SetRetryPolicy(fastGroupPolicy())

@@ -22,7 +22,11 @@
 // is what lets concurrent connections fill one group-commit batch. The lock
 // hierarchy is tracker → logMu → audit-internal, and every enclave-side
 // acquisition of a lock that may be contended goes through asyncall.Lock so
-// no lthread ever sleeps holding its scheduler's thread.
+// no lthread ever sleeps holding its scheduler's thread. One extra rule keeps
+// group commit deadlock-free against Trim (which quiesces the commit lane
+// while holding logMu): all pairs of one write are staged within a single
+// logMu critical section, and logMu is not re-acquired until every resulting
+// ticket has been waited — a pending batch leader never blocks on logMu.
 package core
 
 import (
@@ -378,10 +382,19 @@ func (ls *LibSEAL) onRead(env *asyncall.Env, connID uint64, data []byte) error {
 
 // onWrite accumulates response plaintext, pairs completed responses with
 // their requests, stages the pairs into the audit log, and injects the
-// check-result header. The durability wait runs after the tracker and
-// log-order locks are released, so appends from concurrent connections can
-// share one group-commit batch; the write still only succeeds once every
-// staged entry is durable.
+// check-result header. Pairing runs under the tracker lock, staging under
+// one logMu critical section, and the durability waits after both locks are
+// released, so appends from concurrent connections can share one
+// group-commit batch; the write still only succeeds once every staged entry
+// is durable.
+//
+// The single staging section is load-bearing for deadlock freedom: Trim
+// quiesces the group-commit lane while holding logMu, and the lane drains
+// only when every batch leader reaches Ticket.Wait. A connection that leads
+// an open batch must therefore never block on logMu again before all of its
+// tickets are waited — which is why the pairs are cut out first, staged in
+// one logMu hold, and the statistics for failed pairs are undone only after
+// the last wait resolves.
 func (ls *LibSEAL) onWrite(env *asyncall.Env, connID uint64, data []byte) ([]byte, error) {
 	tr := ls.tracker(connID)
 	asyncall.Lock(env, &tr.mu)
@@ -397,9 +410,7 @@ func (ls *LibSEAL) onWrite(env *asyncall.Env, connID uint64, data []byte) ([]byt
 	// Pair using the (unmodified) response bytes: the audit log records
 	// what the service produced.
 	tr.rspBuf = append(tr.rspBuf, data...)
-	var tickets []stagedPair
-	var stageErr error
-	checkDue := false
+	var pairs []rawPair
 	for {
 		_, n, err := httpparse.ConsumeResponse(tr.rspBuf)
 		if errors.Is(err, httpparse.ErrIncomplete) {
@@ -417,38 +428,37 @@ func (ls *LibSEAL) onWrite(env *asyncall.Env, connID uint64, data []byte) ([]byt
 		}
 		rawRsp := append([]byte(nil), tr.rspBuf[:n]...)
 		tr.rspBuf = tr.rspBuf[n:]
-		rawReq := tr.pending[0]
+		pairs = append(pairs, rawPair{req: tr.pending[0], rsp: rawRsp})
 		tr.pending = tr.pending[1:]
-		staged, due, err := ls.stagePair(env, rawReq, rawRsp)
-		if staged.ticket != nil {
-			tickets = append(tickets, staged)
-		}
-		checkDue = checkDue || due
-		if err != nil {
-			stageErr = err
-			break
-		}
 		if len(tr.rspBuf) == 0 {
 			break
 		}
 	}
 	tr.mu.Unlock()
 
+	tickets, checkDue, stageErr := ls.stagePairs(env, pairs)
+
 	// Every staged ticket must be waited on — a batch leader commits its
 	// batch from inside Wait — even when a later pair failed to stage.
 	err := stageErr
+	var undoPairs, undoTuples int64
 	for _, sp := range tickets {
 		if werr := sp.ticket.Wait(env); werr != nil {
 			// The pair never became durable: take it back out of the audit
-			// statistics so they count acknowledged work only.
-			asyncall.Lock(env, &ls.logMu)
-			ls.stats.Tuples -= sp.tuples
-			ls.stats.Pairs--
-			ls.logMu.Unlock()
+			// statistics (below, once no wait is outstanding) so they count
+			// acknowledged work only.
+			undoPairs++
+			undoTuples += sp.tuples
 			if err == nil {
 				err = fmt.Errorf("core: audit append: %w", werr)
 			}
 		}
+	}
+	if undoPairs > 0 {
+		asyncall.Lock(env, &ls.logMu)
+		ls.stats.Pairs -= undoPairs
+		ls.stats.Tuples -= undoTuples
+		ls.logMu.Unlock()
 	}
 	if err != nil {
 		return nil, err
@@ -462,6 +472,11 @@ func (ls *LibSEAL) onWrite(env *asyncall.Env, connID uint64, data []byte) ([]byt
 	return out, nil
 }
 
+// rawPair is one request/response pair cut out of a connection's streams.
+type rawPair struct {
+	req, rsp []byte
+}
+
 // stagedPair is one pair's durability ticket plus the statistics to undo
 // if the pair never becomes durable.
 type stagedPair struct {
@@ -469,45 +484,53 @@ type stagedPair struct {
 	tuples int64
 }
 
-// stagePair hands one pair to the SSM and stages its tuples into the audit
-// log's commit pipeline as one unit. Called with the connection's tracker
-// locked; logMu serialises the commit order across connections. The second
-// result reports that the CheckEvery budget is exhausted — the caller runs
-// the check once its entries are durable.
-func (ls *LibSEAL) stagePair(env *asyncall.Env, rawReq, rawRsp []byte) (stagedPair, bool, error) {
+// stagePairs hands the pairs to the SSM and stages their tuples into the
+// audit log's commit pipeline, one ticket per pair, under a single logMu
+// critical section that serialises the commit order across connections.
+// Staging every pair in one hold keeps pipelined pairs eligible for one
+// group-commit batch and guarantees the caller is never a pending batch
+// leader while blocked on logMu (see onWrite). The second result reports
+// that the CheckEvery budget is exhausted — the caller runs the check once
+// its entries are durable.
+func (ls *LibSEAL) stagePairs(env *asyncall.Env, pairs []rawPair) ([]stagedPair, bool, error) {
+	if len(pairs) == 0 {
+		return nil, false, nil
+	}
 	asyncall.Lock(env, &ls.logMu)
 	defer ls.logMu.Unlock()
-	ls.pairTime++
-	st := &ssm.State{Time: ls.pairTime, DB: ls.log.DB()}
-	tuples, err := ls.cfg.Module.HandlePair(st, rawReq, rawRsp)
-	if err != nil {
-		// Unparseable traffic is not a service integrity violation; it is
-		// recorded as a statistic but does not fail the connection.
-		return stagedPair{}, false, nil
-	}
-	var staged stagedPair
-	if len(tuples) > 0 {
-		rows := make([]audit.Row, len(tuples))
-		for i, tu := range tuples {
-			rows[i] = audit.Row{Table: tu.Table, Values: tu.Values}
-		}
-		ticket, err := ls.log.Stage(env, rows)
+	var tickets []stagedPair
+	checkDue := false
+	for _, p := range pairs {
+		ls.pairTime++
+		st := &ssm.State{Time: ls.pairTime, DB: ls.log.DB()}
+		tuples, err := ls.cfg.Module.HandlePair(st, p.req, p.rsp)
 		if err != nil {
-			return stagedPair{}, false, fmt.Errorf("core: audit append: %w", err)
+			// Unparseable traffic is not a service integrity violation; it
+			// is recorded as a statistic but does not fail the connection.
+			continue
 		}
-		staged = stagedPair{ticket: ticket, tuples: int64(len(tuples))}
-		ls.stats.Tuples += staged.tuples
-	}
-	ls.stats.Pairs++
-	due := false
-	if len(tuples) > 0 && ls.cfg.CheckEvery > 0 {
-		ls.sinceCheck++
-		if ls.sinceCheck >= ls.cfg.CheckEvery {
-			ls.sinceCheck = 0
-			due = true
+		if len(tuples) > 0 {
+			rows := make([]audit.Row, len(tuples))
+			for i, tu := range tuples {
+				rows[i] = audit.Row{Table: tu.Table, Values: tu.Values}
+			}
+			ticket, err := ls.log.Stage(env, rows)
+			if err != nil {
+				return tickets, checkDue, fmt.Errorf("core: audit append: %w", err)
+			}
+			tickets = append(tickets, stagedPair{ticket: ticket, tuples: int64(len(tuples))})
+			ls.stats.Tuples += int64(len(tuples))
+		}
+		ls.stats.Pairs++
+		if len(tuples) > 0 && ls.cfg.CheckEvery > 0 {
+			ls.sinceCheck++
+			if ls.sinceCheck >= ls.cfg.CheckEvery {
+				ls.sinceCheck = 0
+				checkDue = true
+			}
 		}
 	}
-	return staged, due, nil
+	return tickets, checkDue, nil
 }
 
 // checkAndTrim runs the CheckEvery invariant check and trim pass.

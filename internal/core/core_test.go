@@ -10,6 +10,7 @@ import (
 	"io"
 	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -22,7 +23,19 @@ import (
 	"libseal/internal/sqldb"
 	"libseal/internal/ssm/gitssm"
 	"libseal/internal/tlsterm"
+	"libseal/internal/vfs"
 )
+
+// slowRenameFS stretches the trim rewrite's rename (performed while core
+// holds logMu) past Go's 1ms mutex starvation threshold, forcing handoff
+// ordering on logMu so concurrent stagers and trimmers interleave in FIFO
+// order rather than the barging fast path.
+type slowRenameFS struct{ vfs.OS }
+
+func (s slowRenameFS) Rename(oldpath, newpath string) error {
+	time.Sleep(2 * time.Millisecond)
+	return s.OS.Rename(oldpath, newpath)
+}
 
 type coreEnv struct {
 	ca     *pki.CA
@@ -577,6 +590,116 @@ func TestTimeBasedPeriodicChecks(t *testing.T) {
 	}
 	// Close must stop the background checker cleanly.
 	ls.Close()
+}
+
+// TestPipelinedPairsConcurrentTrimNoDeadlock pins the staging lock rule: Trim
+// quiesces the group-commit lane while holding the log-order lock, and the
+// lane drains only once every batch leader reaches its durability wait — so a
+// connection must stage all pairs of one write in a single logMu critical
+// section. The regression this guards against re-acquired logMu between two
+// pipelined pairs: a trim slotted into that window held logMu while waiting
+// for a leader that was blocked on logMu, hanging the instance. The server
+// here answers both pipelined requests with one write, so each round stages
+// two pairs, while trim goroutines trim as fast as they can. The audit FS
+// slows the trim rewrite's rename so each trim holds logMu past the mutex's
+// 1ms starvation threshold, and two trimmers run so that while one trims,
+// the stager and the other trimmer queue behind it in FIFO order — handoff
+// then reliably slots a trimmer into any gap between the two stagings.
+func TestPipelinedPairsConcurrentTrimNoDeadlock(t *testing.T) {
+	env := newCoreEnv(t)
+	dir := t.TempDir()
+	ls := newGitLibSEAL(t, env, Config{
+		Module:          gitssm.New(),
+		AuditMode:       audit.ModeDisk,
+		AuditDir:        dir,
+		AuditFS:         slowRenameFS{},
+		AuditBatchMax:   8,
+		AuditBatchDelay: time.Millisecond,
+	})
+	backend := newGitBackend()
+
+	cConn, sConn := netsim.Pipe(netsim.LinkConfig{})
+	go func() {
+		ssl := ls.TLS().NewSSL(sConn)
+		if err := ssl.Accept(); err != nil {
+			return
+		}
+		defer ssl.Close()
+		br := bufio.NewReader(ssl)
+		for {
+			req1, err := httpparse.ReadRequest(br)
+			if err != nil {
+				return
+			}
+			req2, err := httpparse.ReadRequest(br)
+			if err != nil {
+				return
+			}
+			out := append(backend.handle(req1).Bytes(), backend.handle(req2).Bytes()...)
+			if _, err := ssl.Write(out); err != nil {
+				return
+			}
+		}
+	}()
+	conn, err := tlsterm.Connect(cConn, &tlsterm.ClientConfig{Roots: env.pool, ServerName: "svc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+
+	stopTrim := make(chan struct{})
+	var trimmers sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		trimmers.Add(1)
+		go func() {
+			defer trimmers.Done()
+			for {
+				select {
+				case <-stopTrim:
+					return
+				default:
+					ls.TrimNow()
+				}
+			}
+		}()
+	}
+
+	const rounds = 25
+	done := make(chan error, 1)
+	go func() {
+		for r := 0; r < rounds; r++ {
+			req1 := httpparse.NewRequest("POST", "/git/repo/git-receive-pack",
+				[]byte(fmt.Sprintf("create a%d c1", r)))
+			req2 := httpparse.NewRequest("POST", "/git/repo/git-receive-pack",
+				[]byte(fmt.Sprintf("create b%d c2", r)))
+			if _, err := conn.Write(append(req1.Bytes(), req2.Bytes()...)); err != nil {
+				done <- fmt.Errorf("round %d write: %w", r, err)
+				return
+			}
+			for i := 0; i < 2; i++ {
+				if _, err := httpparse.ReadResponse(br); err != nil {
+					done <- fmt.Errorf("round %d response %d: %w", r, i, err)
+					return
+				}
+			}
+		}
+		done <- nil
+	}()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("pipelined writes deadlocked against concurrent trims")
+	}
+	close(stopTrim)
+	trimmers.Wait()
+	if st := ls.StatsSnapshot(); st.Pairs != 2*rounds {
+		t.Fatalf("pairs = %d, want %d", st.Pairs, 2*rounds)
+	}
 }
 
 // TestConcurrentConnectionsBatchedDisk drives many connections in parallel

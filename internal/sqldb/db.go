@@ -468,6 +468,24 @@ func (db *DB) TableRows(name string) ([][]Value, error) {
 	return out, nil
 }
 
+// RemoveLastRows removes the n most recently inserted rows of a table. It
+// lets a caller undo its own trailing inserts when a multi-row group fails
+// part-way; such a caller must serialise the table's writers so the trailing
+// rows are in fact its own.
+func (db *DB) RemoveLastRows(name string, n int) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchTable, name)
+	}
+	if n > len(t.Rows) {
+		n = len(t.Rows)
+	}
+	t.Rows = t.Rows[:len(t.Rows)-n]
+	return nil
+}
+
 // TableRowCount returns the number of rows in a table.
 func (db *DB) TableRowCount(name string) (int, error) {
 	db.mu.RLock()
