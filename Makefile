@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check bench bench-json bench-compare clean
+.PHONY: all build test check soak bench bench-json bench-compare clean
 
 all: build
 
@@ -16,6 +16,11 @@ test:
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# Resilience soak (DESIGN.md §12): rolling amnesic counter-node restarts,
+# the circuit-breaker lifecycle and overload shedding, under -race.
+soak:
+	$(GO) test -race -count=1 -run 'TestChaosRollingRestart|TestChaosBreaker|TestChaosOverload' -v .
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=2x ./...

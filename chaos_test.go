@@ -1,8 +1,12 @@
 package libseal
 
 import (
+	"context"
+	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -10,6 +14,7 @@ import (
 	"libseal/internal/core"
 	"libseal/internal/faultinject"
 	"libseal/internal/httpparse"
+	"libseal/internal/telemetry"
 )
 
 // The chaos soak drives the full stack — client -> Apache proxy -> LibSEAL ->
@@ -221,6 +226,300 @@ func TestChaosSoakCrashRecovery(t *testing.T) {
 	}
 	if uint64(len(entries)) != finalSeq {
 		t.Fatalf("verified %d entries, log held %d", len(entries), finalSeq)
+	}
+}
+
+// TestChaosRollingRestartSoak rolls an amnesic restart through every counter
+// node, one at a time, while two workers keep pushing. Each restarted node
+// refuses service until it re-syncs from a read quorum of its peers, so the
+// remaining 3 of n = 4 nodes carry the increments, no adopted value regresses
+// below what was committed before the restart, and the final log passes
+// strict verification with counter freshness.
+func TestChaosRollingRestartSoak(t *testing.T) {
+	dir := t.TempDir()
+	platform := NewPlatform()
+	group, err := NewCounterGroup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy := chaosRetryPolicy()
+	st, err := bench.NewGitStack(bench.StackOptions{
+		Mode:          bench.ModeDisk,
+		AuditDir:      dir,
+		Platform:      platform,
+		Group:         group,
+		RetryPolicy:   &policy,
+		AnchorTimeout: time.Second,
+		AuditBatchMax: 4,
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	setup := st.NewClient(true)
+	if rsp, err := setup.Do(httpparse.NewRequest("POST", "/git/x/git-receive-pack", []byte("create main c0"))); err != nil || rsp.Status != 200 {
+		t.Fatalf("create push: %v (rsp %+v)", err, rsp)
+	}
+	setup.Close()
+	var pushes atomic.Int64
+	pushes.Add(1)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		client := st.NewClient(true)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer client.Close()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				cid := fmt.Sprintf("c%d-%d", w, i)
+				rsp, err := client.Do(httpparse.NewRequest("POST", "/git/x/git-receive-pack", []byte("update main "+cid)))
+				if err != nil {
+					t.Errorf("push %s during rolling restart: %v", cid, err)
+					return
+				}
+				if rsp.Status != 200 {
+					t.Errorf("push %s: status %d", cid, rsp.Status)
+					return
+				}
+				pushes.Add(1)
+			}
+		}()
+	}
+
+	for id, n := range group.Nodes() {
+		before, err := group.Read("git")
+		if err != nil {
+			t.Errorf("read before restarting node %d: %v", id, err)
+			break
+		}
+		n.RestartAmnesiac()
+		// Let the workers hammer the depleted group for a moment: the
+		// amnesic node must refuse to serve, not hand out stale acks.
+		time.Sleep(20 * time.Millisecond)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		for {
+			if err = n.Resync(ctx); err == nil {
+				break
+			}
+			if ctx.Err() != nil {
+				t.Errorf("node %d never re-synced: %v", id, err)
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		cancel()
+		if !n.Synced() {
+			break
+		}
+		if got := n.Value("git"); got < before {
+			t.Errorf("node %d re-synced to %d, below the committed %d", id, got, before)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	finalSeq := st.Seal.Log().Seq()
+	if finalSeq != uint64(pushes.Load()) {
+		t.Fatalf("log holds %d entries, %d pushes acknowledged", finalSeq, pushes.Load())
+	}
+	pub := st.Enclave.PublicKey()
+	st.Seal.Close()
+	entries, err := VerifyLogFile(dir+"/git.lseal", VerifyOptions{Pub: pub, Protector: group, Name: "git"})
+	if err != nil {
+		t.Fatalf("strict verify after rolling restarts: %v", err)
+	}
+	if uint64(len(entries)) != finalSeq {
+		t.Fatalf("verified %d entries, log held %d", len(entries), finalSeq)
+	}
+}
+
+// TestChaosBreakerLifecycle walks the counter circuit breaker through a full
+// open -> half-open -> closed cycle under live traffic. With the quorum dead,
+// each degraded push burns its anchor timeout until the failure streak trips
+// the breaker; after that, pushes shed the counter attempt immediately. Once
+// the quorum heals and the cooldown passes, the next push is the half-open
+// probe that re-closes the breaker and re-anchors the backlog.
+func TestChaosBreakerLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	group, err := NewCounterGroup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy := RetryPolicy{
+		Timeout:     250 * time.Millisecond,
+		Retries:     2,
+		BackoffBase: 2 * time.Millisecond,
+		BackoffMax:  10 * time.Millisecond,
+		JitterSeed:  chaosSeed,
+	}
+	st, err := bench.NewGitStack(bench.StackOptions{
+		Mode:          bench.ModeDisk,
+		AuditDir:      dir,
+		Platform:      NewPlatform(),
+		Group:         group,
+		RetryPolicy:   &policy,
+		AnchorTimeout: 400 * time.Millisecond,
+		DegradedLimit: 16,
+		Breaker:       &BreakerConfig{Threshold: 2, Cooldown: 300 * time.Millisecond},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	client := st.NewClient(true)
+	defer client.Close()
+	push := func(op, cid string) time.Duration {
+		t.Helper()
+		start := time.Now()
+		rsp, err := client.Do(httpparse.NewRequest("POST", "/git/x/git-receive-pack", []byte(op+" main "+cid)))
+		if err != nil {
+			t.Fatalf("push %s: %v", cid, err)
+		}
+		if rsp.Status != 200 {
+			t.Fatalf("push %s: status %d", cid, rsp.Status)
+		}
+		return time.Since(start)
+	}
+
+	push("create", "c1")
+	if s := st.Breaker.State(); s != BreakerClosed {
+		t.Fatalf("breaker after healthy push: %s", s)
+	}
+
+	// Kill the quorum. The next two pushes still succeed — degraded — but
+	// each eats the 400 ms anchor timeout, and their failure streak trips
+	// the breaker.
+	st.Group.Nodes()[0].Fail()
+	st.Group.Nodes()[1].Fail()
+	push("update", "c2")
+	push("update", "c3")
+	if s := st.Breaker.State(); s != BreakerOpen {
+		t.Fatalf("breaker after %d failed anchors: %s, want open", 2, s)
+	}
+
+	// Open breaker: the counter attempt is shed on the spot, so the push is
+	// degraded AND fast — well under the anchor timeout it no longer pays.
+	short0, _ := telemetry.Get("rote.breaker.short_circuits")
+	if d := push("update", "c4"); d >= 350*time.Millisecond {
+		t.Fatalf("short-circuited push took %v, want well under the 400ms anchor timeout", d)
+	}
+	if short1, _ := telemetry.Get("rote.breaker.short_circuits"); short1.Value <= short0.Value {
+		t.Fatalf("short-circuit count did not advance: %d -> %d", short0.Value, short1.Value)
+	}
+	if status := st.Seal.AuditStatus(); !status.Degraded || status.PendingAnchor != 3 {
+		t.Fatalf("status with breaker open = %+v", status)
+	}
+
+	// The quorum heals and the cooldown passes: the next push carries the
+	// half-open probe, which succeeds, closes the breaker and re-anchors
+	// the whole backlog.
+	st.Group.Nodes()[0].Recover()
+	st.Group.Nodes()[1].Recover()
+	time.Sleep(350 * time.Millisecond)
+	push("update", "c5")
+	if s := st.Breaker.State(); s != BreakerClosed {
+		t.Fatalf("breaker after probe: %s, want closed", s)
+	}
+	if status := st.Seal.AuditStatus(); status.Degraded || status.Gaps != 1 {
+		t.Fatalf("status after heal = %+v", status)
+	}
+	if got := st.Seal.Log().Seq(); got != 5 {
+		t.Fatalf("seq = %d, want 5", got)
+	}
+}
+
+// TestChaosOverloadShedding stalls audit-log disk writes while eight clients
+// push at once against a two-entry staging budget. Admission control must
+// shed the overflow with ErrOverloaded instead of queueing without bound, and
+// every acknowledged push — and only those — must reach the verified log.
+func TestChaosOverloadShedding(t *testing.T) {
+	dir := t.TempDir()
+	group, err := NewCounterGroup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := FaultScenario{Seed: chaosSeed, Rules: []FaultRule{
+		// Every log write from the first one on crawls: the group-commit
+		// pipeline stays full while the burst arrives.
+		faultinject.StallWrites("git.lseal", 1, 1<<30, 300*time.Millisecond),
+	}}.Build()
+	policy := chaosRetryPolicy()
+	st, err := bench.NewGitStack(bench.StackOptions{
+		Mode:          bench.ModeDisk,
+		AuditDir:      dir,
+		Platform:      NewPlatform(),
+		Group:         group,
+		Inject:        in,
+		RetryPolicy:   &policy,
+		AnchorTimeout: time.Second,
+		AuditBatchMax: 2,
+		MaxStaged:     2,
+		AdmitTimeout:  30 * time.Millisecond,
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	shed0, _ := telemetry.Get("audit.admission.shed")
+	const burst = 8
+	var ok, failed atomic.Int64
+	clients := make([]*bench.Client, burst)
+	for i := range clients {
+		clients[i] = st.NewClient(true)
+	}
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i, client := range clients {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer client.Close()
+			<-start
+			rsp, err := client.Do(httpparse.NewRequest("POST", "/git/x/git-receive-pack", []byte(fmt.Sprintf("create b%d x%d", i, i))))
+			if err == nil && rsp.Status == 200 {
+				ok.Add(1)
+			} else {
+				failed.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	shed1, _ := telemetry.Get("audit.admission.shed")
+	if shed1.Value <= shed0.Value {
+		t.Fatalf("no appends shed under a stalled disk (shed %d -> %d, ok %d, failed %d)",
+			shed0.Value, shed1.Value, ok.Load(), failed.Load())
+	}
+	if failed.Load() == 0 {
+		t.Fatal("all pushes succeeded against a full staging budget")
+	}
+	if got := st.Seal.Log().Seq(); got != uint64(ok.Load()) {
+		t.Fatalf("log holds %d entries, %d pushes acknowledged", got, ok.Load())
+	}
+
+	// Shed entries must be invisible to the verifier: the surviving chain
+	// holds exactly the acknowledged pushes.
+	pub := st.Enclave.PublicKey()
+	st.Seal.Close()
+	entries, err := VerifyLogFile(dir+"/git.lseal", VerifyOptions{Pub: pub, Protector: group, Name: "git"})
+	if err != nil {
+		t.Fatalf("strict verify after shedding: %v", err)
+	}
+	if uint64(len(entries)) != uint64(ok.Load()) {
+		t.Fatalf("verified %d entries, %d pushes acknowledged", len(entries), ok.Load())
 	}
 }
 

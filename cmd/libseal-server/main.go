@@ -58,7 +58,12 @@ func main() {
 	degradedLimit := flag.Int("degraded-limit", 64, "appends buffered under a stale counter anchor while the counter quorum is unreachable (0 = fail writes instead)")
 	anchorTimeout := flag.Duration("anchor-timeout", 2*time.Second, "bound on each rollback-counter operation on the request path")
 	recoverMaxLag := flag.Uint64("recover-max-lag", 1, "counter lag tolerated when resuming with -recover (a crash between increment and flush leaves lag 1)")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty = off)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /readyz and /debug/pprof on this address (empty = off)")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive counter-quorum failures that open the circuit breaker (0 = no breaker)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "how long the breaker stays open before probing the quorum again")
+	maxStaged := flag.Int("max-staged", 256, "staging budget of the audit group-commit pipeline; over-budget appends are shed (0 = unbounded)")
+	admitTimeout := flag.Duration("admit-timeout", 500*time.Millisecond, "how long an over-budget append may wait for the pipeline to drain before being shed")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests and audit batches to finish")
 	flag.Parse()
 
 	module, err := libseal.ModuleByName(*service)
@@ -70,15 +75,6 @@ func main() {
 		log.Fatalf("no handler for service %q", *service)
 	}
 	handler := mkHandler()
-
-	if *metricsAddr != "" {
-		go func() {
-			log.Printf("telemetry on http://%s/metrics (pprof under /debug/pprof/)", *metricsAddr)
-			if err := http.ListenAndServe(*metricsAddr, telemetry.NewServeMux()); err != nil {
-				log.Printf("telemetry endpoint: %v", err)
-			}
-		}()
-	}
 
 	// Launch the enclave and the call bridge. The platform state persists
 	// across restarts (the simulation analogue of one physical machine), so
@@ -140,6 +136,10 @@ func main() {
 			log.Printf("INTEGRITY VIOLATION %s: %d offending log entries", name, len(rows.Rows))
 		},
 	}
+	var (
+		group   *libseal.CounterGroup
+		breaker *libseal.Breaker
+	)
 	switch *mode {
 	case "mem":
 		cfg.AuditMode = audit.ModeMemory
@@ -149,11 +149,24 @@ func main() {
 		cfg.DegradedLimit = *degradedLimit
 		cfg.AnchorTimeout = *anchorTimeout
 		cfg.RecoverMaxLag = *recoverMaxLag
-		group, err := libseal.NewCounterGroup(1)
+		cfg.AuditMaxStaged = *maxStaged
+		cfg.AuditAdmitTimeout = *admitTimeout
+		group, err = libseal.NewCounterGroup(1)
 		if err != nil {
 			log.Fatal(err)
 		}
 		cfg.Protector = group
+		if *breakerThreshold > 0 {
+			bp := libseal.NewBreakerProtector("rote.breaker", group, libseal.BreakerConfig{
+				Threshold: *breakerThreshold,
+				Cooldown:  *breakerCooldown,
+				OnStateChange: func(from, to libseal.BreakerState) {
+					log.Printf("counter breaker: %s -> %s", from, to)
+				},
+			})
+			breaker = bp.Breaker()
+			cfg.Protector = bp
+		}
 	default:
 		log.Fatalf("unknown mode %q", *mode)
 	}
@@ -162,6 +175,17 @@ func main() {
 		log.Fatal(err)
 	}
 	defer seal.Close()
+
+	if *metricsAddr != "" {
+		mux := telemetry.NewServeMux()
+		newHealth(seal, group, breaker, *degradedLimit).Mount(mux)
+		go func() {
+			log.Printf("telemetry on http://%s/metrics (health under /healthz and /readyz, pprof under /debug/pprof/)", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				log.Printf("telemetry endpoint: %v", err)
+			}
+		}()
+	}
 
 	server, err := apache.New(apache.Config{
 		Terminator: seal.TLS().Terminator(),
@@ -180,18 +204,93 @@ func main() {
 	log.Printf("trust material in %s: ca.pem, server-cert.pem, enclave.pub", *dir)
 
 	go func() {
-		sig := make(chan os.Signal, 1)
+		sig := make(chan os.Signal, 2)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		st := seal.StatsSnapshot()
-		log.Printf("shutting down: %d pairs, %d tuples, %d checks, %d violations",
-			st.Pairs, st.Tuples, st.Checks, st.Violations)
-		server.Close()
+		log.Printf("shutdown signal: no longer accepting connections, draining (timeout %v; signal again to force exit)", *drainTimeout)
 		l.Close()
+		<-sig
+		log.Printf("second signal: forcing exit")
+		os.Exit(1)
 	}()
+	// Serve returns nil once the listener closes; anything else is a real
+	// serve failure.
 	if err := server.Serve(l); err != nil {
 		log.Fatal(err)
 	}
+	drain(seal, server, *drainTimeout)
+}
+
+// drain finishes in-flight work after the listener has closed: it waits for
+// active connections to complete, runs a final invariant check, and flushes
+// buffered group-commit batches by closing the audit log — all bounded by
+// timeout so a stalled disk cannot wedge shutdown forever.
+func drain(seal *libseal.LibSEAL, server *apache.Server, timeout time.Duration) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		server.Close() // waits for in-flight workers
+		if result, err := seal.CheckNow(); err != nil {
+			log.Printf("final invariant check: %v", err)
+		} else {
+			log.Printf("final invariant check: %s", result)
+		}
+		st := seal.StatsSnapshot()
+		log.Printf("drained: %d pairs, %d tuples, %d checks, %d violations",
+			st.Pairs, st.Tuples, st.Checks, st.Violations)
+		if err := seal.Close(); err != nil {
+			log.Printf("audit close: %v", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		log.Printf("drain timed out after %v; exiting with in-flight work unflushed", timeout)
+		os.Exit(1)
+	}
+}
+
+// newHealth wires the server's readiness probes: counter-quorum liveness,
+// circuit-breaker position, and audit degraded-mode pressure. Probes are
+// nil-safe so mem mode (no counter group, no breaker) still serves /readyz.
+func newHealth(seal *libseal.LibSEAL, group *libseal.CounterGroup, breaker *libseal.Breaker, degradedLimit int) *libseal.Health {
+	h := libseal.NewHealth()
+	h.Liveness("process", func() libseal.HealthCheckResult {
+		return libseal.HealthOK("serving")
+	})
+	if group != nil {
+		h.Readiness("rote-quorum", func() libseal.HealthCheckResult {
+			need := 2*group.F() + 1
+			healthy := 0
+			for _, n := range group.NodeStatus() {
+				if n.Alive && n.Synced {
+					healthy++
+				}
+			}
+			detail := fmt.Sprintf("%d/%d nodes healthy (quorum %d)", healthy, len(group.NodeStatus()), need)
+			if healthy < need {
+				return libseal.HealthUnhealthy(detail)
+			}
+			return libseal.HealthOK(detail)
+		})
+	}
+	if breaker != nil {
+		h.Readiness("counter-breaker", func() libseal.HealthCheckResult {
+			s := breaker.State()
+			if s == libseal.BreakerOpen {
+				return libseal.HealthUnhealthy("breaker open: counter quorum unreachable")
+			}
+			return libseal.HealthOK("breaker " + s.String())
+		})
+	}
+	h.Readiness("audit", func() libseal.HealthCheckResult {
+		st := seal.AuditStatus()
+		if st.Degraded {
+			return libseal.HealthUnhealthy(fmt.Sprintf("degraded: %d appends awaiting a fresh counter anchor (limit %d)", st.PendingAnchor, degradedLimit))
+		}
+		return libseal.HealthOK(fmt.Sprintf("anchored (%d degraded episodes closed)", st.Gaps))
+	})
+	return h
 }
 
 func mustWrite(path string, data []byte) {

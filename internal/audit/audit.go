@@ -68,6 +68,9 @@ var (
 	mFlushFull        = telemetry.NewCounter("audit.batch.flush.full", "batches")
 	mFlushDelay       = telemetry.NewCounter("audit.batch.flush.delay", "batches")
 	mFlushIdle        = telemetry.NewCounter("audit.batch.flush.idle", "batches")
+	mAdmitShed        = telemetry.NewCounter("audit.admission.shed", "calls")
+	mAdmitWaits       = telemetry.NewCounter("audit.admission.waits", "calls")
+	mStagedPending    = telemetry.NewGauge("audit.staged.pending", "entries")
 )
 
 // Errors reported by the audit log.
@@ -83,6 +86,11 @@ var (
 	// because an earlier batch's commit failed: their entries chain off a
 	// head that never became durable.
 	ErrBatchAborted = errors.New("audit: batch aborted (earlier commit failed)")
+	// ErrOverloaded is returned by Append/Stage when the group-commit
+	// pipeline's staging budget (Config.MaxStaged) is exhausted and did not
+	// drain within Config.AdmitTimeout. A stalled fsync or counter quorum
+	// then surfaces as backpressure instead of an unbounded ticket queue.
+	ErrOverloaded = errors.New("audit: overloaded (staging budget exhausted)")
 )
 
 // Mode selects where the log lives.
@@ -159,6 +167,16 @@ type Config struct {
 	// batching then emerges only from entries staged while an earlier
 	// batch's commit is in flight. Ignored when BatchMax <= 1.
 	BatchDelay time.Duration
+	// MaxStaged bounds the entries staged into the commit pipeline but not
+	// yet durable (admission control). A Stage that would push the backlog
+	// past the bound waits up to AdmitTimeout for commits to drain, then is
+	// shed with ErrOverloaded. A group larger than the whole budget is
+	// admitted when the pipeline is empty, so oversized groups still make
+	// progress. Zero disables the bound. Only meaningful in ModeDisk.
+	MaxStaged int
+	// AdmitTimeout is how long an over-budget Stage may wait for the
+	// pipeline to drain before being shed. Zero sheds immediately.
+	AdmitTimeout time.Duration
 }
 
 // batchMax normalises the configured batch bound.
@@ -411,9 +429,10 @@ func (l *Log) Stage(env *asyncall.Env, rows []Row) (*Ticket, error) {
 		}
 	}
 
-	// A contended acquisition parks as an ocall (Trim holds the lock across
-	// its rewrite I/O); an lthread must never sleep holding its scheduler.
-	asyncall.Lock(env, &l.mu)
+	if err := l.lockAdmitted(env, len(rows)); err != nil {
+		mAppendErrors.Inc()
+		return nil, err
+	}
 	if l.closed {
 		l.mu.Unlock()
 		mAppendErrors.Inc()
@@ -489,8 +508,72 @@ func (l *Log) Stage(env *asyncall.Env, rows []Row) (*Ticket, error) {
 			t.waits = append(t.waits, waitRef{b: b, leader: leader, count: 1, bytes: int64(len(enc))})
 		}
 	}
+	mStagedPending.Set(int64(l.specSeq - l.seq))
 	l.mu.Unlock()
 	return t, nil
+}
+
+// lockAdmitted acquires l.mu with room in the staging budget for n more
+// entries. A contended acquisition parks as an ocall (Trim holds the lock
+// across its rewrite I/O); an lthread must never sleep holding its
+// scheduler. When the pipeline is over budget the wait for draining commits
+// likewise runs outside the enclave. On success l.mu is held; on error it
+// is released.
+func (l *Log) lockAdmitted(env *asyncall.Env, n int) error {
+	asyncall.Lock(env, &l.mu)
+	if l.cfg.Mode != ModeDisk || l.cfg.MaxStaged <= 0 {
+		return nil
+	}
+	// An empty pipeline admits any group (progress for groups larger than
+	// the whole budget); otherwise the group must fit under the bound.
+	admit := func() bool {
+		inflight := int(l.specSeq - l.seq)
+		return inflight == 0 || inflight+n <= l.cfg.MaxStaged
+	}
+	if admit() {
+		return nil
+	}
+	if l.cfg.AdmitTimeout <= 0 {
+		l.mu.Unlock()
+		mAdmitShed.Inc()
+		return ErrOverloaded
+	}
+	mAdmitWaits.Inc()
+	deadline := time.Now().Add(l.cfg.AdmitTimeout)
+	// commitCond broadcasts on every batch outcome, so a draining pipeline
+	// wakes the waiter promptly; the timer broadcast bounds the wait when
+	// nothing drains (a stalled fsync wakes nobody). sync.Cond rides l.mu,
+	// which is explicitly not goroutine-affine — waiting on the ocall thread
+	// and returning to the enclave call with the lock held is legal.
+	if err := env.Ocall(func() error {
+		timer := time.AfterFunc(l.cfg.AdmitTimeout, l.commitCond.Broadcast)
+		defer timer.Stop()
+		for !l.closed && !admit() && time.Now().Before(deadline) {
+			l.commitCond.Wait()
+		}
+		return nil
+	}); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if !admit() {
+		l.mu.Unlock()
+		mAdmitShed.Inc()
+		return ErrOverloaded
+	}
+	return nil
+}
+
+// PendingStaged returns the number of entries staged into the commit
+// pipeline but not yet durable.
+func (l *Log) PendingStaged() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int(l.specSeq - l.seq)
 }
 
 // joinBatch stages one encoded entry into the open batch, opening a new one
@@ -772,6 +855,7 @@ func (l *Log) publish(b *commitBatch, err error) {
 		l.cur = nil
 		mBatchAborts.Inc()
 	}
+	mStagedPending.Set(int64(l.specSeq - l.seq))
 	b.err = err
 	close(b.done)
 	l.commitCond.Broadcast()
@@ -962,6 +1046,7 @@ func (l *Log) Trim(env *asyncall.Env, queries []string) error {
 		l.specChain = newChain
 		l.specSeq = newSeq
 		mChainLength.Set(int64(l.seq))
+		mStagedPending.Set(0)
 	}
 	if l.cfg.Mode != ModeDisk {
 		commitMemory()

@@ -11,6 +11,7 @@ import (
 	"libseal/internal/enclave"
 	"libseal/internal/faultinject"
 	"libseal/internal/netsim"
+	"libseal/internal/resilience"
 	"libseal/internal/rote"
 	"libseal/internal/services/apache"
 	"libseal/internal/services/dropbox"
@@ -105,6 +106,16 @@ type StackOptions struct {
 	// Zero values keep the conservative entry-at-a-time behaviour.
 	AuditBatchMax   int
 	AuditBatchDelay time.Duration
+	// MaxStaged and AdmitTimeout configure admission control on the
+	// group-commit pipeline: over-budget appends wait up to AdmitTimeout for
+	// it to drain, then are shed with audit.ErrOverloaded. Zero MaxStaged
+	// disables the bound.
+	MaxStaged    int
+	AdmitTimeout time.Duration
+	// Breaker wraps the counter group in a circuit breaker (disk mode): a
+	// run of quorum failures makes appends degrade immediately instead of
+	// burning the retry budget per batch. Nil disables the breaker.
+	Breaker *resilience.BreakerConfig
 	// RetryPolicy overrides the counter group's request timeout/retry
 	// policy (nil keeps rote.DefaultRetryPolicy).
 	RetryPolicy *rote.RetryPolicy
@@ -136,6 +147,9 @@ type Stack struct {
 	Bridge  *asyncall.Bridge
 	Seal    *core.LibSEAL
 	Group   *rote.Group
+	// Breaker is the circuit breaker protecting the counter group (nil
+	// unless StackOptions.Breaker was set).
+	Breaker *resilience.Breaker
 
 	// Addr is the front-end address clients dial.
 	Addr string
@@ -238,10 +252,17 @@ func buildStack(opts StackOptions, module ssm.Module) (*Stack, tlsterm.Terminato
 		}
 		st.Group = group
 		cfg.Protector = group
+		if opts.Breaker != nil {
+			bp := resilience.NewBreakerProtector("rote.breaker", group, *opts.Breaker)
+			st.Breaker = bp.Breaker()
+			cfg.Protector = bp
+		}
 		cfg.RecoverExisting = opts.RecoverExisting
 		cfg.AnchorTimeout = opts.AnchorTimeout
 		cfg.DegradedLimit = opts.DegradedLimit
 		cfg.RecoverMaxLag = opts.RecoverMaxLag
+		cfg.AuditMaxStaged = opts.MaxStaged
+		cfg.AuditAdmitTimeout = opts.AdmitTimeout
 		if opts.Inject != nil {
 			opts.Inject.AttachGroup(group)
 			cfg.AuditFS = opts.Inject.FS(nil)

@@ -108,6 +108,14 @@ type Config struct {
 	// AuditBatchDelay is how long a batch leader waits for concurrent
 	// appends to fill a non-full batch. See audit.Config.BatchDelay.
 	AuditBatchDelay time.Duration
+	// AuditMaxStaged bounds the staged-but-not-durable entries in the
+	// group-commit pipeline (admission control); over-budget appends are
+	// shed with audit.ErrOverloaded. Zero disables the bound. See
+	// audit.Config.MaxStaged.
+	AuditMaxStaged int
+	// AuditAdmitTimeout is how long an over-budget append may wait for the
+	// pipeline to drain before being shed. See audit.Config.AdmitTimeout.
+	AuditAdmitTimeout time.Duration
 	// CheckEvery runs invariant checks and trimming after this many logged
 	// request/response pairs. Zero disables pair-count checks.
 	CheckEvery int
@@ -208,6 +216,8 @@ func New(bridge *asyncall.Bridge, cfg Config) (*LibSEAL, error) {
 			RecoverMaxLag: cfg.RecoverMaxLag,
 			BatchMax:      cfg.AuditBatchMax,
 			BatchDelay:    cfg.AuditBatchDelay,
+			MaxStaged:     cfg.AuditMaxStaged,
+			AdmitTimeout:  cfg.AuditAdmitTimeout,
 		}
 		err := bridge.Call(func(env *asyncall.Env) error {
 			var err error

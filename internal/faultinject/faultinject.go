@@ -48,6 +48,12 @@ const (
 	OpENOSPC
 	// OpCorrupt flips a byte of a file write and reports success.
 	OpCorrupt
+	// OpAmnesia restarts a counter node amnesically: volatile counter state
+	// is wiped and the node refuses to serve until it re-syncs from peers.
+	OpAmnesia
+	// OpStall delays a file write — a degraded disk or saturated I/O queue
+	// rather than a failure.
+	OpStall
 )
 
 func (o Op) String() string {
@@ -70,6 +76,10 @@ func (o Op) String() string {
 		return "enospc"
 	case OpCorrupt:
 		return "corrupt"
+	case OpAmnesia:
+		return "amnesia"
+	case OpStall:
+		return "stall"
 	}
 	return "?"
 }
@@ -221,6 +231,8 @@ func (in *Injector) NodeHook() rote.NodeFaultHook {
 				f.Byzantine = true
 			case OpSlow:
 				f.Delay += r.Delay
+			case OpAmnesia:
+				f.Amnesia = true
 			}
 		}
 		return f
@@ -281,4 +293,16 @@ func NoSpace(file string, after, until int) Rule {
 // CorruptWrite silently corrupts the file's write number at.
 func CorruptWrite(file string, at int) Rule {
 	return Rule{Target: "fs:" + file, Op: OpCorrupt, After: at}
+}
+
+// AmnesicRestart restarts node id amnesically at its operation number at:
+// counter state is wiped and the node refuses requests until it re-syncs.
+func AmnesicRestart(id, at int) Rule {
+	return Rule{Target: fmt.Sprintf("node:%d", id), Op: OpAmnesia, After: at}
+}
+
+// StallWrites delays the file's writes [after, until) by d — a degraded
+// disk backing up the group-commit pipeline.
+func StallWrites(file string, after, until int, d time.Duration) Rule {
+	return Rule{Target: "fs:" + file, Op: OpStall, After: after, Until: until, Delay: d}
 }

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"sync"
 	"syscall"
+	"time"
 
 	"libseal/internal/vfs"
 )
@@ -84,6 +85,8 @@ func (f *faultyFile) Write(p []byte) (int, error) {
 				q[len(q)/2] ^= 0xff
 			}
 			return f.f.Write(q)
+		case OpStall:
+			time.Sleep(r.Delay)
 		}
 	}
 	return f.f.Write(p)

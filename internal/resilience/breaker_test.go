@@ -1,0 +1,112 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBreakerLifecycle(t *testing.T) {
+	var mu sync.Mutex
+	var transitions []string
+	b := NewBreaker("test.breaker", BreakerConfig{
+		Threshold: 3,
+		Cooldown:  30 * time.Millisecond,
+		OnStateChange: func(from, to State) {
+			mu.Lock()
+			transitions = append(transitions, from.String()+">"+to.String())
+			mu.Unlock()
+		},
+	})
+	if b.State() != Closed {
+		t.Fatalf("initial state %v", b.State())
+	}
+	// Two failures: still closed.
+	b.Failure()
+	b.Failure()
+	if err := b.Allow(); err != nil {
+		t.Fatalf("closed breaker refused: %v", err)
+	}
+	// A success resets the streak; two more failures stay under threshold.
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatal("streak did not reset on success")
+	}
+	// Third consecutive failure trips it.
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state %v, want Open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("open breaker allowed: %v", err)
+	}
+	// After the cooldown exactly one probe is admitted.
+	time.Sleep(40 * time.Millisecond)
+	if b.State() != HalfOpen {
+		t.Fatalf("state %v, want HalfOpen after cooldown", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe refused: %v", err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("second concurrent probe allowed: %v", err)
+	}
+	// Probe failure re-opens for another cooldown.
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state %v, want Open after failed probe", b.State())
+	}
+	time.Sleep(40 * time.Millisecond)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe refused: %v", err)
+	}
+	// Probe success closes.
+	b.Success()
+	if b.State() != Closed {
+		t.Fatalf("state %v, want Closed after successful probe", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("closed breaker refused: %v", err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{
+		"closed>open",
+		"open>half-open", "half-open>open",
+		"open>half-open", "half-open>closed",
+	}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transition %d = %s, want %s", i, transitions[i], want[i])
+		}
+	}
+}
+
+func TestBreakerIgnoresStragglersWhileOpen(t *testing.T) {
+	b := NewBreaker("test.straggler", BreakerConfig{Threshold: 1, Cooldown: time.Hour})
+	b.Failure()
+	if b.State() != Open {
+		t.Fatal("not open")
+	}
+	// In-flight calls from before the trip report their failures late; they
+	// must not extend or double-count the open period.
+	b.Failure()
+	b.Failure()
+	if got := b.State(); got != Open {
+		t.Fatalf("state %v", got)
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	cfg := BreakerConfig{}.withDefaults()
+	if cfg.Threshold != 5 || cfg.Cooldown != 5*time.Second {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}

@@ -1,0 +1,119 @@
+package resilience
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// CheckResult is one health probe's outcome.
+type CheckResult struct {
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// OK builds a passing result.
+func OK(detail string) CheckResult { return CheckResult{OK: true, Detail: detail} }
+
+// Unhealthy builds a failing result.
+func Unhealthy(detail string) CheckResult { return CheckResult{OK: false, Detail: detail} }
+
+// Probe reports one component's current health. Probes must be fast and
+// non-blocking: they run on every scrape of the health endpoints.
+type Probe func() CheckResult
+
+// Health is a registry of liveness and readiness probes served over HTTP.
+// Liveness (/healthz) answers "is this process functional at all" — a
+// failure means restart me. Readiness (/readyz) answers "should traffic be
+// routed here right now" — a failure means the instance is up but degraded
+// (counter-quorum breaker open, audit log running on a stale anchor, a ROTE
+// read quorum short), and a load balancer should prefer a healthy peer.
+type Health struct {
+	mu    sync.Mutex
+	live  map[string]Probe
+	ready map[string]Probe
+}
+
+// NewHealth creates an empty registry.
+func NewHealth() *Health {
+	return &Health{live: make(map[string]Probe), ready: make(map[string]Probe)}
+}
+
+// Liveness registers (or replaces) a liveness probe.
+func (h *Health) Liveness(name string, p Probe) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.live[name] = p
+}
+
+// Readiness registers (or replaces) a readiness probe.
+func (h *Health) Readiness(name string, p Probe) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ready[name] = p
+}
+
+// healthReport is the JSON body of a health endpoint response.
+type healthReport struct {
+	Status string                 `json:"status"` // "ok" or "unavailable"
+	Checks map[string]CheckResult `json:"checks"`
+}
+
+// evaluate runs every probe in the set and reports the aggregate.
+func (h *Health) evaluate(set map[string]Probe) healthReport {
+	h.mu.Lock()
+	probes := make(map[string]Probe, len(set))
+	for name, p := range set {
+		probes[name] = p
+	}
+	h.mu.Unlock()
+	rep := healthReport{Status: "ok", Checks: make(map[string]CheckResult, len(probes))}
+	names := make([]string, 0, len(probes))
+	for name := range probes {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic probe order (probes may have side effects in tests)
+	for _, name := range names {
+		res := probes[name]()
+		rep.Checks[name] = res
+		if !res.OK {
+			rep.Status = "unavailable"
+		}
+	}
+	return rep
+}
+
+// serve renders one probe set as an HTTP response: 200 when every probe
+// passes, 503 otherwise, with the per-check JSON either way.
+func (h *Health) serve(w http.ResponseWriter, set map[string]Probe) {
+	rep := h.evaluate(set)
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if rep.Status != "ok" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(rep) // encoding/json sorts map keys: deterministic body
+}
+
+// LiveHandler serves the liveness probes (/healthz).
+func (h *Health) LiveHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h.serve(w, h.live)
+	})
+}
+
+// ReadyHandler serves the readiness probes (/readyz).
+func (h *Health) ReadyHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h.serve(w, h.ready)
+	})
+}
+
+// Mount attaches the health endpoints to a mux under the conventional
+// paths /healthz and /readyz.
+func (h *Health) Mount(mux *http.ServeMux) {
+	mux.Handle("/healthz", h.LiveHandler())
+	mux.Handle("/readyz", h.ReadyHandler())
+}

@@ -1,0 +1,53 @@
+package resilience
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestHealthHandlers(t *testing.T) {
+	h := NewHealth()
+	h.Liveness("proc", func() CheckResult { return OK("up") })
+	ready := true
+	h.Readiness("quorum", func() CheckResult {
+		if ready {
+			return OK("4/4 nodes")
+		}
+		return Unhealthy("1/4 nodes")
+	})
+
+	mux := http.NewServeMux()
+	h.Mount(mux)
+
+	get := func(path string) (int, healthReport) {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		var rep healthReport
+		if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+			t.Fatalf("%s: bad JSON: %v", path, err)
+		}
+		return rec.Code, rep
+	}
+
+	if code, rep := get("/healthz"); code != 200 || rep.Status != "ok" {
+		t.Fatalf("healthz = %d %+v", code, rep)
+	}
+	if code, rep := get("/readyz"); code != 200 || !rep.Checks["quorum"].OK {
+		t.Fatalf("readyz = %d %+v", code, rep)
+	}
+
+	ready = false
+	code, rep := get("/readyz")
+	if code != http.StatusServiceUnavailable || rep.Status != "unavailable" {
+		t.Fatalf("degraded readyz = %d %+v", code, rep)
+	}
+	if rep.Checks["quorum"].Detail != "1/4 nodes" {
+		t.Fatalf("detail = %q", rep.Checks["quorum"].Detail)
+	}
+	// Liveness is independent of readiness.
+	if code, _ := get("/healthz"); code != 200 {
+		t.Fatalf("healthz while unready = %d", code)
+	}
+}

@@ -1,0 +1,83 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"libseal/internal/rote"
+)
+
+// CounterService is the quorum-client surface the breaker protects.
+// rote.Group implements it.
+type CounterService interface {
+	IncrementContext(ctx context.Context, name string) (uint64, error)
+	ReadContext(ctx context.Context, name string) (uint64, error)
+}
+
+// BreakerProtector wraps a rollback-counter quorum client with a circuit
+// breaker. It satisfies both audit.RollbackProtector and
+// audit.ContextRollbackProtector (structurally), so it slots directly into
+// audit.Config.Protector: while the breaker is open, counter operations
+// fail immediately with an error satisfying errors.Is(err, rote.ErrNoQuorum)
+// — the audit log enters degraded mode at once instead of burning the full
+// retry/backoff budget per batch, and the periodic Reanchor loop supplies
+// the half-open probes that eventually re-close the breaker.
+type BreakerProtector struct {
+	svc CounterService
+	b   *Breaker
+}
+
+// NewBreakerProtector wraps svc. The breaker's telemetry registers under
+// the given name prefix.
+func NewBreakerProtector(name string, svc CounterService, cfg BreakerConfig) *BreakerProtector {
+	return &BreakerProtector{svc: svc, b: NewBreaker(name, cfg)}
+}
+
+// Breaker exposes the underlying breaker (for health probes and tests).
+func (p *BreakerProtector) Breaker() *Breaker { return p.b }
+
+// IncrementContext advances the counter through the breaker.
+func (p *BreakerProtector) IncrementContext(ctx context.Context, name string) (uint64, error) {
+	if err := p.b.Allow(); err != nil {
+		return 0, fmt.Errorf("%w: %w", rote.ErrNoQuorum, err)
+	}
+	v, err := p.svc.IncrementContext(ctx, name)
+	p.record(err)
+	return v, err
+}
+
+// ReadContext reads the counter through the breaker.
+func (p *BreakerProtector) ReadContext(ctx context.Context, name string) (uint64, error) {
+	if err := p.b.Allow(); err != nil {
+		return 0, fmt.Errorf("%w: %w", rote.ErrNoQuorum, err)
+	}
+	v, err := p.svc.ReadContext(ctx, name)
+	p.record(err)
+	return v, err
+}
+
+// Increment implements the context-free protector surface.
+func (p *BreakerProtector) Increment(name string) (uint64, error) {
+	return p.IncrementContext(context.Background(), name)
+}
+
+// Read implements the context-free protector surface.
+func (p *BreakerProtector) Read(name string) (uint64, error) {
+	return p.ReadContext(context.Background(), name)
+}
+
+// record classifies one call outcome for the breaker. Only availability
+// failures (no quorum, timeout, cancellation) count against the streak; a
+// quorum that answered — even with bad news like a rollback verdict — is a
+// live quorum.
+func (p *BreakerProtector) record(err error) {
+	switch {
+	case err == nil:
+		p.b.Success()
+	case errors.Is(err, rote.ErrNoQuorum),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		p.b.Failure()
+	}
+}

@@ -118,6 +118,43 @@ func TestPerAttemptTimeoutBoundsDeadQuorum(t *testing.T) {
 	}
 }
 
+func TestReadRetrySemanticsMatchIncrement(t *testing.T) {
+	// Regression: ReadContext must honour RetryPolicy exactly as
+	// IncrementContext does. With Retries=2 and every request dropped, each
+	// node must see exactly 3 store attempts and exactly 3 fetch attempts —
+	// one initial broadcast plus two retries, for both operations.
+	g, err := NewGroup(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SetRetryPolicy(fastPolicy())
+	counts := make(map[int]map[string]*atomic.Int64)
+	for _, n := range g.Nodes() {
+		per := map[string]*atomic.Int64{"store": {}, "fetch": {}}
+		counts[n.ID()] = per
+		n.SetFaultHook(func(id int, op string) NodeFault {
+			if c, ok := per[op]; ok {
+				c.Add(1)
+			}
+			return NodeFault{Drop: true}
+		})
+	}
+	if _, err := g.IncrementContext(context.Background(), "c"); !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("increment: %v, want ErrNoQuorum", err)
+	}
+	if _, err := g.ReadContext(context.Background(), "c"); !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("read: %v, want ErrNoQuorum", err)
+	}
+	want := int64(fastPolicy().Retries + 1)
+	for id, per := range counts {
+		stores, fetches := per["store"].Load(), per["fetch"].Load()
+		if stores != want || fetches != want {
+			t.Fatalf("node %d saw %d stores and %d fetches, want %d of each",
+				id, stores, fetches, want)
+		}
+	}
+}
+
 func TestVerifyFreshContext(t *testing.T) {
 	g, err := NewGroup(1, 0)
 	if err != nil {

@@ -42,12 +42,17 @@ var (
 	mRoundTrips       = telemetry.NewCounter("rote.round_trips", "broadcasts")
 	mRetries          = telemetry.NewCounter("rote.retries", "attempts")
 	mTimeouts         = telemetry.NewCounter("rote.timeouts", "attempts")
+	mResyncs          = telemetry.NewCounter("rote.resyncs", "rejoins")
+	mResyncFailures   = telemetry.NewCounter("rote.resync.failures", "attempts")
 )
 
 // Errors returned by the group client.
 var (
 	ErrNoQuorum = errors.New("rote: quorum not reached")
 	ErrRollback = errors.New("rote: counter regressed (rollback attempt)")
+	// ErrResync is returned by Node.Resync when a read quorum of peers
+	// cannot be assembled to rebuild an amnesic node's counter state.
+	ErrResync = errors.New("rote: re-sync quorum not reached")
 )
 
 // Message is a signed counter-protocol message.
@@ -77,6 +82,10 @@ type NodeFault struct {
 	Delay time.Duration
 	// Byzantine makes the node reply with a stale value and a bad MAC.
 	Byzantine bool
+	// Amnesia restarts the node amnesically before handling the request:
+	// its volatile counter state is wiped and it refuses to serve until
+	// Resync rebuilds the state from a read quorum of peers.
+	Amnesia bool
 }
 
 // NodeFaultHook is consulted on every request a node handles. op is "store"
@@ -86,13 +95,16 @@ type NodeFaultHook func(nodeID int, op string) NodeFault
 // Node is one counter-service node. In production each node is itself a
 // LibSEAL enclave; here it is an in-process actor with the same interface.
 type Node struct {
-	id  int
-	key []byte
+	id    int
+	key   []byte
+	f     int     // the group's fault-tolerance parameter
+	peers []*Node // the other group members, for restart re-sync
 
 	mu        sync.Mutex
 	counters  map[string]uint64
 	failed    bool
 	byzantine bool
+	synced    bool // false after an amnesic restart, until Resync succeeds
 	hook      NodeFaultHook
 }
 
@@ -111,6 +123,115 @@ func (n *Node) Recover() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.failed = false
+}
+
+// RestartAmnesiac simulates an amnesic crash-restart: the process comes
+// back up but its volatile counter state is gone. The node refuses every
+// request until Resync has rebuilt the state from a read quorum of its
+// peers — an amnesic node that served immediately could acknowledge an
+// increment it no longer remembers and break quorum intersection.
+func (n *Node) RestartAmnesiac() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.counters = make(map[string]uint64)
+	n.synced = false
+	n.failed = false
+}
+
+// Synced reports whether the node is serving (it has never restarted
+// amnesically, or its last Resync succeeded).
+func (n *Node) Synced() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.synced
+}
+
+// Value returns the node's local view of the counter, for tests and health
+// reporting. It bypasses the fault hook.
+func (n *Node) Value(counter string) uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.counters[counter]
+}
+
+// Resync rejoins the group after an amnesic restart — the re-provisioning
+// step ReplicaTEE prescribes for restarted enclave replicas. The node
+// fetches every counter from its peers, keeps only replies whose entries
+// all authenticate, and once 2f+1 peers have answered adopts the
+// per-counter maximum. Safety: any value committed before the restart was
+// acknowledged by 2f+1 nodes, hence held by at least 2f peers; a read
+// quorum of 2f+1 out of 3f peers intersects them in at least f+1 nodes, of
+// which at least one is honest, so the adopted maximum never regresses a
+// committed counter. Until Resync succeeds the node keeps refusing to
+// serve, so rolling restarts of up to f nodes never widen the set of
+// amnesic members beyond what quorum intersection tolerates.
+func (n *Node) Resync(ctx context.Context) error {
+	n.mu.Lock()
+	if n.synced {
+		n.mu.Unlock()
+		return nil
+	}
+	peers := n.peers
+	need := 2*n.f + 1
+	n.mu.Unlock()
+
+	type reply struct {
+		msgs []message
+		ok   bool
+	}
+	ch := make(chan reply, len(peers))
+	for _, p := range peers {
+		p := p
+		go func() {
+			msgs, ok := p.dump(ctx)
+			ch <- reply{msgs, ok}
+		}()
+	}
+	adopted := make(map[string]uint64)
+	valid := 0
+	for answered := 0; answered < len(peers) && valid < need; answered++ {
+		var r reply
+		select {
+		case r = <-ch:
+		case <-ctx.Done():
+			mResyncFailures.Inc()
+			return fmt.Errorf("%w: %v", ErrResync, ctx.Err())
+		}
+		if !r.ok {
+			continue
+		}
+		authentic := true
+		for _, m := range r.msgs {
+			want := mac(n.key, m.Counter, m.Value)
+			if !hmac.Equal(want[:], m.MAC[:]) {
+				authentic = false
+				break
+			}
+		}
+		if !authentic {
+			continue // one forged entry discredits the whole reply
+		}
+		for _, m := range r.msgs {
+			if m.Value > adopted[m.Counter] {
+				adopted[m.Counter] = m.Value
+			}
+		}
+		valid++
+	}
+	if valid < need {
+		mResyncFailures.Inc()
+		return fmt.Errorf("%w: %d/%d authenticated peer replies", ErrResync, valid, need)
+	}
+	n.mu.Lock()
+	for c, v := range adopted {
+		if v > n.counters[c] {
+			n.counters[c] = v
+		}
+	}
+	n.synced = true
+	n.mu.Unlock()
+	mResyncs.Inc()
+	return nil
 }
 
 // SetByzantine makes the node return stale values with forged-looking MACs.
@@ -140,6 +261,9 @@ func (n *Node) applyHook(ctx context.Context, op string) (drop, byzantine bool) 
 		return false, false
 	}
 	f := h(n.id, op)
+	if f.Amnesia {
+		n.RestartAmnesiac()
+	}
 	if f.Delay > 0 {
 		t := time.NewTimer(f.Delay)
 		select {
@@ -162,7 +286,9 @@ func (n *Node) store(ctx context.Context, req message) (message, bool) {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if n.failed {
+	if n.failed || !n.synced {
+		// An amnesic node must stay silent until re-synced: acknowledging an
+		// increment it would later forget breaks quorum intersection.
 		return message{}, false
 	}
 	if n.byzantine {
@@ -189,7 +315,7 @@ func (n *Node) fetch(ctx context.Context, counter string) (message, bool) {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if n.failed {
+	if n.failed || !n.synced {
 		return message{}, false
 	}
 	if n.byzantine {
@@ -197,6 +323,32 @@ func (n *Node) fetch(ctx context.Context, counter string) (message, bool) {
 	}
 	v := n.counters[counter]
 	return message{Counter: counter, Value: v, MAC: mac(n.key, counter, v)}, true
+}
+
+// dump returns every counter entry the node holds, each individually
+// MAC'd, for a restarting peer's re-sync. Failed and unsynced nodes stay
+// silent; a byzantine node forges its entries (the requester discards the
+// whole reply on the first bad MAC).
+func (n *Node) dump(ctx context.Context) ([]message, bool) {
+	if drop, byz := n.applyHook(ctx, "dump"); drop {
+		return nil, false
+	} else if byz {
+		return []message{{Counter: "forged", Value: ^uint64(0)}}, true
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.failed || !n.synced {
+		return nil, false
+	}
+	msgs := make([]message, 0, len(n.counters))
+	for c, v := range n.counters {
+		if n.byzantine {
+			msgs = append(msgs, message{Counter: c, Value: v + 1}) // inflated value, bad MAC
+			continue
+		}
+		msgs = append(msgs, message{Counter: c, Value: v, MAC: mac(n.key, c, v)})
+	}
+	return msgs, true
 }
 
 // RetryPolicy bounds and retries quorum operations.
@@ -255,7 +407,15 @@ func NewGroup(f int, latency time.Duration) (*Group, error) {
 	g := &Group{f: f, key: key, latency: latency, cache: make(map[string]uint64)}
 	g.setPolicy(DefaultRetryPolicy())
 	for i := 0; i < 3*f+1; i++ {
-		g.nodes = append(g.nodes, &Node{id: i, key: key, counters: make(map[string]uint64)})
+		g.nodes = append(g.nodes, &Node{id: i, key: key, f: f, synced: true, counters: make(map[string]uint64)})
+	}
+	// Wire each node to its 3f peers so an amnesic restart can re-sync.
+	for _, n := range g.nodes {
+		for _, p := range g.nodes {
+			if p != n {
+				n.peers = append(n.peers, p)
+			}
+		}
 	}
 	return g, nil
 }
@@ -274,6 +434,25 @@ func (g *Group) setPolicy(p RetryPolicy) {
 
 // Nodes exposes the group members for fault injection in tests.
 func (g *Group) Nodes() []*Node { return g.nodes }
+
+// NodeStatus is one group member's liveness view, for health reporting.
+type NodeStatus struct {
+	ID     int  `json:"id"`
+	Alive  bool `json:"alive"`
+	Synced bool `json:"synced"`
+}
+
+// NodeStatus reports each member's current fault and sync state. A node
+// counts toward the quorum only when it is both alive and synced.
+func (g *Group) NodeStatus() []NodeStatus {
+	out := make([]NodeStatus, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		n.mu.Lock()
+		out = append(out, NodeStatus{ID: n.id, Alive: !n.failed, Synced: n.synced})
+		n.mu.Unlock()
+	}
+	return out
+}
 
 // F returns the fault tolerance parameter.
 func (g *Group) F() int { return g.f }
@@ -377,6 +556,41 @@ func (g *Group) retries() int {
 	return g.policy.Retries
 }
 
+// runQuorum drives one quorum operation through the retry policy: each
+// attempt gets its own bounded context and counts one broadcast round trip;
+// failed attempts back off exponentially before retrying, and every failure
+// path wraps ErrNoQuorum. attempt reports whether a quorum was assembled,
+// plus a detail string for the error when it was not. Increment and Read
+// share this loop, so their retry/backoff/attempt-timeout semantics cannot
+// drift apart.
+func (g *Group) runQuorum(ctx context.Context, attempt func(actx context.Context) (ok bool, detail string)) error {
+	var lastErr error
+	for try := 0; ; try++ {
+		actx, cancel := g.attemptCtx(ctx)
+		mRoundTrips.Inc()
+		ok, detail := attempt(actx)
+		timedOut := actx.Err() == context.DeadlineExceeded
+		cancel()
+		if ok {
+			return nil
+		}
+		if timedOut {
+			mTimeouts.Inc()
+		}
+		lastErr = fmt.Errorf("%w: %s", ErrNoQuorum, detail)
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("%w: %v", ErrNoQuorum, err)
+		}
+		if try >= g.retries() {
+			return lastErr
+		}
+		if err := g.backoff(ctx, try); err != nil {
+			return fmt.Errorf("%w: %v", ErrNoQuorum, err)
+		}
+		mRetries.Inc()
+	}
+}
+
 // Increment advances the named counter and returns its new value. The
 // increment is durable once 2f+1 nodes acknowledged a value >= the new one.
 func (g *Group) Increment(counter string) (uint64, error) {
@@ -394,10 +608,7 @@ func (g *Group) IncrementContext(ctx context.Context, counter string) (uint64, e
 	g.mu.Unlock()
 
 	req := message{Counter: counter, Value: next, MAC: mac(g.key, counter, next)}
-	var lastErr error
-	for attempt := 0; ; attempt++ {
-		actx, cancel := g.attemptCtx(ctx)
-		mRoundTrips.Inc()
+	err := g.runQuorum(ctx, func(actx context.Context) (bool, string) {
 		acks := 0
 		// Re-broadcasting the same value is idempotent: nodes take the max.
 		for _, m := range g.broadcast(actx, g.quorum(), func(c context.Context, n *Node) (message, bool) {
@@ -407,26 +618,12 @@ func (g *Group) IncrementContext(ctx context.Context, counter string) (uint64, e
 				acks++
 			}
 		}
-		timedOut := actx.Err() == context.DeadlineExceeded
-		cancel()
-		if acks >= g.quorum() {
-			return next, nil
-		}
-		if timedOut {
-			mTimeouts.Inc()
-		}
-		lastErr = fmt.Errorf("%w: %d/%d acks for %s=%d", ErrNoQuorum, acks, g.quorum(), counter, next)
-		if err := ctx.Err(); err != nil {
-			return 0, fmt.Errorf("%w: %v", ErrNoQuorum, err)
-		}
-		if attempt >= g.retries() {
-			return 0, lastErr
-		}
-		if err := g.backoff(ctx, attempt); err != nil {
-			return 0, fmt.Errorf("%w: %v", ErrNoQuorum, err)
-		}
-		mRetries.Inc()
+		return acks >= g.quorum(), fmt.Sprintf("%d/%d acks for %s=%d", acks, g.quorum(), counter, next)
+	})
+	if err != nil {
+		return 0, err
 	}
+	return next, nil
 }
 
 // Read returns the counter's current stable value: the maximum value
@@ -435,48 +632,37 @@ func (g *Group) Read(counter string) (uint64, error) {
 	return g.ReadContext(context.Background(), counter)
 }
 
-// ReadContext is Read bounded by a context.
+// ReadContext is Read bounded by a context. It honours the group's
+// RetryPolicy exactly as IncrementContext does — both run the shared
+// runQuorum loop.
 func (g *Group) ReadContext(ctx context.Context, counter string) (uint64, error) {
 	mReads.Inc()
 	defer telemetry.ObserveSince(mReadLatency, "rote.read", time.Now())
-	var lastErr error
-	for attempt := 0; ; attempt++ {
-		actx, cancel := g.attemptCtx(ctx)
-		mRoundTrips.Inc()
+	var maxVal uint64
+	err := g.runQuorum(ctx, func(actx context.Context) (bool, string) {
 		msgs := g.broadcast(actx, g.quorum(), func(c context.Context, n *Node) (message, bool) {
 			return n.fetch(c, counter)
 		})
-		timedOut := actx.Err() == context.DeadlineExceeded
-		cancel()
-		if len(msgs) >= g.quorum() {
-			var maxVal uint64
-			for _, m := range msgs {
-				if m.Value > maxVal {
-					maxVal = m.Value
-				}
+		if len(msgs) < g.quorum() {
+			return false, fmt.Sprintf("%d/%d responses", len(msgs), g.quorum())
+		}
+		maxVal = 0
+		for _, m := range msgs {
+			if m.Value > maxVal {
+				maxVal = m.Value
 			}
-			g.mu.Lock()
-			if maxVal > g.cache[counter] {
-				g.cache[counter] = maxVal
-			}
-			g.mu.Unlock()
-			return maxVal, nil
 		}
-		if timedOut {
-			mTimeouts.Inc()
-		}
-		lastErr = fmt.Errorf("%w: %d/%d responses", ErrNoQuorum, len(msgs), g.quorum())
-		if err := ctx.Err(); err != nil {
-			return 0, fmt.Errorf("%w: %v", ErrNoQuorum, err)
-		}
-		if attempt >= g.retries() {
-			return 0, lastErr
-		}
-		if err := g.backoff(ctx, attempt); err != nil {
-			return 0, fmt.Errorf("%w: %v", ErrNoQuorum, err)
-		}
-		mRetries.Inc()
+		return true, ""
+	})
+	if err != nil {
+		return 0, err
 	}
+	g.mu.Lock()
+	if maxVal > g.cache[counter] {
+		g.cache[counter] = maxVal
+	}
+	g.mu.Unlock()
+	return maxVal, nil
 }
 
 // VerifyFresh checks a claimed counter value (e.g. the one recorded in a

@@ -47,6 +47,7 @@ import (
 	"libseal/internal/core"
 	"libseal/internal/enclave"
 	"libseal/internal/faultinject"
+	"libseal/internal/resilience"
 	"libseal/internal/rote"
 	"libseal/internal/ssm"
 	"libseal/internal/ssm/dropboxssm"
@@ -113,6 +114,22 @@ type (
 	CounterGroup = rote.Group
 	// RetryPolicy tunes counter-group request timeouts, retries and backoff.
 	RetryPolicy = rote.RetryPolicy
+	// CounterNodeStatus is one counter node's liveness and sync state.
+	CounterNodeStatus = rote.NodeStatus
+
+	// Breaker is a circuit breaker (see NewBreakerProtector).
+	Breaker = resilience.Breaker
+	// BreakerConfig tunes a circuit breaker.
+	BreakerConfig = resilience.BreakerConfig
+	// BreakerState is a circuit breaker's position.
+	BreakerState = resilience.State
+	// BreakerProtector wraps a counter group in a circuit breaker; it slots
+	// into Config.Protector.
+	BreakerProtector = resilience.BreakerProtector
+	// Health is a registry of liveness/readiness probes served over HTTP.
+	Health = resilience.Health
+	// HealthCheckResult is one health probe's outcome.
+	HealthCheckResult = resilience.CheckResult
 
 	// FaultScenario is a reproducible chaos schedule for robustness tests.
 	FaultScenario = faultinject.Scenario
@@ -136,6 +153,16 @@ const (
 	// AuditDisk persists the log with hash chain, signatures and rollback
 	// protection.
 	AuditDisk = audit.ModeDisk
+)
+
+// Circuit breaker states.
+const (
+	// BreakerClosed lets calls flow.
+	BreakerClosed = resilience.Closed
+	// BreakerHalfOpen admits a single probe after the cooldown.
+	BreakerHalfOpen = resilience.HalfOpen
+	// BreakerOpen fails calls fast until the cooldown elapses.
+	BreakerOpen = resilience.Open
 )
 
 // Check header names for in-band invariant checking (§5.2).
@@ -249,6 +276,33 @@ func NewCounterGroupWith(f int, policy RetryPolicy) (*CounterGroup, error) {
 // DefaultRetryPolicy returns the counter group's default request
 // timeout/retry policy.
 func DefaultRetryPolicy() RetryPolicy { return rote.DefaultRetryPolicy() }
+
+// NewBreakerProtector wraps a counter group in a circuit breaker: after a
+// run of quorum failures the breaker opens and counter operations fail fast
+// (the audit log degrades immediately instead of burning its retry budget
+// per batch), with half-open probes re-closing it once the quorum recovers.
+// Use the result as Config.Protector. Telemetry registers under name.
+func NewBreakerProtector(name string, group *CounterGroup, cfg BreakerConfig) *BreakerProtector {
+	return resilience.NewBreakerProtector(name, group, cfg)
+}
+
+// NewHealth creates an empty health-probe registry; mount its endpoints
+// with Health.Mount.
+func NewHealth() *Health { return resilience.NewHealth() }
+
+// HealthOK builds a passing probe result.
+func HealthOK(detail string) HealthCheckResult { return resilience.OK(detail) }
+
+// HealthUnhealthy builds a failing probe result.
+func HealthUnhealthy(detail string) HealthCheckResult { return resilience.Unhealthy(detail) }
+
+// ErrBreakerOpen is returned (wrapped) by counter operations shed by an
+// open circuit breaker.
+var ErrBreakerOpen = resilience.ErrOpen
+
+// ErrAuditOverloaded is returned (wrapped) by appends shed by the audit
+// log's admission control.
+var ErrAuditOverloaded = audit.ErrOverloaded
 
 // VerifyLogFile checks a persisted audit log's integrity (hash chain,
 // enclave signature, counter freshness) and returns its entries. Clients run
