@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check soak bench bench-json bench-compare clean
+.PHONY: all build test check soak bench bench-json bench-compare bench-verify fuzz-smoke clean
 
 all: build
 
@@ -36,6 +36,19 @@ bench-json:
 # off/on delta table per bridge mode and client count.
 bench-compare:
 	$(GO) run ./cmd/libseal-bench -json /tmp/libseal-bench-compare.json -quick
+
+# Parallel-verification sweep (DESIGN.md §13): sequential baseline vs the
+# segmented pipeline at 1/2/4/8 workers, cold and resumed from a mid-log
+# checkpoint, over a >=1M-entry batched synthetic log.
+bench-verify:
+	$(GO) run ./cmd/libseal-bench -verify-json BENCH_pr7.json
+
+# Short fuzzing pass over the verifier, the entry codec and the HTTP
+# parser — the same smoke CI runs. Seed corpora live under testdata/fuzz.
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzVerifyReader -fuzztime=20s ./internal/audit/
+	$(GO) test -run=^$$ -fuzz=FuzzCodecRoundTrip -fuzztime=20s ./internal/audit/
+	$(GO) test -run=^$$ -fuzz=FuzzHTTPParse -fuzztime=20s ./internal/httpparse/
 
 clean:
 	$(GO) clean ./...

@@ -363,6 +363,22 @@ func TestChaosBreakerLifecycle(t *testing.T) {
 		BackoffMax:  10 * time.Millisecond,
 		JitterSeed:  chaosSeed,
 	}
+	// The cooldown runs on an injected clock: the test advances it past the
+	// cooldown instead of sleeping, so expiry is exact rather than raced
+	// against the scheduler. The breaker reads the clock from push
+	// goroutines, hence the mutex.
+	var clockMu sync.Mutex
+	now := time.Now()
+	clock := func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return now
+	}
+	advance := func(d time.Duration) {
+		clockMu.Lock()
+		now = now.Add(d)
+		clockMu.Unlock()
+	}
 	st, err := bench.NewGitStack(bench.StackOptions{
 		Mode:          bench.ModeDisk,
 		AuditDir:      dir,
@@ -371,7 +387,7 @@ func TestChaosBreakerLifecycle(t *testing.T) {
 		RetryPolicy:   &policy,
 		AnchorTimeout: 400 * time.Millisecond,
 		DegradedLimit: 16,
-		Breaker:       &BreakerConfig{Threshold: 2, Cooldown: 300 * time.Millisecond},
+		Breaker:       &BreakerConfig{Threshold: 2, Cooldown: 300 * time.Millisecond, Now: clock},
 	}, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -426,7 +442,7 @@ func TestChaosBreakerLifecycle(t *testing.T) {
 	// the whole backlog.
 	st.Group.Nodes()[0].Recover()
 	st.Group.Nodes()[1].Recover()
-	time.Sleep(350 * time.Millisecond)
+	advance(300 * time.Millisecond)
 	push("update", "c5")
 	if s := st.Breaker.State(); s != BreakerClosed {
 		t.Fatalf("breaker after probe: %s, want closed", s)

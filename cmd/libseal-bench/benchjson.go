@@ -213,14 +213,14 @@ func sweepOne(cfg sweepConfig, batch bool, mode asyncall.Mode, clients int) (swe
 	// produced file exactly as an auditing client would: strict mode, no
 	// truncation tolerance, counter freshness against the live group.
 	st.Close()
-	entries, err := audit.VerifyFile(filepath.Join(dir, "git.lseal"), audit.VerifyOptions{
+	vres, err := bench.VerifyLog(filepath.Join(dir, "git.lseal"), audit.VerifyOptions{
 		Pub: pub, Protector: group, Name: "git",
 	})
 	if err != nil {
 		return run, fmt.Errorf("client-side verification of batched log: %w", err)
 	}
 	run.VerifyOK = true
-	run.VerifiedEntries = len(entries)
+	run.VerifiedEntries = vres.TotalEntries
 	return run, nil
 }
 

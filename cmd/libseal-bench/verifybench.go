@@ -1,0 +1,229 @@
+package main
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"libseal/internal/audit"
+)
+
+// The verification bench: how fast can a client re-check a large batched
+// log, and what does a crash cost? It writes a synthetic ≥1M-entry log
+// (identical wire format to the live writer, §Synthetic log generation),
+// times the sequential verifier as the baseline, then sweeps the parallel
+// pipeline over 1/2/4/8 workers — cold, and resumed from a checkpoint taken
+// at roughly half the log. The acceptance bar for PR 7 is ≥2× at 4 workers.
+
+type verifyReport struct {
+	Bench      string             `json:"bench"`
+	Config     verifyBenchConfig  `json:"config"`
+	Sequential verifySequentialNS `json:"sequential"`
+	Runs       []verifyRun        `json:"runs"`
+	Summary    verifySummary      `json:"summary"`
+}
+
+type verifyBenchConfig struct {
+	Entries   int   `json:"entries"`
+	BatchMax  int   `json:"batch_max"`
+	FileBytes int64 `json:"file_bytes"`
+	Batches   int   `json:"batches"`
+	Quick     bool  `json:"quick"`
+	// MaxProcs records the host parallelism the sweep ran under: on a
+	// single-core host the speedup comes from the streaming path avoiding
+	// the sequential verifier's full-log materialisation, not from CPU
+	// parallelism, and the worker curve flattens early.
+	MaxProcs int `json:"gomaxprocs"`
+}
+
+type verifySequentialNS struct {
+	NS        int64   `json:"ns"`
+	EntriesPS float64 `json:"entries_per_sec"`
+	MBPS      float64 `json:"mb_per_sec"`
+}
+
+type verifyRun struct {
+	Workers int `json:"workers"`
+
+	ColdNS        int64   `json:"cold_ns"`
+	ColdEntriesPS float64 `json:"cold_entries_per_sec"`
+	ColdMBPS      float64 `json:"cold_mb_per_sec"`
+	SpeedupVsSeq  float64 `json:"speedup_vs_sequential"`
+
+	ResumedNS int64 `json:"resumed_ns"`
+	// ResumedFromBatch is the checkpointed batch count the warm run started
+	// from; ResumedBatches is how many it actually re-verified.
+	ResumedFromBatch int     `json:"resumed_from_batch"`
+	ResumedBatches   int     `json:"resumed_batches"`
+	ResumedSpeedup   float64 `json:"resumed_speedup_vs_cold"`
+	ResultsMatch     bool    `json:"results_match_sequential"`
+}
+
+type verifySummary struct {
+	SpeedupAt4Workers float64 `json:"speedup_at_4_workers"`
+	BestSpeedup       float64 `json:"best_speedup"`
+	BestWorkers       int     `json:"best_workers"`
+}
+
+// runVerifyBench generates the log, runs the sweep and writes the report.
+func runVerifyBench(path string, q bool) error {
+	entries := 1_200_000
+	if q {
+		entries = 150_000
+	}
+	const batchMax = 64
+
+	dir, err := os.MkdirTemp("", "libseal-verify-bench-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	logPath := filepath.Join(dir, "bench.lseal")
+
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("writing synthetic log: %d entries, batch max %d ...\n", entries, batchMax)
+	size, err := audit.WriteSyntheticLogFile(logPath, key, entries, batchMax)
+	if err != nil {
+		return err
+	}
+	batches := (entries + batchMax - 1) / batchMax
+	fmt.Printf("log: %.1f MB, %d batches\n", float64(size)/1e6, batches)
+
+	report := verifyReport{
+		Bench: "pr7-parallel-verify",
+		Config: verifyBenchConfig{
+			Entries: entries, BatchMax: batchMax, FileBytes: size,
+			Batches: batches, Quick: q, MaxProcs: runtime.GOMAXPROCS(0),
+		},
+	}
+	opts := audit.VerifyOptions{Pub: &key.PublicKey}
+
+	// Sequential baseline: the pre-PR verifier (materialises every entry).
+	t0 := time.Now()
+	seqEntries, err := audit.VerifyFile(logPath, opts)
+	seqNS := time.Since(t0).Nanoseconds()
+	if err != nil {
+		return fmt.Errorf("sequential verify: %w", err)
+	}
+	report.Sequential = verifySequentialNS{
+		NS:        seqNS,
+		EntriesPS: float64(entries) / (float64(seqNS) / 1e9),
+		MBPS:      float64(size) / 1e6 / (float64(seqNS) / 1e9),
+	}
+	fmt.Printf("sequential: %.2fs (%.0f entries/s, %.1f MB/s)\n",
+		float64(seqNS)/1e9, report.Sequential.EntriesPS, report.Sequential.MBPS)
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		run, err := verifySweepOne(logPath, opts, workers, len(seqEntries), seqNS, size)
+		if err != nil {
+			return fmt.Errorf("workers=%d: %w", workers, err)
+		}
+		report.Runs = append(report.Runs, run)
+		fmt.Printf("workers=%d  cold %.2fs (%.2fx vs sequential, %.1f MB/s)  resumed %.2fs (%.2fx vs cold, from batch %d/%d)\n",
+			workers, float64(run.ColdNS)/1e9, run.SpeedupVsSeq, run.ColdMBPS,
+			float64(run.ResumedNS)/1e9, run.ResumedSpeedup, run.ResumedFromBatch, batches)
+	}
+
+	for _, r := range report.Runs {
+		if r.Workers == 4 {
+			report.Summary.SpeedupAt4Workers = r.SpeedupVsSeq
+		}
+		if r.SpeedupVsSeq > report.Summary.BestSpeedup {
+			report.Summary.BestSpeedup = r.SpeedupVsSeq
+			report.Summary.BestWorkers = r.Workers
+		}
+	}
+	fmt.Printf("\nspeedup at 4 workers: %.2fx (best %.2fx at %d workers)\n",
+		report.Summary.SpeedupAt4Workers, report.Summary.BestSpeedup, report.Summary.BestWorkers)
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// verifySweepOne times one worker count, cold and resumed-from-midpoint.
+func verifySweepOne(logPath string, opts audit.VerifyOptions, workers, wantEntries int, seqNS, size int64) (verifyRun, error) {
+	run := verifyRun{Workers: workers}
+	ckptPath := logPath + fmt.Sprintf(".w%d.ckpt", workers)
+	defer os.Remove(ckptPath)
+
+	// Cold run, streaming mode (no entry accumulation), no checkpoints so
+	// the timing is pure verification.
+	t0 := time.Now()
+	cold, err := audit.VerifyFileStream(logPath, audit.StreamOptions{
+		VerifyOptions: opts, Workers: workers,
+		OnSegment: func(audit.SegmentInfo) error { return nil },
+	})
+	run.ColdNS = time.Since(t0).Nanoseconds()
+	if err != nil {
+		return run, err
+	}
+	run.ColdEntriesPS = float64(cold.TotalEntries) / (float64(run.ColdNS) / 1e9)
+	run.ColdMBPS = float64(size) / 1e6 / (float64(run.ColdNS) / 1e9)
+	run.SpeedupVsSeq = float64(seqNS) / float64(run.ColdNS)
+	run.ResultsMatch = cold.TotalEntries == wantEntries
+
+	// Simulate a verifier killed halfway: checkpoint as we go, abort at 50%
+	// of the batches, then resume from the sidecar.
+	killAt := cold.TotalBatches / 2
+	errKilled := errors.New("killed")
+	segs := 0
+	_, err = audit.VerifyFileStream(logPath, audit.StreamOptions{
+		VerifyOptions: opts, Workers: workers,
+		Checkpoint: &audit.CheckpointConfig{Path: ckptPath, EverySegments: 256},
+		OnSegment: func(audit.SegmentInfo) error {
+			if segs++; segs >= killAt {
+				return errKilled
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, errKilled) {
+		return run, fmt.Errorf("kill simulation: %v", err)
+	}
+	ck, err := audit.LoadCheckpoint(ckptPath)
+	if err != nil {
+		return run, fmt.Errorf("load checkpoint: %w", err)
+	}
+	run.ResumedFromBatch = ck.Batches
+
+	t0 = time.Now()
+	warm, err := audit.VerifyFileStream(logPath, audit.StreamOptions{
+		VerifyOptions: opts, Workers: workers, Resume: ck,
+		OnSegment: func(audit.SegmentInfo) error { return nil },
+	})
+	run.ResumedNS = time.Since(t0).Nanoseconds()
+	if err != nil {
+		return run, fmt.Errorf("resumed verify: %w", err)
+	}
+	run.ResumedBatches = warm.Batches
+	if run.ResumedNS > 0 {
+		run.ResumedSpeedup = float64(run.ColdNS) / float64(run.ResumedNS)
+	}
+	run.ResultsMatch = run.ResultsMatch &&
+		warm.TotalEntries == cold.TotalEntries &&
+		warm.TotalBatches == cold.TotalBatches &&
+		warm.Counter == cold.Counter &&
+		warm.CommittedBytes == cold.CommittedBytes
+	if !run.ResultsMatch {
+		return run, fmt.Errorf("results diverge: cold %+v warm %+v", cold, warm)
+	}
+	return run, nil
+}

@@ -5,15 +5,26 @@
 // tampered with, truncated or rolled back the log — or that the log was not
 // produced by the expected enclave.
 //
+// Verification runs the parallel segmented pipeline: signature records cut
+// the log into independently checkable segments fanned out to -workers
+// goroutines, entries stream through without being materialised, and
+// progress is checkpointed to a sidecar so an interrupted run resumes with
+// -resume instead of rescanning from byte 0.
+//
 // Usage:
 //
 //	libseal-verify -log audit/git.lseal -pubkey enclave.pub [-dump]
+//	libseal-verify -log audit/git.lseal -workers 8 -progress
+//	libseal-verify -log audit/git.lseal -resume   # continue after a crash
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"time"
 
 	"libseal"
 	"libseal/internal/pki"
@@ -23,14 +34,23 @@ func main() {
 	logPath := flag.String("log", "", "path to the .lseal audit log file")
 	pubPath := flag.String("pubkey", "", "path to the enclave's PEM public key (optional: skips signature check)")
 	dump := flag.Bool("dump", false, "print every verified entry")
+	workers := flag.Int("workers", 0, "parallel verification workers (0 = all cores)")
+	resume := flag.Bool("resume", false, "resume from the checkpoint sidecar if it matches the log")
+	progress := flag.Bool("progress", false, "print progress as segments verify")
+	ckptPath := flag.String("checkpoint", "", "checkpoint sidecar path (default <log>.ckpt)")
+	noCkpt := flag.Bool("no-checkpoint", false, "do not write checkpoints")
 	flag.Parse()
 	if *logPath == "" {
 		fmt.Fprintln(os.Stderr, "libseal-verify: -log is required")
 		flag.Usage()
 		os.Exit(2)
 	}
+	sidecar := *ckptPath
+	if sidecar == "" {
+		sidecar = *logPath + ".ckpt"
+	}
 
-	opts := libseal.VerifyOptions{}
+	opts := libseal.VerifyStreamOptions{Workers: *workers}
 	if *pubPath != "" {
 		pemData, err := os.ReadFile(*pubPath)
 		if err != nil {
@@ -42,32 +62,75 @@ func main() {
 		}
 		opts.Pub = pub
 	}
-
-	entries, err := libseal.VerifyLogFile(*logPath, opts)
-	if err != nil {
-		fatal("VERIFICATION FAILED: %v", err)
+	if !*noCkpt {
+		opts.Checkpoint = &libseal.VerifyCheckpointConfig{
+			Path: sidecar,
+			OnError: func(err error) {
+				fmt.Fprintf(os.Stderr, "libseal-verify: checkpoint write: %v\n", err)
+			},
+		}
 	}
-	fmt.Printf("OK: %d entries, hash chain intact", len(entries))
+	if *resume {
+		ck, err := libseal.LoadVerifyCheckpoint(sidecar)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "libseal-verify: no usable checkpoint (%v); cold scan\n", err)
+		} else {
+			opts.Resume = ck
+		}
+	}
+
+	start := time.Now()
+	var segs, entries int
+	opts.OnSegment = func(s libseal.VerifySegment) error {
+		segs++
+		entries += len(s.Entries)
+		if *dump {
+			for _, e := range s.Entries {
+				fmt.Printf("#%-6d %-16s", e.Seq, e.Table)
+				for _, v := range e.Values {
+					fmt.Printf(" %s", v.String())
+				}
+				fmt.Println()
+			}
+		}
+		if *progress && segs%256 == 0 {
+			fmt.Fprintf(os.Stderr, "  ... %d segments, %d entries, %d bytes verified (%.1fs)\n",
+				segs, entries, s.CommittedBytes, time.Since(start).Seconds())
+		}
+		return nil
+	}
+
+	res, err := libseal.VerifyLogFileStream(*logPath, opts)
+	if err != nil {
+		if opts.Resume != nil && errors.Is(err, libseal.ErrVerifyCheckpointStale) {
+			// The log changed since the checkpoint (trimmed or rotated);
+			// re-verify it from scratch.
+			fmt.Fprintf(os.Stderr, "libseal-verify: %v; cold scan\n", err)
+			opts.Resume = nil
+			res, err = libseal.VerifyLogFileStream(*logPath, opts)
+		}
+		if err != nil {
+			fatal("VERIFICATION FAILED: %v", err)
+		}
+	}
+
+	fmt.Printf("OK: %d entries, hash chain intact", res.TotalEntries)
 	if opts.Pub != nil {
 		fmt.Printf(", enclave signature valid")
 	}
+	if res.Resumed {
+		fmt.Printf(" (resumed: %d of %d batches re-verified)", res.Batches, res.TotalBatches)
+	}
 	fmt.Println()
 
-	if *dump {
-		for _, e := range entries {
-			fmt.Printf("#%-6d %-16s", e.Seq, e.Table)
-			for _, v := range e.Values {
-				fmt.Printf(" %s", v.String())
-			}
-			fmt.Println()
+	if !*dump {
+		tables := make([]string, 0, len(res.Tables))
+		for t := range res.Tables {
+			tables = append(tables, t)
 		}
-	} else {
-		byTable := map[string]int{}
-		for _, e := range entries {
-			byTable[e.Table]++
-		}
-		for table, n := range byTable {
-			fmt.Printf("  %-20s %d tuples\n", table, n)
+		sort.Strings(tables)
+		for _, t := range tables {
+			fmt.Printf("  %-20s %d tuples\n", t, res.Tables[t])
 		}
 	}
 }

@@ -1198,8 +1198,17 @@ func readRecords(r io.Reader, tolerant bool) ([]fileRecord, error) {
 			return nil, fmt.Errorf("%w: truncated record header", ErrTampered)
 		}
 		n := binary.BigEndian.Uint32(hdr[1:])
-		payload := make([]byte, n)
-		if _, err := io.ReadFull(r, payload); err != nil {
+		if n > maxRecordBytes {
+			// A length field this large is corruption or hostility, never a
+			// record the writers produced; bounding it keeps verification
+			// from allocating attacker-chosen amounts of memory.
+			if tolerant {
+				return recs, nil
+			}
+			return nil, errOversized(n)
+		}
+		payload, err := readPayload(r, n)
+		if err != nil {
 			if tolerant {
 				return recs, nil
 			}
@@ -1232,6 +1241,12 @@ func parseSig(payload []byte) (chain [32]byte, counter uint64, sig enclave.Signa
 		return
 	}
 	sig = enclave.Signature{R: []byte(rb), S: []byte(sb)}
+	if r.Len() != 0 {
+		// The ECDSA signature covers only the chain head and counter, so
+		// trailing payload bytes would let an inflated length field swallow
+		// neighbouring records without invalidating the record.
+		err = errors.New("trailing bytes after signature")
+	}
 	return
 }
 
@@ -1411,7 +1426,12 @@ scan:
 	}
 	if !sawSig {
 		if len(entries) == 0 || opts.RecoverTruncated {
-			// Nothing was ever committed (or only debris survives).
+			// Nothing was ever committed (or only debris survives) — but an
+			// empty log still has to satisfy the quorum: if the group's
+			// counter has moved, committed history has been rolled away.
+			if err := checkFreshness(commit.counter, opts); err != nil {
+				return nil, err
+			}
 			return &VerifyResult{CommittedBytes: commit.end}, nil
 		}
 		return nil, fmt.Errorf("%w: missing signature record", ErrTampered)
@@ -1425,19 +1445,31 @@ scan:
 	if opts.RecoverTruncated {
 		checkEntries = entries[:commit.entries]
 	}
-	if opts.Protector != nil {
-		stable, err := opts.Protector.Read(opts.Name)
-		if err != nil {
-			return nil, err
-		}
-		if commit.counter+opts.MaxCounterLag < stable {
-			return nil, fmt.Errorf("%w: log counter %d < group counter %d", ErrBadCounter, commit.counter, stable)
-		}
+	if err := checkFreshness(commit.counter, opts); err != nil {
+		return nil, err
 	}
 	return &VerifyResult{
 		Entries: checkEntries, Counter: commit.counter, CommittedBytes: commit.end,
 		Batches: batches, MaxBatch: maxBatch,
 	}, nil
+}
+
+// checkFreshness compares the log's committed counter against the rollback
+// group's stable value. It applies to every accepted verification outcome,
+// including an empty log: "no batches" with a non-zero group counter is a
+// rollback, not a fresh start.
+func checkFreshness(counter uint64, opts VerifyOptions) error {
+	if opts.Protector == nil {
+		return nil
+	}
+	stable, err := opts.Protector.Read(opts.Name)
+	if err != nil {
+		return err
+	}
+	if counter+opts.MaxCounterLag < stable {
+		return fmt.Errorf("%w: log counter %d < group counter %d", ErrBadCounter, counter, stable)
+	}
+	return nil
 }
 
 // Recover rebuilds an audit log from its persisted file after a restart: the

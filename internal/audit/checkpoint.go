@@ -1,0 +1,187 @@
+package audit
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Resumable verification checkpoints. A checkpoint is a small JSON sidecar
+// recording the verified prefix state at a commit point: the offset just
+// past a signature record, the chain head and counter that record attests,
+// and running totals. A restarted verifier loads the sidecar, re-binds it
+// to the log (the signature record at SigOffset must hash to SigHash — a
+// log that was trimmed, rotated or swapped since fails with
+// ErrCheckpointStale and the caller falls back to a cold scan), seeks to
+// Offset and verifies only the suffix.
+//
+// Crash model: the sidecar is written to a temp file, fsynced, and
+// atomically renamed over the previous checkpoint (the same discipline Trim
+// uses for the log itself), so a crash mid-write leaves the previous valid
+// checkpoint in place. Checkpoints are only ever taken at commit points of
+// a fully verified prefix, so resuming can never skip an unverified byte:
+// the worst a crash costs is re-verifying the segments since the last
+// sidecar rotation.
+
+const (
+	checkpointVersion = 1
+
+	// defaultCheckpointSegments / defaultCheckpointBytes bound how much
+	// re-verification a crash can cost when CheckpointConfig doesn't say.
+	defaultCheckpointSegments = 64
+	defaultCheckpointBytes    = 4 << 20
+)
+
+// ErrCheckpointStale reports a checkpoint that does not match the log file
+// it is being resumed against.
+var ErrCheckpointStale = errors.New("audit: checkpoint does not match log file")
+
+// CheckpointConfig tells the streaming verifier where and how often to
+// persist resumable progress.
+type CheckpointConfig struct {
+	// Path is the sidecar file; it is atomically replaced on each write.
+	Path string
+	// EverySegments writes a checkpoint after this many committed segments
+	// (default 64).
+	EverySegments int
+	// EveryBytes writes a checkpoint after this many verified entry bytes
+	// (default 4 MiB). Whichever of the two thresholds trips first wins.
+	EveryBytes int64
+	// OnError observes checkpoint write failures; verification itself is
+	// unaffected (a lost checkpoint only costs re-verification later).
+	OnError func(error)
+}
+
+// Checkpoint is the persisted sidecar state.
+type Checkpoint struct {
+	Version int `json:"version"`
+	// Offset is the verified prefix length: the offset just past the
+	// signature record the checkpoint was taken at.
+	Offset int64 `json:"offset"`
+	// Seq is the next expected entry sequence number (= entries verified).
+	Seq uint64 `json:"seq"`
+	// Chain is the hex chain head the signature record attests.
+	Chain string `json:"chain"`
+	// Counter is the rollback-counter value at the commit point.
+	Counter uint64 `json:"counter"`
+	// Batches / MaxBatch / Entries / Tables are running verification
+	// totals for the checkpointed prefix.
+	Batches  int            `json:"batches"`
+	MaxBatch int            `json:"max_batch"`
+	Entries  int            `json:"entries"`
+	Tables   map[string]int `json:"tables,omitempty"`
+	// SigOffset is the file offset of the signature record's header and
+	// SigHash the hex SHA-256 of its payload; together they bind the
+	// checkpoint to one specific log file.
+	SigOffset int64  `json:"sig_offset"`
+	SigHash   string `json:"sig_hash"`
+}
+
+func hexChain(c [32]byte) string { return hex.EncodeToString(c[:]) }
+
+func hexDigest(b []byte) string {
+	d := sha256.Sum256(b)
+	return hex.EncodeToString(d[:])
+}
+
+// chainHead decodes the checkpoint's chain head.
+func (c *Checkpoint) chainHead() ([32]byte, error) {
+	var out [32]byte
+	b, err := hex.DecodeString(c.Chain)
+	if err != nil || len(b) != 32 {
+		return out, fmt.Errorf("%w: bad chain head", ErrCheckpointStale)
+	}
+	copy(out[:], b)
+	return out, nil
+}
+
+// Save atomically persists the checkpoint: temp file, fsync, rename, and a
+// best-effort fsync of the containing directory so the rename itself is
+// durable.
+func (c *Checkpoint) Save(path string) error {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint sidecar.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var c Checkpoint
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCheckpointStale, err)
+	}
+	if c.Version != checkpointVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCheckpointStale, c.Version)
+	}
+	if _, err := c.chainHead(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// matchFile verifies the checkpoint still describes this log file: the
+// record at SigOffset must be a signature record whose payload hashes to
+// SigHash and whose end offset equals the checkpointed Offset. The file
+// position is left unchanged for the caller to seek.
+func (c *Checkpoint) matchFile(f *os.File) error {
+	if c.SigOffset < int64(len(fileMagic)) || c.SigOffset+5 > c.Offset {
+		return fmt.Errorf("%w: implausible offsets", ErrCheckpointStale)
+	}
+	var hdr [5]byte
+	if _, err := f.ReadAt(hdr[:], c.SigOffset); err != nil {
+		return fmt.Errorf("%w: %v", ErrCheckpointStale, err)
+	}
+	if hdr[0] != recSig {
+		return fmt.Errorf("%w: no signature record at checkpoint", ErrCheckpointStale)
+	}
+	n := int64(uint32(hdr[1])<<24 | uint32(hdr[2])<<16 | uint32(hdr[3])<<8 | uint32(hdr[4]))
+	if n > maxRecordBytes || c.SigOffset+5+n != c.Offset {
+		return fmt.Errorf("%w: signature record does not end at checkpoint offset", ErrCheckpointStale)
+	}
+	payload := make([]byte, n)
+	if _, err := f.ReadAt(payload, c.SigOffset+5); err != nil {
+		return fmt.Errorf("%w: %v", ErrCheckpointStale, err)
+	}
+	if hexDigest(payload) != c.SigHash {
+		return fmt.Errorf("%w: signature record hash mismatch", ErrCheckpointStale)
+	}
+	return nil
+}

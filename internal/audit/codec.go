@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 
 	"libseal/internal/sqldb"
@@ -68,7 +69,7 @@ func (e *Entry) Marshal() []byte {
 func UnmarshalEntry(data []byte) (*Entry, error) {
 	r := bytes.NewReader(data)
 	var u64 [8]byte
-	if _, err := r.Read(u64[:]); err != nil {
+	if _, err := io.ReadFull(r, u64[:]); err != nil {
 		return nil, ErrCodec
 	}
 	e := &Entry{Seq: binary.BigEndian.Uint64(u64[:])}
@@ -78,7 +79,7 @@ func UnmarshalEntry(data []byte) (*Entry, error) {
 	}
 	e.Table = table
 	var u16 [2]byte
-	if _, err := r.Read(u16[:]); err != nil {
+	if _, err := io.ReadFull(r, u16[:]); err != nil {
 		return nil, ErrCodec
 	}
 	n := int(binary.BigEndian.Uint16(u16[:]))
@@ -91,12 +92,12 @@ func UnmarshalEntry(data []byte) (*Entry, error) {
 		case tagNull:
 			e.Values = append(e.Values, sqldb.Null())
 		case tagInt:
-			if _, err := r.Read(u64[:]); err != nil {
+			if _, err := io.ReadFull(r, u64[:]); err != nil {
 				return nil, ErrCodec
 			}
 			e.Values = append(e.Values, sqldb.Int(int64(binary.BigEndian.Uint64(u64[:]))))
 		case tagFloat:
-			if _, err := r.Read(u64[:]); err != nil {
+			if _, err := io.ReadFull(r, u64[:]); err != nil {
 				return nil, ErrCodec
 			}
 			e.Values = append(e.Values, sqldb.Float(math.Float64frombits(binary.BigEndian.Uint64(u64[:]))))
@@ -131,7 +132,7 @@ func writeString(buf *bytes.Buffer, s string) {
 
 func readString(r *bytes.Reader) (string, error) {
 	var l [4]byte
-	if _, err := r.Read(l[:]); err != nil {
+	if _, err := io.ReadFull(r, l[:]); err != nil {
 		return "", ErrCodec
 	}
 	n := binary.BigEndian.Uint32(l[:])
@@ -140,7 +141,7 @@ func readString(r *bytes.Reader) (string, error) {
 	}
 	b := make([]byte, n)
 	if n > 0 {
-		if _, err := r.Read(b); err != nil {
+		if _, err := io.ReadFull(r, b); err != nil {
 			return "", ErrCodec
 		}
 	}

@@ -1,0 +1,477 @@
+package audit
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"libseal/internal/telemetry"
+)
+
+// Parallel segmented verification: a scanner goroutine cuts the record
+// stream at signature records (stream.go), a worker pool recomputes each
+// segment's hash chain and ECDSA signature concurrently, and the merger
+// below stitches the per-segment verdicts back together in file order.
+// The merger reproduces the sequential verifier's semantics exactly —
+// identical error strings, identical precedence, identical VerifyResult —
+// so callers can treat the two paths as interchangeable; the test suite
+// holds them to that on every golden vector and corruption case.
+
+// Verification telemetry (audit.verify.*): segment/entry/byte throughput,
+// per-segment and whole-run latency, and checkpoint/resume activity for
+// the resumable CLI path.
+var (
+	mVerifyRuns        = telemetry.NewCounter("audit.verify.runs", "calls")
+	mVerifyFailures    = telemetry.NewCounter("audit.verify.failures", "calls")
+	mVerifySegments    = telemetry.NewCounter("audit.verify.segments", "segments")
+	mVerifyEntries     = telemetry.NewCounter("audit.verify.entries", "entries")
+	mVerifyBytes       = telemetry.NewCounter("audit.verify.bytes", "bytes")
+	mVerifyWorkers     = telemetry.NewGauge("audit.verify.workers", "goroutines")
+	mVerifySegLatency  = telemetry.NewHistogram("audit.verify.segment.latency", "ns")
+	mVerifyLatency     = telemetry.NewHistogram("audit.verify.latency", "ns")
+	mVerifyCheckpoints = telemetry.NewCounter("audit.verify.checkpoints", "writes")
+	mVerifyResumes     = telemetry.NewCounter("audit.verify.resumes", "calls")
+)
+
+// SegmentInfo describes one committed (signature-closed, fully verified)
+// segment, delivered to StreamOptions.OnSegment in file order.
+type SegmentInfo struct {
+	// Index is the segment's ordinal within this scan, starting at 0.
+	Index int
+	// Entries are the segment's verified entries. The slice is only valid
+	// during the callback; the pipeline releases it afterwards so a scan
+	// never holds more than the in-flight window of segments in memory.
+	Entries []*Entry
+	// Counter is the rollback-counter value the segment's signature attests.
+	Counter uint64
+	// CommittedBytes is the verified prefix length through this segment.
+	CommittedBytes int64
+}
+
+// StreamOptions extends VerifyOptions with the streaming pipeline's knobs.
+type StreamOptions struct {
+	VerifyOptions
+
+	// Workers is the number of concurrent segment verifiers; 0 means
+	// GOMAXPROCS. 1 still runs the pipeline (scanner and verifier overlap)
+	// but verifies segments one at a time.
+	Workers int
+
+	// SegmentBuffer bounds the in-flight segment window (scanned but not
+	// yet merged); 0 means 2×Workers. Together with the worker count it
+	// caps the pipeline's memory footprint at roughly
+	// (SegmentBuffer+Workers+1) segments.
+	SegmentBuffer int
+
+	// OnSegment, when set, receives each committed segment in file order
+	// and the pipeline stops accumulating entries: the final
+	// VerifyResult.Entries is nil and memory stays bounded regardless of
+	// log size. Returning an error aborts the scan with that error.
+	OnSegment func(SegmentInfo) error
+
+	// Checkpoint, when set, persists resumable progress to a sidecar file
+	// as segments commit.
+	Checkpoint *CheckpointConfig
+
+	// Resume, when set, starts the scan from a previously persisted
+	// checkpoint instead of byte 0. VerifyFileStream validates the
+	// checkpoint against the file (ErrCheckpointStale on mismatch);
+	// VerifyReaderStream trusts the caller to have positioned the reader
+	// at Resume.Offset.
+	Resume *Checkpoint
+}
+
+// StreamResult is the outcome of a streaming verification. The embedded
+// VerifyResult covers what this scan itself verified (for a cold scan that
+// is the whole log, making it byte-identical to VerifyReaderResult's
+// answer); the Total fields fold in the checkpointed prefix on a resumed
+// scan.
+type StreamResult struct {
+	VerifyResult
+
+	// TotalEntries / TotalBatches / TotalMaxBatch describe the whole log:
+	// the checkpointed prefix plus this scan. On a cold scan they equal
+	// the embedded VerifyResult fields.
+	TotalEntries  int
+	TotalBatches  int
+	TotalMaxBatch int
+	// Tables counts verified entries per table across the whole log.
+	Tables map[string]int
+	// Resumed reports whether the scan started from a checkpoint.
+	Resumed bool
+	// Segments is the number of committed segments this scan verified.
+	Segments int
+}
+
+// VerifyFileStream verifies a persisted log with the parallel segmented
+// pipeline. With opts.Resume it validates the checkpoint against the file
+// and continues from the checkpointed offset; a checkpoint that does not
+// match the file (trimmed, swapped, or corrupted since) fails with
+// ErrCheckpointStale so the caller can fall back to a cold scan.
+func VerifyFileStream(path string, opts StreamOptions) (*StreamResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if opts.Resume != nil {
+		if err := opts.Resume.matchFile(f); err != nil {
+			return nil, err
+		}
+		if _, err := f.Seek(opts.Resume.Offset, io.SeekStart); err != nil {
+			return nil, err
+		}
+	}
+	return VerifyReaderStream(f, opts)
+}
+
+// VerifyReaderStream runs the parallel segmented verification pipeline over
+// a record stream. Without OnSegment it returns a VerifyResult identical to
+// VerifyReaderResult's; with OnSegment it streams segments to the callback
+// and keeps memory bounded.
+func VerifyReaderStream(r io.Reader, opts StreamOptions) (*StreamResult, error) {
+	start := time.Now()
+	mVerifyRuns.Inc()
+	res, err := runStreamVerify(r, &opts)
+	mVerifyLatency.Observe(time.Since(start))
+	if err != nil {
+		mVerifyFailures.Inc()
+	}
+	return res, err
+}
+
+func runStreamVerify(r io.Reader, opts *StreamOptions) (*StreamResult, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	window := opts.SegmentBuffer
+	if window <= 0 {
+		window = 2 * workers
+	}
+
+	base := scanBase{offset: int64(len(fileMagic)), tables: map[string]int{}}
+	resumed := false
+	if opts.Resume != nil {
+		c := opts.Resume
+		chain, err := c.chainHead()
+		if err != nil {
+			return nil, err
+		}
+		base = scanBase{
+			offset: c.Offset, seq: c.Seq, chain: chain, counter: c.Counter,
+			batches: c.Batches, maxBatch: c.MaxBatch, entries: c.Entries,
+			tables: map[string]int{},
+		}
+		for t, n := range c.Tables {
+			base.tables[t] = n
+		}
+		resumed = true
+		mVerifyResumes.Inc()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	work := make(chan *segment, workers)
+	order := make(chan *segment, window)
+	end := &scanEnd{}
+
+	var wg sync.WaitGroup
+	mVerifyWorkers.Add(int64(workers))
+	defer mVerifyWorkers.Add(-int64(workers))
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seg := range work {
+				if ctx.Err() == nil {
+					t0 := time.Now()
+					seg.res = verifySegment(seg, &opts.VerifyOptions)
+					mVerifySegLatency.Observe(time.Since(t0))
+				}
+				close(seg.done)
+			}
+		}()
+	}
+	scanDone := make(chan struct{})
+	go func() {
+		defer close(scanDone)
+		scanSegments(ctx, r, base, resumed, work, order, end)
+	}()
+	// Whatever happens below, unwind the pipeline before returning.
+	drain := func() {
+		cancel()
+		for seg := range order {
+			<-seg.done
+		}
+		<-scanDone
+		wg.Wait()
+	}
+
+	m := &merger{base: base, opts: opts, resumed: resumed}
+	var cbErr error
+	for seg := range order {
+		<-seg.done
+		if !m.consume(seg) {
+			if m.failed == nil {
+				// OnSegment asked to abort; not a verification verdict.
+				cbErr = m.cbErr
+			}
+			break
+		}
+	}
+	if cbErr != nil {
+		drain()
+		return nil, cbErr
+	}
+	// The verdict can depend on the whole structural scan (strict-mode
+	// truncation preempts everything; a tolerant tear must look for later
+	// signature records), so wait for the scanner even after a failure.
+	for seg := range order {
+		<-seg.done
+	}
+	<-scanDone
+	wg.Wait()
+	return m.finish(end)
+}
+
+// merger folds per-segment verdicts into the final result, in file order,
+// mirroring VerifyReaderResult's scan loop state machine.
+type merger struct {
+	base    scanBase
+	opts    *StreamOptions
+	resumed bool
+
+	entries  []*Entry // accumulated only when OnSegment is nil
+	tables   map[string]int
+	batches  int // valid signature records seen this scan
+	maxBatch int
+	count    int // entries committed this scan
+	commit   struct {
+		end     int64
+		counter uint64
+		chain   [32]byte
+	}
+	segments int
+
+	trailing int // entries after the last signature record
+
+	failed    *segment // first failing segment, in file order
+	failedRes segResult
+	cbErr     error
+
+	ckptSegs  int
+	ckptBytes int64
+}
+
+// consume merges one segment's verdict; returns false when merging must
+// stop (verification failure or callback abort).
+func (m *merger) consume(seg *segment) bool {
+	if m.tables == nil {
+		m.tables = map[string]int{}
+		m.commit.end = m.base.offset
+		m.commit.counter = m.base.counter
+		m.commit.chain = m.base.chain
+	}
+	r := seg.res
+	if r.err != nil || (seg.hasSig && r.sigBad != "") {
+		m.failed = seg
+		m.failedRes = r
+		return false
+	}
+	if !seg.hasSig {
+		// Trailing unsigned entries: verified but uncommitted. The stream
+		// ends here (only the last dispatched segment can be unsigned).
+		m.trailing = len(r.entries)
+		return true
+	}
+	mVerifySegments.Inc()
+	mVerifyEntries.Add(int64(len(r.entries)))
+	mVerifyBytes.Add(r.bytes)
+	if m.opts.OnSegment != nil {
+		info := SegmentInfo{
+			Index: seg.index, Entries: r.entries,
+			Counter: seg.counter, CommittedBytes: seg.end,
+		}
+		if err := m.opts.OnSegment(info); err != nil {
+			m.cbErr = err
+			return false
+		}
+	} else {
+		m.entries = append(m.entries, r.entries...)
+	}
+	for _, e := range r.entries {
+		m.tables[e.Table]++
+	}
+	m.count += len(r.entries)
+	m.batches++
+	if len(r.entries) > m.maxBatch {
+		m.maxBatch = len(r.entries)
+	}
+	m.commit.end = seg.end
+	m.commit.counter = seg.counter
+	m.commit.chain = seg.sigChain
+	m.segments++
+	seg.res.entries = nil // release; the window has moved past this segment
+	if cfg := m.opts.Checkpoint; cfg != nil {
+		m.ckptSegs++
+		m.ckptBytes += r.bytes
+		every := cfg.EverySegments
+		if every <= 0 {
+			every = defaultCheckpointSegments
+		}
+		everyBytes := cfg.EveryBytes
+		if everyBytes <= 0 {
+			everyBytes = defaultCheckpointBytes
+		}
+		if m.ckptSegs >= every || m.ckptBytes >= everyBytes {
+			m.writeCheckpoint(seg)
+			m.ckptSegs = 0
+			m.ckptBytes = 0
+		}
+	}
+	return true
+}
+
+func (m *merger) writeCheckpoint(seg *segment) {
+	cfg := m.opts.Checkpoint
+	c := m.checkpointState()
+	// The signature record's offset and payload hash bind the checkpoint
+	// to this exact file; resume refuses a log that was trimmed or swapped
+	// underneath it.
+	c.SigOffset = seg.sigOff
+	c.SigHash = hexDigest(seg.sigRaw)
+	if err := c.Save(cfg.Path); err == nil {
+		mVerifyCheckpoints.Inc()
+	} else if cfg.OnError != nil {
+		cfg.OnError(err)
+	}
+}
+
+// checkpointState snapshots the merger's committed totals (base + this
+// scan) as a Checkpoint, minus the sig-record binding fields.
+func (m *merger) checkpointState() *Checkpoint {
+	tables := map[string]int{}
+	for t, n := range m.base.tables {
+		tables[t] += n
+	}
+	for t, n := range m.tables {
+		tables[t] += n
+	}
+	maxAll := m.base.maxBatch
+	if m.maxBatch > maxAll {
+		maxAll = m.maxBatch
+	}
+	return &Checkpoint{
+		Version:  checkpointVersion,
+		Offset:   m.commit.end,
+		Seq:      m.base.seq + uint64(m.count),
+		Chain:    hexChain(m.commit.chain),
+		Counter:  m.commit.counter,
+		Batches:  m.base.batches + m.batches,
+		MaxBatch: maxAll,
+		Entries:  m.base.entries + m.count,
+		Tables:   tables,
+	}
+}
+
+// finish computes the final verdict with the sequential verifier's exact
+// precedence: bad magic and (in strict mode) stream framing errors preempt
+// everything; then the first in-order segment failure; then an unknown
+// record type; then the missing-signature and trailing-entry checks; then
+// counter freshness.
+func (m *merger) finish(end *scanEnd) (*StreamResult, error) {
+	if m.tables == nil {
+		// No segments were dispatched at all.
+		m.tables = map[string]int{}
+		m.commit.end = m.base.offset
+		m.commit.counter = m.base.counter
+		m.commit.chain = m.base.chain
+	}
+	opts := &m.opts.VerifyOptions
+	strict := !opts.RecoverTruncated
+	if end.badMagic {
+		return nil, end.streamErr
+	}
+	if strict && end.streamErr != nil {
+		return nil, end.streamErr
+	}
+	if f := m.failed; f != nil {
+		r := m.failedRes
+		var ferr error
+		if r.err != nil {
+			ferr = r.err
+		} else {
+			ferr = fmt.Errorf("%w: signature record %d: %s", ErrTampered, m.base.batches+m.batches, r.sigBad)
+		}
+		if strict {
+			return nil, ferr
+		}
+		// Tolerant mode forgives the tear only as uncommitted debris: any
+		// signature record beyond the torn record proves the damage sits
+		// inside the signed prefix. Signature records before the tear are
+		// exactly the closers of segments 0..index-1, plus this segment's
+		// own signature when the tear is past it.
+		sigsBefore := f.index
+		if f.hasSig && r.err == nil {
+			sigsBefore++ // tear is at the signature record itself
+		}
+		if end.totalSigs > sigsBefore {
+			return nil, fmt.Errorf("%w: corrupted entry inside signed prefix", ErrTampered)
+		}
+		// Fall through: the verified prefix before the tear is the answer.
+		m.trailing = 0
+	} else if end.unknownErr != nil {
+		return nil, end.unknownErr
+	}
+	sawSig := m.batches > 0 || m.base.batches > 0
+	if !sawSig {
+		if m.count+m.trailing == 0 || !strict {
+			if err := checkFreshness(m.commit.counter, *opts); err != nil {
+				return nil, err
+			}
+			return m.result(), nil
+		}
+		return nil, fmt.Errorf("%w: missing signature record", ErrTampered)
+	}
+	if strict && m.trailing > 0 {
+		return nil, fmt.Errorf("%w: %d entries after the last signature record", ErrTampered, m.trailing)
+	}
+	if err := checkFreshness(m.commit.counter, *opts); err != nil {
+		return nil, err
+	}
+	return m.result(), nil
+}
+
+func (m *merger) result() *StreamResult {
+	maxAll := m.base.maxBatch
+	if m.maxBatch > maxAll {
+		maxAll = m.maxBatch
+	}
+	tables := map[string]int{}
+	for t, n := range m.base.tables {
+		tables[t] += n
+	}
+	for t, n := range m.tables {
+		tables[t] += n
+	}
+	return &StreamResult{
+		VerifyResult: VerifyResult{
+			Entries:        m.entries,
+			Counter:        m.commit.counter,
+			CommittedBytes: m.commit.end,
+			Batches:        m.batches,
+			MaxBatch:       m.maxBatch,
+		},
+		TotalEntries:  m.base.entries + m.count,
+		TotalBatches:  m.base.batches + m.batches,
+		TotalMaxBatch: maxAll,
+		Tables:        tables,
+		Resumed:       m.resumed,
+		Segments:      m.segments,
+	}
+}

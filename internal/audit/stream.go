@@ -1,0 +1,305 @@
+package audit
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"libseal/internal/enclave"
+)
+
+// Segmented log scanning. A persisted log is a stream of entry records
+// delimited by signature records; every signature record is a commit point
+// carrying the chain head it attests. That makes the signature records
+// natural cut points for parallel verification: a sequential scanner splits
+// the stream into segments — the entries since the previous signature plus
+// the signature that closes them — and hands each segment its *claimed*
+// starting chain head (the previous signature's attested head). A worker can
+// then recompute the segment's hashes and check its signature independently
+// of every other segment: if segment k verifies, its claimed end head is the
+// true chain head after its last entry, so segment k+1's claimed start is
+// trustworthy by induction and the stitched result equals the sequential
+// scan's byte for byte.
+//
+// The scanner does only cheap structural work (record framing, signature
+// field splitting); hashing, ECDSA verification and entry decoding — the
+// dominant costs — happen in the workers.
+
+// maxRecordBytes caps a single record's payload length. The writers never
+// produce records anywhere near this large; a length field claiming more is
+// either corruption or a malicious log, and bounding it keeps a hostile
+// input from forcing multi-gigabyte allocations during verification.
+const maxRecordBytes = 1 << 28
+
+// errOversized classifies a record whose length field exceeds
+// maxRecordBytes. Shared by the sequential and streaming scanners so both
+// paths report the identical error.
+func errOversized(n uint32) error {
+	return fmt.Errorf("%w: oversized record (%d bytes)", ErrTampered, n)
+}
+
+// readPayload reads an n-byte record payload. Large payloads are read
+// through a growing buffer rather than allocated up front, so a forged
+// length field costs memory proportional to the bytes actually present,
+// not to the claim. Short reads return io.ReadFull-style errors.
+func readPayload(r io.Reader, n uint32) ([]byte, error) {
+	if n <= 1<<16 {
+		b := make([]byte, n)
+		_, err := io.ReadFull(r, b)
+		return b, err
+	}
+	var buf bytes.Buffer
+	got, err := io.Copy(&buf, io.LimitReader(r, int64(n)))
+	if err != nil {
+		return nil, err
+	}
+	if got < int64(n) {
+		if got == 0 {
+			return nil, io.EOF
+		}
+		return nil, io.ErrUnexpectedEOF
+	}
+	return buf.Bytes(), nil
+}
+
+// segment is one signature-delimited slice of the record stream: the entry
+// payloads since the previous commit point plus (except for a trailing
+// unsigned segment) the signature record that closes them.
+type segment struct {
+	index      int      // dispatch ordinal; equals the count of signed segments before it
+	startSeq   uint64   // expected sequence number of the first entry
+	startChain [32]byte // claimed chain head before the first entry
+	payloads   [][]byte // raw entry payloads (sealed if the log is sealed)
+
+	hasSig      bool
+	sigRaw      []byte   // raw signature record payload (checkpoint binding)
+	sigChain    [32]byte // claimed chain head after the last entry
+	counter     uint64
+	sigVal      enclave.Signature
+	sigParseErr error
+	sigOff      int64 // file offset of the signature record's header
+	end         int64 // file offset just past the signature record (commit point)
+
+	res  segResult
+	done chan struct{}
+}
+
+// segResult is a worker's verdict on one segment.
+type segResult struct {
+	entries  []*Entry
+	err      error  // formatted entry-level failure (nil otherwise)
+	entryErr bool   // err was raised at an entry record
+	sigBad   string // non-empty: the signature record failed (parse/chain/ECDSA)
+	bytes    int64  // entry payload bytes, for telemetry
+}
+
+// scanEnd is what the scanner learned about the stream beyond the dispatched
+// segments; the merger consults it to reproduce the sequential verifier's
+// error precedence exactly.
+type scanEnd struct {
+	// streamErr is a record-framing failure (bad magic, truncated record,
+	// oversized record). In strict mode it preempts every other verdict —
+	// the sequential verifier parses the whole stream before checking
+	// anything — except that bad magic fails both modes.
+	streamErr error
+	badMagic  bool
+	// unknownErr is the first unknown-record-type error; it applies only
+	// when everything dispatched before it verified.
+	unknownErr error
+	// totalSigs counts every signature record in the stream, including ones
+	// after the scanner stopped dispatching. A tolerant scan that tears
+	// inside the signed prefix must detect any later signature record as
+	// proof of tampering.
+	totalSigs int
+	endOffset int64
+}
+
+// scanBase is the verified state the scan starts from: zero values for a
+// cold scan, the checkpointed prefix state for a resumed one.
+type scanBase struct {
+	offset   int64
+	seq      uint64
+	chain    [32]byte
+	counter  uint64
+	batches  int
+	maxBatch int
+	entries  int
+	tables   map[string]int
+}
+
+// scan reads the record stream, dispatching signature-delimited segments to
+// the work and order channels (same segments, same order; order is what the
+// merger consumes). It always structurally scans to end of stream, even
+// after it stops dispatching, so the merger can apply the sequential
+// verifier's precedence rules. Runs as a goroutine; closes both channels on
+// return.
+func scanSegments(ctx context.Context, r io.Reader, base scanBase, resumed bool, work, order chan *segment, end *scanEnd) {
+	defer close(work)
+	defer close(order)
+	br := bufio.NewReaderSize(r, 512<<10)
+	off := base.offset
+	if !resumed {
+		magic := make([]byte, len(fileMagic))
+		if _, err := io.ReadFull(br, magic); err != nil || string(magic) != string(fileMagic) {
+			end.streamErr = fmt.Errorf("%w: bad magic", ErrTampered)
+			end.badMagic = true
+			end.endOffset = off
+			return
+		}
+		off = int64(len(fileMagic))
+	}
+	dispatch := func(s *segment) bool {
+		s.done = make(chan struct{})
+		select {
+		case work <- s:
+		case <-ctx.Done():
+			return false
+		}
+		select {
+		case order <- s:
+		case <-ctx.Done():
+			return false
+		}
+		return true
+	}
+	var cur *segment
+	idx := 0
+	nextSeq := base.seq
+	nextChain := base.chain
+	dispatching := true
+	var hdr [5]byte
+	for {
+		if ctx.Err() != nil {
+			break
+		}
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err != io.EOF {
+				end.streamErr = fmt.Errorf("%w: truncated record header", ErrTampered)
+			}
+			break
+		}
+		n := binary.BigEndian.Uint32(hdr[1:])
+		if n > maxRecordBytes {
+			end.streamErr = errOversized(n)
+			break
+		}
+		payload, err := readPayload(br, n)
+		if err != nil {
+			end.streamErr = fmt.Errorf("%w: truncated record", ErrTampered)
+			break
+		}
+		off += 5 + int64(n)
+		switch hdr[0] {
+		case recEntry:
+			if !dispatching {
+				continue
+			}
+			if cur == nil {
+				cur = &segment{index: idx, startSeq: nextSeq, startChain: nextChain}
+			}
+			cur.payloads = append(cur.payloads, payload)
+			nextSeq++
+		case recSig:
+			end.totalSigs++
+			if !dispatching {
+				continue
+			}
+			seg := cur
+			if seg == nil {
+				seg = &segment{index: idx, startSeq: nextSeq, startChain: nextChain}
+			}
+			cur = nil
+			seg.hasSig = true
+			seg.sigRaw = payload
+			seg.sigOff = off - 5 - int64(n)
+			seg.end = off
+			ch, ctr, sv, perr := parseSig(payload)
+			if perr != nil {
+				// The claimed chain beyond this point is unknowable; the
+				// verdict is already decided at this segment, so later
+				// records are scanned structurally only.
+				seg.sigParseErr = perr
+				dispatching = false
+			} else {
+				seg.sigChain = ch
+				seg.counter = ctr
+				seg.sigVal = sv
+				nextChain = ch
+			}
+			idx++
+			if !dispatch(seg) {
+				return
+			}
+		default:
+			if end.unknownErr == nil {
+				end.unknownErr = fmt.Errorf("%w: unknown record type %q", ErrTampered, hdr[0])
+			}
+			// Entries pending before the unknown record are processed by the
+			// sequential verifier before it errors; dispatch them as a
+			// trailing unsigned segment, then scan structurally.
+			if dispatching && cur != nil {
+				trailing := cur
+				cur = nil
+				if !dispatch(trailing) {
+					return
+				}
+			}
+			dispatching = false
+		}
+	}
+	if dispatching && cur != nil {
+		if !dispatch(cur) {
+			return
+		}
+	}
+	end.endOffset = off
+}
+
+// verifySegment recomputes one segment's hash chain, decodes its entries and
+// checks its signature record against the claimed chain head. It is the
+// expensive half of verification and runs concurrently across segments.
+func verifySegment(seg *segment, opts *VerifyOptions) segResult {
+	var res segResult
+	chain := seg.startChain
+	seq := seg.startSeq
+	for _, raw := range seg.payloads {
+		payload := raw
+		if opts.Unseal != nil {
+			var err error
+			if payload, err = opts.Unseal(raw); err != nil {
+				res.err = fmt.Errorf("%w: unseal: %v", ErrTampered, err)
+				res.entryErr = true
+				return res
+			}
+		}
+		e, err := UnmarshalEntry(payload)
+		if err != nil {
+			res.err = fmt.Errorf("%w: %v", ErrTampered, err)
+			res.entryErr = true
+			return res
+		}
+		if e.Seq != seq {
+			res.err = fmt.Errorf("%w: sequence gap at %d", ErrTampered, seq)
+			res.entryErr = true
+			return res
+		}
+		seq++
+		chain = chainNext(chain, payload)
+		res.entries = append(res.entries, e)
+		res.bytes += int64(len(payload))
+	}
+	if seg.hasSig {
+		switch {
+		case seg.sigParseErr != nil:
+			res.sigBad = seg.sigParseErr.Error()
+		case seg.sigChain != chain:
+			res.sigBad = "chain hash mismatch"
+		case opts.Pub != nil && !enclave.VerifySignature(opts.Pub, sigDigest(seg.sigChain, seg.counter), seg.sigVal):
+			res.sigBad = "signature invalid"
+		}
+	}
+	return res
+}

@@ -1,0 +1,382 @@
+package audit
+
+import (
+	"bytes"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// testKey returns a fresh ECDSA key for synthetic logs.
+func testKey(t testing.TB) *ecdsa.PrivateKey {
+	t.Helper()
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+// synthLog builds an in-memory synthetic log.
+func synthLog(t testing.TB, key *ecdsa.PrivateKey, n, batchMax int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := WriteSyntheticLog(&buf, key, n, batchMax); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// appendUnsigned appends n unsigned entries (starting at seq) to a log
+// image — the shape a crash between entry writes and the batch signature
+// leaves behind.
+func appendUnsigned(t testing.TB, img []byte, seq uint64, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.Write(img)
+	for i := 0; i < n; i++ {
+		p := SyntheticEntry(seq + uint64(i)).Marshal()
+		if err := writeRecord(&buf, recEntry, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// runBoth runs the sequential and streaming verifiers on the same image
+// and asserts they agree exactly — same error string or same result.
+func runBoth(t *testing.T, img []byte, opts VerifyOptions, workers int) (*VerifyResult, *StreamResult) {
+	t.Helper()
+	seqRes, seqErr := VerifyReaderResult(bytes.NewReader(img), opts)
+	strRes, strErr := VerifyReaderStream(bytes.NewReader(img), StreamOptions{VerifyOptions: opts, Workers: workers})
+	if (seqErr == nil) != (strErr == nil) {
+		t.Fatalf("verdict mismatch: sequential err=%v, stream err=%v", seqErr, strErr)
+	}
+	if seqErr != nil {
+		if seqErr.Error() != strErr.Error() {
+			t.Fatalf("error mismatch:\n  sequential: %v\n  stream:     %v", seqErr, strErr)
+		}
+		return nil, nil
+	}
+	if !reflect.DeepEqual(seqRes, &strRes.VerifyResult) {
+		t.Fatalf("result mismatch:\n  sequential: %+v\n  stream:     %+v", seqRes, strRes.VerifyResult)
+	}
+	return seqRes, strRes
+}
+
+func TestStreamMatchesSequentialShapes(t *testing.T) {
+	key := testKey(t)
+	opts := VerifyOptions{Pub: &key.PublicKey}
+	shapes := []struct {
+		name string
+		img  []byte
+	}{
+		{"empty", synthLog(t, key, 0, 1)},
+		{"one-entry", synthLog(t, key, 1, 1)},
+		{"per-entry", synthLog(t, key, 57, 1)},
+		{"batched", synthLog(t, key, 100, 7)},
+		{"big-batches", synthLog(t, key, 300, 64)},
+		{"trailing-unsigned", appendUnsigned(t, synthLog(t, key, 20, 5), 20, 3)},
+	}
+	// Bare signature records (empty batches) are the shape Reanchor leaves.
+	{
+		var buf bytes.Buffer
+		if _, err := WriteSyntheticBatches(&buf, key, []SyntheticBatch{
+			{Entries: []*Entry{SyntheticEntry(0), SyntheticEntry(1)}, Counter: 1},
+			{Counter: 2},
+			{Entries: []*Entry{SyntheticEntry(2)}, Counter: 3},
+			{Counter: 4},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		shapes = append(shapes, struct {
+			name string
+			img  []byte
+		}{"empty-batches", buf.Bytes()})
+	}
+	for _, sh := range shapes {
+		for _, workers := range []int{1, 3, 8} {
+			for _, tolerant := range []bool{false, true} {
+				o := opts
+				o.RecoverTruncated = tolerant
+				t.Run(fmt.Sprintf("%s/w%d/tolerant=%v", sh.name, workers, tolerant), func(t *testing.T) {
+					runBoth(t, sh.img, o, workers)
+				})
+			}
+		}
+	}
+}
+
+func TestStreamProtectorAgreement(t *testing.T) {
+	key := testKey(t)
+	img := synthLog(t, key, 30, 4) // 8 batches, final counter 8
+	for _, stable := range []uint64{0, 8, 9, 20} {
+		for _, lag := range []uint64{0, 1, 15} {
+			opts := VerifyOptions{
+				Pub: &key.PublicKey, Protector: fakeProtector(stable),
+				Name: "t", MaxCounterLag: lag,
+			}
+			t.Run(fmt.Sprintf("stable=%d/lag=%d", stable, lag), func(t *testing.T) {
+				runBoth(t, img, opts, 4)
+			})
+		}
+	}
+}
+
+// fakeProtector reports a fixed stable counter.
+type fakeProtector uint64
+
+func (f fakeProtector) Increment(string) (uint64, error) { return uint64(f), nil }
+func (f fakeProtector) Read(string) (uint64, error)      { return uint64(f), nil }
+
+func TestStreamCallbackBoundsMemory(t *testing.T) {
+	key := testKey(t)
+	img := synthLog(t, key, 120, 8)
+	var got []uint64
+	var lastOff int64
+	res, err := VerifyReaderStream(bytes.NewReader(img), StreamOptions{
+		VerifyOptions: VerifyOptions{Pub: &key.PublicKey},
+		Workers:       4,
+		OnSegment: func(s SegmentInfo) error {
+			if s.CommittedBytes <= lastOff {
+				t.Errorf("segments out of order: %d after %d", s.CommittedBytes, lastOff)
+			}
+			lastOff = s.CommittedBytes
+			for _, e := range s.Entries {
+				got = append(got, e.Seq)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Entries != nil {
+		t.Fatalf("callback mode must not accumulate entries; got %d", len(res.Entries))
+	}
+	if res.TotalEntries != 120 || len(got) != 120 {
+		t.Fatalf("TotalEntries=%d callback-saw=%d, want 120", res.TotalEntries, len(got))
+	}
+	for i, seq := range got {
+		if seq != uint64(i) {
+			t.Fatalf("entry %d out of order: seq %d", i, seq)
+		}
+	}
+	if res.Tables["updates"] != 120 {
+		t.Fatalf("Tables = %v, want updates:120", res.Tables)
+	}
+}
+
+func TestStreamCallbackAbort(t *testing.T) {
+	key := testKey(t)
+	img := synthLog(t, key, 200, 4)
+	boom := errors.New("boom")
+	n := 0
+	_, err := VerifyReaderStream(bytes.NewReader(img), StreamOptions{
+		VerifyOptions: VerifyOptions{Pub: &key.PublicKey},
+		Workers:       4,
+		OnSegment: func(SegmentInfo) error {
+			n++
+			if n == 3 {
+				return boom
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want callback abort", err)
+	}
+}
+
+func TestCheckpointResume(t *testing.T) {
+	key := testKey(t)
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "log.lseal")
+	ckptPath := filepath.Join(dir, "log.ckpt")
+	if _, err := WriteSyntheticLogFile(logPath, key, 500, 8); err != nil {
+		t.Fatal(err)
+	}
+	opts := StreamOptions{VerifyOptions: VerifyOptions{Pub: &key.PublicKey}, Workers: 4}
+
+	cold, err := VerifyFileStream(logPath, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a verifier killed mid-run: checkpoint every 10 segments,
+	// abort after 25.
+	killed := errors.New("killed")
+	seen := 0
+	kopts := opts
+	kopts.Checkpoint = &CheckpointConfig{Path: ckptPath, EverySegments: 10}
+	kopts.OnSegment = func(SegmentInfo) error {
+		seen++
+		if seen >= 25 {
+			return killed
+		}
+		return nil
+	}
+	if _, err := VerifyFileStream(logPath, kopts); !errors.Is(err, killed) {
+		t.Fatalf("err = %v, want kill", err)
+	}
+
+	ck, err := LoadCheckpoint(ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Batches == 0 || ck.Offset <= int64(len(fileMagic)) {
+		t.Fatalf("checkpoint did not advance: %+v", ck)
+	}
+
+	ropts := opts
+	ropts.Resume = ck
+	warm, err := VerifyFileStream(logPath, ropts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Resumed {
+		t.Fatal("Resumed = false on resumed run")
+	}
+	if warm.TotalEntries != cold.TotalEntries || warm.TotalBatches != cold.TotalBatches ||
+		warm.TotalMaxBatch != cold.TotalMaxBatch || warm.Counter != cold.Counter ||
+		warm.CommittedBytes != cold.CommittedBytes || !reflect.DeepEqual(warm.Tables, cold.Tables) {
+		t.Fatalf("resumed totals differ from cold:\n  cold: %+v\n  warm: %+v", cold, warm)
+	}
+	if warm.Batches >= cold.Batches {
+		t.Fatalf("resumed run re-verified everything: %d batches vs cold %d", warm.Batches, cold.Batches)
+	}
+}
+
+func TestCheckpointStale(t *testing.T) {
+	key := testKey(t)
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "log.lseal")
+	ckptPath := filepath.Join(dir, "log.ckpt")
+	if _, err := WriteSyntheticLogFile(logPath, key, 100, 4); err != nil {
+		t.Fatal(err)
+	}
+	opts := StreamOptions{VerifyOptions: VerifyOptions{Pub: &key.PublicKey}, Workers: 2}
+	copts := opts
+	copts.Checkpoint = &CheckpointConfig{Path: ckptPath, EverySegments: 3}
+	if _, err := VerifyFileStream(logPath, copts); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := LoadCheckpoint(ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the log (as Trim would): the checkpoint must be refused.
+	if _, err := WriteSyntheticLogFile(logPath, key, 60, 4); err != nil {
+		t.Fatal(err)
+	}
+	ropts := opts
+	ropts.Resume = ck
+	if _, err := VerifyFileStream(logPath, ropts); !errors.Is(err, ErrCheckpointStale) {
+		t.Fatalf("err = %v, want ErrCheckpointStale", err)
+	}
+}
+
+// TestStreamResumeMidFailure ensures a resumed scan reaches the same
+// verdict as a cold scan when the corruption sits past the checkpoint.
+func TestStreamResumeMidFailure(t *testing.T) {
+	key := testKey(t)
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "log.lseal")
+	ckptPath := filepath.Join(dir, "log.ckpt")
+	if _, err := WriteSyntheticLogFile(logPath, key, 200, 5); err != nil {
+		t.Fatal(err)
+	}
+	opts := StreamOptions{VerifyOptions: VerifyOptions{Pub: &key.PublicKey}, Workers: 4}
+	copts := opts
+	copts.Checkpoint = &CheckpointConfig{Path: ckptPath, EverySegments: 5}
+	stop := errors.New("stop")
+	segs := 0
+	copts.OnSegment = func(SegmentInfo) error {
+		if segs++; segs >= 12 {
+			return stop
+		}
+		return nil
+	}
+	if _, err := VerifyFileStream(logPath, copts); !errors.Is(err, stop) {
+		t.Fatal(err)
+	}
+	ck, err := LoadCheckpoint(ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one byte well past the checkpoint.
+	img, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Offset+100 >= int64(len(img)) {
+		t.Fatalf("log too small for test: ckpt %d size %d", ck.Offset, len(img))
+	}
+	img[ck.Offset+100] ^= 0xff
+	if err := os.WriteFile(logPath, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, coldErr := VerifyFileStream(logPath, opts)
+	ropts := opts
+	ropts.Resume = ck
+	_, warmErr := VerifyFileStream(logPath, ropts)
+	if coldErr == nil || warmErr == nil {
+		t.Fatalf("corruption not detected: cold=%v warm=%v", coldErr, warmErr)
+	}
+	if !errors.Is(coldErr, ErrTampered) || !errors.Is(warmErr, ErrTampered) {
+		t.Fatalf("want ErrTampered from both: cold=%v warm=%v", coldErr, warmErr)
+	}
+}
+
+// TestSyntheticMatchesLiveWriter is a sanity check that the synthetic
+// writer's output satisfies the real sequential verifier.
+func TestSyntheticVerifies(t *testing.T) {
+	key := testKey(t)
+	img := synthLog(t, key, 40, 6)
+	res, err := VerifyReaderResult(bytes.NewReader(img), VerifyOptions{Pub: &key.PublicKey})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 40 || res.MaxBatch != 6 {
+		t.Fatalf("entries=%d maxBatch=%d", len(res.Entries), res.MaxBatch)
+	}
+	// Counter freshness math: counters count up from 1 per batch.
+	wantBatches := (40 + 5) / 6
+	if res.Batches != wantBatches || res.Counter != uint64(wantBatches) {
+		t.Fatalf("batches=%d counter=%d want %d", res.Batches, res.Counter, wantBatches)
+	}
+}
+
+// TestStreamBadMagic locks the preemptive bad-magic verdict.
+func TestStreamBadMagic(t *testing.T) {
+	key := testKey(t)
+	img := synthLog(t, key, 5, 1)
+	img[0] ^= 0xff
+	for _, tolerant := range []bool{false, true} {
+		o := VerifyOptions{Pub: &key.PublicKey, RecoverTruncated: tolerant}
+		runBoth(t, img, o, 2)
+	}
+}
+
+// TestStreamOversizedRecord locks the shared record-size cap.
+func TestStreamOversizedRecord(t *testing.T) {
+	key := testKey(t)
+	img := synthLog(t, key, 5, 1)
+	var buf bytes.Buffer
+	buf.Write(img)
+	var hdr [5]byte
+	hdr[0] = recEntry
+	binary.BigEndian.PutUint32(hdr[1:], maxRecordBytes+1)
+	buf.Write(hdr[:])
+	for _, tolerant := range []bool{false, true} {
+		o := VerifyOptions{Pub: &key.PublicKey, RecoverTruncated: tolerant}
+		runBoth(t, buf.Bytes(), o, 2)
+	}
+}

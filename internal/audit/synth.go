@@ -1,0 +1,196 @@
+package audit
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/ecdsa"
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"libseal/internal/sqldb"
+)
+
+// Synthetic log generation. Benchmarks and the corruption-matrix tests need
+// logs far larger (or far more precisely shaped) than driving the full
+// enclave stack allows, so this writer produces the persisted wire format
+// directly from a raw ECDSA key: same magic, same records, same chain and
+// signature math as the live writer — a verifier cannot distinguish the
+// two, and the golden-vector tests pin the live writer to this format.
+
+// SyntheticBatch is one commit point of a synthetic log: the entries one
+// signature record covers and the counter value it attests. An empty
+// Entries slice produces a bare signature record, the shape Reanchor and
+// recovery leave behind.
+type SyntheticBatch struct {
+	Entries []*Entry
+	Counter uint64
+}
+
+// WriteSyntheticBatches writes magic plus the given batches as a persisted
+// log, signing each commit point with key exactly as the enclave would.
+// Entry Seq fields are used as given; callers wanting a well-formed log
+// must number them contiguously from seq.
+func WriteSyntheticBatches(w io.Writer, key *ecdsa.PrivateKey, batches []SyntheticBatch) (int64, error) {
+	if _, err := w.Write(fileMagic); err != nil {
+		return 0, err
+	}
+	size := int64(len(fileMagic))
+	var chain [32]byte
+	for _, b := range batches {
+		for _, e := range b.Entries {
+			payload := e.Marshal()
+			if err := writeRecord(w, recEntry, payload); err != nil {
+				return size, err
+			}
+			chain = chainNext(chain, payload)
+			size += recordSize(payload)
+		}
+		sig, err := synthSign(key, chain, b.Counter)
+		if err != nil {
+			return size, err
+		}
+		if err := writeRecord(w, recSig, sig); err != nil {
+			return size, err
+		}
+		size += recordSize(sig)
+	}
+	return size, nil
+}
+
+// WriteSyntheticLog writes n entries grouped into batches of batchMax
+// (1 for the per-entry format), counters counting up from 1 — the shape a
+// healthy group-commit run persists. Returns the file size.
+func WriteSyntheticLog(w io.Writer, key *ecdsa.PrivateKey, n, batchMax int) (int64, error) {
+	if batchMax < 1 {
+		batchMax = 1
+	}
+	bw := newSynthWriter(w, key)
+	for i := 0; i < n; i++ {
+		bw.add(SyntheticEntry(uint64(i)))
+		if bw.pending() >= batchMax {
+			if err := bw.commit(); err != nil {
+				return bw.size, err
+			}
+		}
+	}
+	if err := bw.flush(); err != nil {
+		return bw.size, err
+	}
+	return bw.size, nil
+}
+
+// WriteSyntheticLogFile is WriteSyntheticLog to a file path.
+func WriteSyntheticLogFile(path string, key *ecdsa.PrivateKey, n, batchMax int) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	bw := bufio.NewWriterSize(f, 1<<20)
+	size, err := WriteSyntheticLog(bw, key, n, batchMax)
+	if err != nil {
+		return size, err
+	}
+	if err := bw.Flush(); err != nil {
+		return size, err
+	}
+	return size, f.Sync()
+}
+
+// SyntheticEntry builds a deterministic entry shaped like the git module's
+// reference-update rows: a couple of text columns and an integer, roughly
+// 100 bytes on the wire.
+func SyntheticEntry(seq uint64) *Entry {
+	return &Entry{
+		Seq:   seq,
+		Table: "updates",
+		Values: []sqldb.Value{
+			sqldb.Int(int64(seq)),
+			sqldb.Text(fmt.Sprintf("refs/heads/branch-%d", seq%97)),
+			sqldb.Text(fmt.Sprintf("%040x", seq)),
+			sqldb.Text("push"),
+		},
+	}
+}
+
+// synthSign produces a signature record payload identical in layout to the
+// live writer's signState: chain head, big-endian counter, then the
+// length-prefixed ECDSA R and S scalars.
+func synthSign(key *ecdsa.PrivateKey, chain [32]byte, counter uint64) ([]byte, error) {
+	r, s, err := ecdsa.Sign(rand.Reader, key, sigDigest(chain, counter))
+	if err != nil {
+		return nil, err
+	}
+	var c [8]byte
+	binary.BigEndian.PutUint64(c[:], counter)
+	var out bytes.Buffer
+	out.Write(chain[:])
+	out.Write(c[:])
+	writeString(&out, string(r.Bytes()))
+	writeString(&out, string(s.Bytes()))
+	return out.Bytes(), nil
+}
+
+// synthWriter incrementally builds a synthetic log: add entries, commit
+// signs the batch staged so far.
+type synthWriter struct {
+	w       io.Writer
+	key     *ecdsa.PrivateKey
+	chain   [32]byte
+	counter uint64
+	staged  int
+	size    int64
+	err     error
+}
+
+func newSynthWriter(w io.Writer, key *ecdsa.PrivateKey) *synthWriter {
+	return &synthWriter{w: w, key: key, size: int64(len(fileMagic)), err: writeMagic(w)}
+}
+
+func writeMagic(w io.Writer) error {
+	_, err := w.Write(fileMagic)
+	return err
+}
+
+func (s *synthWriter) pending() int { return s.staged }
+
+func (s *synthWriter) add(e *Entry) {
+	if s.err != nil {
+		return
+	}
+	payload := e.Marshal()
+	if s.err = writeRecord(s.w, recEntry, payload); s.err != nil {
+		return
+	}
+	s.chain = chainNext(s.chain, payload)
+	s.size += recordSize(payload)
+	s.staged++
+}
+
+func (s *synthWriter) commit() error {
+	if s.err != nil {
+		return s.err
+	}
+	s.counter++
+	sig, err := synthSign(s.key, s.chain, s.counter)
+	if err != nil {
+		s.err = err
+		return err
+	}
+	if s.err = writeRecord(s.w, recSig, sig); s.err != nil {
+		return s.err
+	}
+	s.size += recordSize(sig)
+	s.staged = 0
+	return nil
+}
+
+func (s *synthWriter) flush() error {
+	if s.staged > 0 {
+		return s.commit()
+	}
+	return s.err
+}

@@ -1,0 +1,70 @@
+package httpparse
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzHTTPParse drives the request and response parsers with arbitrary
+// bytes. The parsers sit on the untrusted side of the TLS terminator, so
+// the bar is: never panic, never report consuming more bytes than exist,
+// and anything accepted must re-encode to a form the parser accepts again
+// and that is stable under a second encode (chunked messages are exempt
+// from re-encoding: parsing decodes the body in place, deliberately not
+// reversibly).
+func FuzzHTTPParse(f *testing.F) {
+	f.Add([]byte("GET /path?a=b HTTP/1.1\r\nHost: h\r\n\r\n"))
+	f.Add([]byte("POST /u HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc"))
+	f.Add([]byte("HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nhi"))
+	f.Add([]byte("HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabc\r\n0\r\n\r\n"))
+	f.Add([]byte("GET / HTTP/1.0\nX: y\n\n"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if req, n, err := ConsumeRequest(data); err == nil {
+			if n < 0 || n > len(data) {
+				t.Fatalf("request consumed %d of %d bytes", n, len(data))
+			}
+			checkReencode(t, "request", req.Bytes(), req.Header,
+				func(b []byte) ([]byte, *Header, error) {
+					r, err := ParseRequestBytes(b)
+					if err != nil {
+						return nil, nil, err
+					}
+					return r.Bytes(), r.Header, nil
+				})
+		}
+		if resp, n, err := ConsumeResponse(data); err == nil {
+			if n < 0 || n > len(data) {
+				t.Fatalf("response consumed %d of %d bytes", n, len(data))
+			}
+			checkReencode(t, "response", resp.Bytes(), resp.Header,
+				func(b []byte) ([]byte, *Header, error) {
+					r, err := ParseResponseBytes(b)
+					if err != nil {
+						return nil, nil, err
+					}
+					return r.Bytes(), r.Header, nil
+				})
+		}
+	})
+}
+
+// checkReencode asserts the canonical encoding reparses and is a fixpoint.
+func checkReencode(t *testing.T, kind string, enc []byte, h *Header,
+	reparse func([]byte) ([]byte, *Header, error)) {
+	t.Helper()
+	if h.Has("Transfer-Encoding") {
+		return
+	}
+	enc2, h2, err := reparse(enc)
+	if err != nil {
+		t.Fatalf("%s: canonical encoding rejected: %v\n  enc: %q", kind, err, enc)
+	}
+	if h2.Has("Transfer-Encoding") {
+		return
+	}
+	if !bytes.Equal(enc2, enc) {
+		t.Fatalf("%s: encoding not stable:\n  first:  %q\n  second: %q", kind, enc, enc2)
+	}
+}

@@ -38,15 +38,23 @@ func NewHeader() *Header {
 	return &Header{vals: make(map[string][]string)}
 }
 
-// CanonicalKey normalises a header field name (Foo-Bar style).
+// CanonicalKey normalises a header field name (Foo-Bar style). It works
+// byte-wise on ASCII letters only: UTF-8-aware case mapping would expand
+// invalid sequences into replacement characters, so a hostile field name
+// could grow on every parse/re-encode cycle.
 func CanonicalKey(k string) string {
-	parts := strings.Split(strings.ToLower(k), "-")
-	for i, p := range parts {
-		if p != "" {
-			parts[i] = strings.ToUpper(p[:1]) + p[1:]
+	b := []byte(k)
+	upper := true
+	for i, c := range b {
+		switch {
+		case upper && 'a' <= c && c <= 'z':
+			b[i] = c - 'a' + 'A'
+		case !upper && 'A' <= c && c <= 'Z':
+			b[i] = c - 'A' + 'a'
 		}
+		upper = c == '-'
 	}
-	return strings.Join(parts, "-")
+	return string(b)
 }
 
 // Set replaces all values of a field.
@@ -226,7 +234,11 @@ func readHeader(br *bufio.Reader) (*Header, error) {
 		if colon <= 0 {
 			return nil, fmt.Errorf("%w: header line %q", ErrMalformed, line)
 		}
-		h.Add(strings.TrimSpace(line[:colon]), strings.TrimSpace(line[colon+1:]))
+		key := strings.TrimSpace(line[:colon])
+		if key == "" {
+			return nil, fmt.Errorf("%w: empty header name in %q", ErrMalformed, line)
+		}
+		h.Add(key, strings.TrimSpace(line[colon+1:]))
 	}
 }
 

@@ -67,6 +67,10 @@ type BreakerConfig struct {
 	// OnStateChange, when set, is called (outside the breaker's lock) on
 	// every state transition. Used by the server to log transitions.
 	OnStateChange func(from, to State)
+	// Now overrides the clock used for the open-cooldown timer. Nil uses
+	// time.Now. Tests inject a fake clock so cooldown expiry is exact
+	// instead of raced against real sleeps.
+	Now func() time.Time
 }
 
 func (c BreakerConfig) withDefaults() BreakerConfig {
@@ -75,6 +79,9 @@ func (c BreakerConfig) withDefaults() BreakerConfig {
 	}
 	if c.Cooldown <= 0 {
 		c.Cooldown = 5 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
 	}
 	return c
 }
@@ -117,7 +124,7 @@ func NewBreaker(name string, cfg BreakerConfig) *Breaker {
 func (b *Breaker) State() State {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.state == Open && time.Since(b.openedAt) >= b.cfg.Cooldown {
+	if b.state == Open && b.cfg.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
 		return HalfOpen
 	}
 	return b.state
@@ -140,7 +147,7 @@ func (b *Breaker) Allow() error {
 	case Closed:
 		return nil
 	case Open:
-		if time.Since(b.openedAt) < b.cfg.Cooldown {
+		if b.cfg.Now().Sub(b.openedAt) < b.cfg.Cooldown {
 			b.mShortCircuits.Inc()
 			return ErrOpen
 		}
@@ -207,7 +214,7 @@ func (b *Breaker) Failure() {
 // trip opens the breaker. Called with b.mu held.
 func (b *Breaker) trip() {
 	b.setStateLocked(Open)
-	b.openedAt = time.Now()
+	b.openedAt = b.cfg.Now()
 	b.consecutive = 0
 	b.mOpens.Inc()
 }

@@ -10,9 +10,13 @@ import (
 func TestBreakerLifecycle(t *testing.T) {
 	var mu sync.Mutex
 	var transitions []string
+	// The cooldown timer runs on an injected clock: the test advances it
+	// exactly to the expiry instead of sleeping past it.
+	now := time.Unix(1000, 0)
 	b := NewBreaker("test.breaker", BreakerConfig{
 		Threshold: 3,
 		Cooldown:  30 * time.Millisecond,
+		Now:       func() time.Time { return now },
 		OnStateChange: func(from, to State) {
 			mu.Lock()
 			transitions = append(transitions, from.String()+">"+to.String())
@@ -44,7 +48,7 @@ func TestBreakerLifecycle(t *testing.T) {
 		t.Fatalf("open breaker allowed: %v", err)
 	}
 	// After the cooldown exactly one probe is admitted.
-	time.Sleep(40 * time.Millisecond)
+	now = now.Add(30 * time.Millisecond)
 	if b.State() != HalfOpen {
 		t.Fatalf("state %v, want HalfOpen after cooldown", b.State())
 	}
@@ -59,7 +63,7 @@ func TestBreakerLifecycle(t *testing.T) {
 	if b.State() != Open {
 		t.Fatalf("state %v, want Open after failed probe", b.State())
 	}
-	time.Sleep(40 * time.Millisecond)
+	now = now.Add(30 * time.Millisecond)
 	if err := b.Allow(); err != nil {
 		t.Fatalf("second probe refused: %v", err)
 	}

@@ -105,6 +105,21 @@ type (
 	AuditMode = audit.Mode
 	// VerifyOptions controls persisted-log verification.
 	VerifyOptions = audit.VerifyOptions
+	// VerifyStreamOptions extends VerifyOptions with the parallel segmented
+	// pipeline's knobs: worker count, streaming callback, checkpointing and
+	// resume (see VerifyLogFileStream).
+	VerifyStreamOptions = audit.StreamOptions
+	// VerifyStreamResult is a streaming verification's outcome, including
+	// whole-log totals on a resumed run.
+	VerifyStreamResult = audit.StreamResult
+	// VerifySegment is one committed, verified segment as delivered to the
+	// streaming callback.
+	VerifySegment = audit.SegmentInfo
+	// VerifyCheckpoint is a persisted verification checkpoint sidecar.
+	VerifyCheckpoint = audit.Checkpoint
+	// VerifyCheckpointConfig tells the streaming verifier where and how
+	// often to persist resumable progress.
+	VerifyCheckpointConfig = audit.CheckpointConfig
 	// LogEntry is one verified audit-log tuple.
 	LogEntry = audit.Entry
 	// AuditStatus describes the audit log's degraded-mode state.
@@ -303,6 +318,26 @@ var ErrBreakerOpen = resilience.ErrOpen
 // ErrAuditOverloaded is returned (wrapped) by appends shed by the audit
 // log's admission control.
 var ErrAuditOverloaded = audit.ErrOverloaded
+
+// ErrVerifyCheckpointStale is returned by VerifyLogFileStream when a resume
+// checkpoint no longer matches the log file (trimmed, rotated or swapped
+// since); the caller should fall back to a cold scan.
+var ErrVerifyCheckpointStale = audit.ErrCheckpointStale
+
+// VerifyLogFileStream verifies a persisted audit log with the parallel
+// segmented pipeline: signature records cut the log into independently
+// checkable segments, a worker pool recomputes hashes and ECDSA signatures
+// concurrently, and the merged verdict is identical to VerifyLogFile's.
+// Supports streaming callbacks (bounded memory) and resumable checkpoints.
+func VerifyLogFileStream(path string, opts VerifyStreamOptions) (*VerifyStreamResult, error) {
+	return audit.VerifyFileStream(path, opts)
+}
+
+// LoadVerifyCheckpoint reads a checkpoint sidecar written by a previous
+// VerifyLogFileStream run for use as VerifyStreamOptions.Resume.
+func LoadVerifyCheckpoint(path string) (*VerifyCheckpoint, error) {
+	return audit.LoadCheckpoint(path)
+}
 
 // VerifyLogFile checks a persisted audit log's integrity (hash chain,
 // enclave signature, counter freshness) and returns its entries. Clients run
