@@ -11,6 +11,11 @@
 // progress is checkpointed to a sidecar so an interrupted run resumes with
 // -resume instead of rescanning from byte 0.
 //
+// With -dump, entries print as their segments verify — before the whole-log
+// verdict (counter freshness above all) is known. Dumped output is
+// provisional until the final "OK" line; a run that ends in VERIFICATION
+// FAILED exits non-zero and everything it printed must be discarded.
+//
 // Usage:
 //
 //	libseal-verify -log audit/git.lseal -pubkey enclave.pub [-dump]

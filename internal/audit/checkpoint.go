@@ -1,6 +1,7 @@
 package audit
 
 import (
+	"crypto/ecdsa"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -8,16 +9,32 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"libseal/internal/enclave"
 )
 
 // Resumable verification checkpoints. A checkpoint is a small JSON sidecar
 // recording the verified prefix state at a commit point: the offset just
 // past a signature record, the chain head and counter that record attests,
 // and running totals. A restarted verifier loads the sidecar, re-binds it
-// to the log (the signature record at SigOffset must hash to SigHash — a
-// log that was trimmed, rotated or swapped since fails with
-// ErrCheckpointStale and the caller falls back to a cold scan), seeks to
-// Offset and verifies only the suffix.
+// to the log (the signature record at SigOffset must hash to SigHash, parse
+// cleanly, carry a valid enclave ECDSA signature, and attest exactly the
+// sidecar's chain head and counter — a log that was trimmed, rotated or
+// swapped since, or a sidecar whose fields disagree with the signed record,
+// fails with ErrCheckpointStale and the caller falls back to a cold scan),
+// seeks to Offset and verifies only the suffix.
+//
+// Trust model: the sidecar itself is plain, unauthenticated JSON, so resume
+// never *adopts* sidecar state on its own authority. The chain head and
+// counter the scan restarts from must equal what the log's own signature
+// record attests — verified under the enclave public key — which is
+// exactly the evidence a cold scan would have checked at that offset. A
+// forged sidecar (e.g. one claiming the current group counter over a
+// rolled-back log copy) therefore cannot make a resumed scan accept what a
+// cold scan would reject. Fields the signature does not cover (Seq and the
+// running totals) are guarded by a self-digest (Sum) so sidecar rot is
+// detected at load time and degrades to a cold scan rather than a bogus
+// tampering verdict.
 //
 // Crash model: the sidecar is written to a temp file, fsynced, and
 // atomically renamed over the previous checkpoint (the same discipline Trim
@@ -79,6 +96,23 @@ type Checkpoint struct {
 	// checkpoint to one specific log file.
 	SigOffset int64  `json:"sig_offset"`
 	SigHash   string `json:"sig_hash"`
+	// Sum is a SHA-256 self-digest over every other field. It catches a
+	// corrupted or hand-edited sidecar at load time — in particular fields
+	// the log's signature record cannot vouch for (Seq, the totals) — so
+	// the failure is ErrCheckpointStale (cold-scan fallback) instead of a
+	// spurious tampering verdict halfway into a resumed scan.
+	Sum string `json:"sum"`
+}
+
+// digest computes the checkpoint's self-integrity digest: SHA-256 over the
+// canonical JSON of every field except Sum itself (encoding/json writes
+// struct fields in declaration order and map keys sorted, so the encoding
+// is deterministic).
+func (c *Checkpoint) digest() string {
+	cp := *c
+	cp.Sum = ""
+	data, _ := json.Marshal(&cp)
+	return hexDigest(data)
 }
 
 func hexChain(c [32]byte) string { return hex.EncodeToString(c[:]) }
@@ -103,6 +137,7 @@ func (c *Checkpoint) chainHead() ([32]byte, error) {
 // best-effort fsync of the containing directory so the rename itself is
 // durable.
 func (c *Checkpoint) Save(path string) error {
+	c.Sum = c.digest()
 	data, err := json.MarshalIndent(c, "", "  ")
 	if err != nil {
 		return err
@@ -151,17 +186,30 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	if c.Version != checkpointVersion {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrCheckpointStale, c.Version)
 	}
+	if c.Sum != c.digest() {
+		return nil, fmt.Errorf("%w: sidecar integrity digest mismatch", ErrCheckpointStale)
+	}
 	if _, err := c.chainHead(); err != nil {
 		return nil, err
 	}
 	return &c, nil
 }
 
-// matchFile verifies the checkpoint still describes this log file: the
-// record at SigOffset must be a signature record whose payload hashes to
-// SigHash and whose end offset equals the checkpointed Offset. The file
-// position is left unchanged for the caller to seek.
-func (c *Checkpoint) matchFile(f *os.File) error {
+// matchFile verifies the checkpoint still describes this log file AND that
+// the file authenticates the state a resumed scan would adopt: the record
+// at SigOffset must be a signature record whose payload hashes to SigHash
+// and ends exactly at the checkpointed Offset, it must parse, its ECDSA
+// signature must verify under pub (when a key is available), and the chain
+// head and counter it attests must equal the sidecar's. The sidecar is
+// unauthenticated JSON; this is what stops a forged sidecar — say, one
+// pairing a rolled-back log copy with the current group counter so the
+// final freshness check passes — from making a resume report OK where a
+// cold scan would fail. Any mismatch (including an invalid record
+// signature, which a cold scan would surface as ErrTampered) returns
+// ErrCheckpointStale so the caller falls back to the cold scan and gets
+// the true verdict. The file position is left unchanged for the caller to
+// seek.
+func (c *Checkpoint) matchFile(f *os.File, pub *ecdsa.PublicKey) error {
 	if c.SigOffset < int64(len(fileMagic)) || c.SigOffset+5 > c.Offset {
 		return fmt.Errorf("%w: implausible offsets", ErrCheckpointStale)
 	}
@@ -182,6 +230,20 @@ func (c *Checkpoint) matchFile(f *os.File) error {
 	}
 	if hexDigest(payload) != c.SigHash {
 		return fmt.Errorf("%w: signature record hash mismatch", ErrCheckpointStale)
+	}
+	chain, counter, sig, err := parseSig(payload)
+	if err != nil {
+		return fmt.Errorf("%w: unparseable signature record at checkpoint: %v", ErrCheckpointStale, err)
+	}
+	if pub != nil && !enclave.VerifySignature(pub, sigDigest(chain, counter), sig) {
+		return fmt.Errorf("%w: signature record at checkpoint fails ECDSA check", ErrCheckpointStale)
+	}
+	want, err := c.chainHead()
+	if err != nil {
+		return err
+	}
+	if chain != want || counter != c.Counter {
+		return fmt.Errorf("%w: sidecar chain/counter disagree with signed record", ErrCheckpointStale)
 	}
 	return nil
 }

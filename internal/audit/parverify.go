@@ -7,6 +7,7 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"libseal/internal/telemetry"
@@ -39,6 +40,13 @@ var (
 
 // SegmentInfo describes one committed (signature-closed, fully verified)
 // segment, delivered to StreamOptions.OnSegment in file order.
+//
+// Segment delivery is provisional: the segment's hash chain and signature
+// have been checked, but whole-log properties — counter freshness against
+// the rollback group above all — are only decided once the scan finishes.
+// Entries must not be trusted (acted on, exported, replayed) until
+// VerifyReaderStream/VerifyFileStream returns a nil error; a log that
+// streams plausible segments can still turn out rolled back or torn.
 type SegmentInfo struct {
 	// Index is the segment's ordinal within this scan, starting at 0.
 	Index int
@@ -71,6 +79,11 @@ type StreamOptions struct {
 	// and the pipeline stops accumulating entries: the final
 	// VerifyResult.Entries is nil and memory stays bounded regardless of
 	// log size. Returning an error aborts the scan with that error.
+	//
+	// Deliveries are provisional until the verify call returns nil: the
+	// whole-log verdict (counter freshness in particular) is not known
+	// yet, so a callback must buffer or be prepared to discard its effects
+	// if verification ultimately fails. See SegmentInfo.
 	OnSegment func(SegmentInfo) error
 
 	// Checkpoint, when set, persists resumable progress to a sidecar file
@@ -78,10 +91,12 @@ type StreamOptions struct {
 	Checkpoint *CheckpointConfig
 
 	// Resume, when set, starts the scan from a previously persisted
-	// checkpoint instead of byte 0. VerifyFileStream validates the
-	// checkpoint against the file (ErrCheckpointStale on mismatch);
-	// VerifyReaderStream trusts the caller to have positioned the reader
-	// at Resume.Offset.
+	// checkpoint instead of byte 0. VerifyFileStream authenticates the
+	// checkpoint against the file's own signed record before adopting it
+	// (ErrCheckpointStale on mismatch); VerifyReaderStream trusts the
+	// caller to have positioned the reader at Resume.Offset AND to have
+	// authenticated the checkpoint — resuming an unvalidated sidecar
+	// through the reader path bypasses rollback protection.
 	Resume *Checkpoint
 }
 
@@ -108,10 +123,13 @@ type StreamResult struct {
 }
 
 // VerifyFileStream verifies a persisted log with the parallel segmented
-// pipeline. With opts.Resume it validates the checkpoint against the file
-// and continues from the checkpointed offset; a checkpoint that does not
-// match the file (trimmed, swapped, or corrupted since) fails with
-// ErrCheckpointStale so the caller can fall back to a cold scan.
+// pipeline. With opts.Resume it authenticates the checkpoint against the
+// file — the signature record it is bound to must hash to the recorded
+// digest, verify under opts.Pub, and attest the sidecar's chain head and
+// counter — and continues from the checkpointed offset; a checkpoint that
+// does not match the file (trimmed, swapped, forged or corrupted since)
+// fails with ErrCheckpointStale so the caller can fall back to a cold
+// scan.
 func VerifyFileStream(path string, opts StreamOptions) (*StreamResult, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -119,7 +137,7 @@ func VerifyFileStream(path string, opts StreamOptions) (*StreamResult, error) {
 	}
 	defer f.Close()
 	if opts.Resume != nil {
-		if err := opts.Resume.matchFile(f); err != nil {
+		if err := opts.Resume.matchFile(f, opts.Pub); err != nil {
 			return nil, err
 		}
 		if _, err := f.Seek(opts.Resume.Offset, io.SeekStart); err != nil {
@@ -180,6 +198,14 @@ func runStreamVerify(r io.Reader, opts *StreamOptions) (*StreamResult, error) {
 	order := make(chan *segment, window)
 	end := &scanEnd{}
 
+	// Once the merger sees the first in-order failure the verdict is
+	// decided: the scanner must still scan structurally to EOF (the merger
+	// needs totalSigs/streamErr for error precedence), but hashing and
+	// ECDSA-checking the remaining segments is pure waste — on a large
+	// corrupt log, most of the file's worth. The flag lets workers fall
+	// through to close(seg.done) without verifying.
+	var skipVerify atomic.Bool
+
 	var wg sync.WaitGroup
 	mVerifyWorkers.Add(int64(workers))
 	defer mVerifyWorkers.Add(-int64(workers))
@@ -188,7 +214,7 @@ func runStreamVerify(r io.Reader, opts *StreamOptions) (*StreamResult, error) {
 		go func() {
 			defer wg.Done()
 			for seg := range work {
-				if ctx.Err() == nil {
+				if ctx.Err() == nil && !skipVerify.Load() {
 					t0 := time.Now()
 					seg.res = verifySegment(seg, &opts.VerifyOptions)
 					mVerifySegLatency.Observe(time.Since(t0))
@@ -212,7 +238,7 @@ func runStreamVerify(r io.Reader, opts *StreamOptions) (*StreamResult, error) {
 		wg.Wait()
 	}
 
-	m := &merger{base: base, opts: opts, resumed: resumed}
+	m := &merger{base: base, opts: opts, resumed: resumed, skipVerify: &skipVerify}
 	var cbErr error
 	for seg := range order {
 		<-seg.done
@@ -260,9 +286,10 @@ type merger struct {
 
 	trailing int // entries after the last signature record
 
-	failed    *segment // first failing segment, in file order
-	failedRes segResult
-	cbErr     error
+	failed     *segment // first failing segment, in file order
+	failedRes  segResult
+	cbErr      error
+	skipVerify *atomic.Bool // tells workers the verdict is already decided
 
 	ckptSegs  int
 	ckptBytes int64
@@ -281,6 +308,11 @@ func (m *merger) consume(seg *segment) bool {
 	if r.err != nil || (seg.hasSig && r.sigBad != "") {
 		m.failed = seg
 		m.failedRes = r
+		if m.skipVerify != nil {
+			// The verdict is fixed at this segment; later segments only
+			// need the scanner's structural pass, not hash/ECDSA work.
+			m.skipVerify.Store(true)
+		}
 		return false
 	}
 	if !seg.hasSig {

@@ -113,7 +113,9 @@ type (
 	// whole-log totals on a resumed run.
 	VerifyStreamResult = audit.StreamResult
 	// VerifySegment is one committed, verified segment as delivered to the
-	// streaming callback.
+	// streaming callback. Deliveries are provisional: entries must not be
+	// trusted until VerifyLogFileStream returns a nil error, since
+	// whole-log checks (rollback freshness in particular) run last.
 	VerifySegment = audit.SegmentInfo
 	// VerifyCheckpoint is a persisted verification checkpoint sidecar.
 	VerifyCheckpoint = audit.Checkpoint
