@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check soak bench bench-json bench-compare bench-verify fuzz-smoke clean
+.PHONY: all build test check soak bench bench-json bench-compare bench-verify bench-shards fuzz-smoke clean
 
 all: build
 
@@ -42,6 +42,12 @@ bench-compare:
 # checkpoint, over a >=1M-entry batched synthetic log.
 bench-verify:
 	$(GO) run ./cmd/libseal-bench -verify-json BENCH_pr7.json
+
+# Sharded-append sweep (DESIGN.md §14): aggregate append throughput at
+# 1/2/4/8 audit-log shards under 16 clients over a 500us-latency counter
+# quorum, each run strictly re-verified including epoch-manifest replay.
+bench-shards:
+	$(GO) run ./cmd/libseal-bench -shards-json BENCH_pr8.json
 
 # Short fuzzing pass over the verifier, the entry codec and the HTTP
 # parser — the same smoke CI runs. Seed corpora live under testdata/fuzz.

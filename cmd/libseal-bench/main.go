@@ -48,6 +48,7 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast pass")
 	jsonOut := flag.String("json", "", "run the telemetry bench pipeline and write machine-readable results to this file")
 	verifyOut := flag.String("verify-json", "", "run the parallel-verification worker sweep and write machine-readable results to this file")
+	shardsOut := flag.String("shards-json", "", "run the audit-log shard sweep and write machine-readable results to this file")
 	flag.Parse()
 
 	if *jsonOut != "" {
@@ -60,6 +61,13 @@ func main() {
 	if *verifyOut != "" {
 		if err := runVerifyBench(*verifyOut, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "libseal-bench: verify-json: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *shardsOut != "" {
+		if err := runShardBench(*shardsOut, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "libseal-bench: shards-json: %v\n", err)
 			os.Exit(1)
 		}
 		return

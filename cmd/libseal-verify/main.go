@@ -5,10 +5,17 @@
 // tampered with, truncated or rolled back the log — or that the log was not
 // produced by the expected enclave.
 //
+// -log accepts either a single .lseal file or a directory. A directory
+// holding a sharded log set (shard files plus the signed epoch-manifest
+// sidecar) is verified shard-by-shard in parallel, and the manifests are
+// replayed against every shard's verified commit points: a single shard
+// rolled back to an earlier signed prefix fails verification even though
+// its own chain still checks out.
+//
 // Verification runs the parallel segmented pipeline: signature records cut
-// the log into independently checkable segments fanned out to -workers
+// each log into independently checkable segments fanned out to -workers
 // goroutines, entries stream through without being materialised, and
-// progress is checkpointed to a sidecar so an interrupted run resumes with
+// progress is checkpointed to sidecars so an interrupted run resumes with
 // -resume instead of rescanning from byte 0.
 //
 // With -dump, entries print as their segments verify — before the whole-log
@@ -19,12 +26,11 @@
 // Usage:
 //
 //	libseal-verify -log audit/git.lseal -pubkey enclave.pub [-dump]
-//	libseal-verify -log audit/git.lseal -workers 8 -progress
-//	libseal-verify -log audit/git.lseal -resume   # continue after a crash
+//	libseal-verify -log auditdir -workers 8 -progress   # sharded set
+//	libseal-verify -log auditdir -resume                # continue after a crash
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -36,13 +42,13 @@ import (
 )
 
 func main() {
-	logPath := flag.String("log", "", "path to the .lseal audit log file")
+	logPath := flag.String("log", "", "audit log: a .lseal file or a directory holding a (sharded) log set")
 	pubPath := flag.String("pubkey", "", "path to the enclave's PEM public key (optional: skips signature check)")
 	dump := flag.Bool("dump", false, "print every verified entry")
 	workers := flag.Int("workers", 0, "parallel verification workers (0 = all cores)")
-	resume := flag.Bool("resume", false, "resume from the checkpoint sidecar if it matches the log")
+	resume := flag.Bool("resume", false, "resume from checkpoint sidecars where they match the logs")
 	progress := flag.Bool("progress", false, "print progress as segments verify")
-	ckptPath := flag.String("checkpoint", "", "checkpoint sidecar path (default <log>.ckpt)")
+	ckptPath := flag.String("checkpoint", "", "checkpoint sidecar path (single-file sets only; default <log>.ckpt)")
 	noCkpt := flag.Bool("no-checkpoint", false, "do not write checkpoints")
 	flag.Parse()
 	if *logPath == "" {
@@ -50,12 +56,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	sidecar := *ckptPath
-	if sidecar == "" {
-		sidecar = *logPath + ".ckpt"
-	}
 
-	opts := libseal.VerifyStreamOptions{Workers: *workers}
+	// ResumeAuto loads each shard's own sidecar and silently cold-scans when
+	// one is missing or stale, so -resume behaves the same for single files
+	// and sharded sets.
+	opts := libseal.VerifyStreamOptions{Workers: *workers, ResumeAuto: *resume}
 	if *pubPath != "" {
 		pemData, err := os.ReadFile(*pubPath)
 		if err != nil {
@@ -68,19 +73,13 @@ func main() {
 		opts.Pub = pub
 	}
 	if !*noCkpt {
+		// Sharded sets force per-shard sidecar paths; the explicit path only
+		// steers single-file verification.
 		opts.Checkpoint = &libseal.VerifyCheckpointConfig{
-			Path: sidecar,
+			Path: *ckptPath,
 			OnError: func(err error) {
 				fmt.Fprintf(os.Stderr, "libseal-verify: checkpoint write: %v\n", err)
 			},
-		}
-	}
-	if *resume {
-		ck, err := libseal.LoadVerifyCheckpoint(sidecar)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "libseal-verify: no usable checkpoint (%v); cold scan\n", err)
-		} else {
-			opts.Resume = ck
 		}
 	}
 
@@ -99,32 +98,31 @@ func main() {
 			}
 		}
 		if *progress && segs%256 == 0 {
-			fmt.Fprintf(os.Stderr, "  ... %d segments, %d entries, %d bytes verified (%.1fs)\n",
-				segs, entries, s.CommittedBytes, time.Since(start).Seconds())
+			fmt.Fprintf(os.Stderr, "  ... %d segments, %d entries verified (%.1fs)\n",
+				segs, entries, time.Since(start).Seconds())
 		}
 		return nil
 	}
 
-	res, err := libseal.VerifyLogFileStream(*logPath, opts)
+	res, err := libseal.Verify(*logPath, opts)
 	if err != nil {
-		if opts.Resume != nil && errors.Is(err, libseal.ErrVerifyCheckpointStale) {
-			// The log changed since the checkpoint (trimmed or rotated);
-			// re-verify it from scratch.
-			fmt.Fprintf(os.Stderr, "libseal-verify: %v; cold scan\n", err)
-			opts.Resume = nil
-			res, err = libseal.VerifyLogFileStream(*logPath, opts)
-		}
-		if err != nil {
-			fatal("VERIFICATION FAILED: %v", err)
-		}
+		fatal("VERIFICATION FAILED: %v", err)
 	}
 
 	fmt.Printf("OK: %d entries, hash chain intact", res.TotalEntries)
 	if opts.Pub != nil {
 		fmt.Printf(", enclave signature valid")
 	}
+	if res.Sharded {
+		fmt.Printf(" (%d shards, %d epoch manifests, last epoch %d)",
+			len(res.Shards), res.Manifests, res.Epoch)
+	}
 	if res.Resumed {
-		fmt.Printf(" (resumed: %d of %d batches re-verified)", res.Batches, res.TotalBatches)
+		reverified := 0
+		for _, sh := range res.Shards {
+			reverified += sh.Batches
+		}
+		fmt.Printf(" (resumed: %d of %d batches re-verified)", reverified, res.TotalBatches)
 	}
 	fmt.Println()
 

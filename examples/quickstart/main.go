@@ -44,10 +44,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	seal, err := libseal.New(bridge, libseal.Config{
-		TLS:    libseal.TLSConfig{Cert: certs.Cert, Key: certs.Key, Opts: libseal.AllOptimizations()},
-		Module: module,
-	})
+	seal, err := libseal.Open(bridge,
+		libseal.WithModule(module),
+		libseal.WithTLS(libseal.TLSConfig{Cert: certs.Cert, Key: certs.Key, Opts: libseal.AllOptimizations()}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -203,6 +203,13 @@ type Log struct {
 	counter uint64
 	heap    int64 // enclave heap charged for retained tuples
 
+	// sigCounter is the counter value attested by the last *durable*
+	// signature record. It can trail counter: anchorBatch publishes a fresh
+	// value to future signers before the batch's signature hits disk. Epoch
+	// manifests snapshot this value so they never attest a counter no
+	// on-disk record vouches for.
+	sigCounter uint64
+
 	// Speculative state: the chain head including every staged-but-not-yet
 	// -durable entry. Equal to the durable state while no batch is open.
 	specSeq   uint64
@@ -249,8 +256,9 @@ type commitBatch struct {
 	err  error         // valid after done
 
 	// Set by the leader during commit, read by publish (same goroutine).
-	disk   int64 // on-disk footprint of the committed batch
-	filled bool  // reached BatchMax (flush-reason telemetry)
+	disk    int64  // on-disk footprint of the committed batch
+	filled  bool   // reached BatchMax (flush-reason telemetry)
+	counter uint64 // counter value the batch's signature record attests
 	// Degraded-mode outcome of anchorBatch, applied by publish only once the
 	// batch is durable: a fresh counter value anchors the batch (closing any
 	// degraded gap), or the batch was admitted under a stale anchor and its
@@ -296,12 +304,19 @@ var fileMagic = []byte("LIBSEALLOG1\n")
 
 // New creates (or truncates) an audit log. Must run inside an enclave call.
 func New(env *asyncall.Env, cfg Config) (*Log, error) {
-	l := newLog(cfg)
+	db := sqldb.New()
 	if cfg.Schema != "" {
-		if _, err := l.db.Exec(cfg.Schema); err != nil {
+		if _, err := db.Exec(cfg.Schema); err != nil {
 			return nil, fmt.Errorf("audit: schema: %w", err)
 		}
 	}
+	return newIntoDB(env, cfg, db)
+}
+
+// newIntoDB creates a log over an existing database whose schema is already
+// in place. Shards of one ShardedLog share a database this way.
+func newIntoDB(env *asyncall.Env, cfg Config, db *sqldb.DB) (*Log, error) {
+	l := newLogDB(cfg, db)
 	if cfg.Mode == ModeDisk {
 		if err := env.Ocall(func() error {
 			f, err := l.fs.Create(l.path())
@@ -323,7 +338,14 @@ func New(env *asyncall.Env, cfg Config) (*Log, error) {
 }
 
 func newLog(cfg Config) *Log {
-	l := &Log{cfg: cfg, fs: vfs.Default(cfg.FS), db: sqldb.New(), stmts: make(map[string]*sqldb.Stmt)}
+	return newLogDB(cfg, sqldb.New())
+}
+
+// newLogDB builds a log around an existing database. Shards of one
+// ShardedLog share a single database so invariant queries see the whole
+// relational view while each shard keeps its own chain, file and counter.
+func newLogDB(cfg Config, db *sqldb.DB) *Log {
+	l := &Log{cfg: cfg, fs: vfs.Default(cfg.FS), db: db, stmts: make(map[string]*sqldb.Stmt)}
 	l.commitCond = sync.NewCond(&l.mu)
 	return l
 }
@@ -711,6 +733,7 @@ func (l *Log) commitSealed(env *asyncall.Env, b *commitBatch) error {
 	if err != nil {
 		return err
 	}
+	b.counter = counter
 	payloads := b.payloads
 	if l.cfg.Seal {
 		sealed := make([][]byte, len(payloads))
@@ -819,6 +842,7 @@ func (l *Log) publish(b *commitBatch, err error) {
 		l.seq = b.endSeq
 		l.heap += b.bytes
 		l.fileSize += b.disk
+		l.sigCounter = b.counter
 		switch {
 		case b.anchorFresh && l.pendingAnchor > 0:
 			// Quorum recovered: the now-durable signature anchors every
@@ -944,11 +968,24 @@ func (l *Log) Reanchor(env *asyncall.Env) error {
 	}
 	mFsyncs.Inc()
 	l.fileSize += recordSize(sig)
+	l.sigCounter = l.counter
 	l.gaps++
 	l.pendingAnchor = 0
 	mGaps.Inc()
 	mDegradedPending.Set(0)
 	return nil
+}
+
+// durableState snapshots the durable commit point: the chain head and entry
+// count covered by the last durable signature record, and the counter value
+// that record attests. Every returned triple corresponds to a signature
+// record actually present in the persisted file (or to the empty state), so
+// an epoch manifest built from it can be cross-checked against an offline
+// verification of the shard file.
+func (l *Log) durableState() (chain [32]byte, seq, counter uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.chain, l.seq, l.sigCounter
 }
 
 // recordSize is the on-disk footprint of one record.
@@ -1014,26 +1051,51 @@ func (l *Log) Trim(env *asyncall.Env, queries []string) error {
 			return fmt.Errorf("audit: trimming query %q: %w", q, err)
 		}
 	}
-	// Rebuild the chain over the surviving rows in deterministic order.
-	var newChain [32]byte
-	newSeq := uint64(0)
-	tables := l.db.Tables()
+	encs, err := encodeSurvivingRows(l.db)
+	if err != nil {
+		return err
+	}
+	return l.rewriteLocked(env, encs)
+}
+
+// encodeSurvivingRows deterministically re-encodes every row of the database
+// as chained entries with fresh sequence numbers — the post-trim image of
+// the log.
+func encodeSurvivingRows(db *sqldb.DB) ([][]byte, error) {
+	tables := db.Tables()
 	sort.Strings(tables)
 	var encs [][]byte
-	retained := int64(0)
+	seq := uint64(0)
 	for _, t := range tables {
-		rows, err := l.db.TableRows(t)
+		rows, err := db.TableRows(t)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		for _, row := range rows {
-			e := &Entry{Seq: newSeq, Table: t, Values: row}
-			enc := e.Marshal()
-			newChain = chainNext(newChain, enc)
-			newSeq++
-			encs = append(encs, enc)
-			retained += int64(len(enc))
+			e := &Entry{Seq: seq, Table: t, Values: row}
+			encs = append(encs, e.Marshal())
+			seq++
 		}
+	}
+	return encs, nil
+}
+
+// rewriteLocked replaces the log's persisted image with the given encoded
+// entries: the chain is recomputed from zero, re-anchored at a fresh counter
+// value, re-signed, and the file is rewritten crash-safely (temp file,
+// fsync, atomic rename). Called with l.mu held and the commit lane
+// quiesced; on failure the in-memory chain is left at its pre-call state,
+// which still matches the old on-disk log. Trim uses it with the whole
+// database's rows; ShardedLog.Trim uses it per shard with that shard's
+// partition.
+func (l *Log) rewriteLocked(env *asyncall.Env, encs [][]byte) error {
+	var newChain [32]byte
+	newSeq := uint64(0)
+	retained := int64(0)
+	for _, enc := range encs {
+		newChain = chainNext(newChain, enc)
+		newSeq++
+		retained += int64(len(enc))
 	}
 	commitMemory := func() {
 		// Release the enclave heap freed by trimming.
@@ -1131,6 +1193,7 @@ func (l *Log) Trim(env *asyncall.Env, queries []string) error {
 	}
 	mFsyncs.Inc()
 	l.fileSize = size
+	l.sigCounter = l.counter
 	commitMemory()
 	if l.pendingAnchor > 0 {
 		// The fresh anchor covers everything that was buffered.
@@ -1482,15 +1545,23 @@ func checkFreshness(counter uint64, opts VerifyOptions) error {
 // signature flush leaves behind). It re-anchors the chain at a fresh counter
 // value before returning. Must run inside an enclave call.
 func Recover(env *asyncall.Env, cfg Config, pub *ecdsa.PublicKey) (*Log, error) {
-	if cfg.Mode != ModeDisk {
-		return nil, errors.New("audit: recovery requires disk mode")
-	}
-	l := newLog(cfg)
+	db := sqldb.New()
 	if cfg.Schema != "" {
-		if _, err := l.db.Exec(cfg.Schema); err != nil {
+		if _, err := db.Exec(cfg.Schema); err != nil {
 			return nil, fmt.Errorf("audit: schema: %w", err)
 		}
 	}
+	return recoverIntoDB(env, cfg, pub, db)
+}
+
+// recoverIntoDB rebuilds one log from its persisted file, replaying the
+// verified entries into db (whose schema must already exist). Sharded
+// recovery feeds every shard into one shared database.
+func recoverIntoDB(env *asyncall.Env, cfg Config, pub *ecdsa.PublicKey, db *sqldb.DB) (*Log, error) {
+	if cfg.Mode != ModeDisk {
+		return nil, errors.New("audit: recovery requires disk mode")
+	}
+	l := newLogDB(cfg, db)
 	opts := VerifyOptions{
 		Pub: pub, Protector: cfg.Protector, Name: cfg.Name,
 		RecoverTruncated: true, MaxCounterLag: cfg.RecoverMaxLag,
@@ -1537,6 +1608,7 @@ func Recover(env *asyncall.Env, cfg Config, pub *ecdsa.PublicKey) (*Log, error) 
 	l.specChain = l.chain
 	l.specSeq = l.seq
 	l.counter = res.Counter
+	l.sigCounter = res.Counter
 	// Reopen for appending, cutting off any crash debris past the committed
 	// prefix so future appends extend a verified file.
 	if err := env.Ocall(func() error {
@@ -1577,6 +1649,7 @@ func Recover(env *asyncall.Env, cfg Config, pub *ecdsa.PublicKey) (*Log, error) 
 			}
 			mFsyncs.Inc()
 			l.fileSize += recordSize(sig)
+			l.sigCounter = l.counter
 		} else {
 			// No fresh value to be had right now; fall back to the stable
 			// read. The next successful append or Reanchor closes the lag.

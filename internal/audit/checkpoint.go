@@ -76,6 +76,10 @@ type CheckpointConfig struct {
 // Checkpoint is the persisted sidecar state.
 type Checkpoint struct {
 	Version int `json:"version"`
+	// Shard is the shard ordinal this checkpoint belongs to (0 for
+	// single-file logs; omitted from the JSON then, which keeps sidecars
+	// written before sharding existed verifying under the same digest).
+	Shard int `json:"shard,omitempty"`
 	// Offset is the verified prefix length: the offset just past the
 	// signature record the checkpoint was taken at.
 	Offset int64 `json:"offset"`

@@ -48,6 +48,9 @@ var (
 // VerifyReaderStream/VerifyFileStream returns a nil error; a log that
 // streams plausible segments can still turn out rolled back or torn.
 type SegmentInfo struct {
+	// Shard is the shard ordinal this segment belongs to (StreamOptions.
+	// Shard; 0 for single-file scans).
+	Shard int
 	// Index is the segment's ordinal within this scan, starting at 0.
 	Index int
 	// Entries are the segment's verified entries. The slice is only valid
@@ -56,6 +59,11 @@ type SegmentInfo struct {
 	Entries []*Entry
 	// Counter is the rollback-counter value the segment's signature attests.
 	Counter uint64
+	// EndSeq is the total number of verified entries through this segment
+	// (checkpointed prefix included on a resumed scan).
+	EndSeq uint64
+	// Chain is the chain head the segment's signature record attests.
+	Chain [32]byte
 	// CommittedBytes is the verified prefix length through this segment.
 	CommittedBytes int64
 }
@@ -98,6 +106,18 @@ type StreamOptions struct {
 	// authenticated the checkpoint — resuming an unvalidated sidecar
 	// through the reader path bypasses rollback protection.
 	Resume *Checkpoint
+
+	// ResumeAuto, on the path-based entry points (VerifyPath /
+	// VerifyShardedDir), loads and authenticates each shard's own
+	// checkpoint sidecar (<shard file>.ckpt) automatically; shards whose
+	// sidecar is missing, stale or mismatched fall back to a cold scan
+	// instead of failing. Ignored by the reader/stream entry points, which
+	// take an explicit Resume.
+	ResumeAuto bool
+
+	// Shard stamps SegmentInfo deliveries and checkpoints with a shard
+	// ordinal; the sharded driver sets it, single-file callers leave it 0.
+	Shard int
 }
 
 // StreamResult is the outcome of a streaming verification. The embedded
@@ -326,8 +346,10 @@ func (m *merger) consume(seg *segment) bool {
 	mVerifyBytes.Add(r.bytes)
 	if m.opts.OnSegment != nil {
 		info := SegmentInfo{
-			Index: seg.index, Entries: r.entries,
+			Shard: m.opts.Shard, Index: seg.index, Entries: r.entries,
 			Counter: seg.counter, CommittedBytes: seg.end,
+			EndSeq: m.base.seq + uint64(m.count) + uint64(len(r.entries)),
+			Chain:  seg.sigChain,
 		}
 		if err := m.opts.OnSegment(info); err != nil {
 			m.cbErr = err
@@ -400,6 +422,7 @@ func (m *merger) checkpointState() *Checkpoint {
 	}
 	return &Checkpoint{
 		Version:  checkpointVersion,
+		Shard:    m.opts.Shard,
 		Offset:   m.commit.end,
 		Seq:      m.base.seq + uint64(m.count),
 		Chain:    hexChain(m.commit.chain),

@@ -1,0 +1,542 @@
+package audit
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"libseal/internal/asyncall"
+)
+
+// shardConfig returns a sharded disk config. ManifestEvery is set far in
+// the future so manifests appear only at creation, explicit WriteManifest
+// calls and trims — keeping the tests deterministic.
+func (e *auditEnv) shardConfig(name string, shards int) ShardedConfig {
+	return ShardedConfig{Config: e.diskConfig(name), Shards: shards, ManifestEvery: time.Hour}
+}
+
+func (e *auditEnv) verifyDir(opts VerifyOptions) (*ShardedStreamResult, error) {
+	return VerifyShardedDir(e.dir, StreamOptions{
+		VerifyOptions: opts,
+		OnSegment:     func(SegmentInfo) error { return nil },
+	})
+}
+
+// keyForShard finds a connection key the sharded log routes to shard k.
+func keyForShard(s *ShardedLog, k int) uint64 {
+	for key := uint64(0); ; key++ {
+		if s.ShardFor(key) == k {
+			return key
+		}
+	}
+}
+
+// TestShardedAppendVerify drives concurrent appends over many connection
+// keys across four shards and checks the invariants the design rests on:
+// the aggregate sequence number, the on-disk layout (shard files plus one
+// manifest sidecar), a passing whole-set verification, and per-connection
+// order preserved within each shard stream.
+func TestShardedAppendVerify(t *testing.T) {
+	e := newAuditEnv(t)
+	var s *ShardedLog
+	e.call(t, func(env *asyncall.Env) error {
+		var err error
+		s, err = NewSharded(env, e.shardConfig("git", 4))
+		return err
+	})
+
+	const keys = 16
+	const perKey = 5
+	var wg sync.WaitGroup
+	errs := make([]error, keys)
+	for c := 0; c < keys; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perKey; i++ {
+				err := e.bridge.Call(func(env *asyncall.Env) error {
+					return s.Append(env, uint64(c), "updates", i, fmt.Sprintf("key%d", c), "main", fmt.Sprintf("c%d-%d", c, i), "update")
+				})
+				if err != nil {
+					errs[c] = err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("key %d: %v", c, err)
+		}
+	}
+	if s.Seq() != keys*perKey {
+		t.Fatalf("aggregate seq = %d, want %d", s.Seq(), keys*perKey)
+	}
+	e.call(t, func(env *asyncall.Env) error { return s.WriteManifest(env) })
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for k := 0; k < 4; k++ {
+		if _, err := os.Stat(filepath.Join(e.dir, ShardName("git", k)+".lseal")); err != nil {
+			t.Fatalf("shard file %d: %v", k, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(e.dir, ManifestFileName("git"))); err != nil {
+		t.Fatalf("manifest sidecar: %v", err)
+	}
+
+	// Verify the set, collecting every entry per shard to check ordering.
+	var mu sync.Mutex
+	perShard := make(map[int][]*Entry)
+	res, err := VerifyShardedDir(e.dir, StreamOptions{
+		VerifyOptions: VerifyOptions{Pub: e.encl.PublicKey(), Protector: e.group, Name: "git"},
+		OnSegment: func(si SegmentInfo) error {
+			mu.Lock()
+			perShard[si.Shard] = append(perShard[si.Shard], si.Entries...)
+			mu.Unlock()
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("sharded verify: %v", err)
+	}
+	if !res.Sharded || len(res.Shards) != 4 {
+		t.Fatalf("Sharded=%v shards=%d", res.Sharded, len(res.Shards))
+	}
+	if res.TotalEntries != keys*perKey {
+		t.Fatalf("TotalEntries = %d, want %d", res.TotalEntries, keys*perKey)
+	}
+	if res.Manifests < 2 { // creation manifest + explicit WriteManifest
+		t.Fatalf("Manifests = %d, want >= 2", res.Manifests)
+	}
+	if res.Tables["updates"] != keys*perKey {
+		t.Fatalf("Tables = %v", res.Tables)
+	}
+	// One connection's entries all land in one shard, in staged order: the
+	// per-key time column (values[0]) must be strictly increasing within the
+	// shard's delivered stream.
+	lastTime := map[string]int64{}
+	seenIn := map[string]int{}
+	total := 0
+	for k, entries := range perShard {
+		for _, en := range entries {
+			key := en.Values[1].TextVal()
+			if prev, ok := seenIn[key]; ok && prev != k {
+				t.Fatalf("key %s split across shards %d and %d", key, prev, k)
+			}
+			seenIn[key] = k
+			tv := en.Values[0].Int64()
+			if last, ok := lastTime[key]; ok && tv <= last {
+				t.Fatalf("key %s out of order in shard %d: %d after %d", key, k, tv, last)
+			}
+			lastTime[key] = tv
+			total++
+		}
+	}
+	if total != keys*perKey {
+		t.Fatalf("streamed %d entries, want %d", total, keys*perKey)
+	}
+}
+
+// TestShardedSingleShardLegacyLayout pins the compatibility contract: one
+// shard means the historical single-file layout — same file name, no
+// manifest sidecar — and VerifyShardedDir degrades to plain verification.
+func TestShardedSingleShardLegacyLayout(t *testing.T) {
+	e := newAuditEnv(t)
+	var s *ShardedLog
+	e.call(t, func(env *asyncall.Env) error {
+		var err error
+		s, err = NewSharded(env, e.shardConfig("git", 1))
+		if err != nil {
+			return err
+		}
+		return s.Append(env, 7, "updates", 1, "r", "main", "c1", "update")
+	})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(e.dir, "git.lseal")); err != nil {
+		t.Fatalf("legacy file: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(e.dir, ManifestFileName("git"))); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("manifest sidecar should not exist for 1 shard: %v", err)
+	}
+	res, err := e.verifyDir(VerifyOptions{Pub: e.encl.PublicKey(), Protector: e.group, Name: "git"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sharded || res.TotalEntries != 1 {
+		t.Fatalf("Sharded=%v entries=%d", res.Sharded, res.TotalEntries)
+	}
+}
+
+// TestShardRollbackDetectedByManifest is the PR's core security regression:
+// rolling one shard back to an earlier — internally consistent, correctly
+// signed — prefix of itself must fail whole-set verification offline (nil
+// protector), because later epoch manifests attest a commit point the
+// truncated shard no longer holds. Restoring the full shard file makes the
+// same offline verification pass.
+func TestShardRollbackDetectedByManifest(t *testing.T) {
+	e := newAuditEnv(t)
+	var s *ShardedLog
+	e.call(t, func(env *asyncall.Env) error {
+		var err error
+		s, err = NewSharded(env, e.shardConfig("git", 2))
+		return err
+	})
+	k0 := keyForShard(s, 0)
+	k1 := keyForShard(s, 1)
+	shard0 := filepath.Join(e.dir, ShardName("git", 0)+".lseal")
+
+	e.call(t, func(env *asyncall.Env) error {
+		if err := s.Append(env, k0, "updates", 1, "r", "main", "c1", "update"); err != nil {
+			return err
+		}
+		return s.Append(env, k1, "updates", 2, "r", "main", "c2", "update")
+	})
+	// Snapshot shard 0 at a commit point: an entirely valid earlier image.
+	rolledBack, err := os.ReadFile(shard0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shard 0 advances, and a manifest binds its new state cross-shard.
+	e.call(t, func(env *asyncall.Env) error {
+		if err := s.Append(env, k0, "updates", 3, "r", "main", "c3", "update"); err != nil {
+			return err
+		}
+		return s.WriteManifest(env)
+	})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(shard0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Offline verification options: no protector, so the only rollback
+	// evidence is in the files themselves.
+	offline := VerifyOptions{Pub: e.encl.PublicKey()}
+
+	// The intact set verifies offline.
+	if _, err := e.verifyDir(offline); err != nil {
+		t.Fatalf("intact set: %v", err)
+	}
+
+	// Roll shard 0 back. Its own chain and signatures still verify — only
+	// the manifest replay can notice.
+	if err := os.WriteFile(shard0, rolledBack, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyFileStream(shard0, StreamOptions{
+		VerifyOptions: VerifyOptions{Pub: e.encl.PublicKey()},
+		OnSegment:     func(SegmentInfo) error { return nil },
+	}); err != nil {
+		t.Fatalf("rolled-back shard should pass single-file verification: %v", err)
+	}
+	_, err = e.verifyDir(offline)
+	if !errors.Is(err, ErrBadCounter) {
+		t.Fatalf("rolled-back shard: err = %v, want ErrBadCounter", err)
+	}
+	if want := "shard rolled back"; err == nil || !bytes.Contains([]byte(err.Error()), []byte(want)) {
+		t.Fatalf("error %q does not name the rollback", err)
+	}
+
+	// Restore the full image: offline verification passes again.
+	if err := os.WriteFile(shard0, good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.verifyDir(offline); err != nil {
+		t.Fatalf("restored set: %v", err)
+	}
+}
+
+// TestShardedManifestSidecarStripped checks that deleting or emptying the
+// manifest sidecar of a sharded set is itself tampering.
+func TestShardedManifestSidecarStripped(t *testing.T) {
+	e := newAuditEnv(t)
+	var s *ShardedLog
+	e.call(t, func(env *asyncall.Env) error {
+		var err error
+		s, err = NewSharded(env, e.shardConfig("git", 2))
+		if err != nil {
+			return err
+		}
+		return s.Append(env, 1, "updates", 1, "r", "main", "c1", "update")
+	})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	manifest := filepath.Join(e.dir, ManifestFileName("git"))
+
+	// Truncate the sidecar to just its magic: no manifests left.
+	if err := os.WriteFile(manifest, []byte(manifestMagic), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.verifyDir(VerifyOptions{Pub: e.encl.PublicKey()}); !errors.Is(err, ErrTampered) {
+		t.Fatalf("stripped sidecar: err = %v, want ErrTampered", err)
+	}
+
+	// Removing it entirely leaves two shard files and no manifest — an
+	// ambiguous directory, also rejected.
+	if err := os.Remove(manifest); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.verifyDir(VerifyOptions{Pub: e.encl.PublicKey()}); err == nil {
+		t.Fatal("missing sidecar accepted")
+	}
+}
+
+// TestShardedTrimPartition trims a sharded log and checks the survivors are
+// re-partitioned, re-sequenced and re-verifiable, with the manifest sidecar
+// rewritten to attest the post-trim states.
+func TestShardedTrimPartition(t *testing.T) {
+	e := newAuditEnv(t)
+	var s *ShardedLog
+	e.call(t, func(env *asyncall.Env) error {
+		var err error
+		s, err = NewSharded(env, e.shardConfig("git", 3))
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 30; i++ {
+			if err := s.Append(env, uint64(i%7), "updates", i, "r", "main", fmt.Sprintf("c%d", i), "update"); err != nil {
+				return err
+			}
+		}
+		return s.Trim(env, []string{"DELETE FROM updates WHERE time < 20"})
+	})
+	if s.Seq() != 10 {
+		t.Fatalf("post-trim aggregate seq = %d, want 10", s.Seq())
+	}
+	res, err := s.Query("SELECT COUNT(*) FROM updates")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].Int64(); got != 10 {
+		t.Fatalf("post-trim rows = %d, want 10", got)
+	}
+	// The trimmed log keeps appending.
+	e.call(t, func(env *asyncall.Env) error {
+		return s.Append(env, 3, "updates", 99, "r", "main", "c99", "update")
+	})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	vres, err := e.verifyDir(VerifyOptions{Pub: e.encl.PublicKey(), Protector: e.group, Name: "git"})
+	if err != nil {
+		t.Fatalf("post-trim verify: %v", err)
+	}
+	if vres.TotalEntries != 11 {
+		t.Fatalf("post-trim verified entries = %d, want 11", vres.TotalEntries)
+	}
+}
+
+// TestShardedRecover closes a sharded log and reopens it with
+// RecoverSharded: sequence numbers, epoch continuity and appendability must
+// survive, and the recovered set must verify.
+func TestShardedRecover(t *testing.T) {
+	e := newAuditEnv(t)
+	cfg := e.shardConfig("git", 2)
+	var s *ShardedLog
+	e.call(t, func(env *asyncall.Env) error {
+		var err error
+		s, err = NewSharded(env, cfg)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 6; i++ {
+			if err := s.Append(env, uint64(i), "updates", i, "r", "main", fmt.Sprintf("c%d", i), "update"); err != nil {
+				return err
+			}
+		}
+		return s.WriteManifest(env)
+	})
+	epochBefore := s.Epoch()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var r *ShardedLog
+	e.call(t, func(env *asyncall.Env) error {
+		var err error
+		r, err = RecoverSharded(env, cfg, e.encl.PublicKey())
+		return err
+	})
+	if r.Seq() != 6 {
+		t.Fatalf("recovered seq = %d, want 6", r.Seq())
+	}
+	if r.Epoch() <= epochBefore {
+		t.Fatalf("recovered epoch = %d, want > %d", r.Epoch(), epochBefore)
+	}
+	e.call(t, func(env *asyncall.Env) error {
+		if err := r.Append(env, 1, "updates", 6, "r", "main", "c6", "update"); err != nil {
+			return err
+		}
+		return r.WriteManifest(env)
+	})
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.verifyDir(VerifyOptions{Pub: e.encl.PublicKey(), Protector: e.group, Name: "git"})
+	if err != nil {
+		t.Fatalf("post-recovery verify: %v", err)
+	}
+	if res.TotalEntries != 7 {
+		t.Fatalf("entries = %d, want 7", res.TotalEntries)
+	}
+}
+
+// TestShardedVerifyResumeAuto checks the checkpoint/resume plumbing over a
+// sharded set: a first verification writes per-shard sidecars, a second one
+// with ResumeAuto resumes from them (including manifest replay against the
+// checkpointed base) and reports whole-set totals.
+func TestShardedVerifyResumeAuto(t *testing.T) {
+	e := newAuditEnv(t)
+	var s *ShardedLog
+	e.call(t, func(env *asyncall.Env) error {
+		var err error
+		s, err = NewSharded(env, e.shardConfig("git", 2))
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 20; i++ {
+			if err := s.Append(env, uint64(i%5), "updates", i, "r", "main", fmt.Sprintf("c%d", i), "update"); err != nil {
+				return err
+			}
+		}
+		return s.WriteManifest(env)
+	})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := StreamOptions{
+		VerifyOptions: VerifyOptions{Pub: e.encl.PublicKey(), Protector: e.group, Name: "git"},
+		Checkpoint:    &CheckpointConfig{EverySegments: 1},
+		OnSegment:     func(SegmentInfo) error { return nil },
+	}
+	cold, err := VerifyShardedDir(e.dir, opts)
+	if err != nil {
+		t.Fatalf("cold verify: %v", err)
+	}
+	for k := 0; k < 2; k++ {
+		ckpt := filepath.Join(e.dir, ShardName("git", k)+".lseal.ckpt")
+		c, err := LoadCheckpoint(ckpt)
+		if err != nil {
+			t.Fatalf("shard %d checkpoint: %v", k, err)
+		}
+		if c.Shard != k {
+			t.Fatalf("shard %d checkpoint records shard %d", k, c.Shard)
+		}
+	}
+
+	opts.ResumeAuto = true
+	warm, err := VerifyShardedDir(e.dir, opts)
+	if err != nil {
+		t.Fatalf("resumed verify: %v", err)
+	}
+	if !warm.Resumed {
+		t.Fatal("resumed run not marked Resumed")
+	}
+	if warm.TotalEntries != cold.TotalEntries || warm.TotalBatches != cold.TotalBatches {
+		t.Fatalf("resumed totals %d/%d != cold %d/%d",
+			warm.TotalEntries, warm.TotalBatches, cold.TotalEntries, cold.TotalBatches)
+	}
+	if warm.Manifests != cold.Manifests || warm.Epoch != cold.Epoch {
+		t.Fatalf("resumed manifests %d/%d != cold %d/%d",
+			warm.Manifests, warm.Epoch, cold.Manifests, cold.Epoch)
+	}
+}
+
+// TestManifestRoundtrip exercises the manifest codec directly: marshal,
+// parse back, digest stability, and rejection of corrupted frames.
+func TestManifestRoundtrip(t *testing.T) {
+	m := &Manifest{
+		Epoch:   7,
+		Counter: 3,
+		Shards: []ShardState{
+			{Chain: [32]byte{1, 2}, Seq: 10, Counter: 4},
+			{Chain: [32]byte{3, 4}, Seq: 12, Counter: 5},
+		},
+	}
+	m.Sig.R = []byte{9}
+	m.Sig.S = []byte{8}
+	buf := marshalManifest(m)
+	got, err := parseManifest(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != m.Epoch || got.Counter != m.Counter || len(got.Shards) != 2 ||
+		got.Shards[1] != m.Shards[1] {
+		t.Fatalf("roundtrip = %+v", got)
+	}
+	if !bytes.Equal(manifestDigest("git", m), manifestDigest("git", got)) {
+		t.Fatal("digest not stable across roundtrip")
+	}
+	// The digest binds the log name: a sidecar transplanted from another
+	// deployment must not verify.
+	if bytes.Equal(manifestDigest("git", m), manifestDigest("other", m)) {
+		t.Fatal("digest ignores the log name")
+	}
+	// Truncated and trailing-garbage payloads are rejected.
+	if _, err := parseManifest(buf[:len(buf)-1]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+	if _, err := parseManifest(append(append([]byte{}, buf...), 0)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+	// A zero-shard manifest is meaningless.
+	if _, err := parseManifest(marshalManifest(&Manifest{Epoch: 1, Sig: m.Sig})); err == nil {
+		t.Fatal("zero-shard manifest accepted")
+	}
+}
+
+// TestShardRouting pins the routing function: deterministic, stable across
+// calls, single-shard sets always route to 0, and keys spread over shards.
+func TestShardRouting(t *testing.T) {
+	e := newAuditEnv(t)
+	var s1, s4 *ShardedLog
+	e.call(t, func(env *asyncall.Env) error {
+		var err error
+		if s4, err = NewSharded(env, e.shardConfig("git", 4)); err != nil {
+			return err
+		}
+		cfg := e.shardConfig("solo", 1)
+		cfg.Dir = filepath.Join(e.dir, "solo")
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return err
+		}
+		s1, err = NewSharded(env, cfg)
+		return err
+	})
+	defer s4.Close()
+	defer s1.Close()
+
+	hit := make(map[int]int)
+	for key := uint64(0); key < 256; key++ {
+		k := s4.ShardFor(key)
+		if k != s4.ShardFor(key) {
+			t.Fatalf("unstable routing for key %d", key)
+		}
+		if k < 0 || k >= 4 {
+			t.Fatalf("key %d routed to shard %d", key, k)
+		}
+		hit[k]++
+		if s1.ShardFor(key) != 0 {
+			t.Fatalf("single-shard set routed key %d to %d", key, s1.ShardFor(key))
+		}
+	}
+	for k := 0; k < 4; k++ {
+		if hit[k] == 0 {
+			t.Fatalf("no keys routed to shard %d: %v", k, hit)
+		}
+	}
+}

@@ -1,0 +1,374 @@
+package audit
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+
+	"libseal/internal/enclave"
+)
+
+// Sharded verification. A sharded log set is N shard files, each an
+// ordinary audit log verified by the single-file pipeline, plus the epoch
+// manifest sidecar. The driver below verifies the shards in parallel (the
+// PR 7 worker pool runs per shard, with the worker budget divided among
+// them), collects every shard's verified commit points, and then replays
+// the manifest sidecar against them: each manifest's signature must verify
+// under the enclave key, its epochs must be strictly increasing, its
+// manifest-counter values non-decreasing, and — the cross-shard rollback
+// check — every per-shard state a manifest attests must be a commit point
+// the shard's own verification actually produced. A shard file rolled back
+// to an earlier signed prefix still passes its own chain and signature
+// checks, but the commit points the enclave bound into later manifests are
+// gone from it, and the replay fails with ErrBadCounter naming the shard.
+// That detection needs no live counter quorum: the evidence is entirely in
+// the files.
+//
+// What the manifests cannot prove offline is their own tail: discarding the
+// sidecar records after epoch k (or the shards' records after the states
+// epoch k attests) is only caught by the freshness checks against the live
+// rollback counters (the per-shard counters and the manifest counter), the
+// same trust model as the single-file log's tail.
+
+// ShardSet locates a log set on disk: either N shard files plus the
+// manifest sidecar, or a single legacy log file.
+type ShardSet struct {
+	// Dir is the directory holding the set.
+	Dir string
+	// Name is the log-set name (file basenames derive from it).
+	Name string
+	// Shards is the number of shard files (1 for a single-file set).
+	Shards int
+	// Manifest is the sidecar path; empty for a single-file set.
+	Manifest string
+}
+
+// Sharded reports whether the set carries an epoch-manifest sidecar.
+func (ss *ShardSet) Sharded() bool { return ss.Manifest != "" }
+
+// ShardPath is shard k's log file path.
+func (ss *ShardSet) ShardPath(k int) string {
+	if !ss.Sharded() {
+		return filepath.Join(ss.Dir, ss.Name+".lseal")
+	}
+	return filepath.Join(ss.Dir, ShardName(ss.Name, k)+".lseal")
+}
+
+// FindShardSet inspects a directory for a log set. A manifest sidecar
+// identifies a sharded set (its shard files must be contiguous from shard
+// 0); without one, exactly one .lseal file identifies a single-file set.
+func FindShardSet(dir string) (*ShardSet, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var manifests, logs []string
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(e.Name(), ".manifest"):
+			manifests = append(manifests, e.Name())
+		case strings.HasSuffix(e.Name(), ".lseal"):
+			logs = append(logs, e.Name())
+		}
+	}
+	switch {
+	case len(manifests) > 1:
+		return nil, fmt.Errorf("audit: %s holds multiple log sets (%s)", dir, strings.Join(manifests, ", "))
+	case len(manifests) == 1:
+		name := strings.TrimSuffix(manifests[0], ".manifest")
+		ss := &ShardSet{Dir: dir, Name: name, Manifest: filepath.Join(dir, manifests[0])}
+		for {
+			if _, err := os.Stat(filepath.Join(dir, ShardName(name, ss.Shards)+".lseal")); err != nil {
+				break
+			}
+			ss.Shards++
+		}
+		if ss.Shards == 0 {
+			return nil, fmt.Errorf("%w: manifest %s without shard files", ErrTampered, manifests[0])
+		}
+		return ss, nil
+	case len(logs) == 1:
+		return &ShardSet{Dir: dir, Name: strings.TrimSuffix(logs[0], ".lseal"), Shards: 1}, nil
+	case len(logs) == 0:
+		return nil, fmt.Errorf("audit: no log files in %s", dir)
+	default:
+		return nil, fmt.Errorf("audit: %d log files in %s but no manifest sidecar", len(logs), dir)
+	}
+}
+
+// ShardedStreamResult is the outcome of verifying a whole log set.
+type ShardedStreamResult struct {
+	// Sharded reports whether the set had a manifest sidecar (false for a
+	// plain single-file log).
+	Sharded bool
+	// Shards holds each shard's own streaming result, indexed by shard.
+	Shards []*StreamResult
+	// Manifests is the number of epoch manifests verified; Epoch the last
+	// manifest's epoch.
+	Manifests int
+	Epoch     uint64
+	// TotalEntries / TotalBatches aggregate across shards (checkpointed
+	// prefixes included); Tables counts entries per table across the set.
+	TotalEntries int
+	TotalBatches int
+	Tables       map[string]int
+	// CommittedBytes sums the shards' verified prefix lengths.
+	CommittedBytes int64
+	// Resumed reports whether any shard resumed from a checkpoint.
+	Resumed bool
+}
+
+// VerifyPath verifies a log at a path that may be a single log file or a
+// directory holding a sharded set, auto-detecting which. This is the
+// recommended entry point; the per-file functions remain for callers that
+// already know the layout.
+func VerifyPath(path string, opts StreamOptions) (*ShardedStreamResult, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if fi.IsDir() {
+		ss, err := FindShardSet(path)
+		if err != nil {
+			return nil, err
+		}
+		return VerifySet(ss, opts)
+	}
+	return VerifySet(&ShardSet{
+		Dir:    filepath.Dir(path),
+		Name:   strings.TrimSuffix(filepath.Base(path), ".lseal"),
+		Shards: 1,
+	}, opts)
+}
+
+// VerifyShardedDir verifies the log set found in dir. See VerifyPath.
+func VerifyShardedDir(dir string, opts StreamOptions) (*ShardedStreamResult, error) {
+	ss, err := FindShardSet(dir)
+	if err != nil {
+		return nil, err
+	}
+	return VerifySet(ss, opts)
+}
+
+// commitPoint is one (entries, chain head, counter) triple a signature
+// record attests — the unit of the manifest cross-check.
+type commitPoint struct {
+	seq     uint64
+	counter uint64
+	chain   [32]byte
+}
+
+// commitSet is one shard's verified commit points. It is filled by that
+// shard's merger goroutine (sequentially) and read only after the shard's
+// verification returns.
+type commitSet struct {
+	baseSeq uint64 // resumed scans cannot enumerate points before this
+	pts     map[commitPoint]struct{}
+}
+
+func newCommitSet() *commitSet {
+	cs := &commitSet{pts: map[commitPoint]struct{}{}}
+	// The empty log is a valid attested state (the creation manifest binds
+	// it before any entry commits).
+	cs.pts[commitPoint{}] = struct{}{}
+	return cs
+}
+
+func (cs *commitSet) add(seq, counter uint64, chain [32]byte) {
+	cs.pts[commitPoint{seq: seq, counter: counter, chain: chain}] = struct{}{}
+}
+
+// has reports whether a manifest-attested state is consistent with the
+// shard's verified log: an enumerated commit point, or one inside the
+// checkpointed prefix of a resumed scan (that prefix was verified — and its
+// manifests replayed — by the run that wrote the checkpoint).
+func (cs *commitSet) has(st ShardState) bool {
+	if st.Seq < cs.baseSeq {
+		return true
+	}
+	_, ok := cs.pts[commitPoint{seq: st.Seq, counter: st.Counter, chain: st.Chain}]
+	return ok
+}
+
+// VerifySet verifies every shard of the set in parallel and replays the
+// manifest sidecar against the shards' verified commit points.
+func VerifySet(ss *ShardSet, opts StreamOptions) (*ShardedStreamResult, error) {
+	if opts.Resume != nil && ss.Shards > 1 {
+		return nil, errors.New("audit: explicit Resume on a sharded set; use ResumeAuto")
+	}
+	totalWorkers := opts.Workers
+	if totalWorkers <= 0 {
+		totalWorkers = runtime.GOMAXPROCS(0)
+	}
+	perShard := totalWorkers / ss.Shards
+	if perShard < 1 {
+		perShard = 1
+	}
+	results := make([]*StreamResult, ss.Shards)
+	errs := make([]error, ss.Shards)
+	points := make([]*commitSet, ss.Shards)
+	var wg sync.WaitGroup
+	for k := 0; k < ss.Shards; k++ {
+		points[k] = newCommitSet()
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			results[k], errs[k] = verifyShard(ss, k, perShard, opts, points[k])
+		}(k)
+	}
+	wg.Wait()
+	for k, err := range errs {
+		if err != nil {
+			if ss.Sharded() {
+				return nil, fmt.Errorf("shard %d (%s): %w", k, filepath.Base(ss.ShardPath(k)), err)
+			}
+			return nil, err
+		}
+	}
+	out := &ShardedStreamResult{
+		Sharded: ss.Sharded(),
+		Shards:  results,
+		Tables:  map[string]int{},
+	}
+	for _, r := range results {
+		out.TotalEntries += r.TotalEntries
+		out.TotalBatches += r.TotalBatches
+		out.CommittedBytes += r.CommittedBytes
+		out.Resumed = out.Resumed || r.Resumed
+		for t, n := range r.Tables {
+			out.Tables[t] += n
+		}
+	}
+	if ss.Sharded() {
+		n, epoch, err := replayManifests(ss, &opts, points)
+		if err != nil {
+			return nil, err
+		}
+		out.Manifests = n
+		out.Epoch = epoch
+	}
+	return out, nil
+}
+
+// verifyShard runs the streaming pipeline over one shard file, collecting
+// its commit points and handling checkpoint/resume plumbing.
+func verifyShard(ss *ShardSet, k, workers int, opts StreamOptions, cs *commitSet) (*StreamResult, error) {
+	path := ss.ShardPath(k)
+	sopts := opts
+	sopts.Shard = k
+	sopts.Workers = workers
+	if ss.Sharded() {
+		// Freshness is judged per shard against its own counter.
+		sopts.Name = ShardName(ss.Name, k)
+	} else if sopts.Name == "" {
+		sopts.Name = ss.Name
+	}
+	ckptPath := path + ".ckpt"
+	if opts.Checkpoint != nil {
+		ccfg := *opts.Checkpoint
+		if ccfg.Path == "" || ss.Sharded() {
+			ccfg.Path = ckptPath
+		}
+		sopts.Checkpoint = &ccfg
+	}
+	if opts.ResumeAuto {
+		loadFrom := ckptPath
+		if sopts.Checkpoint != nil {
+			loadFrom = sopts.Checkpoint.Path
+		}
+		if c, err := LoadCheckpoint(loadFrom); err == nil && c.Shard == k {
+			sopts.Resume = c
+		}
+	}
+	inner := opts.OnSegment
+	sopts.OnSegment = func(si SegmentInfo) error {
+		cs.add(si.EndSeq, si.Counter, si.Chain)
+		if inner != nil {
+			return inner(si)
+		}
+		return nil
+	}
+	run := func() (*StreamResult, error) {
+		if sopts.Resume != nil {
+			cs.baseSeq = sopts.Resume.Seq
+			chain, err := sopts.Resume.chainHead()
+			if err == nil {
+				cs.add(sopts.Resume.Seq, sopts.Resume.Counter, chain)
+			}
+		} else {
+			cs.baseSeq = 0
+		}
+		return VerifyFileStream(path, sopts)
+	}
+	res, err := run()
+	if err != nil && sopts.Resume != nil && errors.Is(err, ErrCheckpointStale) {
+		// The auto-loaded checkpoint no longer matches the file (trimmed or
+		// rewritten since): cold-scan for the true verdict.
+		sopts.Resume = nil
+		res, err = run()
+	}
+	return res, err
+}
+
+// replayManifests verifies the manifest sidecar against the shards'
+// verified commit points. Returns the number of manifests verified and the
+// last epoch.
+func replayManifests(ss *ShardSet, opts *StreamOptions, points []*commitSet) (int, uint64, error) {
+	raw, err := os.ReadFile(ss.Manifest)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: manifest sidecar: %v", ErrTampered, err)
+	}
+	ms, err := readManifests(bytes.NewReader(raw), opts.RecoverTruncated)
+	if err != nil {
+		return 0, 0, fmt.Errorf("manifest sidecar: %w", err)
+	}
+	if len(ms) == 0 && !opts.RecoverTruncated {
+		// The writer creates the sidecar with an initial manifest; an empty
+		// one means its records were stripped.
+		return 0, 0, fmt.Errorf("%w: manifest sidecar holds no manifests", ErrTampered)
+	}
+	var lastEpoch, lastCounter uint64
+	for i, m := range ms {
+		if len(m.Shards) != ss.Shards {
+			return 0, 0, fmt.Errorf("%w: manifest %d attests %d shards, set has %d", ErrTampered, i, len(m.Shards), ss.Shards)
+		}
+		if i > 0 && m.Epoch <= lastEpoch {
+			return 0, 0, fmt.Errorf("%w: manifest %d: epoch %d not after %d", ErrTampered, i, m.Epoch, lastEpoch)
+		}
+		if m.Counter < lastCounter {
+			return 0, 0, fmt.Errorf("%w: manifest %d: counter %d regressed below %d", ErrTampered, i, m.Counter, lastCounter)
+		}
+		if opts.Pub != nil && !enclave.VerifySignature(opts.Pub, manifestDigest(ss.Name, m), m.Sig) {
+			return 0, 0, fmt.Errorf("%w: manifest %d (epoch %d): signature invalid", ErrTampered, i, m.Epoch)
+		}
+		for k, st := range m.Shards {
+			if !points[k].has(st) {
+				return 0, 0, fmt.Errorf(
+					"%w: epoch manifest %d attests shard %d at seq=%d counter=%d, but the shard log holds no such commit point — shard rolled back",
+					ErrBadCounter, m.Epoch, k, st.Seq, st.Counter)
+			}
+		}
+		lastEpoch, lastCounter = m.Epoch, m.Counter
+	}
+	// The sidecar's own tail is guarded by the live manifest counter: a
+	// provider that discards recent manifests (and the shard records they
+	// attest) is caught here, exactly like a single-file tail rollback.
+	if opts.Protector != nil {
+		stable, err := opts.Protector.Read(ManifestCounterName(ss.Name))
+		if err != nil {
+			return 0, 0, err
+		}
+		if lastCounter+opts.MaxCounterLag < stable {
+			return 0, 0, fmt.Errorf("%w: manifest counter %d < group counter %d", ErrBadCounter, lastCounter, stable)
+		}
+	}
+	return len(ms), lastEpoch, nil
+}

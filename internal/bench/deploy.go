@@ -106,6 +106,9 @@ type StackOptions struct {
 	// Zero values keep the conservative entry-at-a-time behaviour.
 	AuditBatchMax   int
 	AuditBatchDelay time.Duration
+	// AuditShards partitions the disk-mode log across this many shard files
+	// with a signed cross-shard epoch manifest; <= 1 keeps one file.
+	AuditShards int
 	// MaxStaged and AdmitTimeout configure admission control on the
 	// group-commit pipeline: over-budget appends wait up to AdmitTimeout for
 	// it to drain, then are shed with audit.ErrOverloaded. Zero MaxStaged
@@ -235,6 +238,7 @@ func buildStack(opts StackOptions, module ssm.Module) (*Stack, tlsterm.Terminato
 			dir = tmp
 		}
 		cfg.AuditDir = dir
+		cfg.AuditShards = opts.AuditShards
 		group := opts.Group
 		if group == nil {
 			f := opts.ROTEF

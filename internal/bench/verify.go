@@ -21,3 +21,14 @@ func VerifyLog(path string, opts audit.VerifyOptions) (*audit.StreamResult, erro
 		OnSegment: func(audit.SegmentInfo) error { return nil },
 	})
 }
+
+// VerifyLogSet is VerifyLog for a whole directory: it auto-detects a sharded
+// set (shard files plus the epoch-manifest sidecar) versus a single log
+// file, verifies the shards in parallel and replays the manifests.
+func VerifyLogSet(dir string, opts audit.VerifyOptions) (*audit.ShardedStreamResult, error) {
+	return audit.VerifyPath(dir, audit.StreamOptions{
+		VerifyOptions: opts,
+		Workers:       runtime.GOMAXPROCS(0),
+		OnSegment:     func(audit.SegmentInfo) error { return nil },
+	})
+}

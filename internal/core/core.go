@@ -78,6 +78,15 @@ type Config struct {
 	AuditMode audit.Mode
 	// AuditDir is the persistence directory for disk mode.
 	AuditDir string
+	// AuditShards partitions the audit log across this many independent
+	// group-commit pipelines (files, fsync streams, rollback counters),
+	// routed by connection so per-connection order is preserved, with a
+	// signed cross-shard epoch manifest binding the shards together. Values
+	// <= 1 keep the single-log layout. See audit.ShardedConfig.
+	AuditShards int
+	// AuditManifestEvery is the minimum interval between epoch manifests
+	// when sharding; zero selects the audit package default.
+	AuditManifestEvery time.Duration
 	// Protector provides rollback protection for the persisted log.
 	Protector audit.RollbackProtector
 	// SealLog encrypts persisted entries for log privacy.
@@ -143,7 +152,7 @@ type LibSEAL struct {
 	cfg    Config
 	bridge *asyncall.Bridge
 	tls    *tlsterm.Library
-	log    *audit.Log
+	log    *audit.ShardedLog
 
 	// connMu guards only the tracker map; each tracker carries its own
 	// lock, so connections make progress independently.
@@ -203,29 +212,33 @@ func New(bridge *asyncall.Bridge, cfg Config) (*LibSEAL, error) {
 		lastResult: "none",
 	}
 	if cfg.Module != nil {
-		auditCfg := audit.Config{
-			Name:          cfg.Module.Name(),
-			Schema:        cfg.Module.Schema(),
-			Mode:          cfg.AuditMode,
-			Dir:           cfg.AuditDir,
-			Protector:     cfg.Protector,
-			Seal:          cfg.SealLog,
-			FS:            cfg.AuditFS,
-			AnchorTimeout: cfg.AnchorTimeout,
-			DegradedLimit: cfg.DegradedLimit,
-			RecoverMaxLag: cfg.RecoverMaxLag,
-			BatchMax:      cfg.AuditBatchMax,
-			BatchDelay:    cfg.AuditBatchDelay,
-			MaxStaged:     cfg.AuditMaxStaged,
-			AdmitTimeout:  cfg.AuditAdmitTimeout,
+		auditCfg := audit.ShardedConfig{
+			Config: audit.Config{
+				Name:          cfg.Module.Name(),
+				Schema:        cfg.Module.Schema(),
+				Mode:          cfg.AuditMode,
+				Dir:           cfg.AuditDir,
+				Protector:     cfg.Protector,
+				Seal:          cfg.SealLog,
+				FS:            cfg.AuditFS,
+				AnchorTimeout: cfg.AnchorTimeout,
+				DegradedLimit: cfg.DegradedLimit,
+				RecoverMaxLag: cfg.RecoverMaxLag,
+				BatchMax:      cfg.AuditBatchMax,
+				BatchDelay:    cfg.AuditBatchDelay,
+				MaxStaged:     cfg.AuditMaxStaged,
+				AdmitTimeout:  cfg.AuditAdmitTimeout,
+			},
+			Shards:        cfg.AuditShards,
+			ManifestEvery: cfg.AuditManifestEvery,
 		}
 		err := bridge.Call(func(env *asyncall.Env) error {
 			var err error
 			if cfg.RecoverExisting && cfg.AuditMode == audit.ModeDisk {
-				ls.log, err = audit.Recover(env, auditCfg, bridge.Enclave().PublicKey())
+				ls.log, err = audit.RecoverSharded(env, auditCfg, bridge.Enclave().PublicKey())
 				return err
 			}
-			ls.log, err = audit.New(env, auditCfg)
+			ls.log, err = audit.NewSharded(env, auditCfg)
 			return err
 		})
 		if err != nil {
@@ -278,6 +291,9 @@ func (ls *LibSEAL) periodicChecks(interval time.Duration) {
 						ls.stats.Reanchors++
 					}
 				}
+				// Idle periods still get manifests: without writes the
+				// request-path cadence never fires.
+				_ = ls.log.ManifestIfDue(env)
 				return nil
 			})
 		}
@@ -287,8 +303,10 @@ func (ls *LibSEAL) periodicChecks(interval time.Duration) {
 // TLS returns the drop-in TLS library services link against.
 func (ls *LibSEAL) TLS() *tlsterm.Library { return ls.tls }
 
-// Log returns the audit log (nil when auditing is disabled).
-func (ls *LibSEAL) Log() *audit.Log { return ls.log }
+// Log returns the (possibly sharded) audit log; nil when auditing is
+// disabled. An unsharded instance is a one-shard set, so existing callers
+// keep working unchanged.
+func (ls *LibSEAL) Log() *audit.ShardedLog { return ls.log }
 
 // Bridge returns the underlying enclave bridge.
 func (ls *LibSEAL) Bridge() *asyncall.Bridge { return ls.bridge }
@@ -446,7 +464,7 @@ func (ls *LibSEAL) onWrite(env *asyncall.Env, connID uint64, data []byte) ([]byt
 	}
 	tr.mu.Unlock()
 
-	tickets, checkDue, stageErr := ls.stagePairs(env, pairs)
+	tickets, checkDue, stageErr := ls.stagePairs(env, connID, pairs)
 
 	// Every staged ticket must be waited on — a batch leader commits its
 	// batch from inside Wait — even when a later pair failed to stage.
@@ -476,6 +494,13 @@ func (ls *LibSEAL) onWrite(env *asyncall.Env, connID uint64, data []byte) ([]byt
 	if checkDue {
 		ls.checkAndTrim(env)
 	}
+	if len(tickets) > 0 {
+		// Epoch-manifest cadence rides the write path: after the waits no
+		// lock is held, so binding the shards' durable states is off the
+		// critical section. Best-effort — a failed manifest only widens the
+		// cross-shard rollback window until the next one.
+		_ = ls.log.ManifestIfDue(env)
+	}
 	if bytes.Equal(out, data) {
 		return nil, nil
 	}
@@ -502,7 +527,7 @@ type stagedPair struct {
 // leader while blocked on logMu (see onWrite). The second result reports
 // that the CheckEvery budget is exhausted — the caller runs the check once
 // its entries are durable.
-func (ls *LibSEAL) stagePairs(env *asyncall.Env, pairs []rawPair) ([]stagedPair, bool, error) {
+func (ls *LibSEAL) stagePairs(env *asyncall.Env, connID uint64, pairs []rawPair) ([]stagedPair, bool, error) {
 	if len(pairs) == 0 {
 		return nil, false, nil
 	}
@@ -524,7 +549,10 @@ func (ls *LibSEAL) stagePairs(env *asyncall.Env, pairs []rawPair) ([]stagedPair,
 			for i, tu := range tuples {
 				rows[i] = audit.Row{Table: tu.Table, Values: tu.Values}
 			}
-			ticket, err := ls.log.Stage(env, rows)
+			// All of one connection's pairs route to one shard (stable hash
+			// of the connection ID), so per-connection order is preserved
+			// while different connections fan out across shard pipelines.
+			ticket, err := ls.log.Stage(env, connID, rows)
 			if err != nil {
 				return tickets, checkDue, fmt.Errorf("core: audit append: %w", err)
 			}

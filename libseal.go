@@ -117,6 +117,10 @@ type (
 	// trusted until VerifyLogFileStream returns a nil error, since
 	// whole-log checks (rollback freshness in particular) run last.
 	VerifySegment = audit.SegmentInfo
+	// VerifyResult is the outcome of the unified Verify entry point: the
+	// per-shard streaming results plus cross-shard totals and, for sharded
+	// sets, the epoch-manifest replay verdict.
+	VerifyResult = audit.ShardedStreamResult
 	// VerifyCheckpoint is a persisted verification checkpoint sidecar.
 	VerifyCheckpoint = audit.Checkpoint
 	// VerifyCheckpointConfig tells the streaming verifier where and how
@@ -190,7 +194,10 @@ const (
 	CheckResultHeader = core.CheckResultHeader
 )
 
-// New builds a LibSEAL instance on an enclave bridge.
+// New builds a LibSEAL instance on an enclave bridge from a Config struct.
+// It remains for existing callers; new code should prefer Open, which
+// assembles the same Config from functional options and wires the
+// counter-group plumbing (retry policy, circuit breaker) in one place.
 func New(bridge *Bridge, cfg Config) (*LibSEAL, error) { return core.New(bridge, cfg) }
 
 // NewPlatform creates a fresh simulated SGX machine.
@@ -326,11 +333,29 @@ var ErrAuditOverloaded = audit.ErrOverloaded
 // since); the caller should fall back to a cold scan.
 var ErrVerifyCheckpointStale = audit.ErrCheckpointStale
 
-// VerifyLogFileStream verifies a persisted audit log with the parallel
-// segmented pipeline: signature records cut the log into independently
-// checkable segments, a worker pool recomputes hashes and ECDSA signatures
-// concurrently, and the merged verdict is identical to VerifyLogFile's.
-// Supports streaming callbacks (bounded memory) and resumable checkpoints.
+// Verify is the unified verification entry point: it checks a persisted
+// audit log's integrity (hash chain, enclave signatures, counter freshness)
+// with the parallel segmented pipeline, streaming by default.
+//
+// path may be either a single log file or a directory. A directory holding
+// a sharded set (shard files plus an epoch-manifest sidecar, as written
+// under WithAuditShards) is verified shard-by-shard in parallel and then
+// cross-checked against the signed manifests, so a rollback of any single
+// shard is detected even though each shard's own chain still verifies. A
+// directory holding one plain log file, or a file path, degrades to
+// single-log verification with the same options. Set opts.ResumeAuto to
+// continue from per-shard checkpoint sidecars written by a previous run.
+func Verify(path string, opts VerifyStreamOptions) (*VerifyResult, error) {
+	return audit.VerifyPath(path, opts)
+}
+
+// VerifyLogFileStream verifies one persisted audit log file with the
+// parallel segmented pipeline: signature records cut the log into
+// independently checkable segments, a worker pool recomputes hashes and
+// ECDSA signatures concurrently, and the merged verdict is identical to
+// VerifyLogFile's. Supports streaming callbacks (bounded memory) and
+// resumable checkpoints. It is the single-file core under Verify, which
+// additionally understands sharded sets; new callers should prefer Verify.
 func VerifyLogFileStream(path string, opts VerifyStreamOptions) (*VerifyStreamResult, error) {
 	return audit.VerifyFileStream(path, opts)
 }
@@ -341,9 +366,11 @@ func LoadVerifyCheckpoint(path string) (*VerifyCheckpoint, error) {
 	return audit.LoadCheckpoint(path)
 }
 
-// VerifyLogFile checks a persisted audit log's integrity (hash chain,
-// enclave signature, counter freshness) and returns its entries. Clients run
-// this out-of-band to validate evidence during dispute resolution.
+// VerifyLogFile checks one persisted audit log file's integrity (hash
+// chain, enclave signature, counter freshness) and returns its entries,
+// buffered in memory. Clients run this out-of-band to validate evidence
+// during dispute resolution. It remains for small logs and tests; new
+// callers should prefer Verify, which streams and understands sharded sets.
 func VerifyLogFile(path string, opts VerifyOptions) ([]*LogEntry, error) {
 	return audit.VerifyFile(path, opts)
 }

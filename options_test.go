@@ -1,0 +1,296 @@
+package libseal
+
+import (
+	"bufio"
+	"sort"
+	"testing"
+	"time"
+
+	"libseal/internal/httpparse"
+	"libseal/internal/netsim"
+	"libseal/internal/services/apache"
+	"libseal/internal/services/gitserver"
+	"libseal/internal/testutil"
+)
+
+// driveGitWorkload runs a short Git session against a LibSEAL instance:
+// two pushes, an injected rollback, a fetch, and an in-band check. It
+// returns the violation names the instance reported.
+func driveGitWorkload(t *testing.T, seal *LibSEAL, certs *testutil.CertEnv) []string {
+	t.Helper()
+	git := gitserver.NewServer()
+	network := netsim.NewNetwork()
+	listener, err := network.Listen("svc:443")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := apache.New(apache.Config{
+		Terminator: seal.TLS().Terminator(),
+		Handler:    git.Handler(),
+		KeepAlive:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go server.Serve(listener)
+	defer server.Close()
+
+	raw, err := network.Dial("svc:443")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := ConnectTLS(raw, certs.ClientConfig("svc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	do := func(req *httpparse.Request) {
+		t.Helper()
+		if _, err := conn.Write(req.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := httpparse.ReadResponse(br); err != nil {
+			t.Fatal(err)
+		}
+	}
+	do(httpparse.NewRequest("POST", "/git/x/git-receive-pack", []byte("create main c1")))
+	do(httpparse.NewRequest("POST", "/git/x/git-receive-pack", []byte("update main c2")))
+	git.InjectRollback("x", "main", "c1")
+	do(httpparse.NewRequest("GET", "/git/x/info/refs", nil))
+	req := httpparse.NewRequest("GET", "/git/x/info/refs", nil)
+	req.Header.Set(CheckHeader, "1")
+	do(req)
+
+	var names []string
+	for _, v := range seal.Violations() {
+		names = append(names, v.Invariant)
+	}
+	return names
+}
+
+// TestOpenOptionsEndToEnd builds an instance through the functional-options
+// constructor with the full plumbing — sharded disk audit, counter group
+// with retry policy and circuit breaker, admission control, batching,
+// checks, violation handler — drives a real workload, and verifies the
+// sharded set through the unified Verify entry point.
+func TestOpenOptionsEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	platform := NewPlatform()
+	encl, err := platform.Launch(EnclaveConfig{Code: []byte("open-options-test"), MaxThreads: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bridge, err := NewBridge(encl, BridgeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bridge.Close()
+	certs, err := testutil.NewCertEnv("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	group, err := NewCounterGroup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	policy := DefaultRetryPolicy()
+	policy.Timeout = 250 * time.Millisecond
+	var handled []string
+	seal, err := Open(bridge,
+		WithModule(GitModule()),
+		WithTLS(TLSConfig{Cert: certs.Cert, Key: certs.Key, Opts: AllOptimizations()}),
+		WithAuditDisk(dir),
+		WithAuditShards(2),
+		WithManifestInterval(50*time.Millisecond),
+		WithCounterGroup(group),
+		WithRetryPolicy(policy),
+		WithBreaker(BreakerConfig{Threshold: 5, Cooldown: time.Second}),
+		WithAdmission(256, 500*time.Millisecond),
+		WithBatching(16, 200*time.Microsecond),
+		WithAnchorTimeout(2*time.Second),
+		WithChecks(10, 0, time.Millisecond),
+		WithViolationHandler(func(name string, _ *QueryResult) { handled = append(handled, name) }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seal.Close()
+
+	violations := driveGitWorkload(t, seal, certs)
+	if len(violations) == 0 || violations[0] != "git-soundness" {
+		t.Fatalf("violations = %v", violations)
+	}
+	if len(handled) == 0 || handled[0] != "git-soundness" {
+		t.Fatalf("WithViolationHandler saw %v", handled)
+	}
+	if got := seal.Log().Shards(); got != 2 {
+		t.Fatalf("shards = %d, want 2", got)
+	}
+	if err := seal.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The unified entry point auto-detects the sharded set in the directory.
+	res, err := Verify(dir, VerifyStreamOptions{
+		VerifyOptions: VerifyOptions{Pub: encl.PublicKey(), Protector: group, Name: "git"},
+	})
+	if err != nil {
+		t.Fatalf("Verify(dir): %v", err)
+	}
+	if !res.Sharded || len(res.Shards) != 2 {
+		t.Fatalf("Sharded=%v shards=%d", res.Sharded, len(res.Shards))
+	}
+	if res.TotalEntries == 0 || res.Manifests == 0 {
+		t.Fatalf("entries=%d manifests=%d", res.TotalEntries, res.Manifests)
+	}
+}
+
+// TestOpenMatchesNew checks the facade contract: Open assembles the same
+// instance New does from an equivalent Config, observed through identical
+// behaviour on the same workload and identically-verifiable logs.
+func TestOpenMatchesNew(t *testing.T) {
+	type build func(t *testing.T, bridge *Bridge, certs *testutil.CertEnv, dir string, group *CounterGroup) (*LibSEAL, error)
+	builds := map[string]build{
+		"new": func(t *testing.T, bridge *Bridge, certs *testutil.CertEnv, dir string, group *CounterGroup) (*LibSEAL, error) {
+			return New(bridge, Config{
+				TLS:              TLSConfig{Cert: certs.Cert, Key: certs.Key, Opts: AllOptimizations()},
+				Module:           GitModule(),
+				AuditMode:        AuditDisk,
+				AuditDir:         dir,
+				Protector:        group,
+				CheckEvery:       10,
+				CheckMinInterval: time.Millisecond,
+			})
+		},
+		"open": func(t *testing.T, bridge *Bridge, certs *testutil.CertEnv, dir string, group *CounterGroup) (*LibSEAL, error) {
+			return Open(bridge,
+				WithModule(GitModule()),
+				WithTLS(TLSConfig{Cert: certs.Cert, Key: certs.Key, Opts: AllOptimizations()}),
+				WithAuditDisk(dir),
+				WithCounterGroup(group),
+				WithChecks(10, 0, time.Millisecond),
+			)
+		},
+	}
+	results := map[string]*VerifyResult{}
+	for name, mk := range builds {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			platform := NewPlatform()
+			encl, err := platform.Launch(EnclaveConfig{Code: []byte("facade-equiv"), MaxThreads: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			bridge, err := NewBridge(encl, BridgeConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer bridge.Close()
+			certs, err := testutil.NewCertEnv("svc")
+			if err != nil {
+				t.Fatal(err)
+			}
+			group, err := NewCounterGroup(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seal, err := mk(t, bridge, certs, dir, group)
+			if err != nil {
+				t.Fatal(err)
+			}
+			violations := driveGitWorkload(t, seal, certs)
+			if len(violations) == 0 || violations[0] != "git-soundness" {
+				t.Fatalf("violations = %v", violations)
+			}
+			if err := seal.Close(); err != nil {
+				t.Fatal(err)
+			}
+			res, err := Verify(dir, VerifyStreamOptions{
+				VerifyOptions: VerifyOptions{Pub: encl.PublicKey(), Protector: group, Name: "git"},
+			})
+			if err != nil {
+				t.Fatalf("Verify: %v", err)
+			}
+			results[name] = res
+		})
+	}
+	a, b := results["new"], results["open"]
+	if a == nil || b == nil {
+		t.Fatal("missing results")
+	}
+	if a.TotalEntries != b.TotalEntries || a.Sharded != b.Sharded {
+		t.Fatalf("diverged: new %d entries (sharded=%v), open %d entries (sharded=%v)",
+			a.TotalEntries, a.Sharded, b.TotalEntries, b.Sharded)
+	}
+	for table, n := range a.Tables {
+		if b.Tables[table] != n {
+			t.Fatalf("table %s: new %d, open %d", table, n, b.Tables[table])
+		}
+	}
+}
+
+// TestOpenCounterFaults checks WithCounterFaults mints a working group, and
+// that a memory-only Open needs nothing beyond module and TLS identity.
+func TestOpenCounterFaults(t *testing.T) {
+	platform := NewPlatform()
+	encl, err := platform.Launch(EnclaveConfig{Code: []byte("open-faults"), MaxThreads: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bridge, err := NewBridge(encl, BridgeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bridge.Close()
+	certs, err := testutil.NewCertEnv("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tls := TLSConfig{Cert: certs.Cert, Key: certs.Key}
+	seal, err := Open(bridge,
+		WithModule(GitModule()),
+		WithTLS(tls),
+		WithAuditDisk(t.TempDir()),
+		WithCounterFaults(1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seal.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	bridge2, err := NewBridge(encl, BridgeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bridge2.Close()
+	mem, err := Open(bridge2, WithModule(GitModule()), WithTLS(tls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestModuleNamesSorted pins the documented contract that ModuleNames
+// returns sorted names (the facade promises a stable CLI-friendly order).
+func TestModuleNamesSorted(t *testing.T) {
+	names := ModuleNames()
+	if len(names) == 0 {
+		t.Fatal("no modules registered")
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("ModuleNames not sorted: %v", names)
+	}
+	// Stability across calls (fresh slice each time, same order).
+	again := ModuleNames()
+	for i := range names {
+		if names[i] != again[i] {
+			t.Fatalf("ModuleNames unstable: %v vs %v", names, again)
+		}
+	}
+}
