@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check soak bench bench-json bench-compare bench-verify bench-shards fuzz-smoke clean
+.PHONY: all build test check soak bench bench-json bench-compare bench-verify bench-shards bench-check fuzz-smoke clean
 
 all: build
 
@@ -48,6 +48,13 @@ bench-verify:
 # quorum, each run strictly re-verified including epoch-manifest replay.
 bench-shards:
 	$(GO) run ./cmd/libseal-bench -shards-json BENCH_pr8.json
+
+# Snapshot-check sweep (DESIGN.md §15): full-check latency over a growing
+# multi-repo Git audit database with hash indexes on vs off, plus audited
+# append throughput with no / synchronous / asynchronous periodic checks,
+# each disk run strictly re-verified.
+bench-check:
+	$(GO) run ./cmd/libseal-bench -check-json BENCH_pr9.json
 
 # Short fuzzing pass over the verifier, the entry codec and the HTTP
 # parser — the same smoke CI runs. Seed corpora live under testdata/fuzz.

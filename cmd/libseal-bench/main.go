@@ -49,6 +49,7 @@ func main() {
 	jsonOut := flag.String("json", "", "run the telemetry bench pipeline and write machine-readable results to this file")
 	verifyOut := flag.String("verify-json", "", "run the parallel-verification worker sweep and write machine-readable results to this file")
 	shardsOut := flag.String("shards-json", "", "run the audit-log shard sweep and write machine-readable results to this file")
+	checkOut := flag.String("check-json", "", "run the snapshot-check/index sweep and write machine-readable results to this file")
 	flag.Parse()
 
 	if *jsonOut != "" {
@@ -68,6 +69,13 @@ func main() {
 	if *shardsOut != "" {
 		if err := runShardBench(*shardsOut, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "libseal-bench: shards-json: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *checkOut != "" {
+		if err := runCheckBench(*checkOut, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "libseal-bench: check-json: %v\n", err)
 			os.Exit(1)
 		}
 		return

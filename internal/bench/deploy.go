@@ -78,6 +78,15 @@ type StackOptions struct {
 	Opts *tlsterm.Optimizations
 	// CheckEvery enables periodic checking/trimming.
 	CheckEvery int
+	// CheckInterval is the wall-clock check cadence (zero keeps the
+	// core default).
+	CheckInterval time.Duration
+	// CheckAsync evaluates scheduled checks on a background worker
+	// against a copy-on-write snapshot instead of on the request path.
+	CheckAsync bool
+	// NoIndexes disables the audit database's hash indexes (the index
+	// ablation).
+	NoIndexes bool
 	// AuditDir overrides the disk-mode log directory.
 	AuditDir string
 	// RecoverExisting resumes from a persisted log in AuditDir instead of
@@ -216,6 +225,9 @@ func buildStack(opts StackOptions, module ssm.Module) (*Stack, tlsterm.Terminato
 			Cert: env.Cert, Key: env.Key, Opts: *opts.Opts,
 		},
 		CheckEvery:      opts.CheckEvery,
+		CheckInterval:   opts.CheckInterval,
+		CheckAsync:      opts.CheckAsync,
+		NoIndexes:       opts.NoIndexes,
 		AuditBatchMax:   opts.AuditBatchMax,
 		AuditBatchDelay: opts.AuditBatchDelay,
 	}

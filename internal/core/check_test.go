@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"libseal/internal/audit"
+	"libseal/internal/httpparse"
+	"libseal/internal/ssm"
+	"libseal/internal/ssm/gitssm"
+)
+
+// pairMod is a minimal instrumentation SSM: every pair logs exactly one
+// tuple carrying its logical time, and the single "invariant" flags every
+// row. A check's violation therefore captures the full table as seen by its
+// snapshot, which lets tests compare what a check saw against the chain
+// position it attests.
+type pairMod struct{}
+
+func (pairMod) Name() string   { return "pairs" }
+func (pairMod) Schema() string { return "CREATE TABLE pairs (t INTEGER)" }
+func (pairMod) HandlePair(st *ssm.State, req, rsp []byte) ([]ssm.Tuple, error) {
+	return []ssm.Tuple{{Table: "pairs", Values: []any{st.Time}}}, nil
+}
+func (pairMod) Invariants() []ssm.Invariant {
+	return []ssm.Invariant{{
+		Name: "every-pair", Kind: "soundness",
+		Description: "flags every logged pair (test instrumentation)",
+		SQL:         "SELECT t FROM pairs",
+	}}
+}
+func (pairMod) TrimQueries() []string { return nil }
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestCheckAsyncEndToEnd drives the clean Git workload with background
+// checking on: the budget-triggered checks run on the worker, CheckNow
+// stays synchronous, and Close drains the worker.
+func TestCheckAsyncEndToEnd(t *testing.T) {
+	env := newCoreEnv(t)
+	ls := newGitLibSEAL(t, env, Config{
+		Module:     gitssm.New(),
+		AuditMode:  audit.ModeMemory,
+		CheckEvery: 1,
+		CheckAsync: true,
+	})
+	backend := newGitBackend()
+	c := dialGit(t, env, ls, backend)
+
+	c.push(t, "repo", "create main c1")
+	c.push(t, "repo", "update main c2")
+	waitFor(t, "async check", func() bool { return ls.StatsSnapshot().Checks > 0 })
+	waitFor(t, "check result", func() bool { return ls.LastCheckResult() == "ok" })
+
+	// CheckNow is synchronous even with CheckAsync: the verdict comes back
+	// on the calling goroutine.
+	if result, err := ls.CheckNow(); err != nil || result != "ok" {
+		t.Fatalf("CheckNow = %q, %v", result, err)
+	}
+	if err := ls.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Triggers after Close must not panic or deadlock.
+	ls.scheduleCheck()
+}
+
+// TestCheckAsyncDetectsRollback: a violation found by a background check is
+// recorded with the chain position its snapshot attested.
+func TestCheckAsyncDetectsRollback(t *testing.T) {
+	env := newCoreEnv(t)
+	ls := newGitLibSEAL(t, env, Config{
+		Module:     gitssm.New(),
+		AuditMode:  audit.ModeMemory,
+		CheckEvery: 1,
+		CheckAsync: true,
+	})
+	backend := newGitBackend()
+	c := dialGit(t, env, ls, backend)
+
+	c.push(t, "repo", "create main c1")
+	c.push(t, "repo", "update main c2")
+	backend.rollback["main"] = "c1"
+	c.fetch(t, "repo", false)
+
+	waitFor(t, "rollback violation", func() bool { return len(ls.Violations()) > 0 })
+	v := ls.Violations()[0]
+	if v.Invariant != "git-soundness" {
+		t.Fatalf("invariant = %q", v.Invariant)
+	}
+	// The violating snapshot held the rolled-back advertisement plus one or
+	// two update tuples — two when the worker had not yet trimmed the stale
+	// c1 update, three otherwise. Either way the violation pins the chain
+	// position it attested.
+	if v.ChainSeq != 2 && v.ChainSeq != 3 {
+		t.Fatalf("ChainSeq = %d, want 2 or 3: %+v", v.ChainSeq, v)
+	}
+}
+
+// TestAsyncCheckChainPositionConsistency is the snapshot-isolation race
+// test: clients append concurrently while the worker checks, and every
+// check must see exactly the prefix its ChainSeq claims — with pairMod,
+// a snapshot at chain position N contains the pairs timed 1..N, no more,
+// no fewer, no tears. Run under -race.
+func TestAsyncCheckChainPositionConsistency(t *testing.T) {
+	env := newCoreEnv(t)
+	ls := newGitLibSEAL(t, env, Config{
+		Module:     pairMod{},
+		AuditMode:  audit.ModeMemory,
+		CheckEvery: 1,
+		CheckAsync: true,
+	})
+	backend := newGitBackend()
+
+	const clients, pushes = 3, 15
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		c := dialGit(t, env, ls, backend)
+		wg.Add(1)
+		go func(c *gitClient, id int) {
+			defer wg.Done()
+			repo := fmt.Sprintf("repo%d", id)
+			for j := 0; j < pushes; j++ {
+				req := httpparse.NewRequest("POST", "/git/"+repo+"/git-receive-pack",
+					[]byte(fmt.Sprintf("update main c%d", j)))
+				if _, err := c.conn.Write(req.Bytes()); err != nil {
+					t.Error(err)
+					return
+				}
+				rsp, err := httpparse.ReadResponse(c.br)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if rsp.Status != 200 {
+					t.Errorf("push status %d", rsp.Status)
+					return
+				}
+			}
+		}(c, i)
+	}
+	wg.Wait()
+	if err := ls.Close(); err != nil { // drains the worker
+		t.Fatal(err)
+	}
+
+	viols := ls.Violations()
+	if len(viols) == 0 {
+		t.Fatal("no checks completed")
+	}
+	for _, v := range viols {
+		n := uint64(len(v.Rows.Rows))
+		if n != v.ChainSeq {
+			t.Fatalf("check at chain position %d saw %d pairs", v.ChainSeq, n)
+		}
+		var max int64
+		seen := make(map[int64]bool, len(v.Rows.Rows))
+		for _, row := range v.Rows.Rows {
+			tm := row[0].Int64()
+			if seen[tm] {
+				t.Fatalf("duplicate pair time %d at chain position %d", tm, v.ChainSeq)
+			}
+			seen[tm] = true
+			if tm > max {
+				max = tm
+			}
+		}
+		if uint64(max) != v.ChainSeq {
+			t.Fatalf("chain position %d but max pair time %d: not a prefix", v.ChainSeq, max)
+		}
+	}
+
+	// Accounting: with CheckEvery=1 every push triggers the worker, and a
+	// trigger either runs as a check or is absorbed by a pending one. The
+	// nil trim set means every cycle's trim pass is skipped via the
+	// snapshot probe, never quiescing the log.
+	st := ls.StatsSnapshot()
+	if st.Pairs != clients*pushes {
+		t.Fatalf("pairs = %d, want %d", st.Pairs, clients*pushes)
+	}
+	if st.Checks+st.ChecksCoalesced != st.Pairs {
+		t.Fatalf("checks %d + coalesced %d != pairs %d", st.Checks, st.ChecksCoalesced, st.Pairs)
+	}
+	if st.Trims != 0 || st.TrimsSkipped != st.Checks {
+		t.Fatalf("trims = %d, skipped = %d, checks = %d", st.Trims, st.TrimsSkipped, st.Checks)
+	}
+}
+
+// TestSyncCheckViolationChainSeq pins the sync path too: in-band and
+// CheckNow checks stamp violations with the attested position.
+func TestSyncCheckViolationChainSeq(t *testing.T) {
+	env := newCoreEnv(t)
+	ls := newGitLibSEAL(t, env, Config{Module: gitssm.New(), AuditMode: audit.ModeMemory})
+	backend := newGitBackend()
+	c := dialGit(t, env, ls, backend)
+
+	c.push(t, "repo", "create main c1")
+	c.push(t, "repo", "update main c2")
+	backend.rollback["main"] = "c1"
+	// First fetch logs the rolled-back advertisement; the second carries the
+	// in-band check, which now sees it.
+	c.fetch(t, "repo", false)
+	rsp := c.fetch(t, "repo", true)
+	result := rsp.Header.Get(CheckResultHeader)
+	if result != "" && !strings.HasPrefix(result, "violation:") {
+		t.Fatalf("in-band result = %q", result)
+	}
+	if r, err := ls.CheckNow(); err != nil || !strings.HasPrefix(r, "violation:") {
+		t.Fatalf("CheckNow = %q, %v", r, err)
+	}
+	staged := ls.Log().Seq() + uint64(ls.Log().PendingStaged())
+	for _, v := range ls.Violations() {
+		if v.ChainSeq == 0 || v.ChainSeq > staged {
+			t.Fatalf("bad ChainSeq %d (log at %d)", v.ChainSeq, staged)
+		}
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"libseal/internal/asyncall"
@@ -48,10 +49,13 @@ import (
 )
 
 // Invariant-check telemetry: check latency is the paper's headline cost for
-// in-band integrity verification (§7.3).
+// in-band integrity verification (§7.3). Per-invariant histograms are
+// registered at Open under "audit.check.inv.<name>".
 var (
-	mChecks       = telemetry.NewCounter("audit.checks", "calls")
-	mCheckLatency = telemetry.NewHistogram("audit.check.latency", "ns")
+	mChecks          = telemetry.NewCounter("audit.checks", "calls")
+	mChecksCoalesced = telemetry.NewCounter("audit.checks.coalesced", "calls")
+	mCheckLatency    = telemetry.NewHistogram("audit.check.latency", "ns")
+	mTrimsSkipped    = telemetry.NewCounter("audit.trims.skipped", "calls")
 )
 
 // Check header names (§5.2, "Result notification").
@@ -135,6 +139,18 @@ type Config struct {
 	// CheckMinInterval rate-limits client-triggered checks to defeat
 	// denial-of-service via the check header (§6.3). Zero means no limit.
 	CheckMinInterval time.Duration
+	// CheckAsync moves budget- and timer-triggered invariant checks off the
+	// critical path: the check captures a copy-on-write snapshot of the
+	// audit database plus the chain position under logMu in O(tables), and
+	// a background goroutine evaluates the invariants against the snapshot
+	// while appends continue. Client-triggered checks and CheckNow stay
+	// synchronous (the response must carry the result) but also evaluate on
+	// a snapshot, outside logMu. See DESIGN.md §15.
+	CheckAsync bool
+	// NoIndexes disables the SQL executor's hash-index planner for this
+	// instance's audit database (indexed-vs-scan ablation; see
+	// sqldb.SetIndexing).
+	NoIndexes bool
 	// OnViolation, when set, is called for each invariant with a non-empty
 	// violation set after any check.
 	OnViolation func(invariant string, violations *sqldb.Result)
@@ -145,6 +161,11 @@ type Violation struct {
 	Invariant string
 	Detected  time.Time
 	Rows      *sqldb.Result
+	// ChainSeq is the chain position the check attests: the number of
+	// entries staged into the audit log (durable plus in-flight) when the
+	// check's snapshot was captured. The violation was present within the
+	// first ChainSeq logged entries.
+	ChainSeq uint64
 }
 
 // LibSEAL is one audit-library instance.
@@ -162,7 +183,9 @@ type LibSEAL struct {
 	// logMu is the narrow log-order lock: it serialises SSM tuple
 	// extraction and the staging of pairs into the audit log (the point
 	// that fixes hash-chain order) along with check/trim state. It is
-	// never held across a durability wait.
+	// never held across a durability wait — and, since PR 9, never across
+	// invariant evaluation either: checks capture a snapshot under logMu
+	// and evaluate it with the lock released.
 	logMu      sync.Mutex
 	pairTime   int64
 	sinceCheck int
@@ -171,8 +194,32 @@ type LibSEAL struct {
 	violations []Violation
 	stats      Stats
 
+	// prepared invariant/trim statements, parsed once at New. A nil stmt
+	// records a parse failure surfaced as "error:<name>" at check time,
+	// preserving the unprepared behaviour.
+	prepared      []preparedInvariant
+	trimStmts     []*sqldb.Stmt
+	trimProbeable bool
+
+	// Async checking: checkCh (capacity 1) carries pending check requests
+	// to the worker; an already-pending request absorbs new triggers
+	// (coalescing). checkMu/checkClosed gate scheduling against Close.
+	checkMu         sync.Mutex
+	checkClosed     bool
+	checkCh         chan struct{}
+	checkerDone     chan struct{}
+	checksCoalesced atomic.Int64
+
 	stopPeriodic chan struct{}
 	periodicDone chan struct{}
+}
+
+// preparedInvariant is one invariant with its statement parsed at New and
+// its per-invariant latency histogram.
+type preparedInvariant struct {
+	name string
+	stmt *sqldb.Stmt
+	hist *telemetry.Histogram
 }
 
 // Stats counts audit activity.
@@ -187,6 +234,12 @@ type Stats struct {
 	TrimFailures int64
 	// Reanchors counts degraded-mode gaps closed by a fresh counter anchor.
 	Reanchors int64
+	// ChecksCoalesced counts async check triggers absorbed by an already-
+	// pending check.
+	ChecksCoalesced int64
+	// TrimsSkipped counts trim passes elided because the check's snapshot
+	// showed nothing to trim, so the quiesce was never taken.
+	TrimsSkipped int64
 }
 
 // connTracker pairs the request and response streams of one connection. Its
@@ -248,6 +301,10 @@ func New(bridge *asyncall.Bridge, cfg Config) (*LibSEAL, error) {
 		// tuples sort after them.
 		if ls.log != nil {
 			ls.pairTime = int64(ls.log.Seq())
+			if cfg.NoIndexes {
+				ls.log.DB().SetIndexing(false)
+			}
+			ls.prepareStatements()
 		}
 		cfg.TLS.Tap = (*sealTap)(ls)
 	}
@@ -256,12 +313,46 @@ func New(bridge *asyncall.Bridge, cfg Config) (*LibSEAL, error) {
 		return nil, err
 	}
 	ls.tls = tlsLib
+	if cfg.CheckAsync && ls.log != nil {
+		ls.checkCh = make(chan struct{}, 1)
+		ls.checkerDone = make(chan struct{})
+		go ls.checkWorker()
+	}
 	if cfg.CheckInterval > 0 && ls.log != nil {
 		ls.stopPeriodic = make(chan struct{})
 		ls.periodicDone = make(chan struct{})
 		go ls.periodicChecks(cfg.CheckInterval)
 	}
 	return ls, nil
+}
+
+// prepareStatements parses the module's invariant and trim SQL once so
+// checks never re-parse on the hot path. Parse failures are kept as nil
+// statements and surface as "error:<name>" at check time, matching the
+// previous parse-at-check behaviour.
+func (ls *LibSEAL) prepareStatements() {
+	db := ls.log.DB()
+	for _, inv := range ls.cfg.Module.Invariants() {
+		p := preparedInvariant{
+			name: inv.Name,
+			hist: telemetry.NewHistogram("audit.check.inv."+inv.Name, "ns"),
+		}
+		if stmt, err := db.Prepare(inv.SQL); err == nil {
+			p.stmt = stmt
+		}
+		ls.prepared = append(ls.prepared, p)
+	}
+	ls.trimProbeable = true
+	for _, q := range ls.cfg.Module.TrimQueries() {
+		stmts, err := db.PrepareScript(q)
+		if err != nil {
+			// Trim itself will report the parse error; we just cannot
+			// predict its effect from a snapshot.
+			ls.trimProbeable = false
+			continue
+		}
+		ls.trimStmts = append(ls.trimStmts, stmts...)
+	}
 }
 
 // periodicChecks runs the §5.2 default checking mode: invariants and
@@ -275,21 +366,20 @@ func (ls *LibSEAL) periodicChecks(interval time.Duration) {
 		case <-ls.stopPeriodic:
 			return
 		case <-ticker.C:
+			if ls.cfg.CheckAsync {
+				ls.scheduleCheck()
+			} else {
+				ls.checkAndTrimNow()
+			}
 			_ = ls.bridge.Call(func(env *asyncall.Env) error {
-				asyncall.Lock(env, &ls.logMu)
-				defer ls.logMu.Unlock()
-				ls.runCheckLocked(env, false)
-				if err := ls.log.Trim(env, ls.cfg.Module.TrimQueries()); err == nil {
-					ls.stats.Trims++
-				} else {
-					ls.stats.TrimFailures++
-				}
 				// If appends ran degraded (counter quorum unreachable), the
 				// periodic tick doubles as the re-anchor retry loop.
 				if ls.log.Status().Degraded {
+					asyncall.Lock(env, &ls.logMu)
 					if err := ls.log.Reanchor(env); err == nil {
 						ls.stats.Reanchors++
 					}
+					ls.logMu.Unlock()
 				}
 				// Idle periods still get manifests: without writes the
 				// request-path cadence never fires.
@@ -298,6 +388,15 @@ func (ls *LibSEAL) periodicChecks(interval time.Duration) {
 			})
 		}
 	}
+}
+
+// checkAndTrimNow runs a full synchronous check-and-trim round from host
+// context (periodic ticks with CheckAsync off).
+func (ls *LibSEAL) checkAndTrimNow() {
+	_ = ls.bridge.Call(func(env *asyncall.Env) error {
+		ls.checkAndTrim(env)
+		return nil
+	})
 }
 
 // TLS returns the drop-in TLS library services link against.
@@ -314,8 +413,10 @@ func (ls *LibSEAL) Bridge() *asyncall.Bridge { return ls.bridge }
 // StatsSnapshot returns a copy of the audit counters.
 func (ls *LibSEAL) StatsSnapshot() Stats {
 	ls.logMu.Lock()
-	defer ls.logMu.Unlock()
-	return ls.stats
+	s := ls.stats
+	ls.logMu.Unlock()
+	s.ChecksCoalesced = ls.checksCoalesced.Load()
+	return s
 }
 
 // AuditStatus returns the audit log's degraded-mode state (zero when
@@ -399,11 +500,10 @@ func (ls *LibSEAL) onRead(env *asyncall.Env, connID uint64, data []byte) error {
 		tr.reqBuf = tr.reqBuf[n:]
 		tr.pending = append(tr.pending, raw)
 		if req.Header.Has(CheckHeader) {
-			// Run the check now so this response can carry the result.
-			asyncall.Lock(env, &ls.logMu)
-			result := ls.runCheckLocked(env, true)
-			ls.logMu.Unlock()
-			tr.injectResult = result
+			// Run the check now so this response can carry the result. The
+			// evaluation happens on a snapshot with logMu released, so other
+			// connections keep appending while this one checks.
+			_, tr.injectResult = ls.runCheckCycle(env, true)
 		}
 	}
 }
@@ -571,11 +671,166 @@ func (ls *LibSEAL) stagePairs(env *asyncall.Env, connID uint64, pairs []rawPair)
 	return tickets, checkDue, nil
 }
 
-// checkAndTrim runs the CheckEvery invariant check and trim pass.
+// checkAndTrim runs (or schedules) the CheckEvery invariant check and trim
+// pass. With CheckAsync the request path only nudges the worker — the send
+// never blocks, so an ecall cannot stall on a busy checker.
 func (ls *LibSEAL) checkAndTrim(env *asyncall.Env) {
+	if ls.cfg.CheckAsync {
+		ls.scheduleCheck()
+		return
+	}
+	out, _ := ls.runCheckCycle(env, false)
+	if out != nil {
+		ls.applyTrim(env, out)
+	}
+}
+
+// checkCapture is everything a check needs from under logMu: a consistent
+// copy-on-write snapshot of the audit database and the chain position it
+// corresponds to. Capturing is O(tables); evaluation happens lock-free.
+type checkCapture struct {
+	snap     *sqldb.Snapshot
+	chainSeq uint64
+	start    time.Time
+}
+
+// checkOutcome is the result of evaluating one capture.
+type checkOutcome struct {
+	cap        *checkCapture
+	result     string
+	violations []Violation
+	// trimCount is the number of rows the module's trim queries would
+	// delete from the snapshot; -1 when unknown (unprobeable trim SQL).
+	trimCount int
+}
+
+// captureCheckLocked starts a check under logMu. It returns nil and a
+// final result string when no evaluation should happen (auditing disabled
+// or a rate-limited client trigger).
+func (ls *LibSEAL) captureCheckLocked(clientTriggered bool) (*checkCapture, string) {
+	if ls.log == nil {
+		return nil, "disabled"
+	}
+	now := time.Now()
+	if clientTriggered && ls.cfg.CheckMinInterval > 0 && now.Sub(ls.lastCheck) < ls.cfg.CheckMinInterval {
+		ls.lastResult = "rate-limited"
+		return nil, ls.lastResult
+	}
+	ls.lastCheck = now
+	ls.stats.Checks++
+	mChecks.Inc()
+	return &checkCapture{
+		snap: ls.log.DB().Snapshot(),
+		// Durable entries plus staged-but-in-flight ones: exactly the rows
+		// the snapshot contains. A later batch abort can retract in-flight
+		// entries, so ChainSeq attests the speculative chain.
+		chainSeq: ls.log.Seq() + uint64(ls.log.PendingStaged()),
+		start:    now,
+	}, ""
+}
+
+// evalCheck runs every prepared invariant against the capture's snapshot
+// and probes the trim predicates. No locks are held; appends proceed
+// concurrently.
+func (ls *LibSEAL) evalCheck(cap *checkCapture) *checkOutcome {
+	out := &checkOutcome{cap: cap, trimCount: -1}
+	defer telemetry.ObserveSince(mCheckLatency, "audit.check", cap.start)
+	var violated []string
+	for _, p := range ls.prepared {
+		if p.stmt == nil {
+			out.result = "error:" + p.name
+			return out
+		}
+		t0 := time.Now()
+		res, err := cap.snap.QueryStmt(p.stmt)
+		if err != nil {
+			out.result = "error:" + p.name
+			return out
+		}
+		telemetry.ObserveSince(p.hist, "audit.check.inv."+p.name, t0)
+		if !res.Empty() {
+			violated = append(violated, p.name)
+			out.violations = append(out.violations, Violation{
+				Invariant: p.name, Detected: cap.start, Rows: res, ChainSeq: cap.chainSeq,
+			})
+		}
+	}
+	if len(violated) == 0 {
+		out.result = "ok"
+	} else {
+		out.result = "violation:" + strings.Join(violated, ",")
+	}
+	if ls.trimProbeable {
+		total := 0
+		known := true
+		for _, st := range ls.trimStmts {
+			n, ok, err := cap.snap.CountMatches(st)
+			if err != nil || !ok {
+				known = false
+				break
+			}
+			total += n
+		}
+		if known {
+			out.trimCount = total
+		}
+	}
+	return out
+}
+
+// publishCheckLocked records an outcome under logMu.
+func (ls *LibSEAL) publishCheckLocked(out *checkOutcome) {
+	ls.lastResult = out.result
+	for _, v := range out.violations {
+		ls.violations = append(ls.violations, v)
+		ls.stats.Violations += int64(len(v.Rows.Rows))
+	}
+}
+
+// notifyViolations delivers OnViolation callbacks outside every lock.
+func (ls *LibSEAL) notifyViolations(out *checkOutcome) {
+	if ls.cfg.OnViolation == nil {
+		return
+	}
+	for _, v := range out.violations {
+		ls.cfg.OnViolation(v.Invariant, v.Rows)
+	}
+}
+
+// runCheckCycle is the synchronous capture → evaluate → publish sequence.
+// logMu is held only for the two O(tables) bookkeeping sections; the
+// invariant evaluation in between runs with the lock released, so appends
+// are stalled for the snapshot capture, not the check. Returns nil when
+// evaluation was skipped (disabled or rate-limited).
+func (ls *LibSEAL) runCheckCycle(env *asyncall.Env, clientTriggered bool) (*checkOutcome, string) {
+	asyncall.Lock(env, &ls.logMu)
+	cap, early := ls.captureCheckLocked(clientTriggered)
+	ls.logMu.Unlock()
+	if cap == nil {
+		return nil, early
+	}
+	out := ls.evalCheck(cap)
+	asyncall.Lock(env, &ls.logMu)
+	ls.publishCheckLocked(out)
+	ls.logMu.Unlock()
+	ls.notifyViolations(out)
+	return out, out.result
+}
+
+// applyTrim applies the trim decision already computed against the check's
+// snapshot: when the snapshot showed nothing to delete, the trim (and its
+// append-stalling quiesce of every shard) is skipped entirely; otherwise
+// the real trim runs under logMu against the live database.
+func (ls *LibSEAL) applyTrim(env *asyncall.Env, out *checkOutcome) {
+	if out.trimCount == 0 {
+		asyncall.Lock(env, &ls.logMu)
+		ls.stats.TrimsSkipped++
+		ls.logMu.Unlock()
+		mTrimsSkipped.Inc()
+		return
+	}
 	asyncall.Lock(env, &ls.logMu)
 	defer ls.logMu.Unlock()
-	ls.runCheckLocked(env, false)
 	// A failed trim (say, the counter quorum is unreachable and the
 	// rewrite must not degrade) is not the client's problem: the log
 	// keeps growing and the next check retries. Only the append path
@@ -587,56 +842,48 @@ func (ls *LibSEAL) checkAndTrim(env *asyncall.Env) {
 	}
 }
 
-// runCheckLocked executes all invariants; logMu is held. Client-triggered
-// checks are rate-limited.
-func (ls *LibSEAL) runCheckLocked(env *asyncall.Env, clientTriggered bool) string {
-	if ls.log == nil {
-		return "disabled"
+// scheduleCheck nudges the async check worker. A pending nudge absorbs new
+// ones (the next check sees their entries anyway via its snapshot), which
+// is what bounds the worker's backlog at one.
+func (ls *LibSEAL) scheduleCheck() {
+	ls.checkMu.Lock()
+	defer ls.checkMu.Unlock()
+	if ls.checkClosed || ls.checkCh == nil {
+		return
 	}
-	now := time.Now()
-	if clientTriggered && ls.cfg.CheckMinInterval > 0 && now.Sub(ls.lastCheck) < ls.cfg.CheckMinInterval {
-		ls.lastResult = "rate-limited"
-		return ls.lastResult
+	select {
+	case ls.checkCh <- struct{}{}:
+	default:
+		ls.checksCoalesced.Add(1)
+		mChecksCoalesced.Inc()
 	}
-	ls.lastCheck = now
-	ls.stats.Checks++
-	mChecks.Inc()
-	defer telemetry.ObserveSince(mCheckLatency, "audit.check", now)
-	var violated []string
-	for _, inv := range ls.cfg.Module.Invariants() {
-		res, err := ls.log.Query(inv.SQL)
-		if err != nil {
-			ls.lastResult = "error:" + inv.Name
-			return ls.lastResult
-		}
-		if !res.Empty() {
-			violated = append(violated, inv.Name)
-			ls.violations = append(ls.violations, Violation{Invariant: inv.Name, Detected: now, Rows: res})
-			ls.stats.Violations += int64(len(res.Rows))
-			if ls.cfg.OnViolation != nil {
-				ls.cfg.OnViolation(inv.Name, res)
+}
+
+// checkWorker is the background check goroutine (CheckAsync).
+func (ls *LibSEAL) checkWorker() {
+	defer close(ls.checkerDone)
+	for range ls.checkCh {
+		_ = ls.bridge.Call(func(env *asyncall.Env) error {
+			out, _ := ls.runCheckCycle(env, false)
+			if out != nil {
+				ls.applyTrim(env, out)
 			}
-		}
+			return nil
+		})
 	}
-	if len(violated) == 0 {
-		ls.lastResult = "ok"
-	} else {
-		ls.lastResult = "violation:" + strings.Join(violated, ",")
-	}
-	return ls.lastResult
 }
 
 // CheckNow runs the invariants immediately (Fig. 1, step 6) and returns the
-// result string.
+// result string. It is always synchronous, even with CheckAsync: callers
+// want the verdict, and the evaluation still runs on a snapshot outside
+// logMu.
 func (ls *LibSEAL) CheckNow() (string, error) {
 	if ls.log == nil {
 		return "", ErrLoggingDisabled
 	}
 	var result string
 	err := ls.bridge.Call(func(env *asyncall.Env) error {
-		asyncall.Lock(env, &ls.logMu)
-		defer ls.logMu.Unlock()
-		result = ls.runCheckLocked(env, false)
+		_, result = ls.runCheckCycle(env, false)
 		return nil
 	})
 	return result, err
@@ -655,12 +902,23 @@ func (ls *LibSEAL) TrimNow() error {
 	})
 }
 
-// Close stops periodic checking and releases the audit log's resources.
+// Close stops periodic checking and the async check worker, then releases
+// the audit log's resources (in that order: the worker may still be
+// evaluating against the log's database).
 func (ls *LibSEAL) Close() error {
 	if ls.stopPeriodic != nil {
 		close(ls.stopPeriodic)
 		<-ls.periodicDone
 		ls.stopPeriodic = nil
+	}
+	if ls.checkCh != nil {
+		ls.checkMu.Lock()
+		if !ls.checkClosed {
+			ls.checkClosed = true
+			close(ls.checkCh)
+		}
+		ls.checkMu.Unlock()
+		<-ls.checkerDone
 	}
 	if ls.log != nil {
 		return ls.log.Close()

@@ -15,19 +15,44 @@ var (
 )
 
 // Table holds rows in insertion order.
+//
+// Row slices are immutable once stored: UPDATE replaces the row slice,
+// never mutates it. The outer Rows slice follows copy-on-write discipline
+// with snapshots (see snapshot.go): shared is set when a snapshot captures
+// this table's row header, and the first subsequent in-place mutation
+// copies the header so the snapshot keeps reading the original array.
 type Table struct {
 	Name string
 	Cols []ColumnDef
 	Rows [][]Value
+
+	byName map[string]int // lowercased column name -> position; nil for hand-built tables
+	idx    *tableIndexes  // lazy hash indexes; nil for hand-built tables
+	shared bool           // a live snapshot references the current Rows header
 }
 
 func (t *Table) colIndex(name string) int {
+	if t.byName != nil {
+		if i, ok := t.byName[strings.ToLower(name)]; ok {
+			return i
+		}
+		return -1
+	}
 	for i, c := range t.Cols {
 		if strings.EqualFold(c.Name, name) {
 			return i
 		}
 	}
 	return -1
+}
+
+// colMap builds the lowercased name->position map for a column set.
+func colMap(cols []ColumnDef) map[string]int {
+	m := make(map[string]int, len(cols))
+	for i, c := range cols {
+		m[strings.ToLower(c.Name)] = i
+	}
+	return m
 }
 
 // View is a named stored SELECT.
@@ -39,9 +64,10 @@ type View struct {
 // DB is an in-memory relational database. All methods are safe for
 // concurrent use; writers exclude readers.
 type DB struct {
-	mu     sync.RWMutex
-	tables map[string]*Table
-	views  map[string]*View
+	mu      sync.RWMutex
+	tables  map[string]*Table
+	views   map[string]*View
+	noIndex bool // disables the hash-index planner (ablation / debugging)
 }
 
 // New creates an empty database.
@@ -50,6 +76,21 @@ func New() *DB {
 		tables: make(map[string]*Table),
 		views:  make(map[string]*View),
 	}
+}
+
+// SetIndexing enables or disables the hash-index planner for this database
+// (and for snapshots taken after the call). Indexing is on by default; the
+// switch exists for the indexed-vs-scan ablation and differential tests.
+func (db *DB) SetIndexing(on bool) {
+	db.mu.Lock()
+	db.noIndex = !on
+	db.mu.Unlock()
+}
+
+// evaluator builds an expression evaluator over the database's live tables.
+// The caller must hold db.mu (shared or exclusive).
+func (db *DB) evaluator(params []Value) *evaluator {
+	return &evaluator{tables: db.tables, views: db.views, params: params, indexing: !db.noIndex}
 }
 
 // Result is the outcome of a query.
@@ -75,6 +116,21 @@ func (db *DB) Prepare(sql string) (*Stmt, error) {
 		return nil, err
 	}
 	return &Stmt{db: db, st: st}, nil
+}
+
+// PrepareScript parses a semicolon-separated script into one prepared
+// statement per statement, so callers that re-run fixed SQL (invariant
+// checks, trim queries) parse it once instead of on every execution.
+func (db *DB) PrepareScript(sql string) ([]*Stmt, error) {
+	stmts, err := ParseAll(sql)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Stmt, len(stmts))
+	for i, st := range stmts {
+		out[i] = &Stmt{db: db, st: st}
+	}
+	return out, nil
 }
 
 // Exec runs the prepared statement with the given parameters and returns the
@@ -152,8 +208,7 @@ func (db *DB) run(st Statement, args []any) (*Result, int, error) {
 	case *SelectStmt:
 		db.mu.RLock()
 		defer db.mu.RUnlock()
-		ev := &evaluator{db: db, params: params}
-		res, err := ev.execSelect(s, nil)
+		res, err := db.evaluator(params).execSelect(s, nil)
 		return res, 0, err
 	case *CreateTableStmt:
 		return nil, 0, db.createTable(s)
@@ -196,7 +251,7 @@ func (db *DB) createTable(s *CreateTableStmt) error {
 		}
 		seen[lc] = true
 	}
-	db.tables[key] = &Table{Name: s.Name, Cols: s.Cols}
+	db.tables[key] = &Table{Name: s.Name, Cols: s.Cols, byName: colMap(s.Cols), idx: newTableIndexes()}
 	return nil
 }
 
@@ -303,7 +358,7 @@ func (db *DB) insert(s *InsertStmt, params []Value) (int, error) {
 			idx = append(idx, ci)
 		}
 	}
-	ev := &evaluator{db: db, params: params}
+	ev := db.evaluator(params)
 
 	var sourceRows [][]Value
 	if s.Select != nil {
@@ -368,7 +423,8 @@ func (db *DB) update(s *UpdateStmt, params []Value) (int, error) {
 		}
 		setIdx[i] = ci
 	}
-	ev := &evaluator{db: db, params: params, nocache: true}
+	ev := db.evaluator(params)
+	ev.nocache = true
 	updated := 0
 	for ri, row := range t.Rows {
 		scope := tableScope(t, row)
@@ -389,8 +445,19 @@ func (db *DB) update(s *UpdateStmt, params []Value) (int, error) {
 			}
 			newRow[setIdx[i]] = applyAffinity(v, t.Cols[setIdx[i]].Type)
 		}
+		if t.shared {
+			// Copy-on-write: a snapshot still reads the current header, so
+			// the first in-place store after a snapshot rewrites a fresh one.
+			t.Rows = append([][]Value(nil), t.Rows...)
+			t.shared = false
+		}
 		t.Rows[ri] = newRow
 		updated++
+	}
+	if updated > 0 && t.idx != nil {
+		// Positions are stable under UPDATE; only indexes over the assigned
+		// columns go stale.
+		t.idx.invalidateCols(setIdx)
 	}
 	return updated, nil
 }
@@ -402,7 +469,7 @@ func (db *DB) delete(s *DeleteStmt, params []Value) (int, error) {
 	if !ok {
 		return 0, fmt.Errorf("%w: %s", ErrNoSuchTable, s.Table)
 	}
-	ev := &evaluator{db: db, params: params}
+	ev := db.evaluator(params)
 	// Evaluate the predicate over the unmodified table first so subqueries
 	// against the same table (as in LibSEAL's trimming queries) see a
 	// consistent snapshot.
@@ -427,7 +494,13 @@ func (db *DB) delete(s *DeleteStmt, params []Value) (int, error) {
 		}
 		keep = append(keep, row)
 	}
+	// keep grew from a zero-capacity header, so it is a fresh array: any
+	// snapshot keeps the old one, and the new header is unshared.
 	t.Rows = keep
+	t.shared = false
+	if deleted > 0 && t.idx != nil {
+		t.idx.invalidateAll() // surviving rows shifted position
+	}
 	return deleted, nil
 }
 
@@ -482,7 +555,17 @@ func (db *DB) RemoveLastRows(name string, n int) error {
 	if n > len(t.Rows) {
 		n = len(t.Rows)
 	}
-	t.Rows = t.Rows[:len(t.Rows)-n]
+	m := len(t.Rows) - n
+	if t.shared {
+		// Clip capacity too: a snapshot may still see the truncated suffix,
+		// so later appends must reallocate rather than overwrite it.
+		t.Rows = t.Rows[:m:m]
+	} else {
+		t.Rows = t.Rows[:m]
+	}
+	if n > 0 && t.idx != nil {
+		t.idx.invalidateAll() // index watermark may exceed the new length
+	}
 	return nil
 }
 

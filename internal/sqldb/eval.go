@@ -42,11 +42,16 @@ func (s *rowScope) lookup(table, name string) (int, error) {
 	return found, nil
 }
 
-// evaluator executes expressions and queries against a DB whose lock is
-// already held by the caller.
+// evaluator executes expressions and queries against a fixed set of tables
+// and views — either a DB's live maps (whose lock the caller holds) or a
+// snapshot's frozen clones.
 type evaluator struct {
-	db     *DB
+	tables map[string]*Table
+	views  map[string]*View
 	params []Value
+	// indexing enables the hash-index planner (equality WHERE probes and
+	// hash equi-joins); see index.go.
+	indexing bool
 	// subq caches subquery results keyed by free-variable bindings; see
 	// subqcache.go. nocache disables it for statements that mutate rows
 	// they may re-read (UPDATE).
@@ -238,7 +243,7 @@ func (ev *evaluator) eval(e Expr, s *rowScope) (Value, error) {
 		if v.IsNull() || pat.IsNull() {
 			return Null(), nil
 		}
-		return Bool(x.Not != likeMatch(pat.TextVal(), v.TextVal())), nil
+		return Bool(x.Not != x.program(pat.TextVal()).match(v.TextVal())), nil
 
 	case *CaseExpr:
 		if x.Operand != nil {
@@ -707,12 +712,76 @@ func sumValues(vals []Value) Value {
 	return Float(sum)
 }
 
+// LIKE pattern compilation. Patterns are almost always literals, so
+// interpreting the wildcard grammar per row is wasted work: compileLike
+// classifies a pattern once into one of the string-primitive shapes below
+// (or the generic recursive matcher) and LikeExpr caches the compiled form
+// on the AST node, keyed by the pattern text so computed patterns that vary
+// per row recompile and stay correct.
+
+type likeShape int
+
+const (
+	likeGeneric  likeShape = iota // has `_` or interior `%`: recursive matcher
+	likeExact                     // no wildcards
+	likePrefix                    // lit%
+	likeSuffix                    // %lit
+	likeContains                  // %lit%
+)
+
+type likeProgram struct {
+	text  string // original pattern text (cache key)
+	shape likeShape
+	lit   string // lowercased wildcard-free body for the fast shapes
+	pat   string // lowercased full pattern for likeGeneric
+}
+
+func compileLike(pattern string) *likeProgram {
+	p := strings.ToLower(pattern)
+	prog := &likeProgram{text: pattern, pat: p}
+	if strings.ContainsRune(p, '_') {
+		return prog
+	}
+	lead := strings.HasPrefix(p, "%")
+	trail := strings.HasSuffix(p, "%")
+	body := strings.Trim(p, "%")
+	if strings.ContainsRune(body, '%') {
+		return prog
+	}
+	// Collapsed runs of leading/trailing % are equivalent to one.
+	prog.lit = body
+	switch {
+	case !lead && !trail:
+		prog.shape = likeExact
+	case !lead && trail:
+		prog.shape = likePrefix
+	case lead && !trail:
+		prog.shape = likeSuffix
+	default:
+		prog.shape = likeContains
+	}
+	return prog
+}
+
+func (p *likeProgram) match(str string) bool {
+	t := strings.ToLower(str)
+	switch p.shape {
+	case likeExact:
+		return t == p.lit
+	case likePrefix:
+		return strings.HasPrefix(t, p.lit)
+	case likeSuffix:
+		return strings.HasSuffix(t, p.lit)
+	case likeContains:
+		return strings.Contains(t, p.lit)
+	}
+	return likeRec(p.pat, t)
+}
+
 // likeMatch implements SQL LIKE with % and _ wildcards, case-insensitively
 // for ASCII, as SQLite does.
 func likeMatch(pattern, str string) bool {
-	p := strings.ToLower(pattern)
-	t := strings.ToLower(str)
-	return likeRec(p, t)
+	return compileLike(pattern).match(str)
 }
 
 func likeRec(p, t string) bool {

@@ -124,19 +124,46 @@ func (ev *evaluator) orderResultRows(st *SelectStmt, res *Result) error {
 			return fmt.Errorf("sqldb: compound ORDER BY must use column names or positions")
 		}
 	}
-	sort.SliceStable(res.Rows, func(a, b int) bool {
+	// Extract the sort keys once per row; the comparator then touches only
+	// the dense key tuples instead of chasing column indices per comparison.
+	desc := make([]bool, len(st.OrderBy))
+	for i, key := range st.OrderBy {
+		desc[i] = key.Desc
+	}
+	type keyed struct {
+		row  []Value
+		keys []Value
+	}
+	ks := make([]keyed, len(res.Rows))
+	for ri, row := range res.Rows {
+		keys := make([]Value, len(idxs))
 		for i, ci := range idxs {
-			c := Compare(res.Rows[a][ci], res.Rows[b][ci])
-			if st.OrderBy[i].Desc {
-				c = -c
-			}
-			if c != 0 {
-				return c < 0
-			}
+			keys[i] = row[ci]
 		}
-		return false
+		ks[ri] = keyed{row: row, keys: keys}
+	}
+	sort.SliceStable(ks, func(a, b int) bool {
+		return lessKeys(ks[a].keys, ks[b].keys, desc)
 	})
+	for ri := range ks {
+		res.Rows[ri] = ks[ri].row
+	}
 	return nil
+}
+
+// lessKeys orders two precomputed sort-key tuples under per-key direction
+// flags. It is the single comparator shared by every ORDER BY path.
+func lessKeys(a, b []Value, desc []bool) bool {
+	for i := range a {
+		c := Compare(a[i], b[i])
+		if desc[i] {
+			c = -c
+		}
+		if c != 0 {
+			return c < 0
+		}
+	}
+	return false
 }
 
 func (ev *evaluator) applyLimit(st *SelectStmt, res *Result) error {
@@ -180,12 +207,14 @@ type projected struct {
 func (ev *evaluator) execCore(st *SelectStmt, outer *rowScope, applyOrderLimit bool) (*Result, error) {
 	var cols []scopeCol
 	var rows [][]Value
+	var src *fromSource
 	if st.From != nil {
 		var err error
-		cols, rows, err = ev.evalTableExpr(st.From, outer)
+		src, err = ev.evalFrom(st.From, outer)
 		if err != nil {
 			return nil, err
 		}
+		cols, rows = src.cols, src.rows
 	} else {
 		rows = [][]Value{{}}
 	}
@@ -213,8 +242,17 @@ func (ev *evaluator) execCore(st *SelectStmt, outer *rowScope, applyOrderLimit b
 		return nil, err
 	}
 
-	// WHERE filter.
+	// WHERE filter. When the source is a single base table and the WHERE
+	// carries usable equality conjuncts, probe the table's hash index first
+	// to shrink the candidate set (index.go); the full predicate is still
+	// evaluated over every candidate, so the probe only has to be a
+	// superset and the result is identical to a scan.
 	if st.Where != nil {
+		if cand, ok, err := ev.indexFilter(src, st.Where, outer); err != nil {
+			return nil, err
+		} else if ok {
+			rows = cand
+		}
 		filtered := rows[:0:0]
 		for _, row := range rows {
 			s := &rowScope{cols: cols, row: row, parent: outer}
@@ -401,17 +439,12 @@ func (ev *evaluator) execCore(st *SelectStmt, outer *rowScope, applyOrderLimit b
 	}
 
 	if applyOrderLimit && len(plans) > 0 {
+		desc := make([]bool, len(plans))
+		for i := range plans {
+			desc[i] = plans[i].desc
+		}
 		sort.SliceStable(projRows, func(a, b int) bool {
-			for i := range plans {
-				c := Compare(projRows[a].keys[i], projRows[b].keys[i])
-				if plans[i].desc {
-					c = -c
-				}
-				if c != 0 {
-					return c < 0
-				}
-			}
-			return false
+			return lessKeys(projRows[a].keys, projRows[b].keys, desc)
 		})
 	}
 
@@ -456,9 +489,28 @@ func (ev *evaluator) groupRows(groupBy []Expr, cols []scopeCol, rows [][]Value, 
 	return groups, order, nil
 }
 
+// fromSource is one materialised FROM operand. tbl is the provenance used
+// by the index planner: non-nil exactly when rows is a base table's live
+// (or snapshot) row set, so positions in rows are positions in the table
+// and the table's persistent index registry applies.
+type fromSource struct {
+	cols []scopeCol
+	rows [][]Value
+	tbl  *Table
+}
+
 // evalTableExpr materialises a FROM source into a scope-column list and
 // row set.
 func (ev *evaluator) evalTableExpr(te TableExpr, outer *rowScope) ([]scopeCol, [][]Value, error) {
+	src, err := ev.evalFrom(te, outer)
+	if err != nil {
+		return nil, nil, err
+	}
+	return src.cols, src.rows, nil
+}
+
+// evalFrom materialises a FROM source, keeping base-table provenance.
+func (ev *evaluator) evalFrom(te TableExpr, outer *rowScope) (*fromSource, error) {
 	switch t := te.(type) {
 	case *TableName:
 		key := strings.ToLower(t.Name)
@@ -466,63 +518,85 @@ func (ev *evaluator) evalTableExpr(te TableExpr, outer *rowScope) ([]scopeCol, [
 		if alias == "" {
 			alias = key
 		}
-		if tbl, ok := ev.db.tables[key]; ok {
+		if tbl, ok := ev.tables[key]; ok {
 			cols := make([]scopeCol, len(tbl.Cols))
 			for i, c := range tbl.Cols {
 				cols[i] = scopeCol{table: alias, name: strings.ToLower(c.Name)}
 			}
-			return cols, tbl.Rows, nil
+			return &fromSource{cols: cols, rows: tbl.Rows, tbl: tbl}, nil
 		}
-		if view, ok := ev.db.views[key]; ok {
+		if view, ok := ev.views[key]; ok {
 			res, err := ev.execSelect(view.Select, nil)
 			if err != nil {
-				return nil, nil, fmt.Errorf("sqldb: view %s: %w", view.Name, err)
+				return nil, fmt.Errorf("sqldb: view %s: %w", view.Name, err)
 			}
 			cols := make([]scopeCol, len(res.Columns))
 			for i, name := range res.Columns {
 				cols[i] = scopeCol{table: alias, name: strings.ToLower(name)}
 			}
-			return cols, res.Rows, nil
+			return &fromSource{cols: cols, rows: res.Rows}, nil
 		}
-		return nil, nil, fmt.Errorf("%w: %s", ErrNoSuchTable, t.Name)
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, t.Name)
 
 	case *SubqueryTable:
 		res, err := ev.execSelect(t.Select, nil)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		alias := strings.ToLower(t.Alias)
 		cols := make([]scopeCol, len(res.Columns))
 		for i, name := range res.Columns {
 			cols[i] = scopeCol{table: alias, name: strings.ToLower(name)}
 		}
-		return cols, res.Rows, nil
+		return &fromSource{cols: cols, rows: res.Rows}, nil
 
 	case *JoinExpr:
 		return ev.evalJoin(t, outer)
 	}
-	return nil, nil, fmt.Errorf("sqldb: unsupported FROM clause %T", te)
+	return nil, fmt.Errorf("sqldb: unsupported FROM clause %T", te)
 }
 
-func (ev *evaluator) evalJoin(j *JoinExpr, outer *rowScope) ([]scopeCol, [][]Value, error) {
-	lcols, lrows, err := ev.evalTableExpr(j.Left, outer)
+func (ev *evaluator) evalJoin(j *JoinExpr, outer *rowScope) (*fromSource, error) {
+	left, err := ev.evalFrom(j.Left, outer)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	rcols, rrows, err := ev.evalTableExpr(j.Right, outer)
+	right, err := ev.evalFrom(j.Right, outer)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 
 	if j.Natural {
-		return ev.evalNaturalJoin(j.Kind, lcols, lrows, rcols, rrows)
+		return ev.evalNaturalJoin(j.Kind, left, right)
 	}
 
+	lcols, lrows := left.cols, left.rows
+	rcols, rrows := right.cols, right.rows
 	cols := append(append([]scopeCol{}, lcols...), rcols...)
+
+	// Hash path: `a.x = b.y` conjuncts in ON become index probes into the
+	// right side instead of an O(n·m) nested loop. The full ON predicate is
+	// re-evaluated over each candidate pair, so the probe result only needs
+	// to be a superset of the true matches; left-join null-extension still
+	// sees exactly the rows with no surviving candidate.
+	probeRight, hashed := ev.joinProber(j.On, left, right, outer)
+	if hashed && len(lrows) > 0 && len(rrows) > 0 {
+		// The nested loop evaluates ON for every pair, surfacing bad or
+		// ambiguous column references; an index probe that comes back empty
+		// would mask them, so validate ON eagerly on the hash path.
+		if err := validateCols(j.On, cols, outer); err != nil {
+			return nil, err
+		}
+	}
+
 	var out [][]Value
 	for _, lr := range lrows {
 		matched := false
-		for _, rr := range rrows {
+		candidates, all, err := probeRight(lr)
+		if err != nil {
+			return nil, err
+		}
+		emit := func(rr []Value) (bool, error) {
 			row := make([]Value, 0, len(lr)+len(rr))
 			row = append(row, lr...)
 			row = append(row, rr...)
@@ -530,14 +604,31 @@ func (ev *evaluator) evalJoin(j *JoinExpr, outer *rowScope) ([]scopeCol, [][]Val
 				s := &rowScope{cols: cols, row: row, parent: outer}
 				v, err := ev.eval(j.On, s)
 				if err != nil {
-					return nil, nil, err
+					return false, err
 				}
 				if truth, _ := v.Truth(); !truth {
-					continue
+					return false, nil
 				}
 			}
-			matched = true
 			out = append(out, row)
+			return true, nil
+		}
+		if all {
+			for _, rr := range rrows {
+				ok, err := emit(rr)
+				if err != nil {
+					return nil, err
+				}
+				matched = matched || ok
+			}
+		} else {
+			for _, ri := range candidates {
+				ok, err := emit(rrows[ri])
+				if err != nil {
+					return nil, err
+				}
+				matched = matched || ok
+			}
 		}
 		if j.Kind == JoinLeft && !matched {
 			row := make([]Value, 0, len(lr)+len(rcols))
@@ -548,12 +639,14 @@ func (ev *evaluator) evalJoin(j *JoinExpr, outer *rowScope) ([]scopeCol, [][]Val
 			out = append(out, row)
 		}
 	}
-	return cols, out, nil
+	return &fromSource{cols: cols, rows: out}, nil
 }
 
 // evalNaturalJoin joins on equality of all identically named columns; the
 // shared columns appear once in the output (taken from the left side).
-func (ev *evaluator) evalNaturalJoin(kind JoinKind, lcols []scopeCol, lrows [][]Value, rcols []scopeCol, rrows [][]Value) ([]scopeCol, [][]Value, error) {
+func (ev *evaluator) evalNaturalJoin(kind JoinKind, left, right *fromSource) (*fromSource, error) {
+	lcols, lrows := left.cols, left.rows
+	rcols, rrows := right.cols, right.rows
 	type pair struct{ li, ri int }
 	var common []pair
 	rightDrop := make([]bool, len(rcols))
@@ -572,22 +665,27 @@ func (ev *evaluator) evalNaturalJoin(kind JoinKind, lcols []scopeCol, lrows [][]
 			cols = append(cols, rc)
 		}
 	}
+
+	// Hash the right side on the common columns; candidates are re-checked
+	// with CompareSQL, so probe hits only need to be a superset.
+	liPos := make([]int, len(common))
+	riPos := make([]int, len(common))
+	for i, p := range common {
+		liPos[i] = p.li
+		riPos[i] = p.ri
+	}
+	probeRight := ev.naturalProber(liPos, riPos, right)
+
 	var out [][]Value
 	for _, lr := range lrows {
 		matched := false
-		for _, rr := range rrows {
-			ok := true
+		emit := func(rr []Value) bool {
 			for _, p := range common {
 				cmp, known := CompareSQL(lr[p.li], rr[p.ri])
 				if !known || cmp != 0 {
-					ok = false
-					break
+					return false
 				}
 			}
-			if !ok {
-				continue
-			}
-			matched = true
 			row := append([]Value{}, lr...)
 			for ri, v := range rr {
 				if !rightDrop[ri] {
@@ -595,6 +693,17 @@ func (ev *evaluator) evalNaturalJoin(kind JoinKind, lcols []scopeCol, lrows [][]
 				}
 			}
 			out = append(out, row)
+			return true
+		}
+		candidates, all := probeRight(lr)
+		if all {
+			for _, rr := range rrows {
+				matched = emit(rr) || matched
+			}
+		} else {
+			for _, ri := range candidates {
+				matched = emit(rrows[ri]) || matched
+			}
 		}
 		if kind == JoinLeft && !matched {
 			row := append([]Value{}, lr...)
@@ -606,7 +715,7 @@ func (ev *evaluator) evalNaturalJoin(kind JoinKind, lcols []scopeCol, lrows [][]
 			out = append(out, row)
 		}
 	}
-	return cols, out, nil
+	return &fromSource{cols: cols, rows: out}, nil
 }
 
 // validateCols checks that every column reference in e (not descending into

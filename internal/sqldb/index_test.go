@@ -1,0 +1,286 @@
+package sqldb
+
+import (
+	"fmt"
+	"testing"
+)
+
+// diffDBs builds the same database twice, once with hash indexes enabled and
+// once with them disabled, runs every query against both, and requires
+// identical results. The scan engine is the oracle: indexes are a pure
+// planner optimisation and must never change what a query returns.
+func diffDBs(t *testing.T, setup func(t *testing.T, db *DB), queries []string) {
+	t.Helper()
+	indexed, scan := New(), New()
+	scan.SetIndexing(false)
+	setup(t, indexed)
+	setup(t, scan)
+	for _, q := range queries {
+		ri, ei := indexed.Query(q)
+		rs, es := scan.Query(q)
+		if (ei != nil) != (es != nil) {
+			t.Fatalf("query %q: indexed err=%v scan err=%v", q, ei, es)
+		}
+		if ei != nil {
+			continue
+		}
+		if flat(ri) != flat(rs) {
+			t.Fatalf("query %q:\n  indexed: %q\n  scan:    %q", q, flat(ri), flat(rs))
+		}
+	}
+}
+
+func multiRepoGit(t *testing.T, db *DB) {
+	t.Helper()
+	mustExec(t, db, `
+		CREATE TABLE updates (time INTEGER, repo TEXT, branch TEXT, cid TEXT, type TEXT);
+		CREATE TABLE advertisements (time INTEGER, repo TEXT, branch TEXT, cid TEXT);
+	`)
+	mustExec(t, db, `CREATE VIEW branchcnt AS
+		SELECT DISTINCT a.time,a.repo,COUNT(u.branch) AS cnt
+		FROM advertisements a
+		JOIN updates u ON u.time < a.time AND u.repo = a.repo
+		WHERE u.type != 'delete' AND u.time = (SELECT MAX(time)
+			FROM updates WHERE branch = u.branch
+			AND repo = u.repo AND time < a.time) GROUP BY
+			a.time,a.repo,a.branch`)
+	clock := 0
+	heads := map[string]string{}
+	for round := 0; round < 6; round++ {
+		for r := 0; r < 4; r++ {
+			repo := fmt.Sprintf("repo%d", r)
+			for b := 0; b < 3; b++ {
+				branch := fmt.Sprintf("b%d", b)
+				clock++
+				cid := fmt.Sprintf("c%d", clock)
+				typ := "update"
+				if round == 4 && b == 2 {
+					typ = "delete" // exercise the type != 'delete' filter
+				} else {
+					heads[repo+"/"+branch] = cid
+				}
+				mustExec(t, db, "INSERT INTO updates VALUES (?,?,?,?,?)",
+					clock, repo, branch, cid, typ)
+			}
+		}
+		// Advertise repo0's live heads; repo2 gets a rollback at round 3
+		// so the soundness query has real violations to agree on.
+		clock++
+		for b := 0; b < 3; b++ {
+			branch := fmt.Sprintf("b%d", b)
+			if cid, ok := heads["repo0/"+branch]; ok {
+				mustExec(t, db, "INSERT INTO advertisements VALUES (?,?,?,?)",
+					clock, "repo0", branch, cid)
+			}
+		}
+		if round == 3 {
+			mustExec(t, db, "INSERT INTO advertisements VALUES (?,?,?,?)",
+				clock, "repo2", "b0", "c1")
+		}
+	}
+}
+
+// TestIndexDifferentialGitCorpus runs the paper's own invariant queries —
+// the worst SQL this engine sees in production — over a multi-repo history
+// with indexing on and off.
+func TestIndexDifferentialGitCorpus(t *testing.T) {
+	diffDBs(t, func(t *testing.T, db *DB) { multiRepoGit(t, db) }, []string{
+		gitSoundnessSQL,
+		gitCompletenessSQL,
+		"SELECT * FROM branchcnt ORDER BY time, repo",
+		"SELECT COUNT(*) FROM updates WHERE repo = 'repo2'",
+		"SELECT repo, COUNT(*) FROM updates GROUP BY repo ORDER BY repo",
+		`SELECT u.time, a.time FROM updates u JOIN advertisements a
+			ON u.repo = a.repo AND u.branch = a.branch
+			ORDER BY u.time, a.time`,
+		`SELECT time FROM updates WHERE time NOT IN
+			(SELECT MAX(time) FROM updates GROUP BY repo, branch)
+			ORDER BY time`,
+	})
+}
+
+// TestIndexDifferentialEdgeValues covers the value classes where a hash
+// probe could diverge from scan semantics: NULLs (= never matches NULL),
+// integers vs floats that compare equal (1 = 1.0), floats too large to
+// round-trip through int64 (the "unsafe" rows kept aside by the index),
+// and infinities.
+func TestIndexDifferentialEdgeValues(t *testing.T) {
+	setup := func(t *testing.T, db *DB) {
+		mustExec(t, db, "CREATE TABLE v (k, tag TEXT)")
+		mustExec(t, db, "INSERT INTO v VALUES (1, 'int1')")
+		mustExec(t, db, "INSERT INTO v VALUES (1.0, 'float1')")
+		mustExec(t, db, "INSERT INTO v VALUES (2.5, 'frac')")
+		mustExec(t, db, "INSERT INTO v VALUES (NULL, 'null')")
+		mustExec(t, db, "INSERT INTO v VALUES (1e18, 'big18')")
+		mustExec(t, db, "INSERT INTO v VALUES (1000000000000000000, 'bigint')")
+		mustExec(t, db, "INSERT INTO v VALUES (1e19, 'big19')")
+		mustExec(t, db, "INSERT INTO v VALUES (9e307 * 10, 'inf')")
+		mustExec(t, db, "INSERT INTO v VALUES ('1', 'text1')")
+		mustExec(t, db, "CREATE TABLE probe (k, why TEXT)")
+		mustExec(t, db, `INSERT INTO probe VALUES
+			(1, 'i'), (1.0, 'f'), (2.5, 'x'), (NULL, 'n'), (1e18, 'b')`)
+	}
+	diffDBs(t, setup, []string{
+		"SELECT tag FROM v WHERE k = 1 ORDER BY tag",
+		"SELECT tag FROM v WHERE k = 1.0 ORDER BY tag",
+		"SELECT tag FROM v WHERE k = 2.5 ORDER BY tag",
+		"SELECT tag FROM v WHERE k = '1' ORDER BY tag",
+		"SELECT tag FROM v WHERE k = 1e18 ORDER BY tag",
+		"SELECT tag FROM v WHERE k = 1000000000000000000 ORDER BY tag",
+		"SELECT tag FROM v WHERE k = 1e19 ORDER BY tag",
+		"SELECT tag FROM v WHERE k = NULL ORDER BY tag",
+		"SELECT tag FROM v WHERE k IS NULL ORDER BY tag",
+		`SELECT v.tag, probe.why FROM v JOIN probe ON v.k = probe.k
+			ORDER BY v.tag, probe.why`,
+		`SELECT tag FROM v WHERE k IN (SELECT k FROM probe) ORDER BY tag`,
+	})
+}
+
+// Equality probes with a NULL parameter must return no rows, in both modes.
+func TestIndexNullParamProbe(t *testing.T) {
+	for _, on := range []bool{true, false} {
+		db := New()
+		db.SetIndexing(on)
+		mustExec(t, db, "CREATE TABLE t (a INTEGER)")
+		mustExec(t, db, "INSERT INTO t VALUES (1), (NULL)")
+		res, err := db.Query("SELECT a FROM t WHERE a = ?", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Empty() {
+			t.Fatalf("indexing=%v: a = NULL matched %q", on, flat(res))
+		}
+	}
+}
+
+// Index maintenance across the mutation matrix: the second query after each
+// mutation must reflect the new table state, not a stale index.
+func TestIndexMaintenance(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE t (k TEXT, n INTEGER)")
+	mustExec(t, db, "INSERT INTO t VALUES ('a', 1), ('b', 2)")
+	q := func(key string) string {
+		res := mustQuery(t, db, "SELECT n FROM t WHERE k = ? ORDER BY n", key)
+		return flat(res)
+	}
+
+	if got := q("a"); got != "1" { // builds the index
+		t.Fatalf("initial probe = %q", got)
+	}
+	// Incremental append: new rows visible without a rebuild.
+	mustExec(t, db, "INSERT INTO t VALUES ('a', 3)")
+	if got := q("a"); got != "1;3" {
+		t.Fatalf("after INSERT = %q", got)
+	}
+	// UPDATE of the indexed column.
+	mustExec(t, db, "UPDATE t SET k = 'z' WHERE n = 1")
+	if got := q("a"); got != "3" {
+		t.Fatalf("after UPDATE key = %q", got)
+	}
+	if got := q("z"); got != "1" {
+		t.Fatalf("after UPDATE new key = %q", got)
+	}
+	// UPDATE of a non-indexed column still shows through.
+	mustExec(t, db, "UPDATE t SET n = 7 WHERE k = 'b'")
+	if got := q("b"); got != "7" {
+		t.Fatalf("after UPDATE value = %q", got)
+	}
+	// DELETE invalidates.
+	mustExec(t, db, "DELETE FROM t WHERE k = 'a'")
+	if got := q("a"); got != "" {
+		t.Fatalf("after DELETE = %q", got)
+	}
+	// Truncate then reinsert the same number of rows: a watermark-only
+	// index would silently serve the old rows here.
+	total, _ := db.TableRowCount("t")
+	if err := db.RemoveLastRows("t", int(total)); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "INSERT INTO t VALUES ('a', 100), ('b', 200)")
+	if got := q("a"); got != "100" {
+		t.Fatalf("after truncate+reinsert = %q", got)
+	}
+	if got := q("z"); got != "" {
+		t.Fatalf("stale key after truncate = %q", got)
+	}
+}
+
+// Compound ORDER BY with mixed directions and ties, against precomputed
+// sort keys.
+func TestOrderByCompoundDirections(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE t (a INTEGER, b TEXT, c REAL)")
+	mustExec(t, db, `INSERT INTO t VALUES
+		(2, 'x', 1.5), (1, 'y', 0.5), (2, 'x', 0.5),
+		(1, 'x', 2.5), (2, 'y', 1.5), (1, 'y', 1.5)`)
+	res := mustQuery(t, db, "SELECT a, b, c FROM t ORDER BY a DESC, b, c DESC")
+	want := "2,x,1.5;2,x,0.5;2,y,1.5;1,x,2.5;1,y,1.5;1,y,0.5"
+	if flat(res) != want {
+		t.Fatalf("ORDER BY = %q, want %q", flat(res), want)
+	}
+}
+
+// LIKE shape classification and matching, including the cache-invalidation
+// path where a prepared statement's pattern parameter changes per call.
+func TestLikeShapes(t *testing.T) {
+	cases := []struct {
+		pattern, s string
+		want       bool
+		shape      likeShape
+	}{
+		{"abc", "abc", true, likeExact},
+		{"abc", "ABC", true, likeExact},
+		{"abc", "abcd", false, likeExact},
+		{"ab%", "abode", true, likePrefix},
+		{"ab%", "ba", false, likePrefix},
+		{"%yz", "xyz", true, likeSuffix},
+		{"%yz", "yza", false, likeSuffix},
+		{"%mid%", "a mid b", true, likeContains},
+		{"%mid%", "m i d", false, likeContains},
+		{"%%mid%%", "a mid b", true, likeContains},
+		{"a_c", "abc", true, likeGeneric},
+		{"a_c", "ac", false, likeGeneric},
+		{"a%b%c", "a-x-b-y-c", true, likeGeneric},
+		{"a%b%c", "acb", false, likeGeneric},
+		{"_%", "", false, likeGeneric},
+		{"%", "anything", true, likeContains},
+		{"%", "", true, likeContains},
+	}
+	for _, c := range cases {
+		prog := compileLike(c.pattern)
+		if prog.shape != c.shape {
+			t.Errorf("compileLike(%q).shape = %d, want %d", c.pattern, prog.shape, c.shape)
+		}
+		if got := likeMatch(c.pattern, c.s); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v, want %v", c.pattern, c.s, got, c.want)
+		}
+	}
+}
+
+func TestLikeCacheParamPattern(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE t (s TEXT)")
+	mustExec(t, db, "INSERT INTO t VALUES ('apple'), ('banana'), ('apricot')")
+	stmt, err := db.Prepare("SELECT s FROM t WHERE s LIKE ? ORDER BY s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cached program is keyed by pattern text: alternating patterns on
+	// one AST node must each match correctly.
+	for i := 0; i < 3; i++ {
+		res, err := stmt.Query("ap%")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if flat(res) != "apple;apricot" {
+			t.Fatalf("iter %d ap%%: %q", i, flat(res))
+		}
+		res, err = stmt.Query("%na")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if flat(res) != "banana" {
+			t.Fatalf("iter %d %%na: %q", i, flat(res))
+		}
+	}
+}

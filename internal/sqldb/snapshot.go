@@ -1,0 +1,146 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Copy-on-write snapshots.
+//
+// A Snapshot freezes the database's contents in O(tables): it copies each
+// table's row-slice *header* (not the rows) and marks the table shared.
+// Row slices are immutable once stored (UPDATE replaces them), so the only
+// hazards are in-place mutations of the outer Rows array, which the writer
+// side prevents:
+//
+//   - INSERT appends at positions >= every snapshot's length — disjoint
+//     memory, no copy needed.
+//   - UPDATE copies the header before its first in-place store after a
+//     snapshot (Table.shared), so the snapshot keeps the original array.
+//   - DELETE rebuilds into a fresh array.
+//   - RemoveLastRows clips capacity while shared, so later appends
+//     reallocate instead of overwriting the truncated suffix a snapshot
+//     still exposes.
+//
+// Queries against a snapshot therefore need no lock and see exactly the
+// rows present at capture time, while writers proceed concurrently. Each
+// snapshot table gets a fresh index registry: hash indexes built during a
+// snapshot query belong to the snapshot and die with it, and the live
+// table's indexes are never shared across the boundary.
+
+// Snapshot is an immutable view of a DB at one instant.
+type Snapshot struct {
+	tables   map[string]*Table
+	views    map[string]*View
+	indexing bool
+}
+
+// Snapshot captures the current contents of the database. The write lock
+// is held only for the O(tables) header copy.
+func (db *DB) Snapshot() *Snapshot {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s := &Snapshot{
+		tables:   make(map[string]*Table, len(db.tables)),
+		views:    make(map[string]*View, len(db.views)),
+		indexing: !db.noIndex,
+	}
+	for k, t := range db.tables {
+		t.shared = true
+		s.tables[k] = &Table{Name: t.Name, Cols: t.Cols, Rows: t.Rows, byName: t.byName, idx: newTableIndexes()}
+	}
+	for k, v := range db.views {
+		s.views[k] = v
+	}
+	return s
+}
+
+// evaluator builds an expression evaluator over the snapshot's frozen
+// tables. No lock is needed: the tables are immutable.
+func (s *Snapshot) evaluator(params []Value) *evaluator {
+	return &evaluator{tables: s.tables, views: s.views, params: params, indexing: s.indexing}
+}
+
+func toParams(args []any) ([]Value, error) {
+	params := make([]Value, len(args))
+	for i, a := range args {
+		v, err := FromGo(a)
+		if err != nil {
+			return nil, err
+		}
+		params[i] = v
+	}
+	return params, nil
+}
+
+// Query parses and runs a single SELECT against the snapshot.
+func (s *Snapshot) Query(sql string, args ...any) (*Result, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sqldb: snapshot query requires a SELECT")
+	}
+	params, err := toParams(args)
+	if err != nil {
+		return nil, err
+	}
+	return s.evaluator(params).execSelect(sel, nil)
+}
+
+// QueryStmt runs a prepared SELECT against the snapshot.
+func (s *Snapshot) QueryStmt(stmt *Stmt, args ...any) (*Result, error) {
+	sel, ok := stmt.st.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sqldb: snapshot query requires a SELECT")
+	}
+	params, err := toParams(args)
+	if err != nil {
+		return nil, err
+	}
+	return s.evaluator(params).execSelect(sel, nil)
+}
+
+// CountMatches evaluates a DELETE statement's predicate against the
+// snapshot and returns how many rows it would remove, without mutating
+// anything. ok is false when the statement is not a probeable DELETE (the
+// caller should fall back to executing it for real).
+func (s *Snapshot) CountMatches(stmt *Stmt, args ...any) (n int, ok bool, err error) {
+	del, isDel := stmt.st.(*DeleteStmt)
+	if !isDel {
+		return 0, false, nil
+	}
+	params, err := toParams(args)
+	if err != nil {
+		return 0, false, err
+	}
+	t, found := s.tables[strings.ToLower(del.Table)]
+	if !found {
+		return 0, false, fmt.Errorf("%w: %s", ErrNoSuchTable, del.Table)
+	}
+	if del.Where == nil {
+		return len(t.Rows), true, nil
+	}
+	ev := s.evaluator(params)
+	for _, row := range t.Rows {
+		v, err := ev.eval(del.Where, tableScope(t, row))
+		if err != nil {
+			return 0, false, err
+		}
+		if truth, _ := v.Truth(); truth {
+			n++
+		}
+	}
+	return n, true, nil
+}
+
+// TableRowCount returns the number of rows a table had at capture time.
+func (s *Snapshot) TableRowCount(name string) (int, error) {
+	t, ok := s.tables[strings.ToLower(name)]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoSuchTable, name)
+	}
+	return len(t.Rows), nil
+}

@@ -1,0 +1,206 @@
+package sqldb
+
+import (
+	"sync"
+	"testing"
+)
+
+func snapCount(t *testing.T, s *Snapshot, sql string) int64 {
+	t.Helper()
+	res, err := s.Query(sql)
+	if err != nil {
+		t.Fatalf("snapshot Query(%q): %v", sql, err)
+	}
+	return res.Rows[0][0].Int64()
+}
+
+func TestSnapshotIsolatedFromInsert(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE t (a INTEGER)")
+	mustExec(t, db, "INSERT INTO t VALUES (1), (2)")
+	snap := db.Snapshot()
+	mustExec(t, db, "INSERT INTO t VALUES (3)")
+	if n := snapCount(t, snap, "SELECT COUNT(*) FROM t"); n != 2 {
+		t.Fatalf("snapshot sees %d rows after live INSERT, want 2", n)
+	}
+	if res := mustQuery(t, db, "SELECT a FROM t"); flat(res) != "1;2;3" {
+		t.Fatalf("live table = %q", flat(res))
+	}
+}
+
+func TestSnapshotIsolatedFromUpdate(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE t (a INTEGER, b TEXT)")
+	mustExec(t, db, "INSERT INTO t VALUES (1,'old'), (2,'old')")
+	snap := db.Snapshot()
+	mustExec(t, db, "UPDATE t SET b = 'new' WHERE a = 1")
+	res, err := snap.Query("SELECT b FROM t ORDER BY a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat(res) != "old;old" {
+		t.Fatalf("snapshot = %q after live UPDATE, want old;old", flat(res))
+	}
+	if res := mustQuery(t, db, "SELECT b FROM t ORDER BY a"); flat(res) != "new;old" {
+		t.Fatalf("live = %q", flat(res))
+	}
+}
+
+func TestSnapshotIsolatedFromDelete(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE t (a INTEGER)")
+	mustExec(t, db, "INSERT INTO t VALUES (1), (2), (3)")
+	snap := db.Snapshot()
+	mustExec(t, db, "DELETE FROM t WHERE a < 3")
+	if n := snapCount(t, snap, "SELECT COUNT(*) FROM t"); n != 3 {
+		t.Fatalf("snapshot sees %d rows after live DELETE, want 3", n)
+	}
+}
+
+// The truncation hazard: RemoveLastRows shortens the shared array, and a
+// later INSERT would overwrite the truncated suffix in place if the writer
+// did not clip capacity while the table is shared.
+func TestSnapshotIsolatedFromTruncateThenInsert(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE t (a INTEGER)")
+	mustExec(t, db, "INSERT INTO t VALUES (1), (2), (3)")
+	snap := db.Snapshot()
+	if err := db.RemoveLastRows("t", 2); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "INSERT INTO t VALUES (99), (98)")
+	res, err := snap.Query("SELECT a FROM t ORDER BY a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat(res) != "1;2;3" {
+		t.Fatalf("snapshot = %q after truncate+reinsert, want 1;2;3", flat(res))
+	}
+	if res := mustQuery(t, db, "SELECT a FROM t ORDER BY a"); flat(res) != "1;98;99" {
+		t.Fatalf("live = %q", flat(res))
+	}
+}
+
+func TestSnapshotQueryStmtWithParams(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE t (a INTEGER, b TEXT)")
+	mustExec(t, db, "INSERT INTO t VALUES (1,'x'), (2,'y')")
+	stmt, err := db.Prepare("SELECT b FROM t WHERE a = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := db.Snapshot()
+	mustExec(t, db, "UPDATE t SET b = 'gone' WHERE a = 2")
+	res, err := snap.QueryStmt(stmt, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat(res) != "y" {
+		t.Fatalf("QueryStmt = %q, want y", flat(res))
+	}
+}
+
+func TestSnapshotCountMatches(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE t (a INTEGER)")
+	mustExec(t, db, "INSERT INTO t VALUES (1), (2), (3)")
+	snap := db.Snapshot()
+
+	del, err := db.Prepare("DELETE FROM t WHERE a > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, ok, err := snap.CountMatches(del); err != nil || !ok || n != 2 {
+		t.Fatalf("CountMatches(WHERE a>1) = %d,%v,%v want 2,true,nil", n, ok, err)
+	}
+	all, err := db.Prepare("DELETE FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, ok, err := snap.CountMatches(all); err != nil || !ok || n != 3 {
+		t.Fatalf("CountMatches(all) = %d,%v,%v want 3,true,nil", n, ok, err)
+	}
+	sel, err := db.Prepare("SELECT * FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := snap.CountMatches(sel); ok || err != nil {
+		t.Fatalf("CountMatches(SELECT) ok=%v err=%v, want false,nil", ok, err)
+	}
+	// Probing must not mutate.
+	if n := snapCount(t, snap, "SELECT COUNT(*) FROM t"); n != 3 {
+		t.Fatalf("snapshot mutated by CountMatches: %d rows", n)
+	}
+}
+
+// Writers mutate continuously while snapshots are captured and queried.
+// Each snapshot must see a consistent instant: the live seqs always form
+// the contiguous range [min, max] (INSERT appends at the top, DELETE takes
+// from the bottom), and flip is always either seq or seq+1000000 (UPDATE
+// replaces whole rows, never tears them). Run under -race.
+func TestSnapshotConsistentUnderConcurrentWriters(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE t (seq INTEGER, flip INTEGER)")
+	mustExec(t, db, "INSERT INTO t VALUES (0, 0)")
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		seq := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			seq++
+			if _, err := db.Exec("INSERT INTO t VALUES (?, ?)", seq, seq); err != nil {
+				t.Error(err)
+				return
+			}
+			if seq%5 == 0 {
+				if _, err := db.Exec("UPDATE t SET flip = seq + 1000000 WHERE seq > ?", seq-3); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if seq%17 == 0 {
+				if _, err := db.Exec("DELETE FROM t WHERE seq < ?", seq-30); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if seq%23 == 0 {
+				if err := db.RemoveLastRows("t", 1); err != nil {
+					t.Error(err)
+					return
+				}
+				seq--
+			}
+		}
+	}()
+
+	for i := 0; i < 300; i++ {
+		snap := db.Snapshot()
+		res, err := snap.Query("SELECT COUNT(*), MIN(seq), MAX(seq) FROM t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		count, min, max := res.Rows[0][0].Int64(), res.Rows[0][1].Int64(), res.Rows[0][2].Int64()
+		if count != max-min+1 {
+			t.Fatalf("snapshot %d inconsistent: count=%d range [%d,%d]", i, count, min, max)
+		}
+		torn, err := snap.Query(
+			"SELECT COUNT(*) FROM t WHERE flip != seq AND flip != seq + 1000000")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := torn.Rows[0][0].Int64(); n != 0 {
+			t.Fatalf("snapshot %d saw %d torn rows", i, n)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -276,14 +276,14 @@ func (ev *evaluator) sourceCols(te TableExpr) ([]scopeCol, error) {
 		if alias == "" {
 			alias = key
 		}
-		if tbl, ok := ev.db.tables[key]; ok {
+		if tbl, ok := ev.tables[key]; ok {
 			cols := make([]scopeCol, len(tbl.Cols))
 			for i, c := range tbl.Cols {
 				cols[i] = scopeCol{table: alias, name: strings.ToLower(c.Name)}
 			}
 			return cols, nil
 		}
-		if view, ok := ev.db.views[key]; ok {
+		if view, ok := ev.views[key]; ok {
 			names, err := ev.outputCols(view.Select)
 			if err != nil {
 				return nil, err
@@ -380,6 +380,7 @@ func QueryWithCache(db *DB, sql string, cached bool) (*Result, error) {
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	ev := &evaluator{db: db, nocache: !cached}
+	ev := db.evaluator(nil)
+	ev.nocache = !cached
 	return ev.execSelect(sel, nil)
 }

@@ -52,7 +52,8 @@ func queryWithCacheMode(t *testing.T, db *DB, sql string, nocache bool) *Result 
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	ev := &evaluator{db: db, nocache: nocache}
+	ev := db.evaluator(nil)
+	ev.nocache = nocache
 	res, err := ev.execSelect(sel, nil)
 	if err != nil {
 		t.Fatalf("%q: %v", sql, err)
@@ -110,7 +111,7 @@ func TestSubqueryCacheHitCount(t *testing.T) {
 	sel := st.(*SelectStmt)
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	ev := &evaluator{db: db}
+	ev := db.evaluator(nil)
 	if _, err := ev.execSelect(sel, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestFreeVarAnalysis(t *testing.T) {
 			t.Fatalf("%q: %v", c.sub, err)
 		}
 		db.mu.RLock()
-		ev := &evaluator{db: db}
+		ev := db.evaluator(nil)
 		free, err := ev.freeVars(st.(*SelectStmt), nil)
 		db.mu.RUnlock()
 		if err != nil {
