@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check soak bench bench-json bench-compare bench-verify bench-shards bench-check fuzz-smoke clean
+.PHONY: all build test check soak mirror-soak bench bench-json bench-compare bench-verify bench-shards bench-check bench-mirror fuzz-smoke clean
 
 all: build
 
@@ -21,6 +21,15 @@ check:
 # the circuit-breaker lifecycle and overload shedding, under -race.
 soak:
 	$(GO) test -race -count=1 -run 'TestChaosRollingRestart|TestChaosBreaker|TestChaosOverload' -v .
+
+# Mirror soak (DESIGN.md §16): a live mirror following a sharded server
+# through repeated server-side link drops plus the facade resume-across-
+# restart path, under -race. The mirror must reconnect, resume from its
+# checkpoint without cold rescans, and end in full agreement with the
+# offline verifier.
+mirror-soak:
+	$(GO) test -race -count=3 -run 'TestChaosMirrorLinkDrops|TestMirrorFacadeResumeAcrossRestart' -v .
+	$(GO) test -race -count=1 -run 'TestMirror|TestFeed' ./internal/audit/mirror/
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=2x ./...
@@ -55,6 +64,13 @@ bench-shards:
 # each disk run strictly re-verified.
 bench-check:
 	$(GO) run ./cmd/libseal-bench -check-json BENCH_pr9.json
+
+# Live-mirror sweep (DESIGN.md §16): append throughput with and without one
+# attached mirror (acceptance: mirrored >= 0.95x unmirrored), the mirror's
+# catch-up time, and truncate-to-verdict rollback detection latency through
+# a reconnect.
+bench-mirror:
+	$(GO) run ./cmd/libseal-bench -mirror-json BENCH_pr10.json
 
 # Short fuzzing pass over the verifier, the entry codec and the HTTP
 # parser — the same smoke CI runs. Seed corpora live under testdata/fuzz.

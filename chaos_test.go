@@ -3,6 +3,7 @@ package libseal
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -15,6 +16,7 @@ import (
 	"libseal/internal/faultinject"
 	"libseal/internal/httpparse"
 	"libseal/internal/telemetry"
+	"libseal/internal/testutil"
 )
 
 // The chaos soak drives the full stack — client -> Apache proxy -> LibSEAL ->
@@ -569,5 +571,92 @@ func TestChaosScheduleDeterministic(t *testing.T) {
 		if trace1[i] != trace2[i] {
 			t.Fatalf("traces diverge at %d: %q vs %q", i, trace1[i], trace2[i])
 		}
+	}
+}
+
+// TestChaosMirrorLinkDrops soaks the replication feed under repeated link
+// failures: a live mirror follows a server while workloads land, and between
+// rounds every feed connection is severed server-side. The mirror must
+// reconnect through its backoff/breaker dialer, resume from its verified
+// prefix (checkpoint), and finish with zero violations and full agreement
+// with the offline verifier. This is the "untrusted plumbing" half of the
+// mirror's threat model: a flaky (or adversarial) link may slow the mirror
+// down but must never corrupt its verdict.
+func TestChaosMirrorLinkDrops(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mirror link-drop soak skipped in -short mode")
+	}
+	certs, err := testutil.NewCertEnv("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	seal, feed, addr, group := openMirroredServer(t, dir, certs)
+	defer feed.Close()
+	defer seal.Close()
+
+	violations := make(chan error, 8)
+	m, err := StartMirror(context.Background(), MirrorConfig{
+		Addr:            addr,
+		Name:            "git",
+		Pub:             seal.Bridge().Enclave().PublicKey(),
+		CheckpointPath:  filepath.Join(t.TempDir(), "mirror.ckpt"),
+		CheckpointEvery: time.Millisecond,
+		BackoffMin:      5 * time.Millisecond,
+		BackoffMax:      100 * time.Millisecond,
+		RestartGrace:    time.Second,
+		OnViolation:     func(err error) { violations <- err },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop(context.Background())
+
+	const rounds = 5
+	for round := 0; round < rounds; round++ {
+		driveGitWorkload(t, seal, certs)
+		s := waitMirrorSynced(t, m, seal)
+		// Sever every feed connection server-side — the mirror is fully
+		// synced and attached, so the drop provably kills its session — then
+		// hold until it has re-established through backoff before the next
+		// round piles on.
+		feed.DisconnectAll()
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			if st := m.Status(); st.Reconnects > s.Reconnects && st.Connected {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("mirror never re-established after drop %d: %+v", round, m.Status())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	s := waitMirrorSynced(t, m, seal)
+	if s.Reconnects < rounds {
+		t.Fatalf("mirror reconnected %d times across %d link drops", s.Reconnects, rounds)
+	}
+	select {
+	case verr := <-violations:
+		t.Fatalf("link drops produced a violation: %v", verr)
+	default:
+	}
+	if err := m.Stop(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Offline ground truth: the mirror's live verdict must match a cold
+	// verification of the very same files.
+	if err := seal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := VerifyContext(context.Background(), dir, VerifyStreamOptions{
+		VerifyOptions: VerifyOptions{Pub: seal.Bridge().Enclave().PublicKey(), Protector: group, Name: "git"},
+	})
+	if err != nil {
+		t.Fatalf("offline Verify after link-drop soak: %v", err)
+	}
+	if rep.TotalEntries != s.Entries {
+		t.Fatalf("offline verifier sees %d entries, mirror verified %d", rep.TotalEntries, s.Entries)
 	}
 }

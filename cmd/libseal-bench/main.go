@@ -50,6 +50,7 @@ func main() {
 	verifyOut := flag.String("verify-json", "", "run the parallel-verification worker sweep and write machine-readable results to this file")
 	shardsOut := flag.String("shards-json", "", "run the audit-log shard sweep and write machine-readable results to this file")
 	checkOut := flag.String("check-json", "", "run the snapshot-check/index sweep and write machine-readable results to this file")
+	mirrorOut := flag.String("mirror-json", "", "run the live-mirror overhead and rollback-detection sweep and write machine-readable results to this file")
 	flag.Parse()
 
 	if *jsonOut != "" {
@@ -76,6 +77,13 @@ func main() {
 	if *checkOut != "" {
 		if err := runCheckBench(*checkOut, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "libseal-bench: check-json: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *mirrorOut != "" {
+		if err := runMirrorBench(*mirrorOut, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "libseal-bench: mirror-json: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -62,6 +62,7 @@ func main() {
 	anchorTimeout := flag.Duration("anchor-timeout", 2*time.Second, "bound on each rollback-counter operation on the request path")
 	recoverMaxLag := flag.Uint64("recover-max-lag", 1, "counter lag tolerated when resuming with -recover (a crash between increment and flush leaves lag 1)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /readyz and /debug/pprof on this address (empty = off)")
+	mirrorAddr := flag.String("mirror-addr", "", "serve the audit-log replication feed on this address for libseal-mirror followers (disk mode only; empty = off)")
 	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive counter-quorum failures that open the circuit breaker (0 = no breaker)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "how long the breaker stays open before probing the quorum again")
 	maxStaged := flag.Int("max-staged", 256, "staging budget of the audit group-commit pipeline; over-budget appends are shed (0 = unbounded)")
@@ -181,6 +182,23 @@ func main() {
 		log.Fatal(err)
 	}
 	defer seal.Close()
+
+	if *mirrorAddr != "" {
+		if *mode != "disk" {
+			log.Fatal("-mirror-addr needs -mode disk: the feed streams the persisted log files")
+		}
+		ml, err := net.Listen("tcp", *mirrorAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		feed, err := libseal.ServeAuditFeed(seal, ml)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer feed.Close()
+		log.Printf("audit replication feed on %s (follow with: libseal-mirror -addr %s -service %s -pub %s)",
+			ml.Addr(), ml.Addr(), *service, filepath.Join(*dir, "enclave.pub"))
+	}
 
 	if *metricsAddr != "" {
 		mux := telemetry.NewServeMux()

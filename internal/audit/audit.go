@@ -36,6 +36,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"libseal/internal/asyncall"
@@ -238,6 +239,18 @@ type Log struct {
 	file     vfs.File // outside resource, accessed via ocalls
 	fileSize int64    // committed bytes; partial appends truncate back to it
 	stmts    map[string]*sqldb.Stmt
+
+	// gen is a seqlock-style generation for the persisted file: odd while a
+	// trim rewrite is replacing it, bumped back to even once the replacement
+	// (or the intact old file, on failure) is authoritative. Replication-feed
+	// readers snapshot it around raw file reads: a change means the bytes they
+	// read may straddle two file incarnations and must be discarded.
+	gen atomic.Uint64
+
+	// notify, when non-nil, runs under l.mu after every durable change to the
+	// persisted file (batch publish, re-anchor, trim rewrite). It must not
+	// block; the replication feed installs a coalescing wakeup.
+	notify func()
 }
 
 // commitBatch is one group of staged entries committed under a single
@@ -784,6 +797,35 @@ func (l *Log) committedSize() int64 {
 	return l.fileSize
 }
 
+// CommittedSize is the durable length of the persisted log file: every byte
+// below it belongs to a committed record, while bytes beyond it may be a
+// partial batch that a failed commit will truncate away. Replication feeds
+// must never ship bytes past it.
+func (l *Log) CommittedSize() int64 { return l.committedSize() }
+
+// Generation identifies the persisted file's incarnation. It is even while
+// the file is stable and odd while a trim rewrite is replacing it; any change
+// between two reads means raw bytes read from the file in between may mix two
+// incarnations.
+func (l *Log) Generation() uint64 { return l.gen.Load() }
+
+// SetCommitNotify installs fn to run (under the log lock — it must not
+// block) after every durable change to the persisted file. One listener at a
+// time; nil uninstalls.
+func (l *Log) SetCommitNotify(fn func()) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.notify = fn
+}
+
+// notifyLocked signals the commit listener, if any. Called with l.mu held
+// after the durable file state advanced.
+func (l *Log) notifyLocked() {
+	if l.notify != nil {
+		l.notify()
+	}
+}
+
 // anchorBatch obtains the counter value anchoring a batch: one fresh
 // increment per batch. When the quorum is unreachable and degraded mode has
 // buffer room, the batch proceeds under the last reachable value; the chain
@@ -869,6 +911,7 @@ func (l *Log) publish(b *commitBatch, err error) {
 		default:
 			mFlushIdle.Inc()
 		}
+		l.notifyLocked()
 	} else {
 		l.epoch++
 		l.poisonErr = err
@@ -973,6 +1016,7 @@ func (l *Log) Reanchor(env *asyncall.Env) error {
 	l.pendingAnchor = 0
 	mGaps.Inc()
 	mDegradedPending.Set(0)
+	l.notifyLocked()
 	return nil
 }
 
@@ -1143,6 +1187,10 @@ func (l *Log) rewriteLocked(env *asyncall.Env, encs [][]byte) error {
 		return err
 	}
 	size += recordSize(sig)
+	// gen goes odd before the file is replaced and even once the rewrite's
+	// outcome — new file or intact old one — is authoritative again, so feed
+	// readers discard any bytes read across the swap.
+	l.gen.Add(1)
 	err = env.Ocall(func() error {
 		tmp := l.path() + ".tmp"
 		f, err := l.fs.Create(tmp)
@@ -1188,6 +1236,7 @@ func (l *Log) rewriteLocked(env *asyncall.Env, encs [][]byte) error {
 		}
 		return nil
 	})
+	l.gen.Add(1)
 	if err != nil {
 		return err
 	}
@@ -1202,6 +1251,7 @@ func (l *Log) rewriteLocked(env *asyncall.Env, encs [][]byte) error {
 		mGaps.Inc()
 		mDegradedPending.Set(0)
 	}
+	l.notifyLocked()
 	return nil
 }
 

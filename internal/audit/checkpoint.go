@@ -232,6 +232,69 @@ func (c *Checkpoint) matchFile(f *os.File, pub *ecdsa.PublicKey) error {
 	if _, err := f.ReadAt(payload, c.SigOffset+5); err != nil {
 		return fmt.Errorf("%w: %v", ErrCheckpointStale, err)
 	}
+	return c.MatchProof(payload, pub)
+}
+
+// readRecordPayload reads the record whose header sits at off in f,
+// checking that it has the wanted type byte and ends exactly at end, and
+// returns its payload.
+func readRecordPayload(f *os.File, typ byte, off, end int64) ([]byte, error) {
+	var hdr [5]byte
+	if _, err := f.ReadAt(hdr[:], off); err != nil {
+		return nil, err
+	}
+	if hdr[0] != typ {
+		return nil, fmt.Errorf("audit: record at %d has type %q, want %q", off, hdr[0], typ)
+	}
+	n := int64(uint32(hdr[1])<<24 | uint32(hdr[2])<<16 | uint32(hdr[3])<<8 | uint32(hdr[4]))
+	if n > maxRecordBytes || off+5+n != end {
+		return nil, fmt.Errorf("audit: record at %d does not end at %d", off, end)
+	}
+	payload := make([]byte, n)
+	if _, err := f.ReadAt(payload, off+5); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// SigProof reads the signature record with header at sigOff and end at
+// offset from an open log file and returns its raw payload — what a
+// replication feed hands a resuming subscriber so the subscriber can
+// authenticate its checkpoint with Checkpoint.MatchProof. The feed itself
+// proves nothing: a wrong or forged payload simply fails MatchProof on the
+// client.
+func SigProof(f *os.File, sigOff, offset int64) ([]byte, error) {
+	if sigOff < int64(len(fileMagic)) || sigOff+5 > offset {
+		return nil, fmt.Errorf("audit: implausible signature record offsets")
+	}
+	return readRecordPayload(f, recSig, sigOff, offset)
+}
+
+// ManifestRecordProof is SigProof's sidecar counterpart: the raw payload of
+// the manifest record with header at recOff and end at offset, for the
+// subscriber to authenticate with MatchManifestProof.
+func ManifestRecordProof(f *os.File, recOff, offset int64) ([]byte, error) {
+	if recOff < int64(len(manifestMagic)) || recOff+5 > offset {
+		return nil, fmt.Errorf("audit: implausible manifest record offsets")
+	}
+	return readRecordPayload(f, recManifest, recOff, offset)
+}
+
+// MatchProof authenticates the checkpoint against the raw payload of the
+// signature record claimed to sit at SigOffset — the second half of
+// matchFile, split out so a mirror can validate a proof fetched over the
+// network from an untrusted feed instead of read from a local file. The
+// payload must hash to SigHash, end exactly at Offset, parse as a signature
+// record, verify under pub (when a key is available), and attest exactly the
+// sidecar's chain head and counter. Any mismatch is ErrCheckpointStale: the
+// caller falls back to a cold scan, never adopts the state.
+func (c *Checkpoint) MatchProof(payload []byte, pub *ecdsa.PublicKey) error {
+	if c.SigOffset < int64(len(fileMagic)) || c.SigOffset+5 > c.Offset {
+		return fmt.Errorf("%w: implausible offsets", ErrCheckpointStale)
+	}
+	if c.SigOffset+5+int64(len(payload)) != c.Offset {
+		return fmt.Errorf("%w: signature record does not end at checkpoint offset", ErrCheckpointStale)
+	}
 	if hexDigest(payload) != c.SigHash {
 		return fmt.Errorf("%w: signature record hash mismatch", ErrCheckpointStale)
 	}

@@ -1,0 +1,491 @@
+package audit
+
+import (
+	"bytes"
+	"crypto/ecdsa"
+	"encoding/binary"
+	"fmt"
+
+	"libseal/internal/enclave"
+)
+
+// Incremental verification. The offline verifiers (VerifyReaderResult, the
+// PR 7 streaming pipeline) consume a complete file; a live mirror instead
+// receives the same record stream in arbitrary byte chunks as the server
+// commits batches. IncrementalVerifier is the chunk-feed form of the same
+// verifier: it reassembles records from whatever bytes have arrived, applies
+// exactly the per-record checks the sequential scan applies (entry decode,
+// sequence, chain hash, signature parse + ECDSA), and reports each verified
+// signature record — a durable commit point — through a callback. Freshness
+// against a live counter quorum is deliberately out of scope: a mirror holds
+// only the enclave's public key, so rollback is judged by continuity (see
+// internal/audit/mirror) and by manifest replay via ManifestReplayer.
+//
+// The verifier is strict and latching: the first violation poisons it and
+// every later Feed returns the same error. A torn record at the tail is not
+// a violation — it is simply buffered until the remaining bytes arrive,
+// which is the steady state of tailing a live log mid-batch.
+
+// CommitInfo describes one verified commit point: the state as of a
+// signature record that passed every check.
+type CommitInfo struct {
+	// Seq is the number of verified entries up to and including this commit.
+	Seq uint64
+	// Chain is the chain head the signature record attests.
+	Chain [32]byte
+	// Counter is the rollback-counter value bound into the signature.
+	Counter uint64
+	// Offset is the stream offset just past the signature record.
+	Offset int64
+	// SigOffset / SigHash bind the commit to the record: the offset of the
+	// signature record's header and the hex SHA-256 of its payload (the same
+	// binding Checkpoint carries).
+	SigOffset int64
+	SigHash   string
+	// Entries is the number of entries in this batch (since the previous
+	// signature record).
+	Entries int
+}
+
+// IncrementalVerifier verifies an audit-log record stream fed in arbitrary
+// byte chunks. Not safe for concurrent use.
+type IncrementalVerifier struct {
+	opts     VerifyOptions
+	onCommit func(CommitInfo) error
+	onEntry  func(*Entry) error
+
+	buf      bytes.Buffer // undecoded tail of the stream
+	sawMagic bool
+	resumed  bool
+
+	offset     int64 // stream offset of the next undecoded byte
+	seq        uint64
+	chain      [32]byte
+	counter    uint64 // counter of the last verified signature record
+	maxCounter uint64
+	batches    int
+	entries    int
+	maxBatch   int
+	sinceSig   int
+	tables     map[string]int
+
+	lastSigOff  int64
+	lastSigHash string
+
+	failed error
+}
+
+// NewIncrementalVerifier builds a chunk-feed verifier starting from the
+// empty log state (expecting the file magic first). opts.Protector is
+// ignored — incremental verification has no final verdict at which to check
+// quorum freshness; callers judge freshness by continuity. onCommit, if
+// non-nil, runs after every verified signature record; returning an error
+// from it poisons the verifier. onEntry, if non-nil, observes each verified
+// entry (the verifier does not retain entries).
+func NewIncrementalVerifier(opts VerifyOptions, onCommit func(CommitInfo) error, onEntry func(*Entry) error) *IncrementalVerifier {
+	return &IncrementalVerifier{
+		opts:     opts,
+		onCommit: onCommit,
+		onEntry:  onEntry,
+		tables:   make(map[string]int),
+	}
+}
+
+// Resume adopts a checkpoint's verified-prefix state so the stream can be
+// fed from c.Offset onward (no file magic expected). The caller must have
+// authenticated the checkpoint against the log it is resuming — via
+// Checkpoint.MatchProof on a fetched signature record, or matchFile locally
+// — exactly as the offline resume path does; Resume itself trusts its input.
+func (v *IncrementalVerifier) Resume(c *Checkpoint) error {
+	chain, err := c.chainHead()
+	if err != nil {
+		return err
+	}
+	v.sawMagic = true
+	v.resumed = true
+	v.offset = c.Offset
+	v.seq = c.Seq
+	v.chain = chain
+	v.counter = c.Counter
+	v.maxCounter = c.Counter
+	v.batches = c.Batches
+	v.entries = c.Entries
+	v.maxBatch = c.MaxBatch
+	for t, n := range c.Tables {
+		v.tables[t] = n
+	}
+	v.lastSigOff = c.SigOffset
+	v.lastSigHash = c.SigHash
+	return nil
+}
+
+// Feed consumes the next chunk of the record stream. It verifies every
+// record that is now complete and returns the first violation found (wrapped
+// in ErrTampered); incomplete trailing bytes are buffered for the next call.
+// Once an error is returned the verifier is poisoned and returns it forever.
+func (v *IncrementalVerifier) Feed(p []byte) error {
+	if v.failed != nil {
+		return v.failed
+	}
+	v.buf.Write(p)
+	if err := v.drain(); err != nil {
+		v.failed = err
+		return err
+	}
+	return nil
+}
+
+func (v *IncrementalVerifier) drain() error {
+	if !v.sawMagic {
+		if v.buf.Len() < len(fileMagic) {
+			return nil
+		}
+		magic := v.buf.Next(len(fileMagic))
+		if !bytes.Equal(magic, fileMagic) {
+			return fmt.Errorf("%w: bad magic", ErrTampered)
+		}
+		v.sawMagic = true
+		v.offset = int64(len(fileMagic))
+	}
+	for {
+		b := v.buf.Bytes()
+		if len(b) < 5 {
+			return nil
+		}
+		n := binary.BigEndian.Uint32(b[1:5])
+		if n > maxRecordBytes {
+			return errOversized(n)
+		}
+		if len(b) < 5+int(n) {
+			return nil
+		}
+		typ := b[0]
+		payload := make([]byte, n)
+		copy(payload, b[5:5+n])
+		v.buf.Next(5 + int(n))
+		recOff := v.offset
+		v.offset += 5 + int64(n)
+		switch typ {
+		case recEntry:
+			if err := v.feedEntry(payload); err != nil {
+				return err
+			}
+		case recSig:
+			if err := v.feedSig(recOff, payload); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("%w: unknown record type %q", ErrTampered, typ)
+		}
+	}
+}
+
+// feedEntry applies the per-entry checks of the sequential verifier: unseal,
+// decode, sequence continuity, chain extension.
+func (v *IncrementalVerifier) feedEntry(raw []byte) error {
+	payload := raw
+	if v.opts.Unseal != nil {
+		var err error
+		if payload, err = v.opts.Unseal(raw); err != nil {
+			return fmt.Errorf("%w: unseal: %v", ErrTampered, err)
+		}
+	}
+	e, err := UnmarshalEntry(payload)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrTampered, err)
+	}
+	if e.Seq != v.seq {
+		return fmt.Errorf("%w: sequence gap at %d", ErrTampered, v.seq)
+	}
+	v.seq++
+	v.sinceSig++
+	v.entries++
+	v.chain = chainNext(v.chain, payload)
+	v.tables[e.Table]++
+	if v.onEntry != nil {
+		return v.onEntry(e)
+	}
+	return nil
+}
+
+// feedSig applies the signature-record checks and publishes the commit.
+func (v *IncrementalVerifier) feedSig(recOff int64, payload []byte) error {
+	sigChain, counter, sig, perr := parseSig(payload)
+	bad := ""
+	switch {
+	case perr != nil:
+		bad = perr.Error()
+	case sigChain != v.chain:
+		bad = "chain hash mismatch"
+	case v.opts.Pub != nil && !enclave.VerifySignature(v.opts.Pub, sigDigest(sigChain, counter), sig):
+		bad = "signature invalid"
+	}
+	if bad != "" {
+		return fmt.Errorf("%w: signature record %d: %s", ErrTampered, v.batches, bad)
+	}
+	v.counter = counter
+	if counter > v.maxCounter {
+		v.maxCounter = counter
+	}
+	v.batches++
+	if v.sinceSig > v.maxBatch {
+		v.maxBatch = v.sinceSig
+	}
+	batch := v.sinceSig
+	v.sinceSig = 0
+	v.lastSigOff = recOff
+	v.lastSigHash = hexDigest(payload)
+	if v.onCommit != nil {
+		return v.onCommit(CommitInfo{
+			Seq: v.seq, Chain: v.chain, Counter: counter,
+			Offset: v.offset, SigOffset: recOff, SigHash: v.lastSigHash,
+			Entries: batch,
+		})
+	}
+	return nil
+}
+
+// Err returns the poisoning violation, nil while the stream is clean.
+func (v *IncrementalVerifier) Err() error { return v.failed }
+
+// Offset is the stream offset of the next undecoded byte: verified bytes
+// plus any buffered partial record.
+func (v *IncrementalVerifier) Offset() int64 { return v.offset + int64(v.buf.Len()) }
+
+// Buffered is the number of received-but-undecoded bytes (a partial record
+// mid-flight).
+func (v *IncrementalVerifier) Buffered() int { return v.buf.Len() }
+
+// Seq is the number of verified entries; Counter and MaxCounter the last and
+// highest verified signature counters; Batches the verified commit count.
+func (v *IncrementalVerifier) Seq() uint64        { return v.seq }
+func (v *IncrementalVerifier) Counter() uint64    { return v.counter }
+func (v *IncrementalVerifier) MaxCounter() uint64 { return v.maxCounter }
+func (v *IncrementalVerifier) Batches() int       { return v.batches }
+func (v *IncrementalVerifier) Entries() int       { return v.entries }
+
+// Chain returns the current verified chain head.
+func (v *IncrementalVerifier) Chain() [32]byte { return v.chain }
+
+// Tables returns the per-table verified tuple counts (live map; callers must
+// copy if they retain it).
+func (v *IncrementalVerifier) Tables() map[string]int { return v.tables }
+
+// Checkpoint snapshots the verified prefix as a resumable sidecar state, or
+// nil before the first commit point. Only commit points are checkpointable:
+// when unsigned entries trail the last signature record the snapshot still
+// describes the last commit, so callers should take it from inside onCommit
+// (where the stream is exactly at a commit point).
+func (v *IncrementalVerifier) Checkpoint(shard int) *Checkpoint {
+	if v.lastSigHash == "" || v.sinceSig != 0 {
+		return nil
+	}
+	tables := make(map[string]int, len(v.tables))
+	for t, n := range v.tables {
+		tables[t] = n
+	}
+	return &Checkpoint{
+		Version: checkpointVersion, Shard: shard,
+		Offset: v.offset, Seq: v.seq, Chain: hexChain(v.chain), Counter: v.counter,
+		Batches: v.batches, MaxBatch: v.maxBatch, Entries: v.entries, Tables: tables,
+		SigOffset: v.lastSigOff, SigHash: v.lastSigHash,
+	}
+}
+
+// ManifestReplayer applies the per-manifest checks of replayManifests — the
+// shard count, strictly increasing epochs, non-decreasing manifest counter
+// and the enclave signature — one manifest at a time, so a live mirror can
+// replay the sidecar stream incrementally with the same semantics as the
+// offline sharded verifier. Commit-point membership (does each attested
+// shard state exist in the shard's verified history?) stays with the caller:
+// offline it is a set lookup, live it is deferred until the shard stream
+// catches up.
+type ManifestReplayer struct {
+	// Name is the log-set name bound into each manifest's digest.
+	Name string
+	// Pub verifies manifest signatures; nil skips the ECDSA check (the
+	// structural and monotonicity checks still apply).
+	Pub *ecdsa.PublicKey
+	// Shards is the expected shard count; 0 disables the check.
+	Shards int
+
+	n       int
+	epoch   uint64
+	counter uint64
+	seeded  bool
+}
+
+// Seed adopts a remembered (epoch, counter) floor — a mirror resuming from
+// its checkpoint, or re-reading a rewritten sidecar — so the next manifest
+// must strictly advance the epoch past it. Without seeding, the first
+// manifest's epoch is accepted as-is, matching the offline replay.
+func (r *ManifestReplayer) Seed(epoch, counter uint64) {
+	r.epoch, r.counter, r.seeded = epoch, counter, true
+}
+
+// Verify checks one manifest and advances the replayer's floor. The error
+// messages and semantics match the offline replayManifests record checks.
+func (r *ManifestReplayer) Verify(m *Manifest) error {
+	if r.Shards > 0 && len(m.Shards) != r.Shards {
+		return fmt.Errorf("%w: manifest %d attests %d shards, set has %d", ErrTampered, r.n, len(m.Shards), r.Shards)
+	}
+	if (r.n > 0 || r.seeded) && m.Epoch <= r.epoch {
+		return fmt.Errorf("%w: manifest %d: epoch %d not after %d", ErrTampered, r.n, m.Epoch, r.epoch)
+	}
+	if m.Counter < r.counter {
+		return fmt.Errorf("%w: manifest %d: counter %d regressed below %d", ErrTampered, r.n, m.Counter, r.counter)
+	}
+	if r.Pub != nil && !enclave.VerifySignature(r.Pub, manifestDigest(r.Name, m), m.Sig) {
+		return fmt.Errorf("%w: manifest %d (epoch %d): signature invalid", ErrTampered, r.n, m.Epoch)
+	}
+	r.epoch, r.counter = m.Epoch, m.Counter
+	r.n++
+	return nil
+}
+
+// Count, Epoch and Counter report the replayer's progress: manifests
+// verified and the current epoch/counter floor.
+func (r *ManifestReplayer) Count() int      { return r.n }
+func (r *ManifestReplayer) Epoch() uint64   { return r.epoch }
+func (r *ManifestReplayer) Counter() uint64 { return r.counter }
+
+// IncrementalManifestReader reassembles manifest records from a sidecar
+// byte stream fed in arbitrary chunks — the manifest counterpart of
+// IncrementalVerifier's framing. Each complete record is parsed and handed
+// to the callback; semantic validation is the callback's job (typically a
+// ManifestReplayer). Latching, like IncrementalVerifier.
+type IncrementalManifestReader struct {
+	onManifest func(*Manifest) error
+
+	buf      bytes.Buffer
+	sawMagic bool
+	offset   int64
+	failed   error
+
+	lastRecOff  int64
+	lastRecHash string
+}
+
+// NewIncrementalManifestReader builds a chunk-feed sidecar reader starting
+// at the file head (magic expected first).
+func NewIncrementalManifestReader(onManifest func(*Manifest) error) *IncrementalManifestReader {
+	return &IncrementalManifestReader{onManifest: onManifest}
+}
+
+// ResumeAt adopts a byte offset mid-sidecar (just past a previously read
+// record); the stream must be fed from that offset and no magic is expected.
+func (r *IncrementalManifestReader) ResumeAt(offset int64) {
+	r.sawMagic = true
+	r.offset = offset
+}
+
+// Feed consumes the next chunk of the sidecar stream, parsing every complete
+// record. The first failure poisons the reader.
+func (r *IncrementalManifestReader) Feed(p []byte) error {
+	if r.failed != nil {
+		return r.failed
+	}
+	r.buf.Write(p)
+	if err := r.drain(); err != nil {
+		r.failed = err
+		return err
+	}
+	return nil
+}
+
+func (r *IncrementalManifestReader) drain() error {
+	if !r.sawMagic {
+		if r.buf.Len() < len(manifestMagic) {
+			return nil
+		}
+		if !bytes.Equal(r.buf.Next(len(manifestMagic)), manifestMagic) {
+			return fmt.Errorf("%w: bad manifest magic", ErrTampered)
+		}
+		r.sawMagic = true
+		r.offset = int64(len(manifestMagic))
+	}
+	for {
+		b := r.buf.Bytes()
+		if len(b) < 5 {
+			return nil
+		}
+		if b[0] != recManifest {
+			return fmt.Errorf("%w: unknown manifest record type %q", ErrTampered, b[0])
+		}
+		n := binary.BigEndian.Uint32(b[1:5])
+		if n > maxRecordBytes {
+			return errOversized(n)
+		}
+		if len(b) < 5+int(n) {
+			return nil
+		}
+		payload := make([]byte, n)
+		copy(payload, b[5:5+n])
+		r.buf.Next(5 + int(n))
+		recOff := r.offset
+		r.offset += 5 + int64(n)
+		m, err := parseManifest(payload)
+		if err != nil {
+			return err
+		}
+		r.lastRecOff = recOff
+		r.lastRecHash = hexDigest(payload)
+		if r.onManifest != nil {
+			if err := r.onManifest(m); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// Err returns the poisoning failure, nil while the stream is clean.
+func (r *IncrementalManifestReader) Err() error { return r.failed }
+
+// Offset is the sidecar offset just past the last fully parsed record.
+func (r *IncrementalManifestReader) Offset() int64 { return r.offset }
+
+// Buffered is the number of received-but-unparsed bytes.
+func (r *IncrementalManifestReader) Buffered() int { return r.buf.Len() }
+
+// LastRecord reports the header offset and payload hash of the last fully
+// parsed record — the binding a mirror persists so a resumed session can
+// demand proof (via MatchManifestProof) that the sidecar it reconnects to
+// still carries that exact record at that exact place. Hash is empty before
+// the first record.
+func (r *IncrementalManifestReader) LastRecord() (off int64, hash string) {
+	return r.lastRecOff, r.lastRecHash
+}
+
+// ResumeRecord adopts a persisted LastRecord binding alongside ResumeAt, so
+// a restored reader keeps reporting the binding it resumed from.
+func (r *IncrementalManifestReader) ResumeRecord(off int64, hash string) {
+	r.lastRecOff, r.lastRecHash = off, hash
+}
+
+// MatchManifestProof authenticates a manifest-resume claim against the raw
+// payload of the sidecar record said to sit at recOff: the record must end
+// exactly at offset, hash to recHash, parse as a manifest, carry a valid
+// enclave signature for the named set (when pub is non-nil), and attest
+// exactly the remembered epoch and counter. It is the manifest counterpart
+// of Checkpoint.MatchProof: the feed serving the payload is untrusted, so
+// any mismatch is ErrCheckpointStale and the caller falls back to a cold
+// sidecar re-read rather than adopting the offset.
+func MatchManifestProof(payload []byte, name string, pub *ecdsa.PublicKey, offset, recOff int64, recHash string, epoch, counter uint64) error {
+	if recOff < int64(len(manifestMagic)) || recOff+5+int64(len(payload)) != offset {
+		return fmt.Errorf("%w: manifest record does not end at resume offset", ErrCheckpointStale)
+	}
+	if hexDigest(payload) != recHash {
+		return fmt.Errorf("%w: manifest record hash mismatch", ErrCheckpointStale)
+	}
+	m, err := parseManifest(payload)
+	if err != nil {
+		return fmt.Errorf("%w: unparseable manifest record at resume point: %v", ErrCheckpointStale, err)
+	}
+	if pub != nil && !enclave.VerifySignature(pub, manifestDigest(name, m), m.Sig) {
+		return fmt.Errorf("%w: manifest record at resume point fails ECDSA check", ErrCheckpointStale)
+	}
+	if m.Epoch != epoch || m.Counter != counter {
+		return fmt.Errorf("%w: remembered epoch/counter disagree with signed manifest", ErrCheckpointStale)
+	}
+	return nil
+}

@@ -1,0 +1,578 @@
+package mirror
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"libseal/internal/audit"
+	"libseal/internal/telemetry"
+)
+
+var (
+	mFeedSubscribers = telemetry.NewGauge("audit.feed.subscribers", "subs")
+	mFeedSentBytes   = telemetry.NewCounter("audit.feed.sent.bytes", "bytes")
+	mFeedRestarts    = telemetry.NewCounter("audit.feed.restarts", "frames")
+	mFeedDropped     = telemetry.NewCounter("audit.feed.dropped", "subs")
+)
+
+const (
+	defaultChunkBytes   = 256 << 10
+	defaultQueueFrames  = 64
+	defaultWriteTimeout = 5 * time.Second
+	defaultPollInterval = 250 * time.Millisecond
+)
+
+// FeedConfig describes the replication feed a server exposes next to a
+// running audit log.
+type FeedConfig struct {
+	// Log is the live log set the feed tails. It must be running in disk
+	// mode with its files on the real filesystem (the feed reads them with
+	// plain os I/O — the files are outside-world state already, which is
+	// the whole point of the trust model: the feed serves bytes, it proves
+	// nothing).
+	Log *audit.ShardedLog
+	// Dir / Name locate the log files (Config.Dir / Config.Name of the
+	// set).
+	Dir  string
+	Name string
+	// ChunkBytes bounds one data frame's payload (default 256 KiB).
+	ChunkBytes int
+	// QueueFrames bounds each subscriber's outbound frame queue (default
+	// 64). A subscriber that cannot drain its queue within WriteTimeout is
+	// dropped — backpressure never reaches the append path.
+	QueueFrames int
+	// WriteTimeout bounds each frame write and the enqueue wait for a full
+	// queue (default 5s).
+	WriteTimeout time.Duration
+	// PollInterval is the fallback wakeup cadence when commit
+	// notifications are missed (default 250ms).
+	PollInterval time.Duration
+}
+
+func (c *FeedConfig) chunk() int {
+	if c.ChunkBytes <= 0 {
+		return defaultChunkBytes
+	}
+	return min(c.ChunkBytes, maxFrameBytes-2)
+}
+
+func (c *FeedConfig) queue() int {
+	if c.QueueFrames <= 0 {
+		return defaultQueueFrames
+	}
+	return c.QueueFrames
+}
+
+func (c *FeedConfig) writeTimeout() time.Duration {
+	if c.WriteTimeout <= 0 {
+		return defaultWriteTimeout
+	}
+	return c.WriteTimeout
+}
+
+func (c *FeedConfig) poll() time.Duration {
+	if c.PollInterval <= 0 {
+		return defaultPollInterval
+	}
+	return c.PollInterval
+}
+
+// Feed streams a live log set to subscribers. One Feed serves any number of
+// concurrent subscribers, each with its own position, queue and
+// backpressure; a slow or dead subscriber is dropped without affecting the
+// others or the appenders.
+type Feed struct {
+	cfg FeedConfig
+
+	mu     sync.Mutex
+	ln     net.Listener
+	subs   map[*subscriber]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewFeed builds a feed over a running log set and installs itself as the
+// set's commit listener (displacing any previous listener).
+func NewFeed(cfg FeedConfig) (*Feed, error) {
+	if cfg.Log == nil || cfg.Dir == "" || cfg.Name == "" {
+		return nil, errors.New("mirror: FeedConfig needs Log, Dir and Name")
+	}
+	f := &Feed{cfg: cfg, subs: make(map[*subscriber]struct{})}
+	cfg.Log.SetCommitNotify(f.Notify)
+	return f, nil
+}
+
+// Notify wakes every subscriber's pump. It is installed as the log set's
+// commit notifier and so runs under the log's internal locks: it must never
+// block, hence the coalescing non-blocking sends.
+func (f *Feed) Notify() {
+	f.mu.Lock()
+	for s := range f.subs {
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
+	}
+	f.mu.Unlock()
+}
+
+// Serve accepts subscribers on ln until the listener is closed (by Close or
+// externally). It blocks; run it in a goroutine.
+func (f *Feed) Serve(ln net.Listener) error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		ln.Close()
+		return errors.New("mirror: feed closed")
+	}
+	f.ln = ln
+	f.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			f.mu.Lock()
+			closed := f.closed
+			f.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		f.addSubscriber(conn)
+	}
+}
+
+func (f *Feed) addSubscriber(conn net.Conn) {
+	s := &subscriber{
+		feed:   f,
+		conn:   conn,
+		wake:   make(chan struct{}, 1),
+		frames: make(chan frame, f.cfg.queue()),
+		done:   make(chan struct{}),
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		conn.Close()
+		return
+	}
+	f.subs[s] = struct{}{}
+	n := len(f.subs)
+	f.wg.Add(2)
+	f.mu.Unlock()
+	mFeedSubscribers.Set(int64(n))
+	go s.writeLoop()
+	go s.pumpLoop()
+}
+
+func (f *Feed) removeSubscriber(s *subscriber) {
+	f.mu.Lock()
+	_, present := f.subs[s]
+	delete(f.subs, s)
+	n := len(f.subs)
+	f.mu.Unlock()
+	if present {
+		mFeedSubscribers.Set(int64(n))
+	}
+}
+
+// Subscribers reports the number of currently attached subscribers.
+func (f *Feed) Subscribers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.subs)
+}
+
+// DisconnectAll severs every current subscriber connection without closing
+// the listener — the chaos suite's link-drop fault. Subscribers reconnect
+// and resume.
+func (f *Feed) DisconnectAll() {
+	f.mu.Lock()
+	for s := range f.subs {
+		s.conn.Close()
+	}
+	f.mu.Unlock()
+}
+
+// Close shuts the feed down: listener, every subscriber, and the commit
+// notifier hook.
+func (f *Feed) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	ln := f.ln
+	for s := range f.subs {
+		s.conn.Close()
+	}
+	f.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	f.cfg.Log.SetCommitNotify(nil)
+	f.wg.Wait()
+	return nil
+}
+
+// shardSet locates the set's files, mirroring the offline FindShardSet
+// layout rules without re-scanning the directory.
+func (f *Feed) shardSet() *audit.ShardSet {
+	ss := &audit.ShardSet{Dir: f.cfg.Dir, Name: f.cfg.Name, Shards: f.cfg.Log.Shards()}
+	if ss.Shards > 1 {
+		ss.Manifest = filepath.Join(f.cfg.Dir, audit.ManifestFileName(f.cfg.Name))
+	}
+	return ss
+}
+
+// frame is one queued outbound frame.
+type frame struct {
+	typ     byte
+	payload []byte
+}
+
+// subscriber is one attached mirror: a pump goroutine that reads committed
+// log bytes and enqueues frames, and a write goroutine that drains the
+// queue to the socket under a deadline.
+type subscriber struct {
+	feed   *Feed
+	conn   net.Conn
+	wake   chan struct{}
+	frames chan frame
+	done   chan struct{} // closed by writeLoop on exit
+
+	// pump state
+	set   *audit.ShardSet
+	pos   []int64
+	gens  []uint64
+	files []*os.File
+	mpos  int64
+	mgen  uint64
+	mfile *os.File
+}
+
+// send enqueues a frame, bounded by the queue and the write timeout: if the
+// writer cannot drain the queue in time the subscriber is dropped.
+func (s *subscriber) send(typ byte, payload []byte) error {
+	t := time.NewTimer(s.feed.cfg.writeTimeout())
+	defer t.Stop()
+	select {
+	case s.frames <- frame{typ, payload}:
+		return nil
+	case <-s.done:
+		return errors.New("mirror: subscriber writer gone")
+	case <-t.C:
+		mFeedDropped.Inc()
+		return errors.New("mirror: subscriber queue stalled")
+	}
+}
+
+func (s *subscriber) writeLoop() {
+	defer s.feed.wg.Done()
+	failed := false
+	for fr := range s.frames {
+		if failed {
+			continue // draining: pump will notice done and close the channel
+		}
+		s.conn.SetWriteDeadline(time.Now().Add(s.feed.cfg.writeTimeout()))
+		if err := writeFrame(s.conn, fr.typ, fr.payload); err != nil {
+			s.conn.Close()
+			// Signal the pump BEFORE draining, or it would keep enqueuing
+			// happily forever against a dead socket.
+			close(s.done)
+			failed = true
+			continue
+		}
+		mFeedSentBytes.Add(int64(5 + len(fr.payload)))
+	}
+	if !failed {
+		close(s.done)
+	}
+}
+
+func (s *subscriber) pumpLoop() {
+	defer s.feed.wg.Done()
+	defer s.conn.Close()
+	defer s.feed.removeSubscriber(s)
+	defer func() {
+		close(s.frames)
+		for _, f := range s.files {
+			if f != nil {
+				f.Close()
+			}
+		}
+		if s.mfile != nil {
+			s.mfile.Close()
+		}
+	}()
+	if err := s.handshake(); err != nil {
+		return
+	}
+	ticker := time.NewTicker(s.feed.cfg.poll())
+	defer ticker.Stop()
+	for {
+		caught, err := s.pumpOnce()
+		if err != nil {
+			return
+		}
+		if !caught {
+			continue
+		}
+		if err := s.sendTail(); err != nil {
+			return
+		}
+		select {
+		case <-s.wake:
+		case <-ticker.C:
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// handshake reads the hello, answers resume claims with proofs, and seeds
+// the pump positions.
+func (s *subscriber) handshake() error {
+	s.conn.SetReadDeadline(time.Now().Add(s.feed.cfg.writeTimeout()))
+	typ, payload, err := readFrame(s.conn)
+	if err != nil || typ != frameHello {
+		return fmt.Errorf("mirror: bad hello: %v", err)
+	}
+	s.conn.SetReadDeadline(time.Time{})
+	var hello helloMsg
+	if err := unmarshalStrict(payload, &hello); err != nil {
+		return err
+	}
+
+	s.set = s.feed.shardSet()
+	shards := s.set.Shards
+	s.pos = make([]int64, shards)
+	s.gens = make([]uint64, shards)
+	s.files = make([]*os.File, shards)
+
+	ack := ackMsg{Name: s.feed.cfg.Name, ShardsTotal: shards, Manifested: s.set.Sharded()}
+	for range hello.Shards {
+		ack.Shards = append(ack.Shards, shardAck{})
+	}
+	for k := 0; k < shards; k++ {
+		// Snapshot the generation BEFORE serving the proof: if a trim
+		// lands between proof and streaming, the pump's generation check
+		// catches it and restarts the shard.
+		s.gens[k] = s.feed.cfg.Log.Shard(k).Generation()
+		if k >= len(hello.Shards) || hello.Shards[k].Offset == 0 {
+			continue
+		}
+		claim := hello.Shards[k]
+		proof, err := s.shardProof(k, claim)
+		if err != nil || s.feed.cfg.Log.Shard(k).Generation() != s.gens[k] || s.gens[k]%2 == 1 {
+			continue // ack stays !Ok → cold start for this shard
+		}
+		ack.Shards[k] = shardAck{Ok: true, Proof: proof}
+		s.pos[k] = claim.Offset
+	}
+	if s.set.Sharded() {
+		s.mgen = s.feed.cfg.Log.ManifestGeneration()
+		if hello.Manifest != nil && hello.Manifest.Offset > 0 {
+			proof, err := s.manifestProof(*hello.Manifest)
+			if err == nil && s.feed.cfg.Log.ManifestGeneration() == s.mgen && s.mgen%2 == 0 {
+				ack.ManifestOk = true
+				ack.ManifestProof = proof
+				s.mpos = hello.Manifest.Offset
+			}
+		}
+	}
+	return s.send(frameAck, marshalJSONFrame(ack))
+}
+
+func (s *subscriber) shardProof(k int, claim shardResume) ([]byte, error) {
+	if claim.Offset > s.feed.cfg.Log.Shard(k).CommittedSize() {
+		return nil, errors.New("mirror: resume past committed size")
+	}
+	f, err := s.file(k)
+	if err != nil {
+		return nil, err
+	}
+	return audit.SigProof(f, claim.SigOffset, claim.Offset)
+}
+
+func (s *subscriber) manifestProof(claim manifestResume) ([]byte, error) {
+	if claim.Offset > s.feed.cfg.Log.ManifestCommittedSize() {
+		return nil, errors.New("mirror: resume past committed size")
+	}
+	f, err := s.manifestFile()
+	if err != nil {
+		return nil, err
+	}
+	return audit.ManifestRecordProof(f, claim.RecOff, claim.Offset)
+}
+
+func (s *subscriber) file(k int) (*os.File, error) {
+	if s.files[k] != nil {
+		return s.files[k], nil
+	}
+	f, err := os.Open(s.set.ShardPath(k))
+	if err != nil {
+		return nil, err
+	}
+	s.files[k] = f
+	return f, nil
+}
+
+func (s *subscriber) manifestFile() (*os.File, error) {
+	if s.mfile != nil {
+		return s.mfile, nil
+	}
+	f, err := os.Open(s.set.Manifest)
+	if err != nil {
+		return nil, err
+	}
+	s.mfile = f
+	return f, nil
+}
+
+// pumpOnce advances every lane as far as currently committed. It reports
+// whether the subscriber is fully caught up (so the pump can block on the
+// next wakeup).
+func (s *subscriber) pumpOnce() (caught bool, err error) {
+	caught = true
+	for k := 0; k < s.set.Shards; k++ {
+		c, err := s.pumpShard(k)
+		if err != nil {
+			return false, err
+		}
+		caught = caught && c
+	}
+	if s.set.Sharded() {
+		c, err := s.pumpManifest()
+		if err != nil {
+			return false, err
+		}
+		caught = caught && c
+	}
+	return caught, nil
+}
+
+// pumpShard streams shard k's committed bytes from the subscriber's
+// position. The generation seqlock brackets every read: if a trim rewrite
+// replaced the file, the subscriber gets a restart frame and re-streams
+// from zero — the chunk that raced the rewrite is discarded, never sent.
+func (s *subscriber) pumpShard(k int) (caught bool, err error) {
+	l := s.feed.cfg.Log.Shard(k)
+	g := l.Generation()
+	if g%2 == 1 {
+		return false, nil // mid-rewrite; retry next round
+	}
+	if g != s.gens[k] {
+		s.gens[k] = g
+		s.pos[k] = 0
+		if s.files[k] != nil {
+			s.files[k].Close()
+			s.files[k] = nil
+		}
+		mFeedRestarts.Inc()
+		if err := s.send(frameRestart, restartPayload(k)); err != nil {
+			return false, err
+		}
+	}
+	target := l.CommittedSize()
+	for s.pos[k] < target {
+		f, err := s.file(k)
+		if err != nil {
+			return false, nil // transient: file mid-replace; retry next round
+		}
+		// Clamp to the bytes actually on disk. Committed size should never
+		// exceed the file, but if something truncated the file behind the
+		// log's back the feed must keep serving what exists — the
+		// subscriber's continuity checks are what turn the shortfall into a
+		// rollback verdict, and they need a live session to run.
+		if fi, err := f.Stat(); err == nil && fi.Size() < target {
+			target = fi.Size()
+		}
+		if s.pos[k] >= target {
+			break
+		}
+		n := min(int64(s.feed.cfg.chunk()), target-s.pos[k])
+		chunk := make([]byte, n)
+		if _, err := f.ReadAt(chunk, s.pos[k]); err != nil {
+			if l.Generation() != s.gens[k] {
+				return false, nil // replaced under us; restart next round
+			}
+			return false, err
+		}
+		if l.Generation() != s.gens[k] {
+			return false, nil // chunk may span the rewrite; discard it
+		}
+		if err := s.send(frameData, dataPayload(k, chunk)); err != nil {
+			return false, err
+		}
+		s.pos[k] += n
+	}
+	return true, nil
+}
+
+func (s *subscriber) pumpManifest() (caught bool, err error) {
+	log := s.feed.cfg.Log
+	g := log.ManifestGeneration()
+	if g%2 == 1 {
+		return false, nil
+	}
+	if g != s.mgen {
+		s.mgen = g
+		s.mpos = 0
+		if s.mfile != nil {
+			s.mfile.Close()
+			s.mfile = nil
+		}
+		mFeedRestarts.Inc()
+		if err := s.send(frameRestart, restartPayload(manifestShard)); err != nil {
+			return false, err
+		}
+	}
+	target := log.ManifestCommittedSize()
+	for s.mpos < target {
+		f, err := s.manifestFile()
+		if err != nil {
+			return false, nil
+		}
+		if fi, err := f.Stat(); err == nil && fi.Size() < target {
+			target = fi.Size()
+		}
+		if s.mpos >= target {
+			break
+		}
+		n := min(int64(s.feed.cfg.chunk()), target-s.mpos)
+		chunk := make([]byte, n)
+		if _, err := f.ReadAt(chunk, s.mpos); err != nil {
+			if log.ManifestGeneration() != s.mgen {
+				return false, nil
+			}
+			return false, err
+		}
+		if log.ManifestGeneration() != s.mgen {
+			return false, nil
+		}
+		if err := s.send(frameManifest, chunk); err != nil {
+			return false, err
+		}
+		s.mpos += n
+	}
+	return true, nil
+}
+
+// sendTail reports the committed sizes the subscriber has now reached.
+func (s *subscriber) sendTail() error {
+	t := tailMsg{Shards: make([]int64, s.set.Shards)}
+	for k := 0; k < s.set.Shards; k++ {
+		t.Shards[k] = s.feed.cfg.Log.Shard(k).CommittedSize()
+	}
+	if s.set.Sharded() {
+		t.Manifest = s.feed.cfg.Log.ManifestCommittedSize()
+	}
+	return s.send(frameTail, marshalJSONFrame(t))
+}

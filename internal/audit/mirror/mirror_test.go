@@ -1,0 +1,399 @@
+package mirror
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"libseal/internal/asyncall"
+	"libseal/internal/audit"
+	"libseal/internal/enclave"
+	"libseal/internal/rote"
+)
+
+const testSchema = `
+CREATE TABLE updates (seq INTEGER, repo TEXT, branch TEXT, cid TEXT, op TEXT);
+`
+
+// mirrorEnv is a live sharded audit log with a replication feed listening
+// on a loopback socket — the server half of every test.
+type mirrorEnv struct {
+	t      *testing.T
+	encl   *enclave.Enclave
+	bridge *asyncall.Bridge
+	group  *rote.Group
+	dir    string
+	log    *audit.ShardedLog
+	feed   *Feed
+	addr   string
+
+	stopManifests chan struct{}
+	appended      atomic.Int64
+}
+
+func newMirrorEnv(t *testing.T, shards int, manifestEvery time.Duration) *mirrorEnv {
+	return newMirrorEnvCfg(t, shards, manifestEvery, nil)
+}
+
+func newMirrorEnvCfg(t *testing.T, shards int, manifestEvery time.Duration, tune func(*FeedConfig)) *mirrorEnv {
+	t.Helper()
+	p := enclave.NewPlatform()
+	encl, err := p.Launch(enclave.Config{Code: []byte("libseal-mirror-test"), MaxThreads: 4, Cost: enclave.ZeroCostModel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bridge, err := asyncall.New(encl, asyncall.Config{Mode: asyncall.ModeSync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(bridge.Close)
+	group, err := rote.NewGroup(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &mirrorEnv{t: t, encl: encl, bridge: bridge, group: group, dir: t.TempDir(), stopManifests: make(chan struct{})}
+	e.call(func(env *asyncall.Env) error {
+		var err error
+		e.log, err = audit.NewSharded(env, audit.ShardedConfig{
+			Config: audit.Config{Name: "git", Schema: testSchema, Mode: audit.ModeDisk, Dir: e.dir, Protector: group},
+			Shards: shards, ManifestEvery: manifestEvery,
+		})
+		return err
+	})
+	fcfg := FeedConfig{Log: e.log, Dir: e.dir, Name: "git", PollInterval: 20 * time.Millisecond}
+	if tune != nil {
+		tune(&fcfg)
+	}
+	feed, err := NewFeed(fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.feed = feed
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.addr = ln.Addr().String()
+	go feed.Serve(ln)
+	// Drive the manifest cadence the way the server's periodic loop does.
+	go func() {
+		tick := time.NewTicker(10 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-e.stopManifests:
+				return
+			case <-tick.C:
+				e.bridge.Call(func(env *asyncall.Env) error {
+					e.log.ManifestIfDue(env)
+					return nil
+				})
+			}
+		}
+	}()
+	t.Cleanup(func() {
+		close(e.stopManifests)
+		feed.Close()
+	})
+	return e
+}
+
+func (e *mirrorEnv) call(fn func(env *asyncall.Env) error) {
+	e.t.Helper()
+	if err := e.bridge.Call(fn); err != nil {
+		e.t.Fatal(err)
+	}
+}
+
+// append writes n entries spread across connection keys.
+func (e *mirrorEnv) append(n int) {
+	e.t.Helper()
+	for i := 0; i < n; i++ {
+		i := i
+		key := uint64(i % 7)
+		e.call(func(env *asyncall.Env) error {
+			return e.log.Append(env, key, "updates", i, fmt.Sprintf("repo%d", key), "main", fmt.Sprintf("c%d", i), "update")
+		})
+		e.appended.Add(1)
+	}
+}
+
+// appendShard writes n entries that all route to shard k.
+func (e *mirrorEnv) appendShard(k, n int) {
+	e.t.Helper()
+	key := uint64(0)
+	for e.log.ShardFor(key) != k {
+		key++
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		e.call(func(env *asyncall.Env) error {
+			return e.log.Append(env, key, "updates", i, "victim", "main", fmt.Sprintf("v%d", i), "update")
+		})
+		e.appended.Add(1)
+	}
+}
+
+func (e *mirrorEnv) mirrorConfig() Config {
+	return Config{
+		Addr:         e.addr,
+		Name:         "git",
+		Pub:          e.encl.PublicKey(),
+		BackoffMin:   10 * time.Millisecond,
+		ReadTimeout:  2 * time.Second,
+		RestartGrace: 400 * time.Millisecond,
+	}
+}
+
+// waitCaught polls until the mirror has verified want entries with zero
+// reported lag. CaughtUp distinguishes "lag confirmed zero by a tail
+// report" from the zero value before any tail arrived.
+func waitCaught(t *testing.T, m *Mirror, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		s := m.Status()
+		if s.Err != nil {
+			t.Fatalf("mirror violation while catching up: %v", s.Err)
+		}
+		if s.Entries >= want && s.CaughtUp && s.LagBytes == 0 && s.Connected {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	s := m.Status()
+	t.Fatalf("mirror never caught up: entries=%d want=%d lag=%d caught=%v connected=%v err=%v",
+		s.Entries, want, s.LagBytes, s.CaughtUp, s.Connected, s.Err)
+}
+
+// TestMirrorLiveTail attaches a mirror to a live sharded server, then keeps
+// appending: the mirror must follow the log continuously and verify every
+// batch and manifest without a violation.
+func TestMirrorLiveTail(t *testing.T) {
+	e := newMirrorEnv(t, 4, 30*time.Millisecond)
+	e.append(40)
+	m, err := Start(context.Background(), e.mirrorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop(context.Background())
+	waitCaught(t, m, 40)
+
+	// Live tail: new writes must flow through within the notify path.
+	e.append(60)
+	waitCaught(t, m, 100)
+
+	r := m.Report()
+	if !r.Live || !r.Sharded {
+		t.Fatalf("Report: Live=%v Sharded=%v", r.Live, r.Sharded)
+	}
+	if r.TotalEntries != 100 {
+		t.Fatalf("Report.TotalEntries = %d, want 100", r.TotalEntries)
+	}
+	if r.Tables["updates"] != 100 {
+		t.Fatalf("Report.Tables = %v", r.Tables)
+	}
+	if r.Manifests == 0 || r.Epoch == 0 {
+		t.Fatalf("Report: Manifests=%d Epoch=%d, want manifests verified", r.Manifests, r.Epoch)
+	}
+	if err := m.Err(); err != nil {
+		t.Fatalf("clean tail reported violation: %v", err)
+	}
+}
+
+// TestMirrorResumeAfterRestart kills a caught-up mirror and starts a new
+// one from its checkpoint sidecar: the new mirror must resume from the
+// verified prefix (no cold rescan — the feed's restart counter stays zero
+// and the report says Resumed) and still follow new writes.
+func TestMirrorResumeAfterRestart(t *testing.T) {
+	e := newMirrorEnv(t, 4, 30*time.Millisecond)
+	ckpt := filepath.Join(t.TempDir(), "mirror.ckpt")
+	e.append(50)
+
+	cfg := e.mirrorConfig()
+	cfg.CheckpointPath = ckpt
+	cfg.CheckpointEvery = time.Millisecond
+	m1, err := Start(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCaught(t, m1, 50)
+	if err := m1.Stop(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Writes land while the mirror is down.
+	e.append(30)
+
+	m2, err := Start(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Stop(context.Background())
+	// Entries carries the checkpointed prefix, so the caught-up total is the
+	// whole log — but only the 30-entry suffix is actually re-verified (no
+	// cold rescan: Restarts stays 0 below).
+	waitCaught(t, m2, 80)
+	r := m2.Report()
+	if !r.Resumed {
+		t.Fatal("restarted mirror did not resume from its checkpoint")
+	}
+	if r.Restarts != 0 {
+		t.Fatalf("resume caused %d cold restarts, want 0", r.Restarts)
+	}
+	// Whole-log totals are carried over from the checkpointed prefix.
+	if r.TotalEntries != 80 {
+		t.Fatalf("Report.TotalEntries = %d, want 80", r.TotalEntries)
+	}
+	if err := m2.Err(); err != nil {
+		t.Fatalf("resumed mirror reported violation: %v", err)
+	}
+}
+
+// TestMirrorDetectsRollback is the e2e attack: a single shard of a live
+// sharded server is rolled back to an earlier commit point behind the
+// log's back, and the link is dropped so the mirror reconnects into the
+// tampered state. The mirror must report ErrBadCounter within roughly the
+// restart grace (well under a second), without any live counter quorum.
+func TestMirrorDetectsRollback(t *testing.T) {
+	e := newMirrorEnv(t, 4, 30*time.Millisecond)
+	const victim = 2
+	e.appendShard(victim, 20)
+	e.append(20)
+
+	violated := make(chan error, 1)
+	cfg := e.mirrorConfig()
+	cfg.OnViolation = func(err error) {
+		select {
+		case violated <- err:
+		default:
+		}
+	}
+	m, err := Start(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop(context.Background())
+	waitCaught(t, m, 40)
+
+	// Roll the victim shard's file back to its state as of an earlier
+	// commit point, then append more so the earlier prefix really is
+	// superseded state the attacker is hiding.
+	path := filepath.Join(e.dir, audit.ShardName("git", victim)+".lseal")
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rollbackTo := fi.Size()
+	e.appendShard(victim, 10)
+	waitCaught(t, m, 50)
+
+	start := time.Now()
+	if err := os.Truncate(path, rollbackTo); err != nil {
+		t.Fatal(err)
+	}
+	e.feed.DisconnectAll()
+
+	select {
+	case err := <-violated:
+		if !errors.Is(err, audit.ErrBadCounter) {
+			t.Fatalf("violation = %v, want ErrBadCounter", err)
+		}
+		t.Logf("rollback detected in %v: %v", time.Since(start), err)
+	case <-time.After(15 * time.Second):
+		t.Fatalf("rollback never detected; status %+v", m.Status())
+	}
+	if m.Err() == nil {
+		t.Fatal("violation did not latch")
+	}
+	// The loop must stop once the mirror's attestation is void.
+	select {
+	case <-m.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("mirror loop did not stop after violation")
+	}
+}
+
+// TestMirrorSurvivesTrim runs a trim while the mirror is attached: the
+// feed must issue restart frames, the mirror must re-verify the rewritten
+// files, and — because an honest rewrite re-signs with current counters —
+// the continuity floor must be re-attained without a violation.
+func TestMirrorSurvivesTrim(t *testing.T) {
+	e := newMirrorEnv(t, 2, 30*time.Millisecond)
+	e.append(30)
+	m, err := Start(context.Background(), e.mirrorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop(context.Background())
+	waitCaught(t, m, 30)
+
+	e.call(func(env *asyncall.Env) error {
+		return e.log.Trim(env, []string{"SELECT * FROM updates WHERE seq >= 10"})
+	})
+	e.append(10)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		s := m.Status()
+		if s.Err != nil {
+			t.Fatalf("trim caused violation: %v", s.Err)
+		}
+		if s.Restarts > 0 && s.LagBytes == 0 && s.Connected {
+			// Give the continuity checks a beat past the grace period to
+			// prove no late violation fires.
+			time.Sleep(600 * time.Millisecond)
+			if err := m.Err(); err != nil {
+				t.Fatalf("late violation after trim: %v", err)
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("mirror never resynced after trim: %+v", m.Status())
+}
+
+// TestFeedBackpressure attaches a subscriber that never reads: the feed
+// must drop it within the write timeout instead of blocking the pump, and
+// the appenders must never notice.
+func TestFeedBackpressure(t *testing.T) {
+	// Tight feed limits so a stalled subscriber hits them quickly instead of
+	// hiding behind multi-megabyte kernel socket buffers.
+	e := newMirrorEnvCfg(t, 2, time.Hour, func(cfg *FeedConfig) {
+		cfg.QueueFrames = 4
+		cfg.ChunkBytes = 32 << 10
+		cfg.WriteTimeout = 200 * time.Millisecond
+	})
+	conn, err := net.Dial("tcp", e.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A valid hello, then silence: the subscriber stops draining.
+	if err := writeFrame(conn, frameHello, marshalJSONFrame(helloMsg{Name: "git"})); err != nil {
+		t.Fatal(err)
+	}
+	// Enough data to overflow the kernel socket buffers AND the feed's frame
+	// queue: only then does the drop path have to fire.
+	blob := strings.Repeat("x", 64<<10)
+	for i := 0; i < 256; i++ {
+		i := i
+		e.call(func(env *asyncall.Env) error {
+			return e.log.Append(env, uint64(i%5), "updates", i, "bulk", "main", fmt.Sprintf("b%d", i), blob)
+		})
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for e.feed.Subscribers() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stalled subscriber was never dropped")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

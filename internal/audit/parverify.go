@@ -151,6 +151,13 @@ type StreamResult struct {
 // fails with ErrCheckpointStale so the caller can fall back to a cold
 // scan.
 func VerifyFileStream(path string, opts StreamOptions) (*StreamResult, error) {
+	return VerifyFileStreamContext(context.Background(), path, opts)
+}
+
+// VerifyFileStreamContext is VerifyFileStream honouring a context: a
+// cancelled or expired ctx stops the pipeline and returns ctx.Err() instead
+// of a verification verdict.
+func VerifyFileStreamContext(ctx context.Context, path string, opts StreamOptions) (*StreamResult, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -164,7 +171,7 @@ func VerifyFileStream(path string, opts StreamOptions) (*StreamResult, error) {
 			return nil, err
 		}
 	}
-	return VerifyReaderStream(f, opts)
+	return VerifyReaderStreamContext(ctx, f, opts)
 }
 
 // VerifyReaderStream runs the parallel segmented verification pipeline over
@@ -172,9 +179,14 @@ func VerifyFileStream(path string, opts StreamOptions) (*StreamResult, error) {
 // VerifyReaderResult's; with OnSegment it streams segments to the callback
 // and keeps memory bounded.
 func VerifyReaderStream(r io.Reader, opts StreamOptions) (*StreamResult, error) {
+	return VerifyReaderStreamContext(context.Background(), r, opts)
+}
+
+// VerifyReaderStreamContext is VerifyReaderStream honouring a context.
+func VerifyReaderStreamContext(ctx context.Context, r io.Reader, opts StreamOptions) (*StreamResult, error) {
 	start := time.Now()
 	mVerifyRuns.Inc()
-	res, err := runStreamVerify(r, &opts)
+	res, err := runStreamVerify(ctx, r, &opts)
 	mVerifyLatency.Observe(time.Since(start))
 	if err != nil {
 		mVerifyFailures.Inc()
@@ -182,7 +194,7 @@ func VerifyReaderStream(r io.Reader, opts StreamOptions) (*StreamResult, error) 
 	return res, err
 }
 
-func runStreamVerify(r io.Reader, opts *StreamOptions) (*StreamResult, error) {
+func runStreamVerify(parent context.Context, r io.Reader, opts *StreamOptions) (*StreamResult, error) {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -212,7 +224,7 @@ func runStreamVerify(r io.Reader, opts *StreamOptions) (*StreamResult, error) {
 		mVerifyResumes.Inc()
 	}
 
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
 	work := make(chan *segment, workers)
 	order := make(chan *segment, window)
@@ -282,6 +294,11 @@ func runStreamVerify(r io.Reader, opts *StreamOptions) (*StreamResult, error) {
 	}
 	<-scanDone
 	wg.Wait()
+	if err := parent.Err(); err != nil {
+		// Caller cancellation is not a verification verdict: a partial scan
+		// must never be reported as OK or as tampering.
+		return nil, err
+	}
 	return m.finish(end)
 }
 

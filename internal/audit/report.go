@@ -1,0 +1,72 @@
+package audit
+
+import "context"
+
+// Report is the one verification result shape every entry point returns:
+// one-shot path verification (Verify / VerifyContext on the facade), sharded
+// set verification, and a live mirror's status all produce a *Report. It
+// subsumes the older ShardedStreamResult (whose fields it keeps, name for
+// name, so existing callers keep compiling) and adds the live-mirror fields
+// that a one-shot scan leaves zero.
+type Report struct {
+	// Sharded reports whether the verified set had a manifest sidecar
+	// (false for a plain single-file log).
+	Sharded bool
+	// Shards holds each shard's own streaming result, indexed by shard.
+	// One-shot scans fill it; a live mirror leaves it nil and reports
+	// aggregates only.
+	Shards []*StreamResult
+	// Manifests is the number of epoch manifests verified; Epoch the last
+	// manifest's epoch.
+	Manifests int
+	Epoch     uint64
+	// TotalEntries / TotalBatches aggregate across shards (checkpointed
+	// prefixes included); Tables counts entries per table across the set.
+	TotalEntries int
+	TotalBatches int
+	Tables       map[string]int
+	// CommittedBytes sums the shards' verified prefix lengths.
+	CommittedBytes int64
+	// Resumed reports whether any shard resumed from a checkpoint.
+	Resumed bool
+
+	// Live reports whether this Report came from a running mirror rather
+	// than a one-shot scan; the fields below are only meaningful then.
+	Live bool
+	// Connected reports whether the mirror currently holds a feed session.
+	Connected bool
+	// Reconnects counts completed dial attempts after the first session;
+	// Restarts counts server-side restart frames (trim rewrites, resume
+	// proof rejections) that forced a shard back to a cold re-read.
+	Reconnects int
+	Restarts   int
+	// LagBytes is the mirror's best-known distance behind the server:
+	// server-reported committed bytes minus locally verified bytes, summed
+	// across shards. Negative is clamped to zero.
+	LagBytes int64
+}
+
+// report converts a one-shot sharded result into the unified shape.
+func (r *ShardedStreamResult) report() *Report {
+	if r == nil {
+		return nil
+	}
+	return &Report{
+		Sharded:        r.Sharded,
+		Shards:         r.Shards,
+		Manifests:      r.Manifests,
+		Epoch:          r.Epoch,
+		TotalEntries:   r.TotalEntries,
+		TotalBatches:   r.TotalBatches,
+		Tables:         r.Tables,
+		CommittedBytes: r.CommittedBytes,
+		Resumed:        r.Resumed,
+	}
+}
+
+// VerifyPathReport is VerifyPathContext returning the unified Report shape.
+// The facade's Verify / VerifyContext build on this.
+func VerifyPathReport(ctx context.Context, path string, opts StreamOptions) (*Report, error) {
+	res, err := VerifyPathContext(ctx, path, opts)
+	return res.report(), err
+}

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"libseal/internal/asyncall"
@@ -113,7 +114,40 @@ type ShardedLog struct {
 	mcounter     uint64 // last manifest-counter value written
 	lastManifest time.Time
 	mclosed      bool
+
+	// mgen is the manifest sidecar's incarnation seqlock (see Log.gen): odd
+	// while rewriteManifest is replacing the file, even while it is stable.
+	mgen atomic.Uint64
+	// mnotify, when non-nil, runs under mmu after every durable manifest
+	// write. Installed by SetCommitNotify alongside the per-shard notifiers.
+	mnotify func()
 }
+
+// SetCommitNotify installs fn to run after every durable change to any of
+// the set's persisted files — a shard's batch publish, re-anchor or trim
+// rewrite, and every manifest append or rewrite. fn runs under the internal
+// locks and must not block; the replication feed installs a coalescing
+// wakeup. One listener at a time; nil uninstalls.
+func (s *ShardedLog) SetCommitNotify(fn func()) {
+	for _, sh := range s.shards {
+		sh.SetCommitNotify(fn)
+	}
+	s.mmu.Lock()
+	defer s.mmu.Unlock()
+	s.mnotify = fn
+}
+
+// ManifestCommittedSize is the durable length of the manifest sidecar (0
+// when the set has none).
+func (s *ShardedLog) ManifestCommittedSize() int64 {
+	s.mmu.Lock()
+	defer s.mmu.Unlock()
+	return s.manifestSize
+}
+
+// ManifestGeneration identifies the manifest sidecar's incarnation, with the
+// same even/odd contract as Log.Generation.
+func (s *ShardedLog) ManifestGeneration() uint64 { return s.mgen.Load() }
 
 // NewSharded creates (or truncates) a sharded audit log. With Shards > 1 in
 // disk mode it also creates the manifest sidecar and writes an initial
@@ -510,6 +544,7 @@ func (s *ShardedLog) rewriteManifest(env *asyncall.Env, states []ShardState) err
 		return err
 	}
 	payload := marshalManifest(m)
+	s.mgen.Add(1) // odd: sidecar being replaced
 	if err := env.Ocall(func() error {
 		tmp := s.manifestPath() + ".tmp"
 		f, err := s.fs.Create(tmp)
@@ -548,9 +583,11 @@ func (s *ShardedLog) rewriteManifest(env *asyncall.Env, states []ShardState) err
 		}
 		return nil
 	}); err != nil {
+		s.mgen.Add(1) // even again: the old sidecar is still authoritative
 		mManifestErrors.Inc()
 		return err
 	}
+	s.mgen.Add(1) // even: replacement landed
 	s.manifestSize = int64(len(manifestMagic)) + recordSize(payload)
 	s.commitManifestLocked(m)
 	return nil
@@ -584,6 +621,9 @@ func (s *ShardedLog) commitManifestLocked(m *Manifest) {
 	s.lastManifest = time.Now()
 	mManifests.Inc()
 	mFsyncs.Inc()
+	if s.mnotify != nil {
+		s.mnotify()
+	}
 }
 
 // incrementManifestCounter advances the manifest counter under the same

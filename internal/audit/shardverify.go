@@ -2,6 +2,7 @@ package audit
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -9,8 +10,6 @@ import (
 	"runtime"
 	"strings"
 	"sync"
-
-	"libseal/internal/enclave"
 )
 
 // Sharded verification. A sharded log set is N shard files, each an
@@ -131,6 +130,13 @@ type ShardedStreamResult struct {
 // recommended entry point; the per-file functions remain for callers that
 // already know the layout.
 func VerifyPath(path string, opts StreamOptions) (*ShardedStreamResult, error) {
+	return VerifyPathContext(context.Background(), path, opts)
+}
+
+// VerifyPathContext is VerifyPath honouring a context: a cancelled or
+// expired ctx stops every shard's pipeline and returns ctx.Err() instead of
+// a verification verdict.
+func VerifyPathContext(ctx context.Context, path string, opts StreamOptions) (*ShardedStreamResult, error) {
 	fi, err := os.Stat(path)
 	if err != nil {
 		return nil, err
@@ -140,9 +146,9 @@ func VerifyPath(path string, opts StreamOptions) (*ShardedStreamResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		return VerifySet(ss, opts)
+		return VerifySetContext(ctx, ss, opts)
 	}
-	return VerifySet(&ShardSet{
+	return VerifySetContext(ctx, &ShardSet{
 		Dir:    filepath.Dir(path),
 		Name:   strings.TrimSuffix(filepath.Base(path), ".lseal"),
 		Shards: 1,
@@ -201,6 +207,11 @@ func (cs *commitSet) has(st ShardState) bool {
 // VerifySet verifies every shard of the set in parallel and replays the
 // manifest sidecar against the shards' verified commit points.
 func VerifySet(ss *ShardSet, opts StreamOptions) (*ShardedStreamResult, error) {
+	return VerifySetContext(context.Background(), ss, opts)
+}
+
+// VerifySetContext is VerifySet honouring a context.
+func VerifySetContext(ctx context.Context, ss *ShardSet, opts StreamOptions) (*ShardedStreamResult, error) {
 	if opts.Resume != nil && ss.Shards > 1 {
 		return nil, errors.New("audit: explicit Resume on a sharded set; use ResumeAuto")
 	}
@@ -221,10 +232,13 @@ func VerifySet(ss *ShardSet, opts StreamOptions) (*ShardedStreamResult, error) {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			results[k], errs[k] = verifyShard(ss, k, perShard, opts, points[k])
+			results[k], errs[k] = verifyShard(ctx, ss, k, perShard, opts, points[k])
 		}(k)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for k, err := range errs {
 		if err != nil {
 			if ss.Sharded() {
@@ -260,7 +274,7 @@ func VerifySet(ss *ShardSet, opts StreamOptions) (*ShardedStreamResult, error) {
 
 // verifyShard runs the streaming pipeline over one shard file, collecting
 // its commit points and handling checkpoint/resume plumbing.
-func verifyShard(ss *ShardSet, k, workers int, opts StreamOptions, cs *commitSet) (*StreamResult, error) {
+func verifyShard(ctx context.Context, ss *ShardSet, k, workers int, opts StreamOptions, cs *commitSet) (*StreamResult, error) {
 	path := ss.ShardPath(k)
 	sopts := opts
 	sopts.Shard = k
@@ -306,7 +320,7 @@ func verifyShard(ss *ShardSet, k, workers int, opts StreamOptions, cs *commitSet
 		} else {
 			cs.baseSeq = 0
 		}
-		return VerifyFileStream(path, sopts)
+		return VerifyFileStreamContext(ctx, path, sopts)
 	}
 	res, err := run()
 	if err != nil && sopts.Resume != nil && errors.Is(err, ErrCheckpointStale) {
@@ -335,19 +349,14 @@ func replayManifests(ss *ShardSet, opts *StreamOptions, points []*commitSet) (in
 		// one means its records were stripped.
 		return 0, 0, fmt.Errorf("%w: manifest sidecar holds no manifests", ErrTampered)
 	}
-	var lastEpoch, lastCounter uint64
-	for i, m := range ms {
-		if len(m.Shards) != ss.Shards {
-			return 0, 0, fmt.Errorf("%w: manifest %d attests %d shards, set has %d", ErrTampered, i, len(m.Shards), ss.Shards)
-		}
-		if i > 0 && m.Epoch <= lastEpoch {
-			return 0, 0, fmt.Errorf("%w: manifest %d: epoch %d not after %d", ErrTampered, i, m.Epoch, lastEpoch)
-		}
-		if m.Counter < lastCounter {
-			return 0, 0, fmt.Errorf("%w: manifest %d: counter %d regressed below %d", ErrTampered, i, m.Counter, lastCounter)
-		}
-		if opts.Pub != nil && !enclave.VerifySignature(opts.Pub, manifestDigest(ss.Name, m), m.Sig) {
-			return 0, 0, fmt.Errorf("%w: manifest %d (epoch %d): signature invalid", ErrTampered, i, m.Epoch)
+	// The per-record checks (shard count, epoch/counter monotonicity,
+	// signature) run on the same replayer the live mirror uses, so offline
+	// and streaming replay cannot drift apart; only the membership check —
+	// a set lookup here, a deferred obligation live — differs by caller.
+	replayer := &ManifestReplayer{Name: ss.Name, Pub: opts.Pub, Shards: ss.Shards}
+	for _, m := range ms {
+		if err := replayer.Verify(m); err != nil {
+			return 0, 0, err
 		}
 		for k, st := range m.Shards {
 			if !points[k].has(st) {
@@ -356,8 +365,8 @@ func replayManifests(ss *ShardSet, opts *StreamOptions, points []*commitSet) (in
 					ErrBadCounter, m.Epoch, k, st.Seq, st.Counter)
 			}
 		}
-		lastEpoch, lastCounter = m.Epoch, m.Counter
 	}
+	lastEpoch, lastCounter := replayer.Epoch(), replayer.Counter()
 	// The sidecar's own tail is guarded by the live manifest counter: a
 	// provider that discards recent manifests (and the shard records they
 	// attest) is caught here, exactly like a single-file tail rollback.

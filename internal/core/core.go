@@ -31,6 +31,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -410,6 +411,16 @@ func (ls *LibSEAL) Log() *audit.ShardedLog { return ls.log }
 // Bridge returns the underlying enclave bridge.
 func (ls *LibSEAL) Bridge() *asyncall.Bridge { return ls.bridge }
 
+// AuditLocation returns the persisted audit log's directory and set name —
+// what a replication feed needs to locate the files. Both are empty when
+// auditing is disabled or memory-only.
+func (ls *LibSEAL) AuditLocation() (dir, name string) {
+	if ls.log == nil || ls.cfg.AuditMode != audit.ModeDisk {
+		return "", ""
+	}
+	return ls.cfg.AuditDir, ls.cfg.Module.Name()
+}
+
 // StatsSnapshot returns a copy of the audit counters.
 func (ls *LibSEAL) StatsSnapshot() Stats {
 	ls.logMu.Lock()
@@ -503,7 +514,7 @@ func (ls *LibSEAL) onRead(env *asyncall.Env, connID uint64, data []byte) error {
 			// Run the check now so this response can carry the result. The
 			// evaluation happens on a snapshot with logMu released, so other
 			// connections keep appending while this one checks.
-			_, tr.injectResult = ls.runCheckCycle(env, true)
+			_, tr.injectResult = ls.runCheckCycle(env, context.Background(), true)
 		}
 	}
 }
@@ -679,7 +690,7 @@ func (ls *LibSEAL) checkAndTrim(env *asyncall.Env) {
 		ls.scheduleCheck()
 		return
 	}
-	out, _ := ls.runCheckCycle(env, false)
+	out, _ := ls.runCheckCycle(env, context.Background(), false)
 	if out != nil {
 		ls.applyTrim(env, out)
 	}
@@ -702,6 +713,9 @@ type checkOutcome struct {
 	// trimCount is the number of rows the module's trim queries would
 	// delete from the snapshot; -1 when unknown (unprobeable trim SQL).
 	trimCount int
+	// ctxErr is set when a CheckNowContext caller's context cancelled the
+	// evaluation partway through.
+	ctxErr error
 }
 
 // captureCheckLocked starts a check under logMu. It returns nil and a
@@ -731,12 +745,19 @@ func (ls *LibSEAL) captureCheckLocked(clientTriggered bool) (*checkCapture, stri
 
 // evalCheck runs every prepared invariant against the capture's snapshot
 // and probes the trim predicates. No locks are held; appends proceed
-// concurrently.
-func (ls *LibSEAL) evalCheck(cap *checkCapture) *checkOutcome {
+// concurrently. ctx is consulted between invariants: cancellation stops the
+// evaluation early with result "cancelled" and ctxErr set — violations found
+// up to that point are still published (they are real).
+func (ls *LibSEAL) evalCheck(ctx context.Context, cap *checkCapture) *checkOutcome {
 	out := &checkOutcome{cap: cap, trimCount: -1}
 	defer telemetry.ObserveSince(mCheckLatency, "audit.check", cap.start)
 	var violated []string
 	for _, p := range ls.prepared {
+		if err := ctx.Err(); err != nil {
+			out.result = "cancelled"
+			out.ctxErr = err
+			return out
+		}
 		if p.stmt == nil {
 			out.result = "error:" + p.name
 			return out
@@ -802,14 +823,14 @@ func (ls *LibSEAL) notifyViolations(out *checkOutcome) {
 // invariant evaluation in between runs with the lock released, so appends
 // are stalled for the snapshot capture, not the check. Returns nil when
 // evaluation was skipped (disabled or rate-limited).
-func (ls *LibSEAL) runCheckCycle(env *asyncall.Env, clientTriggered bool) (*checkOutcome, string) {
+func (ls *LibSEAL) runCheckCycle(env *asyncall.Env, ctx context.Context, clientTriggered bool) (*checkOutcome, string) {
 	asyncall.Lock(env, &ls.logMu)
 	cap, early := ls.captureCheckLocked(clientTriggered)
 	ls.logMu.Unlock()
 	if cap == nil {
 		return nil, early
 	}
-	out := ls.evalCheck(cap)
+	out := ls.evalCheck(ctx, cap)
 	asyncall.Lock(env, &ls.logMu)
 	ls.publishCheckLocked(out)
 	ls.logMu.Unlock()
@@ -864,7 +885,7 @@ func (ls *LibSEAL) checkWorker() {
 	defer close(ls.checkerDone)
 	for range ls.checkCh {
 		_ = ls.bridge.Call(func(env *asyncall.Env) error {
-			out, _ := ls.runCheckCycle(env, false)
+			out, _ := ls.runCheckCycle(env, context.Background(), false)
 			if out != nil {
 				ls.applyTrim(env, out)
 			}
@@ -876,16 +897,33 @@ func (ls *LibSEAL) checkWorker() {
 // CheckNow runs the invariants immediately (Fig. 1, step 6) and returns the
 // result string. It is always synchronous, even with CheckAsync: callers
 // want the verdict, and the evaluation still runs on a snapshot outside
-// logMu.
+// logMu. It is CheckNowContext with a background context.
 func (ls *LibSEAL) CheckNow() (string, error) {
+	return ls.CheckNowContext(context.Background())
+}
+
+// CheckNowContext is CheckNow with cancellation: ctx is consulted before the
+// check is dispatched and between invariant evaluations. A cancelled check
+// returns ctx's error with result "cancelled"; violations found before the
+// cancellation are still recorded and notified — detection is never undone.
+func (ls *LibSEAL) CheckNowContext(ctx context.Context) (string, error) {
 	if ls.log == nil {
 		return "", ErrLoggingDisabled
 	}
-	var result string
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	var (
+		result string
+		out    *checkOutcome
+	)
 	err := ls.bridge.Call(func(env *asyncall.Env) error {
-		_, result = ls.runCheckCycle(env, false)
+		out, result = ls.runCheckCycle(env, ctx, false)
 		return nil
 	})
+	if err == nil && out != nil && out.ctxErr != nil {
+		err = out.ctxErr
+	}
 	return result, err
 }
 

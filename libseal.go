@@ -36,7 +36,7 @@
 package libseal
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -117,9 +117,14 @@ type (
 	// trusted until VerifyLogFileStream returns a nil error, since
 	// whole-log checks (rollback freshness in particular) run last.
 	VerifySegment = audit.SegmentInfo
-	// VerifyResult is the outcome of the unified Verify entry point: the
-	// per-shard streaming results plus cross-shard totals and, for sharded
-	// sets, the epoch-manifest replay verdict.
+	// Report is the one verification result shape every entry point
+	// returns: Verify / VerifyContext for one-shot scans (Live false) and
+	// Mirror.Report for live replication (Live true, plus the lag and
+	// session fields). It subsumes the older VerifyResult field for field.
+	Report = audit.Report
+	// VerifyResult is the pre-Report result shape.
+	//
+	// Deprecated: use Report; Verify and VerifyContext return it directly.
 	VerifyResult = audit.ShardedStreamResult
 	// VerifyCheckpoint is a persisted verification checkpoint sidecar.
 	VerifyCheckpoint = audit.Checkpoint
@@ -242,10 +247,6 @@ func DropboxModule() Module { return dropboxssm.New() }
 // misdelivered messages.
 func MessagingModule() Module { return messagingssm.New() }
 
-// ErrUnknownModule is returned by ModuleByName for a name outside the
-// registry; its message lists the valid names.
-var ErrUnknownModule = errors.New("libseal: unknown service module")
-
 // moduleRegistry maps canonical service names to module constructors. A
 // fresh module is built per call: modules carry per-instance parser state.
 var moduleRegistry = map[string]func() Module{
@@ -320,22 +321,10 @@ func HealthOK(detail string) HealthCheckResult { return resilience.OK(detail) }
 // HealthUnhealthy builds a failing probe result.
 func HealthUnhealthy(detail string) HealthCheckResult { return resilience.Unhealthy(detail) }
 
-// ErrBreakerOpen is returned (wrapped) by counter operations shed by an
-// open circuit breaker.
-var ErrBreakerOpen = resilience.ErrOpen
-
-// ErrAuditOverloaded is returned (wrapped) by appends shed by the audit
-// log's admission control.
-var ErrAuditOverloaded = audit.ErrOverloaded
-
-// ErrVerifyCheckpointStale is returned by VerifyLogFileStream when a resume
-// checkpoint no longer matches the log file (trimmed, rotated or swapped
-// since); the caller should fall back to a cold scan.
-var ErrVerifyCheckpointStale = audit.ErrCheckpointStale
-
 // Verify is the unified verification entry point: it checks a persisted
 // audit log's integrity (hash chain, enclave signatures, counter freshness)
-// with the parallel segmented pipeline, streaming by default.
+// with the parallel segmented pipeline, streaming by default, and returns
+// the unified Report shape shared with VerifyContext and Mirror.Report.
 //
 // path may be either a single log file or a directory. A directory holding
 // a sharded set (shard files plus an epoch-manifest sidecar, as written
@@ -345,8 +334,16 @@ var ErrVerifyCheckpointStale = audit.ErrCheckpointStale
 // directory holding one plain log file, or a file path, degrades to
 // single-log verification with the same options. Set opts.ResumeAuto to
 // continue from per-shard checkpoint sidecars written by a previous run.
-func Verify(path string, opts VerifyStreamOptions) (*VerifyResult, error) {
-	return audit.VerifyPath(path, opts)
+func Verify(path string, opts VerifyStreamOptions) (*Report, error) {
+	return VerifyContext(context.Background(), path, opts)
+}
+
+// VerifyContext is Verify with cancellation: ctx aborts the verification
+// between segments, returning ctx's error. Results verified before the
+// cancellation are not reported (a partial scan proves nothing about the
+// suffix).
+func VerifyContext(ctx context.Context, path string, opts VerifyStreamOptions) (*Report, error) {
+	return audit.VerifyPathReport(ctx, path, opts)
 }
 
 // VerifyLogFileStream verifies one persisted audit log file with the

@@ -1,0 +1,168 @@
+package libseal
+
+import (
+	"context"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"libseal/internal/testutil"
+)
+
+// openMirroredServer builds a sharded disk-mode instance through the public
+// facade and exposes its audit log with ServeAuditFeed.
+func openMirroredServer(t *testing.T, dir string, certs *testutil.CertEnv) (*LibSEAL, *MirrorFeed, string, *CounterGroup) {
+	t.Helper()
+	platform := NewPlatform()
+	encl, err := platform.Launch(EnclaveConfig{Code: []byte("mirror-facade-test"), MaxThreads: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bridge, err := NewBridge(encl, BridgeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(bridge.Close)
+	group, err := NewCounterGroup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No scheduled checks: periodic trimming would rewrite shard files and
+	// legitimately cold-restart the mirror, which is TestMirrorSurvivesTrim's
+	// territory — this test pins the no-rescan resume path. The epoch-
+	// manifest cadence rides the write path, so manifests still flow.
+	seal, err := Open(bridge,
+		WithModule(GitModule()),
+		WithTLS(TLSConfig{Cert: certs.Cert, Key: certs.Key}),
+		WithAuditDisk(dir),
+		WithAuditShards(2),
+		WithManifestInterval(30*time.Millisecond),
+		WithCounterGroup(group),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed, err := ServeAuditFeed(seal, ln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seal, feed, ln.Addr().String(), group
+}
+
+func waitMirrorCaught(t *testing.T, m *Mirror, wantEntries int) MirrorStatus {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		s := m.Status()
+		if s.Err != nil {
+			t.Fatalf("mirror violation: %v", s.Err)
+		}
+		if s.CaughtUp && s.LagBytes == 0 && s.Connected && s.Entries >= wantEntries {
+			return s
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("mirror never caught up: %+v", m.Status())
+	return MirrorStatus{}
+}
+
+// waitMirrorSynced waits until the mirror has verified exactly the server's
+// durable entry count, with nothing staged — trailing group-commit flushes
+// land after a workload returns, so "caught up at some tail" is not yet
+// "verified everything the server will commit".
+func waitMirrorSynced(t *testing.T, m *Mirror, seal *LibSEAL) MirrorStatus {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		s := m.Status()
+		if s.Err != nil {
+			t.Fatalf("mirror violation: %v", s.Err)
+		}
+		want := int(seal.Log().Seq())
+		if seal.Log().PendingStaged() == 0 && s.Entries == want &&
+			s.CaughtUp && s.LagBytes == 0 && s.Connected {
+			return s
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("mirror never synced: %+v (server seq %d)", m.Status(), seal.Log().Seq())
+	return MirrorStatus{}
+}
+
+// TestMirrorFacadeResumeAcrossRestart runs live mirroring end to end through
+// the public facade: a real Git workload on a sharded disk-mode server with
+// the feed attached, a mirror that follows it, is stopped, misses a second
+// workload, and resumes from its checkpoint — without a cold rescan and
+// without a violation. Run under -race in CI.
+func TestMirrorFacadeResumeAcrossRestart(t *testing.T) {
+	certs, err := testutil.NewCertEnv("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	seal, feed, addr, group := openMirroredServer(t, dir, certs)
+	defer feed.Close()
+	defer seal.Close()
+
+	driveGitWorkload(t, seal, certs)
+
+	cfg := MirrorConfig{
+		Addr:            addr,
+		Name:            "git",
+		Pub:             seal.Bridge().Enclave().PublicKey(),
+		CheckpointPath:  filepath.Join(t.TempDir(), "mirror.ckpt"),
+		CheckpointEvery: time.Millisecond,
+		BackoffMin:      10 * time.Millisecond,
+		RestartGrace:    500 * time.Millisecond,
+	}
+	m1, err := StartMirror(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := waitMirrorCaught(t, m1, 1)
+	if err := m1.Stop(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second workload lands while the mirror is down.
+	driveGitWorkload(t, seal, certs)
+
+	m2, err := StartMirror(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Stop(context.Background())
+	s2 := waitMirrorSynced(t, m2, seal)
+	r := m2.Report()
+	if !r.Live || !r.Resumed {
+		t.Fatalf("Report: Live=%v Resumed=%v, want a resumed live mirror", r.Live, r.Resumed)
+	}
+	if r.Restarts != 0 {
+		t.Fatalf("resume caused %d cold restarts, want 0", r.Restarts)
+	}
+	if s2.Entries <= s1.Entries {
+		t.Fatalf("resumed mirror did not advance: %d -> %d entries", s1.Entries, s2.Entries)
+	}
+	if err := m2.Err(); err != nil {
+		t.Fatalf("resumed mirror reported violation: %v", err)
+	}
+
+	// The offline verifier and the live mirror must agree on the log.
+	if err := seal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := VerifyContext(context.Background(), dir, VerifyStreamOptions{
+		VerifyOptions: VerifyOptions{Pub: cfg.Pub, Protector: group, Name: "git"},
+	})
+	if err != nil {
+		t.Fatalf("offline Verify after mirroring: %v", err)
+	}
+	if rep.TotalEntries != s2.Entries {
+		t.Fatalf("offline verifier sees %d entries, mirror verified %d", rep.TotalEntries, s2.Entries)
+	}
+}

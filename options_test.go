@@ -3,6 +3,7 @@ package libseal
 import (
 	"bufio"
 	"sort"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -174,7 +175,7 @@ func TestOpenMatchesNew(t *testing.T) {
 			)
 		},
 	}
-	results := map[string]*VerifyResult{}
+	results := map[string]*Report{}
 	for name, mk := range builds {
 		t.Run(name, func(t *testing.T) {
 			dir := t.TempDir()
@@ -320,6 +321,88 @@ func TestOpenCheckAsyncAndIndexOptions(t *testing.T) {
 			}
 			if err := seal.Close(); err != nil {
 				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// countingProtector is a RollbackProtector stub that records use, so tests
+// can observe WHICH protector Open actually installed.
+type countingProtector struct {
+	increments atomic.Int64
+	reads      atomic.Int64
+	counter    atomic.Uint64
+}
+
+func (p *countingProtector) Increment(name string) (uint64, error) {
+	p.increments.Add(1)
+	return p.counter.Add(1), nil
+}
+
+func (p *countingProtector) Read(name string) (uint64, error) {
+	p.reads.Add(1)
+	return p.counter.Load(), nil
+}
+
+// TestOpenProtectorResolutionOrder pins Open's documented resolution order
+// for the counter plumbing: an explicit WithProtector wins over the
+// WithCounterGroup / WithCounterFaults / WithBreaker path regardless of
+// argument position, because the resolution order is fixed, not positional.
+func TestOpenProtectorResolutionOrder(t *testing.T) {
+	certs, err := testutil.NewCertEnv("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name  string
+		order func(stub *countingProtector, group *CounterGroup) []Option
+	}{
+		{"protector-first", func(stub *countingProtector, group *CounterGroup) []Option {
+			return []Option{WithProtector(stub), WithCounterGroup(group), WithBreaker(BreakerConfig{})}
+		}},
+		{"protector-last", func(stub *countingProtector, group *CounterGroup) []Option {
+			return []Option{WithCounterGroup(group), WithBreaker(BreakerConfig{}), WithProtector(stub)}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			platform := NewPlatform()
+			encl, err := platform.Launch(EnclaveConfig{Code: []byte("open-order"), MaxThreads: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			bridge, err := NewBridge(encl, BridgeConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer bridge.Close()
+			group, err := NewCounterGroup(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stub := &countingProtector{}
+			opts := append([]Option{
+				WithModule(GitModule()),
+				WithTLS(TLSConfig{Cert: certs.Cert, Key: certs.Key}),
+				WithAuditDisk(t.TempDir()),
+			}, tc.order(stub, group)...)
+			seal, err := Open(bridge, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			violations := driveGitWorkload(t, seal, certs)
+			if len(violations) == 0 {
+				t.Fatalf("violations = %v", violations)
+			}
+			if err := seal.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if stub.increments.Load() == 0 && stub.reads.Load() == 0 {
+				t.Fatal("explicit WithProtector was never used: counter-group plumbing won the resolution")
+			}
+			// The group must NOT have been anchored to: its counters stay
+			// untouched when an explicit protector is present.
+			if n, err := group.Read("git"); err == nil && n != 0 {
+				t.Fatalf("counter group was used (counter=%d) despite explicit WithProtector", n)
 			}
 		})
 	}
